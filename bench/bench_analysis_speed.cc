@@ -1,0 +1,86 @@
+// Host-side tooling performance: how fast the analysis software itself
+// chews through captures (a genuine wall-clock microbenchmark of this
+// repository's code, not of the simulated machine).
+
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/decoder.h"
+#include "src/analysis/summary.h"
+#include "src/analysis/trace_report.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+struct CaptureFixture {
+  CaptureFixture() {
+    tb = std::make_unique<Testbed>();
+    tb->Arm();
+    RunNetworkReceive(*tb, Sec(5), 1 * kMiB, false);
+    raw = tb->StopAndUpload();
+  }
+  std::unique_ptr<Testbed> tb;
+  RawTrace raw;
+};
+
+CaptureFixture& Fixture() {
+  static CaptureFixture fixture;
+  return fixture;
+}
+
+void BM_DecodeCapture(benchmark::State& state) {
+  CaptureFixture& f = Fixture();
+  for (auto _ : state) {
+    DecodedTrace d = Decoder::Decode(f.raw, f.tb->tags());
+    benchmark::DoNotOptimize(d.per_function.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(f.raw.events.size()));
+}
+BENCHMARK(BM_DecodeCapture);
+
+void BM_SummarizeCapture(benchmark::State& state) {
+  CaptureFixture& f = Fixture();
+  const DecodedTrace d = Decoder::Decode(f.raw, f.tb->tags());
+  for (auto _ : state) {
+    Summary s(d);
+    benchmark::DoNotOptimize(s.rows().size());
+  }
+}
+BENCHMARK(BM_SummarizeCapture);
+
+void BM_FormatSummary(benchmark::State& state) {
+  CaptureFixture& f = Fixture();
+  const DecodedTrace d = Decoder::Decode(f.raw, f.tb->tags());
+  const Summary s(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.Format().size());
+  }
+}
+BENCHMARK(BM_FormatSummary);
+
+void BM_FormatTraceReport(benchmark::State& state) {
+  CaptureFixture& f = Fixture();
+  const DecodedTrace d = Decoder::Decode(f.raw, f.tb->tags());
+  for (auto _ : state) {
+    TraceReportOptions opts;
+    opts.max_lines = 1000;
+    benchmark::DoNotOptimize(TraceReport::Format(d, opts).size());
+  }
+}
+BENCHMARK(BM_FormatTraceReport);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  CaptureFixture& f = Fixture();
+  for (auto _ : state) {
+    RawTrace loaded;
+    benchmark::DoNotOptimize(RawTrace::Deserialize(f.raw.Serialize(), &loaded));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(f.raw.events.size()));
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+}  // namespace
+}  // namespace hwprof
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// §Kernel Profiling — "What happens if you wish to measure the time taken
+// to process character input interrupts?" Exactly this: per-character
+// interrupt cost and service latency, on an idle system and again under
+// saturating network load (where spl-protected regions delay the UART).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/analysis/decoder.h"
+#include "src/analysis/histogram.h"
+#include "src/kern/tty.h"
+#include "src/kern/user_env.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+struct CharRun {
+  double siointr_avg_us = 0;
+  double lat_p50_us = 0;
+  double lat_max_us = 0;
+  std::uint64_t overruns = 0;
+  std::size_t chars = 0;
+};
+
+enum class Load { kIdle, kNetwork, kMaskedRegions };
+
+CharRun RunTyping(Load load) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto term = std::make_unique<TerminalHost>(k);
+  k.Spawn("getty", [&k](UserEnv& env) {
+    while (!k.stopping()) {
+      env.ReadTtyLine();
+    }
+  });
+  std::shared_ptr<SenderHost> sender;
+  if (load == Load::kNetwork) {
+    sender = std::make_shared<SenderHost>(tb.machine(), k.wire(), kSenderNodeId,
+                                          kSenderIpAddr);
+    k.Spawn("netrecv", [&k](UserEnv& env) {
+      const int fd = env.Socket(true);
+      env.Bind(fd, 4000);
+      env.Listen(fd);
+      const int conn = env.Accept(fd);
+      while (!k.stopping()) {
+        Bytes chunk;
+        if (env.Recv(conn, 2048, &chunk) <= 0) {
+          break;
+        }
+      }
+    });
+    tb.machine().events().ScheduleAt(Msec(10), [sender] {
+      sender->StartStream(kPcIpAddr, 4000, 4 * kMiB);
+    });
+  }
+  if (load == Load::kMaskedRegions) {
+    // A driver-ish process that repeatedly masks everything for 2 ms —
+    // the "sections when processor interrupts were locked out".
+    k.Spawn("masker", [&k](UserEnv& env) {
+      while (!k.stopping()) {
+        const int s = k.spl().splhigh();
+        k.cpu().Use(Msec(2));
+        k.spl().splx(s);
+        env.Compute(Msec(5));
+      }
+    });
+  }
+  tb.Arm();
+  // A steady typist: 37 ms per character (prime vs the 10 ms clock, so the
+  // measurement is not phase-locked to hardclock).
+  std::string text;
+  for (int i = 0; i < 10; ++i) {
+    text += "the engine is running just fine\n";
+  }
+  term->Type(text, Msec(33), Msec(37));
+  k.Run(Sec(13));
+
+  DecodedTrace d = Decoder::Decode(tb.StopAndUpload(), tb.tags());
+  CharRun out;
+  out.overruns = k.tty().overruns();
+  out.chars = k.tty().latencies().size();
+  const FuncStats* siointr = d.Stats("siointr");
+  if (siointr != nullptr && siointr->calls > 0) {
+    out.siointr_avg_us = static_cast<double>(ToWholeUsec(siointr->elapsed)) /
+                         static_cast<double>(siointr->calls);
+  }
+  std::vector<Nanoseconds> lats = k.tty().latencies();
+  if (!lats.empty()) {
+    std::sort(lats.begin(), lats.end());
+    out.lat_p50_us = ToUsecF(lats[lats.size() / 2]);
+    out.lat_max_us = ToUsecF(lats.back());
+  }
+  return out;
+}
+
+void BM_CharInput(benchmark::State& state) {
+  for (auto _ : state) {
+    PaperHeader("§Motivation — character-input interrupt cost and latency",
+                "a typist on the 16450 serial line, idle vs network-loaded");
+    const CharRun idle = RunTyping(Load::kIdle);
+    const CharRun loaded = RunTyping(Load::kNetwork);
+    const CharRun masked = RunTyping(Load::kMaskedRegions);
+
+    std::printf("  %-22s %14s %12s %12s %10s\n", "system state", "siointr us/chr",
+                "lat p50 us", "lat max us", "overruns");
+    auto row = [](const char* label, const CharRun& r) {
+      std::printf("  %-22s %14.1f %12.1f %12.1f %10llu\n", label, r.siointr_avg_us,
+                  r.lat_p50_us, r.lat_max_us, static_cast<unsigned long long>(r.overruns));
+    };
+    row("idle", idle);
+    row("network-saturated", loaded);
+    row("splhigh-heavy driver", masked);
+    std::printf("\n"
+                "  Network load barely moves the tty: spltty outranks splimp, so the\n"
+                "  UART preempts even the millisecond driver copies. Masked (splhigh)\n"
+                "  regions are what stretch the tail — the sections the paper insists\n"
+                "  a profiler must still see.\n\n");
+    PaperRowText("claim", "'profiling ... even sections when",
+                 "latency measured through masked regions");
+    PaperRowText("", "processor interrupts were locked out'",
+                 masked.lat_max_us > 4 * idle.lat_max_us ? "tail visible under masking (agrees)"
+                                                         : "tail NOT visible (unexpected)");
+    state.counters["idle_p50_us"] = idle.lat_p50_us;
+    state.counters["masked_max_us"] = masked.lat_max_us;
+  }
+}
+BENCHMARK(BM_CharInput)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hwprof
+
+BENCHMARK_MAIN();

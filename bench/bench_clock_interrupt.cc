@@ -1,0 +1,61 @@
+// §386BSD Overall Performance — the clock interrupt:
+// "the regular clock tick interrupt took on average 94 microseconds to
+// execute; ... The interrupt code overhead to [emulate ASTs] is around 24
+// microseconds per interrupt."
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/analysis/decoder.h"
+#include "src/kern/clock.h"
+#include "src/workloads/testbed.h"
+
+namespace hwprof {
+namespace {
+
+void BM_ClockInterrupt(benchmark::State& state) {
+  for (auto _ : state) {
+    Testbed tb;
+    Kernel& k = tb.kernel();
+    tb.Arm();
+    k.Run(Sec(10));
+    RawTrace raw = tb.StopAndUpload();
+    DecodedTrace d = Decoder::Decode(raw, tb.tags());
+
+    PaperHeader("§Overall — clock tick interrupt cost", "10 s idle run, 100 Hz clock");
+    const FuncStats* isaintr = d.Stats("ISAINTR");
+    const FuncStats* hardclock = d.Stats("hardclock");
+    const FuncStats* gatherstats = d.Stats("gatherstats");
+    if (isaintr != nullptr && isaintr->calls > 0) {
+      PaperRowF("clock tick total (ISAINTR incl.)", 94.0,
+                static_cast<double>(ToWholeUsec(isaintr->elapsed)) /
+                    static_cast<double>(isaintr->calls),
+                "us");
+      // The AST-emulation share sits in ISAINTR's own net time (beyond the
+      // vector entry/exit).
+      PaperRowF("AST emulation share per interrupt", 24.0,
+                static_cast<double>(ToWholeUsec(isaintr->AvgNet())) - 25.0, "us");
+    }
+    if (hardclock != nullptr && hardclock->calls > 0) {
+      PaperRowF("hardclock body per tick", 55.0,
+                static_cast<double>(ToWholeUsec(hardclock->elapsed)) /
+                    static_cast<double>(hardclock->calls),
+                "us");
+      state.counters["ticks"] = static_cast<double>(hardclock->calls);
+    }
+    if (gatherstats != nullptr && gatherstats->calls > 0) {
+      PaperRowF("gatherstats per tick", 4.0,
+                static_cast<double>(ToWholeUsec(gatherstats->AvgNet())), "us");
+    }
+    const double tick_cpu_pct =
+        100.0 * static_cast<double>(k.cpu().busy_ns()) /
+        static_cast<double>(k.cpu().busy_ns() + k.cpu().idle_ns());
+    std::printf("\n  clock overhead on an idle system: %.2f%% of the CPU\n", tick_cpu_pct);
+  }
+}
+BENCHMARK(BM_ClockInterrupt)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hwprof
+
+BENCHMARK_MAIN();

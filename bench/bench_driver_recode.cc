@@ -1,0 +1,71 @@
+// §Case Studies — "in one case the recoding of an Ethernet driver doubled
+// the network throughput." The recode replaces the byte-at-a-time ISA copy
+// with word transfers; everything else (checksums, protocol work) stays.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/analysis/decoder.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+struct RecodeRun {
+  double kb_s = 0;
+  double driver_us_per_frame = 0;  // weget elapsed per received frame
+};
+
+RecodeRun RunDriver(bool recoded) {
+  TestbedConfig config;
+  config.cost.ether_recoded_driver = recoded;
+  // The recode case study ran on the embedded kernel, whose receive path
+  // had no unoptimised in_cksum in the way; take it out of the picture so
+  // the driver is the bottleneck under test.
+  config.cost.cksum_use_asm = true;
+  Testbed tb(config);
+  tb.Arm();
+  NetReceiveResult res = RunNetworkReceive(tb, Sec(20), 1 * kMiB, false);
+  DecodedTrace d = Decoder::Decode(tb.StopAndUpload(), tb.tags());
+  RecodeRun out;
+  out.kb_s = res.throughput_kb_s;
+  const FuncStats* weget = d.Stats("weget");
+  if (weget != nullptr && weget->calls > 0) {
+    out.driver_us_per_frame = static_cast<double>(ToWholeUsec(weget->elapsed)) /
+                              static_cast<double>(weget->calls);
+  }
+  return out;
+}
+
+void BM_DriverRecode(benchmark::State& state) {
+  for (auto _ : state) {
+    PaperHeader("§Case Studies — Ethernet driver recode",
+                "saturating receive, byte-loop vs word-transfer driver");
+    const RecodeRun before = RunDriver(false);
+    const RecodeRun after = RunDriver(true);
+    std::printf("  %-28s %12.1f KB/s   driver %8.0f us/frame\n",
+                "naive byte-loop driver", before.kb_s, before.driver_us_per_frame);
+    std::printf("  %-28s %12.1f KB/s   driver %8.0f us/frame\n",
+                "recoded word-copy driver", after.kb_s, after.driver_us_per_frame);
+    std::printf("\n");
+    PaperRowF("driver-level speedup ('doubled')", 2.0,
+              after.driver_us_per_frame > 0
+                  ? before.driver_us_per_frame / after.driver_us_per_frame
+                  : 0,
+              "x");
+    PaperRowF("end-to-end throughput gain", 2.0, before.kb_s > 0 ? after.kb_s / before.kb_s : 0,
+              "x");
+    std::printf("  (end-to-end gain is wire-capped here: the recoded path runs into the\n"
+                "   10 Mb/s Ethernet itself, as the paper's tuned drivers eventually did)\n");
+    state.counters["driver_speedup"] =
+        after.driver_us_per_frame > 0 ? before.driver_us_per_frame / after.driver_us_per_frame
+                                      : 0;
+  }
+}
+BENCHMARK(BM_DriverRecode)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hwprof
+
+BENCHMARK_MAIN();

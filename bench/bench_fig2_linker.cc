@@ -1,0 +1,63 @@
+// Figure 2: the virtual-memory remapping and the two-stage _ProfileBase
+// link — demonstrating that the Profiler's virtual address tracks kernel
+// size exactly, and benchmarking the (host-side) link fixed point.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/instr/instrumenter.h"
+#include "src/instr/linker.h"
+#include "src/sim/machine.h"
+
+namespace hwprof {
+namespace {
+
+void BM_Fig2LinkerRemap(benchmark::State& state) {
+  for (auto _ : state) {
+    PaperHeader("Figure 2 — VM remapping / two-stage _ProfileBase link",
+                "links of kernels of increasing size and instrumentation");
+    std::printf("  %10s %10s %12s %14s %14s\n", "base size", "functions", "image size",
+                "ISA va base", "_ProfileBase");
+    for (std::uint32_t base : {400u * 1024, 600u * 1024, 900u * 1024}) {
+      for (std::size_t nfuncs : {100u, 1392u}) {
+        Machine machine;
+        TagFile tags;
+        Instrumenter instr(&tags);
+        for (std::size_t i = 0; i < nfuncs; ++i) {
+          instr.RegisterFunction("fn" + std::to_string(i), Subsys::kLib);
+        }
+        const LinkResult link = Linker::Link(machine, instr, base);
+        std::printf("  %10u %10zu %12u     0x%08X     0x%08X\n", base, nfuncs,
+                    link.kernel_size, link.isa_va_base, link.profile_base);
+      }
+    }
+    std::printf("\n  Image growth per instrumented function: %u bytes "
+                "(two 5-byte trigger instructions)\n",
+                2 * Linker::kTriggerInstrBytes);
+    PaperRowText("paper's kernel", "1392 functions, 2784 triggers", "reproduced above");
+  }
+}
+BENCHMARK(BM_Fig2LinkerRemap)->Iterations(1);
+
+// A genuine microbenchmark: how fast the host-side link itself runs.
+void BM_LinkFixedPoint(benchmark::State& state) {
+  const auto nfuncs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Machine machine;
+    TagFile tags;
+    Instrumenter instr(&tags);
+    for (std::size_t i = 0; i < nfuncs; ++i) {
+      instr.RegisterFunction("fn" + std::to_string(i), Subsys::kLib);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(Linker::Link(machine, instr, 600 * 1024));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkFixedPoint)->Arg(100)->Arg(1392);
+
+}  // namespace
+}  // namespace hwprof
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Figure 3: function summary of the network receive test.
+//
+// Paper: the CPU is saturated; bcopy ≈ 33.25% real / 33.59% net and
+// in_cksum ≈ 30.51% / 30.82% dominate; splnet alone 5.3%; idle ≈ 1%.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/analysis/decoder.h"
+#include "src/analysis/grouping.h"
+#include "src/analysis/summary.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+void BM_Fig3NetworkSummary(benchmark::State& state) {
+  for (auto _ : state) {
+    Testbed tb;
+    tb.Arm();
+    NetReceiveResult res = RunNetworkReceive(tb, Sec(5), 512 * 1024);
+    RawTrace raw = tb.StopAndUpload();
+    DecodedTrace d = Decoder::Decode(raw, tb.tags());
+    Summary s(d);
+
+    PaperHeader("Figure 3 — summary of profiling data (network receive)",
+                "Sparc-class sender saturates the wire; PC reads and discards");
+    std::printf("%s\n", s.Format(14).c_str());
+
+    auto pct = [&](const char* name) {
+      const SummaryRow* row = s.Row(name);
+      return row != nullptr ? row->pct_net : 0.0;
+    };
+    PaperRowF("bcopy % of net CPU", 33.59, pct("bcopy"), "%");
+    PaperRowF("in_cksum % of net CPU", 30.82, pct("in_cksum"), "%");
+    PaperRowF("splnet % of net CPU", 5.35, pct("splnet"), "%");
+    PaperRowF("soreceive % of net CPU", 3.33, pct("soreceive"), "%");
+    Grouping spl(d, Grouping::SplGroup(d));
+    const GroupRow* spl_row = spl.Row("spl*");
+    PaperRowF("all spl* % of net CPU ('around 9%')", 9.0,
+              spl_row != nullptr ? spl_row->pct_net : 0.0, "%");
+    PaperRowF("idle % of elapsed", 1.01,
+              100.0 * static_cast<double>(s.idle_us()) / static_cast<double>(s.elapsed_us()),
+              "%");
+    const SummaryRow* bcopy = s.Row("bcopy");
+    PaperRowF("driver bcopy per full frame", 1045.0,
+              bcopy != nullptr ? static_cast<double>(bcopy->max_us) : 0.0, "us");
+
+    state.counters["bytes_rx"] = static_cast<double>(res.bytes_received);
+    state.counters["throughput_KB_s"] = res.throughput_kb_s;
+    state.counters["integrity"] = res.integrity_ok ? 1 : 0;
+  }
+}
+BENCHMARK(BM_Fig3NetworkSummary)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hwprof
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// §Overall / §Network — the interrupt-priority emulation tax:
+// "on the average it took 11 microseconds per splnet call... In one test,
+// 9% of the total CPU time was spent in splnet, splx, splhigh and spl0."
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/analysis/decoder.h"
+#include "src/analysis/grouping.h"
+#include "src/analysis/summary.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+void BM_SplOverhead(benchmark::State& state) {
+  for (auto _ : state) {
+    PaperHeader("§Overall — spl* interrupt-priority emulation overhead",
+                "network receive (the paper's '9% of total CPU' test)");
+    Testbed tb;
+    tb.Arm();
+    RunNetworkReceive(tb, Sec(5), 512 * 1024, false);
+    RawTrace raw = tb.StopAndUpload();
+    DecodedTrace d = Decoder::Decode(raw, tb.tags());
+    Summary s(d);
+
+    std::printf("  %-14s %10s %12s %10s\n", "function", "calls", "net us", "us/call");
+    double spl_total_pct = 0;
+    for (const char* name :
+         {"splnet", "splimp", "splbio", "spltty", "splclock", "splhigh", "splsoftclock",
+          "splx", "spl0"}) {
+      const SummaryRow* row = s.Row(name);
+      if (row == nullptr || row->calls == 0) {
+        continue;
+      }
+      std::printf("  %-14s %10llu %12llu %10llu\n", name,
+                  static_cast<unsigned long long>(row->calls),
+                  static_cast<unsigned long long>(row->net_us),
+                  static_cast<unsigned long long>(row->avg_us));
+      spl_total_pct += row->pct_net;
+    }
+    std::printf("\n");
+    const SummaryRow* splnet = s.Row("splnet");
+    if (splnet != nullptr) {
+      PaperRowF("splnet per call", 11.0, static_cast<double>(splnet->avg_us), "us");
+    }
+    const SummaryRow* splx = s.Row("splx");
+    if (splx != nullptr) {
+      PaperRowF("splx per call", 3.5, static_cast<double>(splx->avg_us), "us");
+    }
+    const SummaryRow* spl0 = s.Row("spl0");
+    if (spl0 != nullptr) {
+      PaperRowF("spl0 per call", 25.0, static_cast<double>(spl0->avg_us), "us");
+    }
+    PaperRowF("spl* share of net CPU under net load", 9.0, spl_total_pct, "%");
+    state.counters["spl_pct"] = spl_total_pct;
+
+    // The filesystem counterpart: "at least 6% [of the busy 28%] was spent
+    // in the spl* routines".
+    Testbed tb2;
+    tb2.Arm();
+    FsWriteResult wr = RunFsWrite(tb2, 1 * kMiB, Sec(60));
+    DecodedTrace d2 = Decoder::Decode(tb2.StopAndUpload(), tb2.tags());
+    Grouping spl2(d2, Grouping::SplGroup(d2));
+    const GroupRow* row2 = spl2.Row("spl*");
+    PaperRowF("spl* share of busy CPU during writes", 6.0,
+              row2 != nullptr ? row2->pct_net : 0.0, "%");
+    PaperRowF("CPU busy during write storm", 28.0, wr.cpu_busy_pct, "%");
+  }
+}
+BENCHMARK(BM_SplOverhead)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hwprof
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Shared helpers for the reproduction benches: each bench regenerates one
+// of the paper's tables or figures and prints paper-vs-measured rows.
+
+#ifndef HWPROF_BENCH_BENCH_UTIL_H_
+#define HWPROF_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace hwprof {
+
+inline void PaperHeader(const char* artefact, const char* workload) {
+  std::printf("\n================================================================\n");
+  std::printf("Reproduces: %s\n", artefact);
+  std::printf("Workload:   %s\n", workload);
+  std::printf("================================================================\n");
+}
+
+inline void PaperRowF(const char* metric, double paper, double measured, const char* unit) {
+  const double ratio = paper != 0.0 ? measured / paper : 0.0;
+  std::printf("  %-38s paper %10.1f %-6s  measured %10.1f %-6s  (x%.2f)\n", metric, paper,
+              unit, measured, unit, ratio);
+}
+
+inline void PaperRowText(const char* metric, const char* paper, const char* measured) {
+  std::printf("  %-38s paper %-18s measured %s\n", metric, paper, measured);
+}
+
+}  // namespace hwprof
+
+#endif  // HWPROF_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,63 @@
+// Quickstart: the smallest complete profiling session.
+//
+//  1. Assemble the rig: simulated 386/ISA PC, tag file, instrumenter
+//     ("the modified compiler"), two-stage link, Profiler board plugged
+//     into the spare EPROM socket, kernel booted.
+//  2. Flip the start switch, run a tiny workload.
+//  3. Pull the battery-backed RAMs (upload), save/load the capture file,
+//     and run the analysis software: function summary + code-path trace.
+
+#include <cstdio>
+
+#include "src/analysis/decoder.h"
+#include "src/analysis/summary.h"
+#include "src/analysis/trace_report.h"
+#include "src/profhw/smart_socket.h"
+#include "src/kern/fs.h"
+#include "src/kern/user_env.h"
+#include "src/workloads/testbed.h"
+
+int main() {
+  using namespace hwprof;
+
+  // 1. The rig. Testbed wires everything together; see src/workloads/testbed.h.
+  Testbed tb;
+  Kernel& kernel = tb.kernel();
+  std::printf("kernel: %zu instrumented functions (%zu inline tags), image %u bytes,\n"
+              "        _ProfileBase resolved to 0x%08X\n\n",
+              tb.instr().function_count(), tb.instr().inline_count(),
+              tb.link().kernel_size, tb.link().profile_base);
+
+  // 2. A workload: one process writes a file and reads it back.
+  kernel.Spawn("demo", [](UserEnv& env) {
+    const int fd = env.Open("/hello", /*create=*/true);
+    env.Write(fd, Bytes{'h', 'e', 'l', 'l', 'o'});
+    env.Close(fd);
+    const int rd = env.Open("/hello", false);
+    Bytes contents;
+    env.Read(rd, 16, &contents);
+    env.Close(rd);
+    env.Print("demo: read back " + std::string(contents.begin(), contents.end()) + "\n");
+  });
+
+  tb.Arm();  // start switch on
+  kernel.Run(Sec(1));
+  RawTrace raw = tb.StopAndUpload();
+
+  // 3. Carry the RAMs to the host (a file round-trip), then analyse.
+  SaveCapture(raw, "/tmp/quickstart.hwprof");
+  RawTrace loaded;
+  if (!LoadCapture("/tmp/quickstart.hwprof", &loaded)) {
+    std::fprintf(stderr, "capture round-trip failed\n");
+    return 1;
+  }
+
+  DecodedTrace decoded = Decoder::Decode(loaded, tb.tags());
+  Summary summary(decoded);
+  std::printf("%s\n", summary.Format(14).c_str());
+
+  TraceReportOptions opts;
+  opts.max_lines = 40;
+  std::printf("Code path trace:\n%s", TraceReport::Format(decoded, opts).c_str());
+  return 0;
+}

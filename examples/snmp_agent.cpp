@@ -1,0 +1,61 @@
+// The Megadata SNMP case study — the profiler-driven redesign that opened
+// the paper's case studies: the CMU-style linear MIB scan dominates the
+// agent's profile; swapping in a B-tree removes the bottleneck.
+//
+// Usage: snmp_agent [mib_entries]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/analysis/decoder.h"
+#include "src/analysis/summary.h"
+#include "src/kern/user_env.h"
+#include "src/snmp/agent.h"
+#include "src/workloads/testbed.h"
+
+int main(int argc, char** argv) {
+  using namespace hwprof;
+  std::size_t entries = 1000;
+  if (argc > 1) {
+    entries = static_cast<std::size_t>(std::atoll(argv[1]));
+  }
+
+  auto run = [&](MibStore* mib, const std::vector<Oid>& oids, const char* label) {
+    Testbed tb;
+    Kernel& kernel = tb.kernel();
+    auto agent = std::make_shared<SnmpAgent>(kernel, mib);
+    auto client = std::make_shared<SnmpClientHost>(tb.machine(), kernel.wire(), oids, 7);
+    tb.Arm();
+    kernel.Spawn("snmpd", [agent](UserEnv& env) { agent->Serve(env); });
+    tb.machine().events().ScheduleAt(Msec(20), [client] { client->Start(60); });
+    kernel.Run(Sec(60));
+
+    DecodedTrace decoded = Decoder::Decode(tb.StopAndUpload(), tb.tags());
+    Summary summary(decoded);
+    std::printf("=== %s (%zu MIB entries) ===\n", label, entries);
+    std::printf("%llu replies, %llu verified mismatches, mean RTT %.2f ms, "
+                "%.1f comparisons/request\n",
+                static_cast<unsigned long long>(agent->stats().replies),
+                static_cast<unsigned long long>(client->mismatches()),
+                ToMsecF(client->MeanRtt()),
+                static_cast<double>(agent->stats().comparisons) /
+                    static_cast<double>(agent->stats().replies ? agent->stats().replies : 1));
+    std::printf("%s\n", summary.Format(8).c_str());
+  };
+
+  {
+    LinearMib linear;
+    const std::vector<Oid> oids = SnmpAgent::PopulateStandardMib(&linear, entries);
+    run(&linear, oids, "CMU-style linear MIB");
+  }
+  {
+    BTreeMib btree;
+    const std::vector<Oid> oids = SnmpAgent::PopulateStandardMib(&btree, entries);
+    run(&btree, oids, "redesigned B-tree MIB");
+  }
+  std::printf("The linear agent's profile is dominated by mib_lookup; the B-tree's is "
+              "not.\nThat is the paper's 'order of magnitude' redesign, found by "
+              "profiling.\n");
+  return 0;
+}

@@ -1,0 +1,388 @@
+#include "src/analysis/decoder.h"
+
+#include <algorithm>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/base/assert.h"
+#include "src/profhw/usec_timer.h"
+
+namespace hwprof {
+
+namespace {
+
+// One reconstructed event before tree building.
+struct DecodedEvent {
+  Nanoseconds t = 0;
+  const TagEntry* entry = nullptr;  // null = unknown tag
+  bool is_exit = false;
+};
+
+class DecoderImpl {
+ public:
+  DecoderImpl(const RawTrace& raw, const TagFile& names) : raw_(raw), names_(names) {}
+
+  DecodedTrace Run() {
+    ReconstructTimes();
+    BuildTrees();
+    FinishOpenNodes();
+    Aggregate();
+    out_.truncated = raw_.overflowed;
+    out_.event_count = events_.size();
+    return std::move(out_);
+  }
+
+ private:
+  // Absolute-time reconstruction: the timer value is only an interval
+  // counter; consecutive events are less than one wrap apart by hardware
+  // contract, so each delta is (later - earlier) mod 2^bits.
+  void ReconstructTimes() {
+    const UsecTimer timer(raw_.timer_bits, raw_.timer_clock_hz);
+    Nanoseconds now = 0;
+    std::uint32_t prev = raw_.events.empty() ? 0 : raw_.events.front().timestamp;
+    events_.reserve(raw_.events.size());
+    for (const RawEvent& e : raw_.events) {
+      const std::uint32_t ticks = timer.TicksBetween(prev, e.timestamp);
+      now += timer.TicksToNs(ticks);
+      prev = e.timestamp;
+      DecodedEvent ev;
+      ev.t = now;
+      const TagEntry* entry = names_.FindByTag(e.tag);
+      if (entry == nullptr) {
+        ++out_.unknown_tags;
+        continue;
+      }
+      ev.entry = entry;
+      ev.is_exit = entry->IsFunctionLike() && e.tag == entry->exit_tag();
+      events_.push_back(ev);
+    }
+    if (!events_.empty()) {
+      out_.start_time = events_.front().t;
+      out_.end_time = events_.back().t;
+    }
+  }
+
+  ActivityStack* NewStack() {
+    auto stack = std::make_unique<ActivityStack>();
+    stack->id = static_cast<int>(out_.stacks.size());
+    stack->root = std::make_unique<CallNode>();
+    stack->top = stack->root.get();
+    ActivityStack* s = stack.get();
+    out_.stacks.push_back(std::move(stack));
+    return s;
+  }
+
+  int DepthOf(const CallNode* node) const {
+    int depth = 0;
+    for (const CallNode* p = node->parent; p != nullptr && p->parent != nullptr;
+         p = p->parent) {
+      ++depth;
+    }
+    return depth;
+  }
+
+  CallNode* OpenNode(ActivityStack* stack, const TagEntry* fn, Nanoseconds t,
+                     bool inline_marker) {
+    auto node = std::make_unique<CallNode>();
+    node->fn = fn;
+    node->entry_time = t;
+    node->exit_time = t;
+    node->inline_marker = inline_marker;
+    node->parent = stack->top;
+    CallNode* raw_node = node.get();
+    stack->top->children.push_back(std::move(node));
+    if (!inline_marker) {
+      stack->top = raw_node;
+    } else {
+      raw_node->closed = true;
+    }
+    TraceStep step;
+    step.t = t;
+    step.node = raw_node;
+    step.is_exit = false;
+    step.depth = DepthOf(raw_node);
+    step.stack_id = stack->id;
+    out_.steps.push_back(step);
+    return raw_node;
+  }
+
+  void CloseTop(ActivityStack* stack, Nanoseconds t, bool forced, bool context_switch_in) {
+    CallNode* node = stack->top;
+    HWPROF_CHECK(node->parent != nullptr);  // never close the synthetic root
+    node->exit_time = t;
+    node->closed = true;
+    node->forced_close = forced;
+    stack->top = node->parent;
+    TraceStep step;
+    step.t = t;
+    step.node = node;
+    step.is_exit = true;
+    step.depth = DepthOf(node);
+    step.stack_id = stack->id;
+    step.context_switch_in = context_switch_in;
+    out_.steps.push_back(step);
+  }
+
+  // Scores how well `s`'s open-frame chain matches the exit sequence in
+  // events_[from...]: the number of chain frames (innermost first) that the
+  // upcoming exits close, tolerating freshly-opened nested calls, stopping
+  // at the next context switch. Several processes commonly sit suspended in
+  // the same function (tsleep); only the deeper frames (biowait vs
+  // soaccept...) disambiguate who actually resumed.
+  int MatchScore(ActivityStack* s, std::size_t from) const {
+    std::vector<const TagEntry*> chain;
+    for (CallNode* n = s->top; n != nullptr && n->parent != nullptr; n = n->parent) {
+      chain.push_back(n->fn);
+    }
+    if (chain.empty()) {
+      return -1;
+    }
+    std::size_t ci = 0;
+    int depth = 0;
+    int score = 0;
+    for (std::size_t j = from; j < events_.size() && ci < chain.size(); ++j) {
+      const DecodedEvent& e = events_[j];
+      if (e.entry->kind == TagKind::kInline) {
+        continue;
+      }
+      if (e.entry->kind == TagKind::kContextSwitch) {
+        break;  // this context blocks again; what we matched stands
+      }
+      if (!e.is_exit) {
+        ++depth;  // a nested call opened after the resume
+        continue;
+      }
+      if (depth > 0) {
+        --depth;  // closes a nested call
+        continue;
+      }
+      if (e.entry == chain[ci]) {
+        ++score;
+        ++ci;
+        continue;
+      }
+      break;  // mismatch against the chain
+    }
+    return score;
+  }
+
+  // Finds the suspended stack best matching the upcoming exits; nullptr if
+  // none matches even its top frame. `require_top` restricts candidates to
+  // stacks whose innermost open call is that function.
+  ActivityStack* BestSuspendedMatch(std::size_t from, const TagEntry* require_top) {
+    ActivityStack* best = nullptr;
+    int best_score = 0;
+    // Most recently suspended wins ties.
+    for (auto it = suspend_order_.rbegin(); it != suspend_order_.rend(); ++it) {
+      ActivityStack* s = *it;
+      if (require_top != nullptr && s->top->fn != require_top) {
+        continue;
+      }
+      const int score = MatchScore(s, from);
+      if (score > best_score) {
+        best = s;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  void Unsuspend(ActivityStack* s) {
+    s->suspended = false;
+    suspend_order_.erase(std::remove(suspend_order_.begin(), suspend_order_.end(), s),
+                         suspend_order_.end());
+  }
+
+  // Charges the interval since the previous event to the running context:
+  // net to the innermost open call, elapsed to every open call on its
+  // stack. Time with no open call (user mode / unprofiled code) is left
+  // unattributed, as on the real system.
+  void AttributeInterval(Nanoseconds now) {
+    const Nanoseconds interval = now - last_time_;
+    last_time_ = now;
+    if (interval == 0 || current_ == nullptr) {
+      return;
+    }
+    CallNode* top = current_->top;
+    if (top->parent == nullptr) {
+      return;  // nothing open: unattributed time
+    }
+    top->net_acc += interval;
+    for (CallNode* n = top; n != nullptr && n->parent != nullptr; n = n->parent) {
+      n->elapsed_acc += interval;
+    }
+  }
+
+  void BuildTrees() {
+    current_ = NewStack();
+    if (!events_.empty()) {
+      last_time_ = events_.front().t;
+    }
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      const DecodedEvent& ev = events_[i];
+      AttributeInterval(ev.t);
+      const TagEntry* fn = ev.entry;
+
+      if (fn->kind == TagKind::kInline) {
+        OpenNode(current_, fn, ev.t, /*inline_marker=*/true);
+        continue;
+      }
+
+      if (!ev.is_exit) {
+        OpenNode(current_, fn, ev.t, /*inline_marker=*/false);
+        if (fn->kind == TagKind::kContextSwitch) {
+          // The outgoing process is now suspended inside swtch. Idle-window
+          // activity (interrupts) nests under the open swtch node, so the
+          // node's *net* time is pure idle.
+          pending_swtch_ = current_;
+          current_->suspended = true;
+          suspend_order_.push_back(current_);
+          // Interrupt activity is decoded onto the same stack (under the
+          // open swtch node); `current_` stays pointed at it.
+        }
+        continue;
+      }
+
+      // Exit event.
+      if (fn->kind == TagKind::kContextSwitch) {
+        HandleSwtchExit(ev, i);
+        continue;
+      }
+      HandleExit(ev, i);
+    }
+  }
+
+  void HandleSwtchExit(const DecodedEvent& ev, std::size_t index) {
+    // Close the pending idle window if one is open.
+    if (pending_swtch_ != nullptr && pending_swtch_->top->fn != nullptr &&
+        pending_swtch_->top->fn->kind == TagKind::kContextSwitch) {
+      ActivityStack* outgoing = pending_swtch_;
+      pending_swtch_ = nullptr;
+      CloseTop(outgoing, ev.t, /*forced=*/false, /*context_switch_in=*/true);
+      // `outgoing` remains suspended (its process is still off-CPU); decide
+      // who runs next by one-event lookahead.
+      current_ = ResolveResumed(index);
+      return;
+    }
+    // Orphan swtch exit (capture started mid-idle, or a brand-new process's
+    // first switch-in with no prior entry): resolve the resumed context.
+    if (getenv("HWPROF_DECODER_DEBUG")) {
+      fprintf(stderr, "ORPHAN swtch exit t=%llu (cur top=%s, pending=%d)\n",
+              (unsigned long long)ev.t,
+              current_->top->fn ? current_->top->fn->name.c_str() : "<root>",
+              pending_swtch_ != nullptr);
+    }
+    ++out_.orphan_exits;
+    current_ = ResolveResumed(index);
+  }
+
+  ActivityStack* ResolveResumed(std::size_t swtch_index) {
+    // Lookahead: match suspended stacks against the exit sequence that
+    // follows the switch-in. No match (the following events are entries, or
+    // belong to nobody) means a fresh context — a newly created process
+    // "returning from swtch" for the first time. Later unmatched exits can
+    // still re-attach to suspended stacks (HandleExit's fallback).
+    if (ActivityStack* s = BestSuspendedMatch(swtch_index + 1, nullptr)) {
+      Unsuspend(s);
+      return s;
+    }
+    return NewStack();
+  }
+
+  void HandleExit(const DecodedEvent& ev, std::size_t index) {
+    // Normal case: the exit matches the innermost open call.
+    if (current_->top->fn != nullptr && current_->top->fn->name == ev.entry->name) {
+      CloseTop(current_, ev.t, /*forced=*/false, /*context_switch_in=*/false);
+      return;
+    }
+    // An exit for a function open deeper on this stack: missed exits in
+    // between (should not happen with compiler-generated triggers, but the
+    // analyser tolerates it) — force-close down to the match.
+    for (CallNode* n = current_->top; n != nullptr && n->parent != nullptr; n = n->parent) {
+      if (n->fn != nullptr && n->fn->name == ev.entry->name) {
+        while (current_->top != n) {
+          CloseTop(current_, ev.t, /*forced=*/true, /*context_switch_in=*/false);
+          ++out_.unclosed_entries;
+        }
+        CloseTop(current_, ev.t, /*forced=*/false, /*context_switch_in=*/false);
+        return;
+      }
+    }
+    // Not on this stack: an implicitly resumed context (we chose a fresh
+    // stack at the context switch and this exit belongs to the real one).
+    if (ActivityStack* s = BestSuspendedMatch(index, ev.entry)) {
+      Unsuspend(s);
+      current_ = s;
+      CloseTop(current_, ev.t, /*forced=*/false, /*context_switch_in=*/true);
+      return;
+    }
+    if (getenv("HWPROF_DECODER_DEBUG")) {
+      fprintf(stderr, "ORPHAN exit %s t=%llu (cur top=%s)\n", ev.entry->name.c_str(),
+              (unsigned long long)ev.t,
+              current_->top->fn ? current_->top->fn->name.c_str() : "<root>");
+    }
+    ++out_.orphan_exits;
+  }
+
+  void FinishOpenNodes() {
+    for (const auto& stack : out_.stacks) {
+      while (stack->top != stack->root.get()) {
+        // Truncated capture: close at the last observed instant.
+        CallNode* node = stack->top;
+        node->exit_time = out_.end_time;
+        node->closed = true;
+        node->forced_close = true;
+        stack->top = node->parent;
+        ++out_.unclosed_entries;
+      }
+    }
+  }
+
+  void AggregateNode(const CallNode& node) {
+    if (node.fn != nullptr && !node.inline_marker) {
+      FuncStats& stats = out_.per_function[node.fn->name];
+      const Nanoseconds net = node.Net();
+      if (stats.calls == 0) {
+        stats.min_net = net;
+        stats.max_net = net;
+      } else {
+        stats.min_net = std::min(stats.min_net, net);
+        stats.max_net = std::max(stats.max_net, net);
+      }
+      ++stats.calls;
+      stats.elapsed += node.Elapsed();
+      stats.net += net;
+      if (node.fn->kind == TagKind::kContextSwitch) {
+        stats.context_switch = true;
+        out_.idle_time += net;
+      }
+    }
+    for (const auto& child : node.children) {
+      AggregateNode(*child);
+    }
+  }
+
+  void Aggregate() {
+    for (const auto& stack : out_.stacks) {
+      AggregateNode(*stack->root);
+    }
+  }
+
+  const RawTrace& raw_;
+  const TagFile& names_;
+  std::vector<DecodedEvent> events_;
+  DecodedTrace out_;
+  ActivityStack* current_ = nullptr;
+  ActivityStack* pending_swtch_ = nullptr;
+  std::vector<ActivityStack*> suspend_order_;
+  Nanoseconds last_time_ = 0;
+};
+
+}  // namespace
+
+DecodedTrace Decoder::Decode(const RawTrace& raw, const TagFile& names) {
+  return DecoderImpl(raw, names).Run();
+}
+
+}  // namespace hwprof

@@ -1,0 +1,131 @@
+// Trace decoder: reconstructs nested code paths from the Profiler's raw
+// (tag, 24-bit timestamp) event list plus the names file — exactly the
+// information the paper's host-side analysis software receives.
+//
+// Responsibilities:
+//  * absolute-time reconstruction across timer wraps (interval deltas; the
+//    hardware guarantees < one wrap period between events),
+//  * entry/exit matching into call trees, with per-call net time
+//    (elapsed minus direct subroutines),
+//  * context-switch handling: a '!'-tagged function (swtch) suspends the
+//    current process's stack at entry; interrupt activity during the idle
+//    window nests under the open swtch node (so "time in swtch is counted
+//    as CPU idle time, except when device interrupts occur"); the matching
+//    exit resolves — by one-event lookahead — which suspended stack
+//    resumes, or starts a fresh one (a newly created process "returning
+//    from swtch"),
+//  * graceful handling of truncated captures (RAM overflow) and orphan
+//    events, reported as anomaly counts rather than failures.
+
+#ifndef HWPROF_SRC_ANALYSIS_DECODER_H_
+#define HWPROF_SRC_ANALYSIS_DECODER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/instr/tag_file.h"
+#include "src/profhw/raw_trace.h"
+
+namespace hwprof {
+
+struct CallNode {
+  const TagEntry* fn = nullptr;  // null only for synthetic stack roots
+  Nanoseconds entry_time = 0;
+  Nanoseconds exit_time = 0;
+  bool closed = false;
+  bool forced_close = false;  // closed by truncation/mismatch recovery
+  bool inline_marker = false;
+  CallNode* parent = nullptr;
+  std::vector<std::unique_ptr<CallNode>> children;
+
+  // On-CPU interval accounting: time between consecutive events is charged
+  // to the running context's innermost open call (net) and to every open
+  // call on that context's stack (elapsed). A call whose process is
+  // switched out therefore accumulates nothing while off-CPU — the paper's
+  // per-activity-block rule (tsleep shows "25 us total" even though the
+  // process slept for milliseconds).
+  Nanoseconds net_acc = 0;
+  Nanoseconds elapsed_acc = 0;
+
+  Nanoseconds Elapsed() const { return elapsed_acc; }
+  Nanoseconds Net() const { return net_acc; }
+  // Wall-clock span between the entry and exit events (includes off-CPU
+  // time; used by reports that show call lifetimes).
+  Nanoseconds WallSpan() const { return exit_time - entry_time; }
+};
+
+// One process context discovered in the trace.
+struct ActivityStack {
+  int id = 0;
+  std::unique_ptr<CallNode> root;  // synthetic; its children are top levels
+  CallNode* top = nullptr;         // innermost open node (== root.get() if none)
+  bool suspended = false;
+};
+
+// Chronological line item for the code-path report.
+struct TraceStep {
+  Nanoseconds t = 0;
+  const CallNode* node = nullptr;
+  bool is_exit = false;
+  int depth = 0;     // nesting depth at emission (0 = top level)
+  int stack_id = 0;  // which activity stack
+  bool context_switch_in = false;  // this exit resumes a different context
+};
+
+struct FuncStats {
+  std::uint64_t calls = 0;
+  bool context_switch = false;  // '!'-tagged: net time is the idle account
+  Nanoseconds elapsed = 0;  // inclusive of subroutines
+  Nanoseconds net = 0;      // exclusive
+  Nanoseconds min_net = 0;
+  Nanoseconds max_net = 0;
+
+  Nanoseconds AvgNet() const { return calls == 0 ? 0 : net / calls; }
+};
+
+struct DecodedTrace {
+  Nanoseconds start_time = 0;  // first event (reconstructed absolute)
+  Nanoseconds end_time = 0;
+  std::size_t event_count = 0;
+  bool truncated = false;  // capture RAM overflowed
+
+  std::vector<std::unique_ptr<ActivityStack>> stacks;
+  std::vector<TraceStep> steps;
+  std::map<std::string, FuncStats> per_function;
+
+  // Idle: accumulated net time of '!'-tagged (context switch) functions.
+  Nanoseconds idle_time = 0;
+
+  // Anomalies (all tolerated): events with no names-file entry, exits with
+  // no matching entry, entries still open at the end of the capture.
+  std::uint64_t unknown_tags = 0;
+  std::uint64_t orphan_exits = 0;
+  std::uint64_t unclosed_entries = 0;
+
+  Nanoseconds ElapsedTotal() const { return end_time - start_time; }
+  Nanoseconds RunTime() const {
+    return ElapsedTotal() > idle_time ? ElapsedTotal() - idle_time : 0;
+  }
+  const FuncStats* Stats(const std::string& name) const {
+    auto it = per_function.find(name);
+    return it == per_function.end() ? nullptr : &it->second;
+  }
+};
+
+class Decoder {
+ public:
+  // Decodes `raw` against `names`. Never fails: malformed regions become
+  // anomaly counts.
+  //
+  // Lifetime: the returned trace's CallNodes point into `names`' entries;
+  // `names` must outlive the DecodedTrace.
+  static DecodedTrace Decode(const RawTrace& raw, const TagFile& names);
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_ANALYSIS_DECODER_H_

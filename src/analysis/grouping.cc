@@ -1,0 +1,67 @@
+#include "src/analysis/grouping.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace hwprof {
+
+Grouping::Grouping(const DecodedTrace& trace,
+                   const std::map<std::string, std::string>& group_of) {
+  const std::uint64_t elapsed_us = ToWholeUsec(trace.ElapsedTotal());
+  const std::uint64_t run_us = ToWholeUsec(trace.RunTime());
+  std::map<std::string, GroupRow> acc;
+  for (const auto& [name, stats] : trace.per_function) {
+    auto it = group_of.find(name);
+    const std::string group = it == group_of.end() ? "other" : it->second;
+    GroupRow& row = acc[group];
+    row.group = group;
+    row.net_us += ToWholeUsec(stats.net);
+    row.calls += stats.calls;
+  }
+  for (auto& [group, row] : acc) {
+    row.pct_real = elapsed_us > 0 ? 100.0 * static_cast<double>(row.net_us) /
+                                        static_cast<double>(elapsed_us)
+                                  : 0.0;
+    row.pct_net =
+        run_us > 0 ? 100.0 * static_cast<double>(row.net_us) / static_cast<double>(run_us)
+                   : 0.0;
+    rows_.push_back(row);
+  }
+  std::sort(rows_.begin(), rows_.end(),
+            [](const GroupRow& a, const GroupRow& b) { return a.net_us > b.net_us; });
+}
+
+const GroupRow* Grouping::Row(const std::string& group) const {
+  for (const GroupRow& row : rows_) {
+    if (row.group == group) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+std::string Grouping::Format() const {
+  std::string out = "      Net  # calls   % real   % net   group\n";
+  for (const GroupRow& row : rows_) {
+    out += StrFormat("%9llu %8llu  %6.2f%%  %6.2f%%   %s\n",
+                     static_cast<unsigned long long>(row.net_us),
+                     static_cast<unsigned long long>(row.calls), row.pct_real, row.pct_net,
+                     row.group.c_str());
+  }
+  return out;
+}
+
+std::map<std::string, std::string> Grouping::SplGroup(const DecodedTrace& trace,
+                                                      const std::string& label) {
+  std::map<std::string, std::string> groups;
+  for (const auto& [name, stats] : trace.per_function) {
+    (void)stats;
+    if (StartsWith(name, "spl")) {
+      groups.emplace(name, label);
+    }
+  }
+  return groups;
+}
+
+}  // namespace hwprof

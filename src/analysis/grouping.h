@@ -1,0 +1,45 @@
+// Subsystem grouping — the paper's future-work item "groupings of functions
+// into separate subsystems", useful for macro-level statements like "9 % of
+// total CPU time was spent in spl*".
+
+#ifndef HWPROF_SRC_ANALYSIS_GROUPING_H_
+#define HWPROF_SRC_ANALYSIS_GROUPING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/decoder.h"
+
+namespace hwprof {
+
+struct GroupRow {
+  std::string group;
+  std::uint64_t net_us = 0;
+  std::uint64_t calls = 0;
+  double pct_real = 0.0;
+  double pct_net = 0.0;
+};
+
+class Grouping {
+ public:
+  // `group_of` maps function name -> group label; unmapped functions land in
+  // "other".
+  Grouping(const DecodedTrace& trace, const std::map<std::string, std::string>& group_of);
+
+  const std::vector<GroupRow>& rows() const { return rows_; }
+  const GroupRow* Row(const std::string& group) const;
+  std::string Format() const;
+
+  // Convenience: a name->group map with every function whose name starts
+  // with "spl" in group `label` (the paper's spl* accounting).
+  static std::map<std::string, std::string> SplGroup(const DecodedTrace& trace,
+                                                     const std::string& label = "spl*");
+
+ private:
+  std::vector<GroupRow> rows_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_ANALYSIS_GROUPING_H_

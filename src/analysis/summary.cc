@@ -1,0 +1,93 @@
+#include "src/analysis/summary.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace hwprof {
+
+Summary::Summary(const DecodedTrace& trace) {
+  elapsed_us_ = ToWholeUsec(trace.ElapsedTotal());
+  idle_us_ = ToWholeUsec(trace.idle_time);
+  run_us_ = elapsed_us_ > idle_us_ ? elapsed_us_ - idle_us_ : 0;
+  tag_count_ = trace.event_count;
+
+  for (const auto& [name, stats] : trace.per_function) {
+    if (stats.context_switch) {
+      // swtch's net time *is* the idle account in the header; listing it as
+      // a row (as a share of non-idle time!) would be nonsense. The paper's
+      // Figure 3 likewise omits it.
+      continue;
+    }
+    SummaryRow row;
+    row.name = name;
+    row.elapsed_us = ToWholeUsec(stats.elapsed);
+    row.net_us = ToWholeUsec(stats.net);
+    row.calls = stats.calls;
+    row.max_us = ToWholeUsec(stats.max_net);
+    row.avg_us = ToWholeUsec(stats.AvgNet());
+    row.min_us = ToWholeUsec(stats.min_net);
+    row.pct_real = elapsed_us_ > 0
+                       ? 100.0 * static_cast<double>(row.net_us) /
+                             static_cast<double>(elapsed_us_)
+                       : 0.0;
+    row.pct_net = run_us_ > 0 ? 100.0 * static_cast<double>(row.net_us) /
+                                    static_cast<double>(run_us_)
+                              : 0.0;
+    rows_.push_back(std::move(row));
+  }
+  std::sort(rows_.begin(), rows_.end(), [](const SummaryRow& a, const SummaryRow& b) {
+    return a.net_us != b.net_us ? a.net_us > b.net_us : a.name < b.name;
+  });
+}
+
+const SummaryRow* Summary::Row(const std::string& name) const {
+  for (const SummaryRow& row : rows_) {
+    if (row.name == name) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+std::string Summary::Format(std::size_t top_n) const {
+  std::string out;
+  const double run_pct =
+      elapsed_us_ > 0
+          ? 100.0 * static_cast<double>(run_us_) / static_cast<double>(elapsed_us_)
+          : 0.0;
+  const double idle_pct =
+      elapsed_us_ > 0
+          ? 100.0 * static_cast<double>(idle_us_) / static_cast<double>(elapsed_us_)
+          : 0.0;
+  out += StrFormat("Elapsed time = %llu sec %llu us (%zu tags)\n",
+                   static_cast<unsigned long long>(elapsed_us_ / 1000000),
+                   static_cast<unsigned long long>(elapsed_us_ % 1000000), tag_count_);
+  out += StrFormat("Accumulated run time = %llu sec %llu us (%.2f%%)\n",
+                   static_cast<unsigned long long>(run_us_ / 1000000),
+                   static_cast<unsigned long long>(run_us_ % 1000000), run_pct);
+  out += StrFormat("Idle time = %llu sec %llu us (%5.2f%%)\n",
+                   static_cast<unsigned long long>(idle_us_ / 1000000),
+                   static_cast<unsigned long long>(idle_us_ % 1000000), idle_pct);
+  out += "--------------------------------------------------------------------------\n";
+  out += "  Elapsed     Net  # calls     (max/avg/min)    % real   % net\n";
+  std::size_t emitted = 0;
+  for (const SummaryRow& row : rows_) {
+    if (top_n != 0 && emitted >= top_n) {
+      break;
+    }
+    out += StrFormat("%9llu %7llu %8llu %17s  %6.2f%%  %6.2f%%   %s\n",
+                     static_cast<unsigned long long>(row.elapsed_us),
+                     static_cast<unsigned long long>(row.net_us),
+                     static_cast<unsigned long long>(row.calls),
+                     StrFormat("(%llu/%llu/%llu)", static_cast<unsigned long long>(row.max_us),
+                               static_cast<unsigned long long>(row.avg_us),
+                               static_cast<unsigned long long>(row.min_us))
+                         .c_str(),
+                     row.pct_real, row.pct_net, row.name.c_str());
+    ++emitted;
+  }
+  return out;
+}
+
+}  // namespace hwprof

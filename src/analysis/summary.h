@@ -1,0 +1,64 @@
+// Function summary report — Figure 3's format.
+//
+//   Elapsed time = 0 sec 497272 us (28060 tags)
+//   Accumulated run time = 0 sec 492248 us (98.99%)
+//   Idle time = 0 sec 5024 us ( 1.01%)
+//   --------
+//     Elapsed     Net   # calls   (max/avg/min)   % real  % net
+//      166218  165343       889    (1089/185/2)   33.25%  33.59%  bcopy
+//
+// Rows are sorted by net CPU usage, descending. (max/avg/min) are per-call
+// *net* microseconds. "% real" is net over the whole capture's elapsed
+// time; "% net" is net over the non-idle (accumulated run) time.
+
+#ifndef HWPROF_SRC_ANALYSIS_SUMMARY_H_
+#define HWPROF_SRC_ANALYSIS_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/decoder.h"
+
+namespace hwprof {
+
+struct SummaryRow {
+  std::string name;
+  std::uint64_t elapsed_us = 0;
+  std::uint64_t net_us = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t max_us = 0;
+  std::uint64_t avg_us = 0;
+  std::uint64_t min_us = 0;
+  double pct_real = 0.0;
+  double pct_net = 0.0;
+};
+
+class Summary {
+ public:
+  explicit Summary(const DecodedTrace& trace);
+
+  const std::vector<SummaryRow>& rows() const { return rows_; }
+
+  // Finds a row by function name; nullptr if absent.
+  const SummaryRow* Row(const std::string& name) const;
+
+  std::uint64_t elapsed_us() const { return elapsed_us_; }
+  std::uint64_t run_us() const { return run_us_; }
+  std::uint64_t idle_us() const { return idle_us_; }
+  std::size_t tag_count() const { return tag_count_; }
+
+  // Renders the full Figure 3 style report; `top_n` limits the row count
+  // (0 = all).
+  std::string Format(std::size_t top_n = 0) const;
+
+ private:
+  std::vector<SummaryRow> rows_;
+  std::uint64_t elapsed_us_ = 0;
+  std::uint64_t run_us_ = 0;
+  std::uint64_t idle_us_ = 0;
+  std::size_t tag_count_ = 0;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_ANALYSIS_SUMMARY_H_

@@ -1,0 +1,42 @@
+// Lightweight always-on assertion macros for the hwprof libraries.
+//
+// The simulator models hardware invariants (counter widths, RAM bounds) that
+// must hold in release builds too, so these do not compile away with NDEBUG.
+
+#ifndef HWPROF_SRC_BASE_ASSERT_H_
+#define HWPROF_SRC_BASE_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hwprof {
+
+[[noreturn]] inline void AssertFail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "hwprof: assertion failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace hwprof
+
+// Asserts that `expr` holds; aborts with a diagnostic otherwise.
+#define HWPROF_CHECK(expr)                                      \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::hwprof::AssertFail(#expr, __FILE__, __LINE__, "");      \
+    }                                                           \
+  } while (0)
+
+// Asserts with an explanatory message (a string literal).
+#define HWPROF_CHECK_MSG(expr, msg)                             \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::hwprof::AssertFail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                           \
+  } while (0)
+
+// Marks unreachable code paths.
+#define HWPROF_UNREACHABLE(msg) ::hwprof::AssertFail("unreachable", __FILE__, __LINE__, (msg))
+
+#endif  // HWPROF_SRC_BASE_ASSERT_H_

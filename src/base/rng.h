@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generator for workload generation.
+//
+// Simulation runs must be reproducible bit-for-bit, so all randomness in the
+// repository flows through this xoshiro256** generator with an explicit seed.
+
+#ifndef HWPROF_SRC_BASE_RNG_H_
+#define HWPROF_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace hwprof {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t Next();
+
+  // Uniform value in [0, bound) using rejection-free Lemire reduction.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform value in [lo, hi] inclusive.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial with probability p.
+  bool NextBool(double p);
+
+  // Exponentially distributed value with the given mean (for inter-arrival
+  // time generation).
+  double NextExponential(double mean);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_BASE_RNG_H_

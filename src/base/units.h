@@ -1,0 +1,40 @@
+// Time and size units used throughout the simulator.
+//
+// All simulated time is kept in unsigned 64-bit *nanoseconds* of virtual time.
+// The Profiler hardware's own timestamp is a separate, narrower quantity
+// (24-bit microseconds) modelled in src/profhw.
+
+#ifndef HWPROF_SRC_BASE_UNITS_H_
+#define HWPROF_SRC_BASE_UNITS_H_
+
+#include <cstdint>
+
+namespace hwprof {
+
+// Virtual time in nanoseconds.
+using Nanoseconds = std::uint64_t;
+
+inline constexpr Nanoseconds kNanosecond = 1;
+inline constexpr Nanoseconds kMicrosecond = 1000;
+inline constexpr Nanoseconds kMillisecond = 1000 * kMicrosecond;
+inline constexpr Nanoseconds kSecond = 1000 * kMillisecond;
+
+constexpr Nanoseconds Usec(std::uint64_t n) { return n * kMicrosecond; }
+constexpr Nanoseconds Msec(std::uint64_t n) { return n * kMillisecond; }
+constexpr Nanoseconds Sec(std::uint64_t n) { return n * kSecond; }
+
+// Converts virtual nanoseconds to whole microseconds (rounding down, as a
+// free-running hardware counter would).
+constexpr std::uint64_t ToWholeUsec(Nanoseconds t) { return t / kMicrosecond; }
+
+// Converts to floating-point milliseconds for reporting.
+constexpr double ToMsecF(Nanoseconds t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToUsecF(Nanoseconds t) { return static_cast<double>(t) / 1e3; }
+
+// Sizes.
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_BASE_UNITS_H_

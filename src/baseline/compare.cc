@@ -1,0 +1,44 @@
+#include "src/baseline/compare.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/strings.h"
+
+namespace hwprof {
+
+ComparisonResult CompareProfiles(const Summary& hw, const SamplingProfiler& sw,
+                                 std::size_t top_n) {
+  ComparisonResult result;
+  std::size_t taken = 0;
+  double err_sum = 0.0;
+  for (const SummaryRow& row : hw.rows()) {
+    if (taken >= top_n) {
+      break;
+    }
+    ComparisonRow c;
+    c.name = row.name;
+    c.hw_pct = row.pct_real;
+    c.sample_pct = sw.EstimatedPercent(row.name);
+    c.abs_error = std::abs(c.hw_pct - c.sample_pct);
+    err_sum += c.abs_error;
+    result.max_abs_error = std::max(result.max_abs_error, c.abs_error);
+    result.rows.push_back(std::move(c));
+    ++taken;
+  }
+  result.mean_abs_error = result.rows.empty() ? 0.0 : err_sum / double(result.rows.size());
+  return result;
+}
+
+std::string ComparisonResult::Format() const {
+  std::string out = "  hw %     sampled %   |err|    function\n";
+  for (const ComparisonRow& row : rows) {
+    out += StrFormat("%7.2f%%   %7.2f%%   %6.2f    %s\n", row.hw_pct, row.sample_pct,
+                     row.abs_error, row.name.c_str());
+  }
+  out += StrFormat("mean |err| = %.2f pts, max |err| = %.2f pts\n", mean_abs_error,
+                   max_abs_error);
+  return out;
+}
+
+}  // namespace hwprof

@@ -1,0 +1,37 @@
+// Accuracy comparison: hardware profile (ground truth within trigger
+// resolution) vs. clock sampling.
+
+#ifndef HWPROF_SRC_BASELINE_COMPARE_H_
+#define HWPROF_SRC_BASELINE_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/summary.h"
+#include "src/baseline/sampling.h"
+
+namespace hwprof {
+
+struct ComparisonRow {
+  std::string name;
+  double hw_pct = 0.0;      // % real from the hardware profile
+  double sample_pct = 0.0;  // sample share from the software profiler
+  double abs_error = 0.0;
+};
+
+struct ComparisonResult {
+  std::vector<ComparisonRow> rows;  // top hardware functions, descending
+  double mean_abs_error = 0.0;
+  double max_abs_error = 0.0;
+
+  std::string Format() const;
+};
+
+// Compares the top `top_n` hardware-profiled functions against the
+// sampler's estimates.
+ComparisonResult CompareProfiles(const Summary& hw, const SamplingProfiler& sw,
+                                 std::size_t top_n = 10);
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_BASELINE_COMPARE_H_

@@ -1,0 +1,65 @@
+#include "src/baseline/counters.h"
+
+#include "src/base/strings.h"
+#include "src/kern/clock.h"
+#include "src/kern/fs.h"
+#include "src/kern/kmem.h"
+#include "src/kern/mbuf.h"
+#include "src/kern/net.h"
+#include "src/kern/sched.h"
+#include "src/kern/vm.h"
+
+namespace hwprof {
+
+CounterSnapshot CounterSnapshot::Take(Kernel& kernel) {
+  CounterSnapshot s;
+  s.at = kernel.Now();
+  s.ticks = kernel.clocksys().ticks();
+  s.context_switches = kernel.sched().voluntary_switches();
+  s.preemptions = kernel.sched().preemptions();
+  s.rx_frames = kernel.net().we().rx_frames();
+  s.rx_dropped = kernel.net().we().rx_dropped();
+  s.tx_frames = kernel.net().we().tx_frames();
+  s.ip_packets = kernel.net().ip_packets_in();
+  s.tcp_segments = kernel.net().tcp_segments_in();
+  s.udp_datagrams = kernel.net().udp_datagrams_in();
+  if (kernel.fs().mounted()) {
+    s.disk_reads = kernel.fs().disk().reads_completed();
+    s.disk_writes = kernel.fs().disk().writes_completed();
+  }
+  s.vm_faults = kernel.vm().faults();
+  s.kmem_allocs = kernel.kmem().allocation_count();
+  s.mbuf_allocs = kernel.mbufs().allocated();
+  return s;
+}
+
+std::string CounterSnapshot::FormatDelta(const CounterSnapshot& before,
+                                         const CounterSnapshot& after) {
+  const double secs =
+      static_cast<double>(after.at - before.at) / static_cast<double>(kSecond);
+  auto rate = [&](std::uint64_t b, std::uint64_t a) {
+    return secs > 0 ? static_cast<double>(a - b) / secs : 0.0;
+  };
+  std::string out;
+  out += StrFormat("interval %.3f s\n", secs);
+  out += StrFormat("  cswitch/s %8.1f   preempt/s %8.1f   faults/s %8.1f\n",
+                   rate(before.context_switches, after.context_switches),
+                   rate(before.preemptions, after.preemptions),
+                   rate(before.vm_faults, after.vm_faults));
+  out += StrFormat("  rx/s      %8.1f   drop/s    %8.1f   tx/s     %8.1f\n",
+                   rate(before.rx_frames, after.rx_frames),
+                   rate(before.rx_dropped, after.rx_dropped),
+                   rate(before.tx_frames, after.tx_frames));
+  out += StrFormat("  ip/s      %8.1f   tcp/s     %8.1f   udp/s    %8.1f\n",
+                   rate(before.ip_packets, after.ip_packets),
+                   rate(before.tcp_segments, after.tcp_segments),
+                   rate(before.udp_datagrams, after.udp_datagrams));
+  out += StrFormat("  dread/s   %8.1f   dwrite/s  %8.1f   kmem/s   %8.1f   mbuf/s %8.1f\n",
+                   rate(before.disk_reads, after.disk_reads),
+                   rate(before.disk_writes, after.disk_writes),
+                   rate(before.kmem_allocs, after.kmem_allocs),
+                   rate(before.mbuf_allocs, after.mbuf_allocs));
+  return out;
+}
+
+}  // namespace hwprof

@@ -1,0 +1,45 @@
+// Kernel event-statistics counters — the coarsest rejected alternative
+// ("virtually all kernels keep event statistics... the main drawback is the
+// poor granularity and lack of detail concerning where the kernel time is
+// spent").
+//
+// A snapshot collects the counters the kernel already maintains; the diff of
+// two snapshots is everything this method can ever tell you — rates, not
+// time attribution. The comparison bench shows exactly that failure.
+
+#ifndef HWPROF_SRC_BASELINE_COUNTERS_H_
+#define HWPROF_SRC_BASELINE_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/kern/kernel.h"
+
+namespace hwprof {
+
+struct CounterSnapshot {
+  Nanoseconds at = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t rx_frames = 0;
+  std::uint64_t rx_dropped = 0;
+  std::uint64_t tx_frames = 0;
+  std::uint64_t ip_packets = 0;
+  std::uint64_t tcp_segments = 0;
+  std::uint64_t udp_datagrams = 0;
+  std::uint64_t disk_reads = 0;
+  std::uint64_t disk_writes = 0;
+  std::uint64_t vm_faults = 0;
+  std::uint64_t kmem_allocs = 0;
+  std::uint64_t mbuf_allocs = 0;
+
+  static CounterSnapshot Take(Kernel& kernel);
+
+  // Per-second rates between two snapshots, formatted like a vmstat line.
+  static std::string FormatDelta(const CounterSnapshot& before, const CounterSnapshot& after);
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_BASELINE_COUNTERS_H_

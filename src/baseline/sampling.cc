@@ -1,0 +1,94 @@
+#include "src/baseline/sampling.h"
+
+#include "src/base/assert.h"
+
+namespace hwprof {
+
+SamplingProfiler::SamplingProfiler(Kernel& kernel, const TagFile& names, SamplingConfig config)
+    : kernel_(kernel), names_(names), config_(config) {
+  kernel_.machine().bus().AddTapListener(this);
+}
+
+SamplingProfiler::~SamplingProfiler() {
+  kernel_.machine().bus().RemoveTapListener(this);
+}
+
+void SamplingProfiler::Start() {
+  HWPROF_CHECK(!running_);
+  running_ = true;
+  ScheduleNext();
+}
+
+void SamplingProfiler::Stop() { running_ = false; }
+
+void SamplingProfiler::OnEpromRead(std::uint16_t addr_lines, Nanoseconds now) {
+  (void)now;
+  const TagEntry* entry = names_.FindByTag(addr_lines);
+  if (entry == nullptr || entry->kind == TagKind::kInline) {
+    return;
+  }
+  const bool is_exit = addr_lines == entry->exit_tag();
+  if (!is_exit) {
+    shadow_stack_.push_back(entry);
+    return;
+  }
+  // Pop to the matching entry (tolerating the same mismatches the decoder
+  // does, e.g. context switches: swtch exits on a different logical stack;
+  // the sampler's single flat stack just pops the top swtch it finds).
+  for (auto it = shadow_stack_.rbegin(); it != shadow_stack_.rend(); ++it) {
+    if (*it == entry) {
+      shadow_stack_.erase(std::next(it).base(), shadow_stack_.end());
+      break;
+    }
+  }
+}
+
+void SamplingProfiler::ScheduleNext() {
+  Nanoseconds interval = config_.interval;
+  if (config_.jitter) {
+    // xorshift jitter of ±25% — the "pseudo-random clock" that decorrelates
+    // samples from clock-synchronised kernel activity.
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    const Nanoseconds quarter = interval / 4;
+    interval = interval - quarter + rng_state_ % (2 * quarter);
+  }
+  kernel_.machine().events().ScheduleAt(kernel_.Now() + interval, [this] {
+    if (!running_) {
+      return;
+    }
+    TakeSample();
+    ScheduleNext();
+  });
+}
+
+void SamplingProfiler::TakeSample() {
+  // The sampler's own footprint: profil()-style bucket arithmetic on the
+  // sampled PC, paid inside the clock path.
+  kernel_.cpu().Use(config_.sample_overhead);
+  ++total_samples_;
+  if (shadow_stack_.empty()) {
+    ++samples_["unknown"];
+    return;
+  }
+  const TagEntry* top = shadow_stack_.back();
+  if (top->kind == TagKind::kContextSwitch) {
+    ++samples_["idle"];
+    return;
+  }
+  ++samples_[top->name];
+}
+
+double SamplingProfiler::EstimatedPercent(const std::string& name) const {
+  if (total_samples_ == 0) {
+    return 0.0;
+  }
+  auto it = samples_.find(name);
+  if (it == samples_.end()) {
+    return 0.0;
+  }
+  return 100.0 * static_cast<double>(it->second) / static_cast<double>(total_samples_);
+}
+
+}  // namespace hwprof

@@ -1,0 +1,107 @@
+#include "src/instr/instrumenter.h"
+
+#include "src/base/assert.h"
+
+namespace hwprof {
+
+const char* SubsysName(Subsys s) {
+  switch (s) {
+    case Subsys::kLib:
+      return "lib";
+    case Subsys::kSyscall:
+      return "syscall";
+    case Subsys::kSched:
+      return "sched";
+    case Subsys::kClock:
+      return "clock";
+    case Subsys::kIntr:
+      return "intr";
+    case Subsys::kKmem:
+      return "kmem";
+    case Subsys::kNet:
+      return "net";
+    case Subsys::kVm:
+      return "vm";
+    case Subsys::kFs:
+      return "fs";
+    case Subsys::kNfs:
+      return "nfs";
+    case Subsys::kProc:
+      return "proc";
+    case Subsys::kUser:
+      return "user";
+    case Subsys::kCount:
+      break;
+  }
+  HWPROF_UNREACHABLE("bad Subsys value");
+}
+
+Instrumenter::Instrumenter(TagFile* tags) : tags_(tags) { HWPROF_CHECK(tags != nullptr); }
+
+FuncInfo* Instrumenter::RegisterFunction(std::string_view name, Subsys subsys,
+                                         bool context_switch) {
+  return RegisterImpl(name, subsys,
+                      context_switch ? TagKind::kContextSwitch : TagKind::kFunction);
+}
+
+FuncInfo* Instrumenter::RegisterInline(std::string_view name, Subsys subsys) {
+  return RegisterImpl(name, subsys, TagKind::kInline);
+}
+
+FuncInfo* Instrumenter::RegisterImpl(std::string_view name, Subsys subsys, TagKind kind) {
+  HWPROF_CHECK_MSG(by_name_.count(std::string(name)) == 0,
+                   "function registered twice with the instrumenter");
+  std::uint16_t tag = 0;
+  if (const TagEntry* existing = tags_->FindByName(name); existing != nullptr) {
+    HWPROF_CHECK_MSG(existing->kind == kind, "tag-file entry kind mismatch on recompilation");
+    tag = existing->tag;
+  } else {
+    tag = tags_->Assign(name, kind);
+  }
+  funcs_.emplace_back();
+  FuncInfo* info = &funcs_.back();
+  info->name = std::string(name);
+  info->subsys = subsys;
+  info->kind = kind;
+  info->entry_tag = tag;
+  info->enabled = true;
+  by_name_.emplace(info->name, info);
+  if (kind == TagKind::kInline) {
+    ++inline_count_;
+  } else {
+    ++function_count_;
+  }
+  return info;
+}
+
+FuncInfo* Instrumenter::Find(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const FuncInfo* Instrumenter::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+void Instrumenter::EnableAll() {
+  for (FuncInfo& f : funcs_) {
+    f.enabled = true;
+  }
+}
+
+void Instrumenter::DisableAll() {
+  for (FuncInfo& f : funcs_) {
+    f.enabled = false;
+  }
+}
+
+void Instrumenter::SetSubsysEnabled(Subsys subsys, bool enabled) {
+  for (FuncInfo& f : funcs_) {
+    if (f.subsys == subsys) {
+      f.enabled = enabled;
+    }
+  }
+}
+
+}  // namespace hwprof

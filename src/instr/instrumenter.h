@@ -1,0 +1,109 @@
+// The "modified compiler": assigns event tags to functions and decides which
+// modules carry triggers.
+//
+// In the paper, gcc 1.39 was modified to emit a one-byte-read trigger in
+// every function prologue/epilogue, driven by a name/tag file, with a
+// compile-time switch per module (selective macro- vs micro-profiling).
+// Here the Instrumenter plays the compiler's role: kernel code registers its
+// functions once (grouped by subsystem), the Instrumenter assigns tags by
+// extending a TagFile exactly as the compiler would, and per-subsystem
+// enablement models "compile those modules of interest with profiling
+// enabled, and the rest of the kernel without".
+
+#ifndef HWPROF_SRC_INSTR_INSTRUMENTER_H_
+#define HWPROF_SRC_INSTR_INSTRUMENTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/instr/tag_file.h"
+
+namespace hwprof {
+
+// Kernel subsystems available for selective profiling. kAsm stands in for
+// hand-instrumented assembler routines (bcopy and friends), which the paper
+// tags through an include-file macro rather than the compiler.
+enum class Subsys : std::uint8_t {
+  kLib,      // bcopy, bzero, in_cksum helpers, min/max...
+  kSyscall,  // system-call handlers, VNODE layer
+  kSched,    // swtch, run queue, tsleep/wakeup
+  kClock,    // hardclock, softclock, callouts
+  kIntr,     // low-level interrupt vectors (ISAINTR and friends)
+  kKmem,     // malloc/free/kmem_alloc
+  kNet,      // drivers + IP/TCP/UDP + sockets
+  kVm,       // pmap, vm_map, vm_fault, fork/exec support
+  kFs,       // buffer cache, FFS, disk driver
+  kNfs,      // RPC + NFS
+  kProc,     // fork/exec/exit proper
+  kUser,     // user-level code profiled via the mmap'd driver stub
+  kCount,
+};
+
+inline constexpr std::size_t kSubsysCount = static_cast<std::size_t>(Subsys::kCount);
+
+const char* SubsysName(Subsys s);
+
+// One instrumented function (or inline trigger point).
+struct FuncInfo {
+  std::string name;
+  Subsys subsys = Subsys::kLib;
+  TagKind kind = TagKind::kFunction;
+  std::uint16_t entry_tag = 0;  // == the single tag for kInline
+  bool enabled = false;         // triggers compiled in?
+
+  std::uint16_t exit_tag() const { return static_cast<std::uint16_t>(entry_tag + 1); }
+};
+
+class Instrumenter {
+ public:
+  // The instrumenter extends `tags` as functions register; the caller owns
+  // the file (and may pre-seed it with an existing one so recompilation
+  // keeps stable tags, as the paper requires).
+  explicit Instrumenter(TagFile* tags);
+  Instrumenter(const Instrumenter&) = delete;
+  Instrumenter& operator=(const Instrumenter&) = delete;
+
+  // Registers a function. If the tag file already has an entry for `name`
+  // its tag is reused ("once generated, the same profile tags are used to
+  // allow recompilation"); otherwise one is assigned and the file extended.
+  // The returned pointer is stable for the Instrumenter's lifetime.
+  FuncInfo* RegisterFunction(std::string_view name, Subsys subsys, bool context_switch = false);
+
+  // Registers an inline trigger point ('=' modifier).
+  FuncInfo* RegisterInline(std::string_view name, Subsys subsys);
+
+  FuncInfo* Find(std::string_view name);
+  const FuncInfo* Find(std::string_view name) const;
+
+  // Selective profiling controls.
+  void EnableAll();
+  void DisableAll();
+  void SetSubsysEnabled(Subsys subsys, bool enabled);
+
+  // The resolved run-time virtual address of the Profiler window
+  // (_ProfileBase). 0 until the Linker runs; triggers are inert until then.
+  void SetProfileBase(std::uint32_t base) { profile_base_ = base; }
+  std::uint32_t profile_base() const { return profile_base_; }
+  bool linked() const { return profile_base_ != 0; }
+
+  std::size_t function_count() const { return function_count_; }
+  std::size_t inline_count() const { return inline_count_; }
+  const TagFile& tags() const { return *tags_; }
+
+ private:
+  FuncInfo* RegisterImpl(std::string_view name, Subsys subsys, TagKind kind);
+
+  TagFile* tags_;
+  std::deque<FuncInfo> funcs_;  // deque: stable addresses
+  std::unordered_map<std::string, FuncInfo*> by_name_;
+  std::uint32_t profile_base_ = 0;
+  std::size_t function_count_ = 0;
+  std::size_t inline_count_ = 0;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_INSTR_INSTRUMENTER_H_

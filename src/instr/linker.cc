@@ -1,0 +1,36 @@
+#include "src/instr/linker.h"
+
+#include "src/base/assert.h"
+
+namespace hwprof {
+
+LinkResult Linker::Link(Machine& machine, Instrumenter& instr, std::uint32_t base_image_size) {
+  HWPROF_CHECK(base_image_size > 0);
+  // Pass 1: the image grows by two trigger instructions per function and one
+  // per inline tag. (The dummy-_ProfileBase link exists only to measure this
+  // size; the size itself does not depend on the dummy's value.)
+  const std::uint32_t growth =
+      static_cast<std::uint32_t>(instr.function_count()) * 2 * kTriggerInstrBytes +
+      static_cast<std::uint32_t>(instr.inline_count()) * kTriggerInstrBytes;
+  const std::uint32_t kernel_size = base_image_size + growth;
+
+  // Pass 2: install the remap and resolve the socket's virtual address.
+  machine.address_map().MapKernel(kernel_size);
+  const std::uint32_t isa_va = machine.address_map().IsaVirtualBase();
+  HWPROF_CHECK_MSG(machine.bus().has_eprom_socket(), "no EPROM socket fitted");
+  const std::uint32_t profile_base =
+      isa_va + (machine.bus().eprom_socket_base() - kIsaHoleBase);
+  instr.SetProfileBase(profile_base);
+
+  return LinkResult{kernel_size, isa_va, profile_base};
+}
+
+LinkResult Linker::LinkUnprofiled(Machine& machine, Instrumenter& instr,
+                                  std::uint32_t base_image_size) {
+  HWPROF_CHECK(base_image_size > 0);
+  machine.address_map().MapKernel(base_image_size);
+  instr.SetProfileBase(0);
+  return LinkResult{base_image_size, machine.address_map().IsaVirtualBase(), 0};
+}
+
+}  // namespace hwprof

@@ -1,0 +1,50 @@
+// Two-stage kernel link resolving _ProfileBase (Figure 2).
+//
+// The trigger instructions reference an absolute virtual address inside the
+// remapped ISA window, but 386BSD maps that window immediately *after* the
+// kernel image — whose size depends on the code being linked (including the
+// trigger instructions themselves). The paper links twice: first with a
+// dummy _ProfileBase, then a script extracts the image size and relinks with
+// the real value. This Linker performs the same fixed point:
+//
+//   pass 1: size the image (base + 2 trigger instructions per function)
+//   pass 2: map the kernel, derive the socket's virtual address, and patch
+//           the instrumenter's ProfileBase.
+
+#ifndef HWPROF_SRC_INSTR_LINKER_H_
+#define HWPROF_SRC_INSTR_LINKER_H_
+
+#include <cstdint>
+
+#include "src/instr/instrumenter.h"
+#include "src/sim/machine.h"
+
+namespace hwprof {
+
+struct LinkResult {
+  std::uint32_t kernel_size = 0;   // bytes, after instrumentation growth
+  std::uint32_t isa_va_base = 0;   // virtual address of the remapped ISA hole
+  std::uint32_t profile_base = 0;  // resolved _ProfileBase
+};
+
+class Linker {
+ public:
+  // i386 "movb absolute,%reg" is a 5-byte instruction; two per function plus
+  // one per inline trigger.
+  static constexpr std::uint32_t kTriggerInstrBytes = 5;
+
+  // Links the kernel: computes the instrumented image size from
+  // `base_image_size` (the unprofiled kernel), installs the VM remap on
+  // `machine`, and resolves the instrumenter's ProfileBase against the
+  // machine's EPROM socket. Idempotent; safe to re-run after re-registering.
+  static LinkResult Link(Machine& machine, Instrumenter& instr, std::uint32_t base_image_size);
+
+  // Links without instrumentation (profiling compiled out): maps the kernel
+  // at its bare size and leaves ProfileBase unresolved.
+  static LinkResult LinkUnprofiled(Machine& machine, Instrumenter& instr,
+                                   std::uint32_t base_image_size);
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_INSTR_LINKER_H_

@@ -1,0 +1,54 @@
+// RAII trigger pair — the code the modified compiler would have emitted.
+//
+// Construction models the prologue trigger (movb _ProfileBase+tag,%al) and
+// destruction the epilogue trigger (movb _ProfileBase+tag+1,%cl), so every
+// return path of an instrumented function fires the exit trigger, exactly as
+// the compiler's epilogue placement guarantees. When the function's module
+// is compiled without profiling, or the kernel has not been linked against a
+// ProfileBase yet, the scope is free of bus traffic and time cost.
+
+#ifndef HWPROF_SRC_INSTR_PROFILE_SCOPE_H_
+#define HWPROF_SRC_INSTR_PROFILE_SCOPE_H_
+
+#include "src/instr/instrumenter.h"
+#include "src/sim/machine.h"
+
+namespace hwprof {
+
+class ProfileScope {
+ public:
+  ProfileScope(Machine& machine, const Instrumenter& instr, const FuncInfo* func)
+      : machine_(machine), instr_(instr), func_(func) {
+    if (Armed()) {
+      machine_.TriggerRead(instr_.profile_base() + func_->entry_tag);
+    }
+  }
+
+  ~ProfileScope() {
+    if (Armed()) {
+      machine_.TriggerRead(instr_.profile_base() + func_->exit_tag());
+    }
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  bool Armed() const { return func_ != nullptr && func_->enabled && instr_.linked(); }
+
+  Machine& machine_;
+  const Instrumenter& instr_;
+  const FuncInfo* func_;
+};
+
+// One inline trigger ('=' tag) — the compiler asm() escape for profiling
+// *within* a function at higher granularity.
+inline void InlineTrigger(Machine& machine, const Instrumenter& instr, const FuncInfo* func) {
+  if (func != nullptr && func->enabled && instr.linked()) {
+    machine.TriggerRead(instr.profile_base() + func->entry_tag);
+  }
+}
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_INSTR_PROFILE_SCOPE_H_

@@ -1,0 +1,58 @@
+#include "src/instr/readout.h"
+
+#include "src/base/assert.h"
+#include "src/instr/profile_scope.h"
+
+namespace hwprof {
+
+RawTrace InBandReadout(Machine& machine, Instrumenter& instr, Profiler& profiler) {
+  HWPROF_CHECK_MSG(instr.linked(), "in-band readout needs a resolved ProfileBase");
+  HWPROF_CHECK_MSG(profiler.timer().bits() <= 24,
+                   "the ZIF readout banks carry 24 timer bits");
+  FuncInfo* f_profdump = instr.Find("profdump");
+  if (f_profdump == nullptr) {
+    f_profdump = instr.RegisterFunction("profdump", Subsys::kLib);
+  }
+  // The dump routine itself is instrumented — but its own triggers would be
+  // swallowed by readout mode anyway, which is exactly what the hardware
+  // would do (the RAMs are disconnected from the capture path).
+  ProfileScope scope(machine, instr, f_profdump);
+  const std::uint32_t base = instr.profile_base();
+
+  auto read_byte = [&](std::uint32_t offset) {
+    return machine.SocketRead(base + offset);
+  };
+
+  RawTrace trace;
+  trace.timer_bits = profiler.timer().bits();
+  trace.timer_clock_hz = profiler.timer().clock_hz();
+  trace.overflowed = profiler.led_overflow();
+
+  // Bank 1: the count header and the 16-bit tags.
+  profiler.EnterReadoutMode(ReadoutBank::kTags);
+  std::uint32_t count = 0;
+  for (int i = 0; i < 4; ++i) {
+    count |= static_cast<std::uint32_t>(read_byte(static_cast<std::uint32_t>(i))) << (8 * i);
+  }
+  HWPROF_CHECK_MSG(count <= profiler.capacity(), "implausible readout count");
+  trace.events.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint16_t lo = read_byte(4 + 2 * i);
+    const std::uint16_t hi = read_byte(4 + 2 * i + 1);
+    trace.events[i].tag = static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  // Bank 2: the 24-bit timestamps.
+  profiler.EnterReadoutMode(ReadoutBank::kTimestamps);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t timestamp = 0;
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      timestamp |= static_cast<std::uint32_t>(read_byte(3 * i + b)) << (8 * b);
+    }
+    trace.events[i].timestamp = timestamp;
+  }
+  profiler.ExitReadoutMode();
+  return trace;
+}
+
+}  // namespace hwprof

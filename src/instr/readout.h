@@ -1,0 +1,29 @@
+// In-band capture readout through the EPROM socket — the paper's planned
+// fix for its "one clumsy aspect": "currently [uploading the data] is
+// manually performed, which slows down the profiling process somewhat...
+// each of the storage RAMs in turn can be multiplexed into the EPROM
+// address space, and the data can be read as if it were an EPROM. This
+// would allow fast turnaround for processing the Profiler data."
+//
+// The kernel-side dump routine (profdump) reads every capture byte with
+// ordinary socket reads, each costing one real 8-bit ISA cycle — so the
+// turnaround win over the manual RAM-carry is itself measurable.
+
+#ifndef HWPROF_SRC_INSTR_READOUT_H_
+#define HWPROF_SRC_INSTR_READOUT_H_
+
+#include "src/instr/instrumenter.h"
+#include "src/profhw/profiler.h"
+#include "src/sim/machine.h"
+
+namespace hwprof {
+
+// Reads the whole capture in place via the socket. The profiler is switched
+// bank-by-bank into readout mode and left disarmed afterwards. The result
+// is bit-identical to Profiler::Upload(). Charges real bus time on
+// `machine` (profiled as "profdump" when instrumentation is linked).
+RawTrace InBandReadout(Machine& machine, Instrumenter& instr, Profiler& profiler);
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_INSTR_READOUT_H_

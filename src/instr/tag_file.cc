@@ -1,0 +1,151 @@
+#include "src/instr/tag_file.h"
+
+#include "src/base/assert.h"
+#include "src/base/strings.h"
+
+namespace hwprof {
+
+bool TagFile::Parse(std::string_view text, TagFile* out) {
+  TagFile file;
+  for (std::string_view raw_line : SplitLines(text)) {
+    const std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const std::size_t slash = line.rfind('/');
+    if (slash == std::string_view::npos || slash == 0) {
+      return false;
+    }
+    const std::string_view name = line.substr(0, slash);
+    std::string_view value = line.substr(slash + 1);
+    TagKind kind = TagKind::kFunction;
+    if (!value.empty() && value.back() == '!') {
+      kind = TagKind::kContextSwitch;
+      value.remove_suffix(1);
+    } else if (!value.empty() && value.back() == '=') {
+      kind = TagKind::kInline;
+      value.remove_suffix(1);
+    }
+    std::uint64_t tag = 0;
+    if (!ParseUint(value, &tag) || tag > 0xFFFF) {
+      return false;
+    }
+    TagEntry entry;
+    entry.name = std::string(name);
+    entry.tag = static_cast<std::uint16_t>(tag);
+    entry.kind = kind;
+    // Function tags must be even so that tag+1 (the exit tag) pairs with
+    // them; evenness also guarantees the exit tag fits in 16 bits.
+    if (entry.IsFunctionLike() && entry.tag % 2 != 0) {
+      return false;
+    }
+    if (!file.Insert(std::move(entry))) {
+      return false;
+    }
+  }
+  *out = std::move(file);
+  return true;
+}
+
+std::string TagFile::Format() const {
+  std::string out;
+  for (const TagEntry& e : entries_) {
+    const char* modifier = "";
+    if (e.kind == TagKind::kContextSwitch) {
+      modifier = "!";
+    } else if (e.kind == TagKind::kInline) {
+      modifier = "=";
+    }
+    out += StrFormat("%s/%u%s\n", e.name.c_str(), e.tag, modifier);
+  }
+  return out;
+}
+
+bool TagFile::Merge(const TagFile& other) {
+  // Validate the whole batch first so a failed merge leaves this file
+  // untouched.
+  for (const TagEntry& e : other.entries_) {
+    if (by_name_.count(e.name) != 0 || by_tag_.count(e.entry_tag()) != 0 ||
+        (e.IsFunctionLike() && by_tag_.count(e.exit_tag()) != 0)) {
+      return false;
+    }
+  }
+  for (const TagEntry& e : other.entries_) {
+    HWPROF_CHECK(Insert(e));
+  }
+  return true;
+}
+
+bool TagFile::AddFunction(std::string_view name, std::uint16_t tag, bool context_switch) {
+  if (tag % 2 != 0) {
+    return false;
+  }
+  TagEntry entry;
+  entry.name = std::string(name);
+  entry.tag = tag;
+  entry.kind = context_switch ? TagKind::kContextSwitch : TagKind::kFunction;
+  return Insert(std::move(entry));
+}
+
+bool TagFile::AddInline(std::string_view name, std::uint16_t tag) {
+  TagEntry entry;
+  entry.name = std::string(name);
+  entry.tag = tag;
+  entry.kind = TagKind::kInline;
+  return Insert(std::move(entry));
+}
+
+std::uint16_t TagFile::Assign(std::string_view name, TagKind kind) {
+  HWPROF_CHECK_MSG(by_name_.count(std::string(name)) == 0,
+                   "function already has an assigned tag");
+  std::uint32_t candidate = HighestTag() + 1u;
+  if (kind != TagKind::kInline && candidate % 2 != 0) {
+    ++candidate;  // function entry tags are even
+  }
+  HWPROF_CHECK_MSG(candidate + (kind != TagKind::kInline ? 1u : 0u) <= 0xFFFF,
+                   "event tag space (16 bits) exhausted");
+  TagEntry entry;
+  entry.name = std::string(name);
+  entry.tag = static_cast<std::uint16_t>(candidate);
+  entry.kind = kind;
+  HWPROF_CHECK(Insert(std::move(entry)));
+  return static_cast<std::uint16_t>(candidate);
+}
+
+const TagEntry* TagFile::FindByName(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : &entries_[it->second];
+}
+
+const TagEntry* TagFile::FindByTag(std::uint16_t tag) const {
+  auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? nullptr : &entries_[it->second];
+}
+
+std::uint16_t TagFile::HighestTag() const {
+  std::uint16_t highest = 0;
+  for (const TagEntry& e : entries_) {
+    const std::uint16_t top = e.IsFunctionLike() ? e.exit_tag() : e.tag;
+    if (top > highest) {
+      highest = top;
+    }
+  }
+  return highest;
+}
+
+bool TagFile::Insert(TagEntry entry) {
+  if (by_name_.count(entry.name) != 0 || by_tag_.count(entry.entry_tag()) != 0 ||
+      (entry.IsFunctionLike() && by_tag_.count(entry.exit_tag()) != 0)) {
+    return false;
+  }
+  const std::size_t index = entries_.size();
+  by_name_.emplace(entry.name, index);
+  by_tag_.emplace(entry.entry_tag(), index);
+  if (entry.IsFunctionLike()) {
+    by_tag_.emplace(entry.exit_tag(), index);
+  }
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+}  // namespace hwprof

@@ -1,0 +1,99 @@
+// The name/tag file consumed and extended by the modified compiler.
+//
+// Format (one entry per line, as in the paper):
+//
+//   main/502
+//   hardclock/510
+//   swtch/600!
+//   MGET/1002=
+//
+// A plain entry names a function: the value is the *entry* tag (always even)
+// and value+1 is the *exit* tag. The '!' modifier marks a function that
+// causes a processor context switch (the analyser treats it specially); the
+// '=' modifier marks an inline tag (a single event, not an entry/exit pair).
+//
+// The compiler auto-extends the file: a function not yet present is appended
+// with the next available value above the current highest. A file can be
+// started from scratch with an initial dummy entry that sets the starting
+// tag number, and several files may be concatenated into one list.
+
+#ifndef HWPROF_SRC_INSTR_TAG_FILE_H_
+#define HWPROF_SRC_INSTR_TAG_FILE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hwprof {
+
+enum class TagKind : std::uint8_t {
+  kFunction,       // entry/exit pair at tag / tag+1
+  kContextSwitch,  // function pair, '!' modifier
+  kInline,         // single tag, '=' modifier
+};
+
+struct TagEntry {
+  std::string name;
+  std::uint16_t tag = 0;
+  TagKind kind = TagKind::kFunction;
+
+  bool IsFunctionLike() const { return kind != TagKind::kInline; }
+  std::uint16_t entry_tag() const { return tag; }
+  std::uint16_t exit_tag() const { return static_cast<std::uint16_t>(tag + 1); }
+};
+
+class TagFile {
+ public:
+  TagFile() = default;
+
+  // Parses the file format above. Blank lines and '#' comment lines are
+  // skipped. Returns false on malformed lines, duplicate names, duplicate or
+  // overlapping tag values, or odd function tags.
+  static bool Parse(std::string_view text, TagFile* out);
+
+  // Renders back to the file format, entries in insertion order.
+  std::string Format() const;
+
+  // Concatenates `other` onto this file ("multiple name/tag files may exist,
+  // and may be concatenated"). Returns false on any name or tag collision.
+  bool Merge(const TagFile& other);
+
+  // Adds a function entry with an explicit value. Returns false on collision
+  // or an odd/overflowing tag.
+  bool AddFunction(std::string_view name, std::uint16_t tag, bool context_switch = false);
+
+  // Adds an inline entry with an explicit value.
+  bool AddInline(std::string_view name, std::uint16_t tag);
+
+  // Auto-assignment used by the compiler: appends `name` with the next
+  // available value above the current highest (rounded up to even for
+  // function kinds). Returns the assigned entry tag.
+  std::uint16_t Assign(std::string_view name, TagKind kind);
+
+  const TagEntry* FindByName(std::string_view name) const;
+
+  // Looks up the entry covering raw tag value `tag` (a function entry
+  // matches both its even entry tag and odd exit tag). Returns nullptr for
+  // unknown tags.
+  const TagEntry* FindByTag(std::uint16_t tag) const;
+
+  const std::vector<TagEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  // Highest raw tag value in use (exit tags included); 0 if empty.
+  std::uint16_t HighestTag() const;
+
+ private:
+  bool Insert(TagEntry entry);
+
+  std::vector<TagEntry> entries_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+  std::unordered_map<std::uint16_t, std::size_t> by_tag_;  // one key per raw tag covered
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_INSTR_TAG_FILE_H_

@@ -1,0 +1,100 @@
+#include "src/kern/clock.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+#include "src/kern/kernel.h"
+#include "src/kern/sched.h"
+
+namespace hwprof {
+
+ClockSys::ClockSys(Kernel& kernel)
+    : kernel_(kernel),
+      f_hardclock_(kernel.RegFn("hardclock", Subsys::kClock)),
+      f_gatherstats_(kernel.RegFn("gatherstats", Subsys::kClock)),
+      f_softclock_(kernel.RegFn("softclock", Subsys::kClock)),
+      f_timeout_(kernel.RegFn("timeout", Subsys::kClock)),
+      f_untimeout_(kernel.RegFn("untimeout", Subsys::kClock)) {}
+
+void ClockSys::ScheduleTick() {
+  tick_event_ = kernel_.machine().events().ScheduleAt(
+      kernel_.Now() + kTickInterval, [this] {
+        if (!running_) {
+          return;
+        }
+        kernel_.machine().irq().Raise(IrqLine::kClock);
+        ScheduleTick();
+      });
+}
+
+void ClockSys::Start() {
+  HWPROF_CHECK(!running_);
+  running_ = true;
+  ScheduleTick();
+}
+
+void ClockSys::Stop() {
+  running_ = false;
+  kernel_.machine().events().Cancel(tick_event_);
+}
+
+void ClockSys::HardclockIntr() {
+  KPROF(kernel_, f_hardclock_);
+  kernel_.cpu().Use(kernel_.cost().hardclock_body_ns);
+  ++ticks_;
+  {
+    // statclock work folded into hardclock, as on hardware without a
+    // separate statistics timer.
+    KPROF(kernel_, f_gatherstats_);
+    kernel_.cpu().Use(4 * kMicrosecond);
+  }
+  if (!callouts_.empty() && callouts_.front().due_tick <= ticks_) {
+    kernel_.RaiseSoftClock();
+  }
+  if (ticks_ % kRoundRobinTicks == 0) {
+    // roundrobin: ask the current process to yield at the next AST.
+    if (Proc* p = kernel_.curproc(); p != nullptr && p != kernel_.proc0()) {
+      p->need_resched = true;
+    }
+  }
+}
+
+void ClockSys::SoftclockIntr() {
+  KPROF(kernel_, f_softclock_);
+  kernel_.cpu().Use(6 * kMicrosecond);
+  while (!callouts_.empty() && callouts_.front().due_tick <= ticks_) {
+    Callout c = std::move(callouts_.front());
+    callouts_.pop_front();
+    kernel_.cpu().Use(3 * kMicrosecond);
+    c.fn();
+  }
+}
+
+ClockSys::CalloutId ClockSys::Timeout(std::function<void()> fn, Nanoseconds delay) {
+  KPROF(kernel_, f_timeout_);
+  kernel_.cpu().Use(kernel_.cost().timeout_body_ns);
+  const std::uint64_t delay_ticks = std::max<std::uint64_t>(
+      1, (delay + kTickInterval - 1) / kTickInterval);
+  Callout c;
+  c.id = next_callout_id_++;
+  c.due_tick = ticks_ + delay_ticks;
+  c.fn = std::move(fn);
+  auto it = std::find_if(callouts_.begin(), callouts_.end(),
+                         [&](const Callout& o) { return o.due_tick > c.due_tick; });
+  callouts_.insert(it, std::move(c));
+  return next_callout_id_ - 1;
+}
+
+bool ClockSys::Untimeout(CalloutId id) {
+  KPROF(kernel_, f_untimeout_);
+  kernel_.cpu().Use(kernel_.cost().timeout_body_ns);
+  auto it = std::find_if(callouts_.begin(), callouts_.end(),
+                         [&](const Callout& o) { return o.id == id; });
+  if (it == callouts_.end()) {
+    return false;
+  }
+  callouts_.erase(it);
+  return true;
+}
+
+}  // namespace hwprof

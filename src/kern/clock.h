@@ -1,0 +1,81 @@
+// Clock interrupts and callouts: hardclock, softclock, timeout/untimeout.
+//
+// The i8254 fires IRQ0 every 10 ms. hardclock runs at splclock, advances
+// ticks, kicks the round-robin quantum, and — because the 386 has no
+// asynchronous system traps — the interrupt epilogue pays the AST-emulation
+// tax the paper measures at ~24 µs per interrupt (clock tick total ~94 µs).
+// Due callouts are batched onto the softclock software interrupt, delivered
+// when the priority level allows.
+
+#ifndef HWPROF_SRC_KERN_CLOCK_H_
+#define HWPROF_SRC_KERN_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+
+#include "src/base/units.h"
+#include "src/instr/instrumenter.h"
+
+namespace hwprof {
+
+class Kernel;
+
+inline constexpr Nanoseconds kTickInterval = 10 * kMillisecond;  // 100 Hz
+inline constexpr int kRoundRobinTicks = 10;                      // 100 ms quantum
+
+class ClockSys {
+ public:
+  using CalloutId = std::uint64_t;
+
+  explicit ClockSys(Kernel& kernel);
+  ClockSys(const ClockSys&) = delete;
+  ClockSys& operator=(const ClockSys&) = delete;
+
+  // Starts the periodic tick (called from Boot).
+  void Start();
+  void Stop();
+
+  // IRQ0 handler body (dispatched by the kernel's interrupt layer).
+  void HardclockIntr();
+
+  // Softclock software-interrupt body: runs due callouts.
+  void SoftclockIntr();
+
+  // Registers a callout to run `fn` after `delay` (rounded up to ticks, as
+  // the real callout wheel does). Profiled as timeout().
+  CalloutId Timeout(std::function<void()> fn, Nanoseconds delay);
+
+  // Cancels a pending callout; returns false if it already fired. Profiled
+  // as untimeout().
+  bool Untimeout(CalloutId id);
+
+  std::uint64_t ticks() const { return ticks_; }
+  std::size_t pending_callouts() const { return callouts_.size(); }
+
+ private:
+  void ScheduleTick();
+
+  struct Callout {
+    CalloutId id;
+    std::uint64_t due_tick;
+    std::function<void()> fn;
+  };
+
+  Kernel& kernel_;
+  std::uint64_t ticks_ = 0;
+  CalloutId next_callout_id_ = 1;
+  std::list<Callout> callouts_;  // sorted by due_tick
+  bool running_ = false;
+  std::uint64_t tick_event_ = 0;
+
+  FuncInfo* f_hardclock_;
+  FuncInfo* f_gatherstats_;
+  FuncInfo* f_softclock_;
+  FuncInfo* f_timeout_;
+  FuncInfo* f_untimeout_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_CLOCK_H_

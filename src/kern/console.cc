@@ -1,0 +1,36 @@
+#include "src/kern/console.h"
+
+#include "src/kern/kernel.h"
+
+namespace hwprof {
+
+Console::Console(Kernel& kernel)
+    : kernel_(kernel), f_cnputc_(kernel.RegFn("cnputc", Subsys::kLib)) {}
+
+void Console::Scroll() {
+  // Move rows 1..24 up one row: 80 columns × 24 rows × 2 bytes, byte-wise,
+  // in ISA video memory — the bcopyb that pollutes Fig 5.
+  kernel_.Bcopyb(static_cast<std::size_t>(kColumns) * (kRows - 1) * 2);
+  ++scrolls_;
+}
+
+void Console::Write(const std::string& text) {
+  for (char c : text) {
+    {
+      KPROF(kernel_, f_cnputc_);
+      kernel_.cpu().Use(3 * kMicrosecond);  // video RAM write + cursor update
+    }
+    if (c == '\n' || col_ >= kColumns - 1) {
+      col_ = 0;
+      if (row_ >= kRows - 1) {
+        Scroll();
+      } else {
+        ++row_;
+      }
+    } else {
+      ++col_;
+    }
+  }
+}
+
+}  // namespace hwprof

@@ -1,0 +1,49 @@
+// PC console model: enough to reproduce Fig 5's bcopyb rows, which the paper
+// notes come from scrolling the console screen during the fork/exec test.
+//
+// The text screen is 80×25 cells of 2 bytes living in ISA video memory;
+// scrolling moves 80×24×2 = 3840 bytes with the byte-copy bcopyb, costing
+// milliseconds on the 8-bit path — large enough to pollute profiles, which
+// is exactly why the paper tells the reader to ignore it.
+
+#ifndef HWPROF_SRC_KERN_CONSOLE_H_
+#define HWPROF_SRC_KERN_CONSOLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/instr/instrumenter.h"
+
+namespace hwprof {
+
+class Kernel;
+
+class Console {
+ public:
+  explicit Console(Kernel& kernel);
+  Console(const Console&) = delete;
+  Console& operator=(const Console&) = delete;
+
+  // Writes `text` to the screen, scrolling (and paying for it) as lines pass
+  // the bottom row.
+  void Write(const std::string& text);
+
+  int row() const { return row_; }
+  std::uint64_t scrolls() const { return scrolls_; }
+
+  static constexpr int kColumns = 80;
+  static constexpr int kRows = 25;
+
+ private:
+  void Scroll();
+
+  Kernel& kernel_;
+  int row_ = 0;
+  int col_ = 0;
+  std::uint64_t scrolls_ = 0;
+  FuncInfo* f_cnputc_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_CONSOLE_H_

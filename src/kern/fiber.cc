@@ -1,0 +1,48 @@
+#include "src/kern/fiber.h"
+
+#include "src/base/assert.h"
+
+namespace hwprof {
+
+Fiber::Fiber() : started_(true), is_adopted_(true) {}
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_bytes)
+    : stack_(stack_bytes), entry_(std::move(entry)), is_adopted_(false) {
+  HWPROF_CHECK(entry_ != nullptr);
+  HWPROF_CHECK(stack_bytes >= 16 * 1024);
+  HWPROF_CHECK(getcontext(&context_) == 0);
+  context_.uc_stack.ss_sp = stack_.data();
+  context_.uc_stack.ss_size = stack_.size();
+  context_.uc_link = nullptr;
+  // makecontext only passes ints; split the pointer across two.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  const auto hi = static_cast<unsigned>(self >> 32);
+  const auto lo = static_cast<unsigned>(self & 0xFFFFFFFFu);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 2, hi, lo);
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::Trampoline(unsigned hi, unsigned lo) {
+  const std::uintptr_t self =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(self)->RunEntry();
+}
+
+void Fiber::RunEntry() {
+  entry_();
+  finished_ = true;
+  HWPROF_CHECK_MSG(exit_to_ != nullptr, "fiber entry returned with no exit target");
+  // A finished fiber never resumes; setcontext (not swap) is sufficient.
+  setcontext(&exit_to_->context_);
+  HWPROF_UNREACHABLE("setcontext returned");
+}
+
+void Fiber::Switch(Fiber& from, Fiber& to) {
+  HWPROF_CHECK_MSG(!to.finished_, "switching to a finished fiber");
+  HWPROF_CHECK_MSG(&from != &to, "fiber switching to itself");
+  to.started_ = true;
+  HWPROF_CHECK(swapcontext(&from.context_, &to.context_) == 0);
+}
+
+}  // namespace hwprof

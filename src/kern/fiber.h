@@ -1,0 +1,62 @@
+// Cooperative fibers: one per simulated process, so kernel code paths
+// genuinely suspend inside tsleep/swtch and resume there later — giving the
+// Profiler the same interleaved entry/exit event stream a real kernel
+// produces across context switches (Figure 4's resume inside tsleep).
+//
+// Built on ucontext. Fibers never run concurrently; Switch() transfers
+// control synchronously on the calling thread.
+
+#ifndef HWPROF_SRC_KERN_FIBER_H_
+#define HWPROF_SRC_KERN_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace hwprof {
+
+class Fiber {
+ public:
+  // Adopts the currently executing context (the scheduler / proc0). Such a
+  // fiber has no entry function and never "finishes".
+  Fiber();
+
+  // Creates a suspended fiber that will run `entry` when first switched to.
+  // When `entry` returns, control transfers to `exit_to` (which must be set
+  // before the entry can return — normally the scheduler's fiber).
+  explicit Fiber(std::function<void()> entry, std::size_t stack_bytes = 256 * 1024);
+
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Saves the current context into `from` and resumes `to`. Must be called
+  // from the fiber `from` is tracking.
+  static void Switch(Fiber& from, Fiber& to);
+
+  // Where control goes when this fiber's entry function returns.
+  void set_exit_to(Fiber* f) { exit_to_ = f; }
+
+  bool finished() const { return finished_; }
+  bool started() const { return started_; }
+
+ private:
+  static void Trampoline(unsigned hi, unsigned lo);
+  void RunEntry();
+
+  ucontext_t context_{};
+  std::vector<std::uint8_t> stack_;
+  std::function<void()> entry_;
+  Fiber* exit_to_ = nullptr;
+  bool finished_ = false;
+  bool started_ = false;
+  bool is_adopted_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_FIBER_H_

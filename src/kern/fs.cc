@@ -1,0 +1,629 @@
+#include "src/kern/fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/assert.h"
+#include "src/base/strings.h"
+#include "src/kern/kernel.h"
+#include "src/kern/sched.h"
+
+namespace hwprof {
+namespace {
+
+constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
+
+// Serialized directory record: [len u8][name bytes][ino u32 LE].
+void AppendDirRecord(Bytes* data, const std::string& name, int ino) {
+  HWPROF_CHECK(!name.empty() && name.size() <= 255);
+  data->push_back(static_cast<std::uint8_t>(name.size()));
+  data->insert(data->end(), name.begin(), name.end());
+  for (int shift = 0; shift < 32; shift += 8) {
+    data->push_back(static_cast<std::uint8_t>((static_cast<std::uint32_t>(ino) >> shift) & 0xFF));
+  }
+}
+
+}  // namespace
+
+Fs::Fs(Kernel& kernel)
+    : kernel_(kernel),
+      f_namei_(kernel.RegFn("namei", Subsys::kFs)),
+      f_ufs_lookup_(kernel.RegFn("ufs_lookup", Subsys::kFs)),
+      f_ffs_read_(kernel.RegFn("ffs_read", Subsys::kFs)),
+      f_ffs_write_(kernel.RegFn("ffs_write", Subsys::kFs)),
+      f_ffs_alloc_(kernel.RegFn("ffs_alloc", Subsys::kFs)),
+      f_ffs_balloc_(kernel.RegFn("ffs_balloc", Subsys::kFs)),
+      f_bread_(kernel.RegFn("bread", Subsys::kFs)),
+      f_breada_(kernel.RegFn("breada", Subsys::kFs)),
+      f_getblk_(kernel.RegFn("getblk", Subsys::kFs)),
+      f_brelse_(kernel.RegFn("brelse", Subsys::kFs)),
+      f_bwrite_(kernel.RegFn("bwrite", Subsys::kFs)),
+      f_bawrite_(kernel.RegFn("bawrite", Subsys::kFs)),
+      f_biowait_(kernel.RegFn("biowait", Subsys::kFs)),
+      f_biodone_(kernel.RegFn("biodone", Subsys::kFs)) {}
+
+Fs::~Fs() = default;
+
+void Fs::Mount(std::uint32_t disk_blocks, std::uint32_t ninodes) {
+  HWPROF_CHECK(!mounted_);
+  disk_ = std::make_unique<WdDisk>(kernel_, disk_blocks);
+  disk_->SetCompletionHandler([this](Buf* bp) { Biodone(bp); });
+  bufs_.clear();
+  for (std::size_t i = 0; i < kBufCacheBuffers; ++i) {
+    bufs_.push_back(std::make_unique<Buf>());
+  }
+  inodes_.assign(ninodes, Inode{});
+  block_used_.assign(disk_blocks, false);
+  block_used_[0] = true;  // "superblock"
+  inodes_[0].allocated = true;
+  inodes_[0].is_dir = true;  // root
+  mounted_ = true;
+}
+
+// --- Buffer cache ---------------------------------------------------------------
+
+Buf* Fs::FindCached(std::uint32_t blkno) {
+  for (const auto& bp : bufs_) {
+    // A buffer belongs to `blkno` if it holds valid contents OR is busy
+    // with it (owned, or I/O in flight — e.g. a read-ahead): getblk must
+    // find those and wait, not issue a duplicate disk read.
+    if (bp->blkno == blkno && (bp->valid || bp->busy)) {
+      return bp.get();
+    }
+  }
+  return nullptr;
+}
+
+Buf* Fs::GetBlk(std::uint32_t blkno) {
+  KPROF(kernel_, f_getblk_);
+  kernel_.cpu().Use(14 * kMicrosecond);  // bufhash walk
+  const int s = kernel_.spl().splbio();
+  Buf* result = nullptr;
+  while (result == nullptr) {
+    if (Buf* bp = FindCached(blkno)) {
+      if (bp->busy) {
+        // Wait for the current owner (or in-flight I/O) to release it, then
+        // rescan — the buffer may have been reused for another block.
+        kernel_.sched().Tsleep(bp, "getblk");
+        continue;
+      }
+      bp->busy = true;
+      bp->last_use = lru_clock_++;
+      ++cache_hits_;
+      result = bp;
+      break;
+    }
+    // Miss: reclaim the least recently used idle buffer.
+    Buf* victim = nullptr;
+    for (const auto& bp : bufs_) {
+      if (bp->busy) {
+        continue;
+      }
+      if (victim == nullptr || bp->last_use < victim->last_use) {
+        victim = bp.get();
+      }
+    }
+    if (victim == nullptr) {
+      // Every buffer is busy (all in flight); wait for any completion.
+      kernel_.sched().Tsleep(&bufs_, "bufwait");
+      continue;
+    }
+    victim->busy = true;
+    if (victim->dirty) {
+      // Flush before reuse. We keep ownership across the wait.
+      victim->io_write = true;
+      victim->done = false;
+      victim->async = false;
+      victim->dirty = false;
+      disk_->Strategy(victim);
+      Biowait(victim);
+      if (FindCached(blkno) != nullptr) {
+        // Someone instantiated the block while we slept; retry from the top.
+        victim->busy = false;
+        kernel_.sched().Wakeup(victim);
+        kernel_.sched().Wakeup(&bufs_);
+        continue;
+      }
+    }
+    ++cache_misses_;
+    victim->valid = false;
+    victim->blkno = blkno;
+    victim->dirty = false;
+    victim->done = false;
+    victim->async = false;
+    victim->last_use = lru_clock_++;
+    if (victim->data.size() != kFsBlockBytes) {
+      victim->data.assign(kFsBlockBytes, 0);
+    }
+    result = victim;
+  }
+  kernel_.spl().splx(s);
+  return result;
+}
+
+Buf* Fs::Bread(std::uint32_t blkno) {
+  KPROF(kernel_, f_bread_);
+  kernel_.cpu().Use(6 * kMicrosecond);
+  Buf* bp = GetBlk(blkno);
+  if (bp->valid) {
+    return bp;  // cache hit
+  }
+  bp->io_write = false;
+  bp->done = false;
+  disk_->Strategy(bp);
+  Biowait(bp);
+  return bp;
+}
+
+Buf* Fs::Breada(std::uint32_t blkno, std::uint32_t next) {
+  KPROF(kernel_, f_breada_);
+  kernel_.cpu().Use(8 * kMicrosecond);
+  // Read the wanted block, then launch the read-ahead: it runs while the
+  // caller processes this block, and the next call finds it cached or
+  // already in flight.
+  Buf* bp = Bread(blkno);
+  if (next < disk_->nblocks() && next != blkno) {
+    const int s = kernel_.spl().splbio();
+    const bool cached = FindCached(next) != nullptr;
+    kernel_.spl().splx(s);
+    if (!cached) {
+      Buf* ahead = GetBlk(next);
+      if (!ahead->valid) {
+        ahead->io_write = false;
+        ahead->done = false;
+        ahead->async = true;  // self-releases at biodone
+        disk_->Strategy(ahead);
+      } else {
+        Brelse(ahead);
+      }
+    }
+  }
+  return bp;
+}
+
+void Fs::Brelse(Buf* bp) {
+  KPROF(kernel_, f_brelse_);
+  const int s = kernel_.spl().splbio();
+  kernel_.cpu().Use(5 * kMicrosecond);
+  kernel_.spl().splx(s);
+  bp->busy = false;
+  kernel_.sched().Wakeup(bp);
+  kernel_.sched().Wakeup(&bufs_);
+}
+
+void Fs::Bwrite(Buf* bp) {
+  KPROF(kernel_, f_bwrite_);
+  kernel_.cpu().Use(8 * kMicrosecond);
+  bp->io_write = true;
+  bp->done = false;
+  bp->async = false;
+  bp->dirty = false;
+  disk_->Strategy(bp);
+  Biowait(bp);
+  Brelse(bp);
+}
+
+void Fs::Bawrite(Buf* bp) {
+  KPROF(kernel_, f_bawrite_);
+  kernel_.cpu().Use(8 * kMicrosecond);
+  bp->io_write = true;
+  bp->done = false;
+  bp->async = true;
+  bp->dirty = false;
+  disk_->Strategy(bp);
+  // No wait: the buffer self-releases at biodone.
+}
+
+void Fs::Biowait(Buf* bp) {
+  KPROF(kernel_, f_biowait_);
+  kernel_.cpu().Use(4 * kMicrosecond);
+  const int s = kernel_.spl().splbio();
+  while (!bp->done) {
+    kernel_.sched().Tsleep(bp, "biowait");
+  }
+  kernel_.spl().splx(s);
+}
+
+void Fs::Biodone(Buf* bp) {
+  KPROF(kernel_, f_biodone_);
+  const int s = kernel_.spl().splbio();
+  kernel_.cpu().Use(5 * kMicrosecond);
+  kernel_.spl().splx(s);
+  bp->done = true;
+  if (bp->io_write) {
+    bp->valid = true;
+  }
+  if (bp->async) {
+    bp->async = false;
+    bp->busy = false;
+  }
+  kernel_.sched().Wakeup(bp);
+  kernel_.sched().Wakeup(&bufs_);
+}
+
+void Fs::SyncAll() {
+  for (const auto& bp : bufs_) {
+    if (bp->valid && bp->dirty && !bp->busy) {
+      bp->busy = true;
+      Bwrite(bp.get());
+    }
+  }
+  // Wait out any still-in-flight async writes.
+  const int s = kernel_.spl().splbio();
+  while (true) {
+    bool in_flight = false;
+    for (const auto& bp : bufs_) {
+      if (bp->busy) {
+        in_flight = true;
+        break;
+      }
+    }
+    if (!in_flight) {
+      break;
+    }
+    kernel_.sched().Tsleep(&bufs_, "syncwait");
+  }
+  kernel_.spl().splx(s);
+}
+
+// --- FFS-lite --------------------------------------------------------------------
+
+std::uint32_t Fs::AllocBlock() {
+  KPROF(kernel_, f_ffs_alloc_);
+  kernel_.cpu().Use(25 * kMicrosecond);  // cylinder-group bitmap scan
+  for (std::uint32_t i = 1; i < block_used_.size(); ++i) {
+    if (!block_used_[i]) {
+      block_used_[i] = true;
+      return i;
+    }
+  }
+  return kNoBlock;
+}
+
+std::uint32_t Fs::BMap(int ino, std::uint64_t off, bool alloc) {
+  KPROF(kernel_, f_ffs_balloc_);
+  kernel_.cpu().Use(12 * kMicrosecond);
+  HWPROF_CHECK(ino >= 0 && static_cast<std::size_t>(ino) < inodes_.size());
+  Inode& node = inodes_[static_cast<std::size_t>(ino)];
+  const std::size_t index = static_cast<std::size_t>(off / kFsBlockBytes);
+  if (index >= kMaxFileBlocks) {
+    return kNoBlock;
+  }
+  while (node.blocks.size() <= index) {
+    if (!alloc) {
+      return kNoBlock;
+    }
+    const std::uint32_t blk = AllocBlock();
+    if (blk == kNoBlock) {
+      return kNoBlock;
+    }
+    node.blocks.push_back(blk);
+  }
+  return node.blocks[index];
+}
+
+int Fs::AllocInode(bool is_dir) {
+  for (std::size_t i = 1; i < inodes_.size(); ++i) {
+    if (!inodes_[i].allocated) {
+      inodes_[i] = Inode{};
+      inodes_[i].allocated = true;
+      inodes_[i].is_dir = is_dir;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int Fs::DirLookup(int dir_ino, const std::string& name) {
+  KPROF(kernel_, f_ufs_lookup_);
+  kernel_.cpu().Use(18 * kMicrosecond);
+  Bytes data;
+  if (ReadFile(dir_ino, 0, static_cast<std::size_t>(FileSize(dir_ino)), &data) < 0) {
+    return -1;
+  }
+  std::size_t i = 0;
+  while (i + 5 <= data.size()) {
+    const std::size_t len = data[i];
+    if (i + 1 + len + 4 > data.size()) {
+      break;
+    }
+    const std::string entry(reinterpret_cast<const char*>(&data[i + 1]), len);
+    std::uint32_t ino = 0;
+    for (int shift = 0, j = 0; shift < 32; shift += 8, ++j) {
+      ino |= static_cast<std::uint32_t>(data[i + 1 + len + static_cast<std::size_t>(j)])
+             << shift;
+    }
+    // Per-entry compare cost: the linear scan the era's UFS actually did.
+    kernel_.cpu().Use(2 * kMicrosecond);
+    if (entry == name) {
+      return static_cast<int>(ino);
+    }
+    i += 1 + len + 4;
+  }
+  return -1;
+}
+
+bool Fs::DirAdd(int dir_ino, const std::string& name, int ino) {
+  Bytes record;
+  AppendDirRecord(&record, name, ino);
+  return WriteFile(dir_ino, FileSize(dir_ino), record) ==
+         static_cast<long>(record.size());
+}
+
+int Fs::WalkParent(const std::string& path, std::string* leaf) {
+  if (path.empty() || path[0] != '/') {
+    return -1;
+  }
+  std::vector<std::string_view> parts;
+  for (std::string_view p : Split(std::string_view(path).substr(1), '/')) {
+    if (!p.empty()) {
+      parts.push_back(p);
+    }
+  }
+  if (parts.empty()) {
+    return -1;
+  }
+  int dir = 0;  // root
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    // Each component is fetched from user space.
+    kernel_.Copyinstr(parts[i].size() + 1);
+    dir = DirLookup(dir, std::string(parts[i]));
+    if (dir < 0 || !inodes_[static_cast<std::size_t>(dir)].is_dir) {
+      return -1;
+    }
+  }
+  *leaf = std::string(parts.back());
+  kernel_.Copyinstr(parts.back().size() + 1);
+  return dir;
+}
+
+int Fs::Namei(const std::string& path) {
+  KPROF(kernel_, f_namei_);
+  kernel_.cpu().Use(30 * kMicrosecond);
+  if (path == "/") {
+    return 0;
+  }
+  std::string leaf;
+  const int dir = WalkParent(path, &leaf);
+  if (dir < 0) {
+    return -1;
+  }
+  return DirLookup(dir, leaf);
+}
+
+int Fs::Create(const std::string& path) {
+  std::string leaf;
+  const int dir = WalkParent(path, &leaf);
+  if (dir < 0 || DirLookup(dir, leaf) >= 0) {
+    return -1;
+  }
+  const int ino = AllocInode(/*is_dir=*/false);
+  if (ino < 0 || !DirAdd(dir, leaf, ino)) {
+    return -1;
+  }
+  return ino;
+}
+
+int Fs::Mkdir(const std::string& path) {
+  std::string leaf;
+  const int dir = WalkParent(path, &leaf);
+  if (dir < 0 || DirLookup(dir, leaf) >= 0) {
+    return -1;
+  }
+  const int ino = AllocInode(/*is_dir=*/true);
+  if (ino < 0 || !DirAdd(dir, leaf, ino)) {
+    return -1;
+  }
+  return ino;
+}
+
+long Fs::ReadFile(int ino, std::uint64_t off, std::size_t n, Bytes* out) {
+  KPROF(kernel_, f_ffs_read_);
+  kernel_.cpu().Use(15 * kMicrosecond);
+  if (ino < 0 || static_cast<std::size_t>(ino) >= inodes_.size() ||
+      !inodes_[static_cast<std::size_t>(ino)].allocated) {
+    return -1;
+  }
+  Inode& node = inodes_[static_cast<std::size_t>(ino)];
+  if (off >= node.size) {
+    return 0;
+  }
+  std::size_t remaining = static_cast<std::size_t>(
+      std::min<std::uint64_t>(n, node.size - off));
+  long total = 0;
+  while (remaining > 0) {
+    const std::uint32_t blk = BMap(ino, off, /*alloc=*/false);
+    if (blk == kNoBlock) {
+      break;
+    }
+    const std::size_t block_off = static_cast<std::size_t>(off % kFsBlockBytes);
+    const std::size_t take = std::min(remaining, kFsBlockBytes - block_off);
+    Buf* bp = nullptr;
+    const std::uint32_t block_index = static_cast<std::uint32_t>(off / kFsBlockBytes);
+    const std::uint64_t next_off =
+        (static_cast<std::uint64_t>(block_index) + 1) * kFsBlockBytes;
+    const bool sequential =
+        block_index == 0 || block_index == node.last_read_index + 1;
+    if (read_ahead_ && sequential && next_off < node.size) {
+      // Sequential access detected: overlap the next block's mechanics
+      // with this block's processing (breada) — even across read(2) calls.
+      const std::uint32_t next = BMap(ino, next_off, /*alloc=*/false);
+      bp = next != kNoBlock ? Breada(blk, next) : Bread(blk);
+    } else {
+      bp = Bread(blk);
+    }
+    node.last_read_index = block_index;
+    out->insert(out->end(), bp->data.begin() + static_cast<std::ptrdiff_t>(block_off),
+                bp->data.begin() + static_cast<std::ptrdiff_t>(block_off + take));
+    Brelse(bp);
+    off += take;
+    remaining -= take;
+    total += static_cast<long>(take);
+  }
+  return total;
+}
+
+long Fs::WriteFile(int ino, std::uint64_t off, const Bytes& data) {
+  KPROF(kernel_, f_ffs_write_);
+  kernel_.cpu().Use(18 * kMicrosecond);
+  if (ino < 0 || static_cast<std::size_t>(ino) >= inodes_.size() ||
+      !inodes_[static_cast<std::size_t>(ino)].allocated) {
+    return -1;
+  }
+  Inode& node = inodes_[static_cast<std::size_t>(ino)];
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const std::uint32_t blk = BMap(ino, off, /*alloc=*/true);
+    if (blk == kNoBlock) {
+      break;
+    }
+    const std::size_t block_off = static_cast<std::size_t>(off % kFsBlockBytes);
+    const std::size_t take = std::min(data.size() - written, kFsBlockBytes - block_off);
+    Buf* bp = nullptr;
+    if (take == kFsBlockBytes) {
+      bp = GetBlk(blk);  // full-block overwrite: no read needed
+      bp->valid = true;
+    } else if (off + take <= node.size || block_off != 0) {
+      bp = Bread(blk);  // partial write into possibly-existing data
+    } else {
+      bp = GetBlk(blk);
+      std::fill(bp->data.begin(), bp->data.end(), 0);
+      bp->valid = true;
+    }
+    std::memcpy(bp->data.data() + block_off, data.data() + written, take);
+    bp->dirty = true;
+    Bawrite(bp);
+    off += take;
+    written += take;
+    if (off > node.size) {
+      node.size = off;
+    }
+  }
+  return static_cast<long>(written);
+}
+
+std::uint64_t Fs::FileSize(int ino) const {
+  if (ino < 0 || static_cast<std::size_t>(ino) >= inodes_.size()) {
+    return 0;
+  }
+  return inodes_[static_cast<std::size_t>(ino)].size;
+}
+
+bool Fs::IsDirectory(int ino) const {
+  if (ino < 0 || static_cast<std::size_t>(ino) >= inodes_.size()) {
+    return false;
+  }
+  return inodes_[static_cast<std::size_t>(ino)].is_dir;
+}
+
+void Fs::InstallAppend(int dir_ino, const std::string& name, int ino) {
+  Bytes record;
+  AppendDirRecord(&record, name, ino);
+  Inode& dnode = inodes_[static_cast<std::size_t>(dir_ino)];
+  std::uint64_t off = dnode.size;
+  for (std::uint8_t byte : record) {
+    const std::size_t index = static_cast<std::size_t>(off / kFsBlockBytes);
+    while (dnode.blocks.size() <= index) {
+      std::uint32_t blk = kNoBlock;
+      for (std::uint32_t b = 1; b < block_used_.size(); ++b) {
+        if (!block_used_[b]) {
+          block_used_[b] = true;
+          blk = b;
+          break;
+        }
+      }
+      HWPROF_CHECK_MSG(blk != kNoBlock, "disk full during InstallAppend");
+      dnode.blocks.push_back(blk);
+    }
+    disk_->RawBlock(dnode.blocks[index])[static_cast<std::size_t>(off % kFsBlockBytes)] = byte;
+    ++off;
+  }
+  dnode.size = off;
+}
+
+int Fs::InstallFile(const std::string& path, const Bytes& contents) {
+  return InstallFileScattered(path, contents, 1);
+}
+
+int Fs::InstallFileScattered(const std::string& path, const Bytes& contents,
+                             std::uint32_t stride) {
+  HWPROF_CHECK(mounted_);
+  HWPROF_CHECK(stride >= 1);
+  // Walk/create parents offline.
+  std::vector<std::string_view> parts;
+  for (std::string_view p : Split(std::string_view(path).substr(1), '/')) {
+    if (!p.empty()) {
+      parts.push_back(p);
+    }
+  }
+  HWPROF_CHECK(!parts.empty() && path[0] == '/');
+  int dir = 0;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    // Offline lookup without costs: scan the media directly through the
+    // inode table.
+    const std::string name(parts[i]);
+    int next = -1;
+    {
+      // Read directory data straight from media.
+      const Inode& dnode = inodes_[static_cast<std::size_t>(dir)];
+      Bytes data;
+      for (std::size_t b = 0; b < dnode.blocks.size(); ++b) {
+        const auto& blk = disk_->RawBlock(dnode.blocks[b]);
+        data.insert(data.end(), blk.begin(), blk.end());
+      }
+      data.resize(static_cast<std::size_t>(dnode.size));
+      std::size_t j = 0;
+      while (j + 5 <= data.size()) {
+        const std::size_t len = data[j];
+        const std::string entry(reinterpret_cast<const char*>(&data[j + 1]), len);
+        std::uint32_t ino_val = 0;
+        for (int shift = 0, k = 0; shift < 32; shift += 8, ++k) {
+          ino_val |= static_cast<std::uint32_t>(data[j + 1 + len + static_cast<std::size_t>(k)])
+                     << shift;
+        }
+        if (entry == name) {
+          next = static_cast<int>(ino_val);
+          break;
+        }
+        j += 1 + len + 4;
+      }
+    }
+    if (next < 0) {
+      next = AllocInode(/*is_dir=*/true);
+      HWPROF_CHECK(next > 0);
+      InstallAppend(dir, name, next);
+    }
+    dir = next;
+  }
+  const int ino = AllocInode(/*is_dir=*/false);
+  HWPROF_CHECK(ino > 0);
+  InstallAppend(dir, std::string(parts.back()), ino);
+  // Write contents straight to media, placing blocks `stride` apart.
+  Inode& node = inodes_[static_cast<std::size_t>(ino)];
+  std::size_t off = 0;
+  std::uint32_t cursor = 1;
+  while (off < contents.size()) {
+    std::uint32_t blk = kNoBlock;
+    const std::uint32_t nblocks = static_cast<std::uint32_t>(block_used_.size());
+    for (std::uint32_t probes = 0; probes < nblocks; ++probes) {
+      const std::uint32_t b = 1 + (cursor - 1 + probes) % (nblocks - 1);
+      if (!block_used_[b]) {
+        block_used_[b] = true;
+        blk = b;
+        cursor = 1 + (b - 1 + stride) % (nblocks - 1);
+        break;
+      }
+    }
+    HWPROF_CHECK_MSG(blk != kNoBlock, "disk full during InstallFile");
+    node.blocks.push_back(blk);
+    auto& media = disk_->RawBlock(blk);
+    const std::size_t take = std::min(contents.size() - off, kFsBlockBytes);
+    std::copy(contents.begin() + static_cast<std::ptrdiff_t>(off),
+              contents.begin() + static_cast<std::ptrdiff_t>(off + take), media.begin());
+    off += take;
+  }
+  node.size = contents.size();
+  return ino;
+}
+
+}  // namespace hwprof

@@ -1,0 +1,146 @@
+// Buffer cache and FFS-lite: the filesystem stack above the IDE driver.
+//
+// The cache is a fixed pool of 8 KiB buffers with LRU reuse (bread/getblk/
+// bwrite/bawrite/brelse/biowait/biodone); FFS-lite provides inodes with
+// direct block lists, hierarchical directories stored *in* directory file
+// data blocks, and the namei path walk with its per-component copyinstr —
+// the code paths of the paper's "Filesystems" study. File contents are real
+// bytes persisted on the disk model, so read-after-write (including across
+// cache eviction) is a tested invariant, not an assumption.
+
+#ifndef HWPROF_SRC_KERN_FS_H_
+#define HWPROF_SRC_KERN_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/instr/instrumenter.h"
+#include "src/kern/fs_ide.h"
+#include "src/kern/net_pkt.h"  // Bytes
+
+namespace hwprof {
+
+class Kernel;
+
+inline constexpr std::size_t kBufCacheBuffers = 64;  // 512 KiB of an 8 MiB PC
+inline constexpr std::size_t kMaxFileBlocks = 512;   // 4 MiB max file (direct list)
+
+class Fs {
+ public:
+  explicit Fs(Kernel& kernel);
+  ~Fs();
+  Fs(const Fs&) = delete;
+  Fs& operator=(const Fs&) = delete;
+
+  // mkfs + mount: builds an empty filesystem (root directory at inode 0).
+  // Offline, cost-free.
+  void Mount(std::uint32_t disk_blocks = 4096, std::uint32_t ninodes = 512);
+  bool mounted() const { return mounted_; }
+
+  // --- Path and file operations (profiled; may sleep on disk I/O) -----------
+  // namei: resolves `path` (absolute, '/'-separated) to an inode, or -1.
+  int Namei(const std::string& path);
+  // Creates a regular file (parents must exist); returns its inode or -1.
+  int Create(const std::string& path);
+  // Creates a directory.
+  int Mkdir(const std::string& path);
+  // ffs_read: reads up to `n` bytes at `off`, appending to `out`. Returns
+  // bytes read (0 at EOF), or -1 on a bad inode.
+  long ReadFile(int ino, std::uint64_t off, std::size_t n, Bytes* out);
+  // ffs_write: writes `data` at `off`, extending the file; async writes
+  // through the cache. Returns bytes written or -1.
+  long WriteFile(int ino, std::uint64_t off, const Bytes& data);
+  std::uint64_t FileSize(int ino) const;
+  bool IsDirectory(int ino) const;
+
+  // Installs a file's contents directly onto the media, cost-free —
+  // pre-provisioning /bin images and NFS-exported data.
+  int InstallFile(const std::string& path, const Bytes& contents);
+
+  // Like InstallFile, but places consecutive file blocks `stride` disk
+  // blocks apart, spreading the file across the platter so every read pays
+  // a long seek (the random-read latency experiment).
+  int InstallFileScattered(const std::string& path, const Bytes& contents,
+                           std::uint32_t stride);
+
+  // --- Buffer cache (profiled) ----------------------------------------------
+  Buf* Bread(std::uint32_t blkno);
+  // breada: bread of `blkno` plus an asynchronous read-ahead of `next`
+  // (classic sequential-read overlap; the buffer self-releases at biodone).
+  Buf* Breada(std::uint32_t blkno, std::uint32_t next);
+  // Sequential reads use breada when enabled (default on, as in FFS).
+  void SetReadAhead(bool on) { read_ahead_ = on; }
+  Buf* GetBlk(std::uint32_t blkno);
+  void Brelse(Buf* bp);
+  void Bwrite(Buf* bp);   // synchronous
+  void Bawrite(Buf* bp);  // asynchronous (buffer released at biodone)
+  void Biowait(Buf* bp);
+  void Biodone(Buf* bp);  // called from the disk's completion path
+  // Flushes every dirty buffer and waits (update/sync).
+  void SyncAll();
+
+  WdDisk& disk() { return *disk_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  struct Inode {
+    bool allocated = false;
+    bool is_dir = false;
+    std::uint64_t size = 0;
+    std::vector<std::uint32_t> blocks;  // direct block list
+    // Sequential-read detector for breada.
+    std::uint32_t last_read_index = 0xFFFFFFFFu;
+  };
+
+  // ffs_alloc: grabs a free disk block.
+  std::uint32_t AllocBlock();
+  // ffs_balloc: block of `ino` covering `off`, allocating if `alloc`.
+  // Returns the disk block number or UINT32_MAX.
+  std::uint32_t BMap(int ino, std::uint64_t off, bool alloc);
+  // Directory access helpers (operate through the cache).
+  int DirLookup(int dir_ino, const std::string& name);
+  bool DirAdd(int dir_ino, const std::string& name, int ino);
+  int AllocInode(bool is_dir);
+  // Offline directory append used by InstallFile (writes straight to media).
+  void InstallAppend(int dir_ino, const std::string& name, int ino);
+  // Walks all but the last component; returns the parent dir inode and sets
+  // `leaf` to the final name, or -1.
+  int WalkParent(const std::string& path, std::string* leaf);
+  Buf* FindCached(std::uint32_t blkno);
+
+  Kernel& kernel_;
+  std::unique_ptr<WdDisk> disk_;
+  bool mounted_ = false;
+
+  std::vector<std::unique_ptr<Buf>> bufs_;
+  std::uint64_t lru_clock_ = 1;
+
+  std::vector<Inode> inodes_;
+  std::vector<bool> block_used_;
+
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  bool read_ahead_ = true;
+
+  FuncInfo* f_namei_;
+  FuncInfo* f_ufs_lookup_;
+  FuncInfo* f_ffs_read_;
+  FuncInfo* f_ffs_write_;
+  FuncInfo* f_ffs_alloc_;
+  FuncInfo* f_ffs_balloc_;
+  FuncInfo* f_bread_;
+  FuncInfo* f_breada_;
+  FuncInfo* f_getblk_;
+  FuncInfo* f_brelse_;
+  FuncInfo* f_bwrite_;
+  FuncInfo* f_bawrite_;
+  FuncInfo* f_biowait_;
+  FuncInfo* f_biodone_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_FS_H_

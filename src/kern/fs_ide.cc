@@ -1,0 +1,176 @@
+#include "src/kern/fs_ide.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/base/assert.h"
+#include "src/kern/kernel.h"
+
+namespace hwprof {
+namespace {
+
+// Controller buffering keeps per-sector interrupts close together — the
+// paper observes "< 100 microseconds" between them.
+constexpr Nanoseconds kInterSectorGap = 80 * kMicrosecond;
+
+}  // namespace
+
+WdDisk::WdDisk(Kernel& kernel, std::uint32_t nblocks)
+    : kernel_(kernel),
+      nblocks_(nblocks),
+      f_wdstrategy_(kernel.RegFn("wdstrategy", Subsys::kFs)),
+      f_wdstart_(kernel.RegFn("wdstart", Subsys::kFs)),
+      f_wdintr_(kernel.RegFn("wdintr", Subsys::kFs)),
+      f_disksort_(kernel.RegFn("disksort", Subsys::kFs)) {
+  HWPROF_CHECK(nblocks > 0);
+}
+
+void WdDisk::SetCompletionHandler(std::function<void(Buf*)> handler) {
+  on_complete_ = std::move(handler);
+}
+
+std::vector<std::uint8_t>& WdDisk::RawBlock(std::uint32_t blkno) {
+  HWPROF_CHECK(blkno < nblocks_);
+  auto it = media_.find(blkno);
+  if (it == media_.end()) {
+    it = media_.emplace(blkno, std::vector<std::uint8_t>(kFsBlockBytes, 0)).first;
+  }
+  return it->second;
+}
+
+Nanoseconds WdDisk::MechDelay(std::uint32_t blkno) {
+  const CostModel& cost = kernel_.cost();
+  const std::uint32_t dist =
+      blkno > head_pos_ ? blkno - head_pos_ : head_pos_ - blkno;
+  head_pos_ = blkno;
+  Nanoseconds seek = 0;
+  if (dist > 0) {
+    const double frac =
+        std::min(1.0, static_cast<double>(dist) / (static_cast<double>(nblocks_) / 2.0));
+    seek = cost.disk_seek_min_ns +
+           static_cast<Nanoseconds>(frac * static_cast<double>(cost.disk_seek_avg_ns));
+  }
+  const Nanoseconds rotation = kernel_.rng().NextBelow(cost.disk_rotation_ns);
+  last_mech_delay_ = seek + rotation + cost.disk_sector_overhead_ns;
+  return last_mech_delay_;
+}
+
+void WdDisk::Strategy(Buf* bp) {
+  HWPROF_CHECK(bp != nullptr && bp->blkno < nblocks_);
+  KPROF(kernel_, f_wdstrategy_);
+  kernel_.cpu().Use(8 * kMicrosecond);
+  const int s = kernel_.spl().splbio();
+  {
+    // disksort: elevator insertion by block number.
+    KPROF(kernel_, f_disksort_);
+    kernel_.cpu().Use(4 * kMicrosecond);
+    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Request& r) {
+      return r.bp->blkno > bp->blkno;
+    });
+    queue_.insert(it, Request{bp, 0});
+  }
+  if (!active_) {
+    Start();
+  }
+  kernel_.spl().splx(s);
+}
+
+void WdDisk::Start() {
+  KPROF(kernel_, f_wdstart_);
+  kernel_.cpu().Use(6 * kMicrosecond);  // command block register writes
+  if (active_ || queue_.empty()) {
+    return;
+  }
+  current_ = queue_.front();
+  queue_.pop_front();
+  active_ = true;
+  Buf* bp = current_.bp;
+  const Nanoseconds mech = MechDelay(bp->blkno);
+  current_mech_ = mech;
+  if (bp->io_write) {
+    // Prime the controller with the first sector right away; it interrupts
+    // for the rest as its buffer drains.
+    TransferSector(true);
+    current_.sectors_done = 1;
+    kernel_.machine().events().ScheduleAt(kernel_.Now() + kInterSectorGap, [this] {
+      sector_ready_ = true;
+      kernel_.machine().irq().Raise(IrqLine::kDisk);
+    });
+  } else {
+    // Reads wait out the mechanics before the first sector is ready.
+    kernel_.machine().events().ScheduleAt(kernel_.Now() + mech, [this] {
+      sector_ready_ = true;
+      kernel_.machine().irq().Raise(IrqLine::kDisk);
+    });
+  }
+}
+
+void WdDisk::TransferSector(bool write) {
+  // Programmed I/O of one 512-byte sector over the 16-bit ISA bus — the
+  // 149 µs the paper measures inside each write interrupt.
+  kernel_.cpu().Use(kernel_.cost().Isa16Copy(kSectorBytes));
+  (void)write;
+}
+
+void WdDisk::FinishCurrent() {
+  Buf* bp = current_.bp;
+  std::vector<std::uint8_t>& media = RawBlock(bp->blkno);
+  if (bp->io_write) {
+    media = bp->data;
+    ++writes_completed_;
+  } else {
+    bp->data = media;
+    bp->valid = true;
+    ++reads_completed_;
+  }
+  active_ = false;
+  current_ = Request{};
+  if (on_complete_ != nullptr) {
+    on_complete_(bp);
+  }
+  if (!queue_.empty()) {
+    Start();
+  }
+}
+
+void WdDisk::Intr() {
+  KPROF(kernel_, f_wdintr_);
+  // The driver brackets its controller conversation with splbio even inside
+  // the handler — part of the "at least 6% of the busy CPU in spl*" the
+  // paper measures during write storms.
+  const int s = kernel_.spl().splbio();
+  kernel_.cpu().Use(kernel_.cost().ide_intr_body_ns);
+  kernel_.spl().splx(s);
+  if (completion_ready_) {
+    completion_ready_ = false;
+    FinishCurrent();
+    return;
+  }
+  if (!sector_ready_ || !active_) {
+    return;  // spurious
+  }
+  sector_ready_ = false;
+  Buf* bp = current_.bp;
+  TransferSector(bp->io_write);
+  ++current_.sectors_done;
+  if (current_.sectors_done < kSectorsPerBlock) {
+    kernel_.machine().events().ScheduleAt(kernel_.Now() + kInterSectorGap, [this] {
+      sector_ready_ = true;
+      kernel_.machine().irq().Raise(IrqLine::kDisk);
+    });
+    return;
+  }
+  if (bp->io_write) {
+    // All sectors handed over; the media catches up (seek + rotation +
+    // write-out) before the final completion interrupt.
+    const Nanoseconds settle = current_mech_;
+    kernel_.machine().events().ScheduleAt(kernel_.Now() + settle, [this] {
+      completion_ready_ = true;
+      kernel_.machine().irq().Raise(IrqLine::kDisk);
+    });
+  } else {
+    FinishCurrent();
+  }
+}
+
+}  // namespace hwprof

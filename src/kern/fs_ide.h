@@ -1,0 +1,113 @@
+// IDE disk model (Seagate ST3144-class) and its wd driver.
+//
+// The era's IDE controller does programmed I/O: the CPU moves every sector
+// across the 16-bit ISA bus itself (~149 µs per 512-byte sector), with one
+// interrupt per sector. Mechanics are modelled explicitly — distance-scaled
+// seek plus rotational latency — because the paper's FFS study hinges on the
+// disk, not the CPU, dominating write throughput (CPU ~28 % busy) and reads
+// costing 18–26 ms each.
+//
+// The disk stores real block contents, so the filesystem above it is
+// verifiable: what you write is what you later read, across cache evictions.
+
+#ifndef HWPROF_SRC_KERN_FS_IDE_H_
+#define HWPROF_SRC_KERN_FS_IDE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/instr/instrumenter.h"
+
+namespace hwprof {
+
+class Kernel;
+
+inline constexpr std::size_t kSectorBytes = 512;
+inline constexpr std::size_t kFsBlockBytes = 8192;  // FFS 8 KiB blocks
+inline constexpr std::size_t kSectorsPerBlock = kFsBlockBytes / kSectorBytes;
+
+// A buffer-cache buffer (struct buf).
+struct Buf {
+  std::uint32_t blkno = 0;
+  std::vector<std::uint8_t> data;  // kFsBlockBytes when valid
+  bool valid = false;              // contents match the disk (or newer)
+  bool dirty = false;              // needs writing
+  bool busy = false;               // owned by a process or in flight
+  bool done = false;               // I/O complete flag for biowait
+  bool async = false;              // release automatically at biodone
+  bool io_write = false;           // direction of the in-flight transfer
+  std::uint64_t last_use = 0;      // LRU stamp
+};
+
+class WdDisk {
+ public:
+  // `nblocks` is the disk size in filesystem (8 KiB) blocks.
+  WdDisk(Kernel& kernel, std::uint32_t nblocks);
+  WdDisk(const WdDisk&) = delete;
+  WdDisk& operator=(const WdDisk&) = delete;
+
+  std::uint32_t nblocks() const { return nblocks_; }
+
+  // Installed by the buffer cache: invoked (possibly from interrupt
+  // context) when a buffer's I/O finishes.
+  void SetCompletionHandler(std::function<void(Buf*)> handler);
+
+  // wdstrategy: queues `bp` for I/O (direction from bp->io_write) and kicks
+  // the controller. The data transfer of the first write sector happens
+  // here, as the real driver primes the controller before the command.
+  void Strategy(Buf* bp);
+
+  // wdintr: the IRQ14 handler body.
+  void Intr();
+
+  // Direct block access for offline image installation (no cost, no cache).
+  std::vector<std::uint8_t>& RawBlock(std::uint32_t blkno);
+
+  std::uint64_t reads_completed() const { return reads_completed_; }
+  std::uint64_t writes_completed() const { return writes_completed_; }
+  // Mechanical (seek+rotation) delay of the most recent request, for the
+  // Fig/§Filesystems latency benches.
+  Nanoseconds last_mech_delay() const { return last_mech_delay_; }
+
+ private:
+  struct Request {
+    Buf* bp = nullptr;
+    std::size_t sectors_done = 0;
+  };
+
+  void Start();                        // wdstart
+  void TransferSector(bool write);     // one PIO sector across the bus
+  Nanoseconds MechDelay(std::uint32_t blkno);
+  void FinishCurrent();
+
+  Kernel& kernel_;
+  std::uint32_t nblocks_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint8_t>> media_;
+
+  std::deque<Request> queue_;
+  bool active_ = false;        // controller busy with current_
+  Request current_;
+  bool sector_ready_ = false;  // the IRQ means "sector ready / taken"
+  bool completion_ready_ = false;
+
+  std::uint32_t head_pos_ = 0;
+  Nanoseconds current_mech_ = 0;
+  Nanoseconds last_mech_delay_ = 0;
+  std::uint64_t reads_completed_ = 0;
+  std::uint64_t writes_completed_ = 0;
+
+  std::function<void(Buf*)> on_complete_;
+
+  FuncInfo* f_wdstrategy_;
+  FuncInfo* f_wdstart_;
+  FuncInfo* f_wdintr_;
+  FuncInfo* f_disksort_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_FS_IDE_H_

@@ -1,0 +1,358 @@
+#include "src/kern/kernel.h"
+
+#include "src/base/assert.h"
+#include "src/kern/clock.h"
+#include "src/kern/console.h"
+#include "src/kern/fs.h"
+#include "src/kern/kmem.h"
+#include "src/kern/mbuf.h"
+#include "src/kern/net.h"
+#include "src/kern/net_wire.h"
+#include "src/kern/nfs.h"
+#include "src/kern/pipe.h"
+#include "src/kern/sched.h"
+#include "src/kern/syscalls.h"
+#include "src/kern/tty.h"
+#include "src/kern/user_env.h"
+#include "src/kern/vm.h"
+
+namespace hwprof {
+
+Kernel::Kernel(Machine& machine, Instrumenter& instr, KernelConfig config)
+    : machine_(machine), instr_(instr), config_(config), rng_(config.rng_seed) {
+  // Registration order fixes the tag assignment, mirroring a deterministic
+  // compile order of the kernel's source files.
+  f_isaintr_ = RegFn("ISAINTR", Subsys::kIntr);
+  f_bcopy_ = RegFn("bcopy", Subsys::kLib);
+  f_bcopyb_ = RegFn("bcopyb", Subsys::kLib);
+  f_bzero_ = RegFn("bzero", Subsys::kLib);
+  f_copyin_ = RegFn("copyin", Subsys::kLib);
+  f_copyout_ = RegFn("copyout", Subsys::kLib);
+  f_copyinstr_ = RegFn("copyinstr", Subsys::kLib);
+  f_min_ = RegFn("min", Subsys::kLib);
+
+  spl_ = std::make_unique<Spl>(*this);
+  sched_ = std::make_unique<Sched>(*this);
+  clocksys_ = std::make_unique<ClockSys>(*this);
+  kmem_ = std::make_unique<Kmem>(*this);
+  vm_ = std::make_unique<Vm>(*this);
+  mbufs_ = std::make_unique<MbufPool>(*this);
+  wire_ = std::make_unique<EtherSegment>(machine_);
+  net_ = std::make_unique<NetStack>(*this, *wire_);
+  fs_ = std::make_unique<Fs>(*this);
+  nfs_ = std::make_unique<Nfs>(*this, *net_);
+  console_ = std::make_unique<Console>(*this);
+  tty_ = std::make_unique<TtyDevice>(*this);
+  pipes_ = std::make_unique<PipeOps>(*this);
+  syscalls_ = std::make_unique<Syscalls>(*this);
+
+  // Proc 0: the scheduler/idle context, adopting the host thread.
+  auto proc0 = std::make_unique<Proc>();
+  proc0->pid = 0;
+  proc0->name = "idle";
+  proc0->state = ProcState::kRunning;
+  proc0->fiber = std::make_unique<Fiber>();
+  proc0_ = proc0.get();
+  procs_.push_back(std::move(proc0));
+  curproc_ = proc0_;
+}
+
+Kernel::~Kernel() {
+  machine_.cpu().SetInterruptHook(nullptr);
+}
+
+void Kernel::Boot() {
+  HWPROF_CHECK(!booted_);
+  if (!fs_->mounted()) {
+    fs_->Mount();
+  }
+  machine_.cpu().SetInterruptHook([this] { IntrHook(); });
+  clocksys_->Start();
+  booted_ = true;
+  if (config_.start_update_daemon) {
+    // The classic update(8): flush dirty buffers every 30 seconds.
+    Spawn("update", [this](UserEnv& env) {
+      (void)env;
+      while (!stopping_) {
+        if (sched_->Tsleep(&config_, "update", Sec(30)) == kSleepTimedOut) {
+          fs_->SyncAll();
+        }
+      }
+    });
+  }
+  // Boot chatter fills the console, so later output scrolls — the bcopyb
+  // calls that pollute Fig 5 ("relates to scrolling of the console screen").
+  console_->Write("386BSD-sim 0.1 (HWPROF) #0\n");
+  for (int i = 0; i < Console::kRows; ++i) {
+    console_->Write("probe: device configured\n");
+  }
+}
+
+Proc* Kernel::NewProcInternal(const std::string& name, std::function<void(UserEnv&)> main) {
+  auto proc = std::make_unique<Proc>();
+  proc->pid = next_pid_++;
+  proc->name = name;
+  proc->state = ProcState::kEmbryo;
+  proc->created_at = Now();
+  Proc* p = proc.get();
+  procs_.push_back(std::move(proc));
+  if (main != nullptr) {
+    ArmProcMain(p, std::move(main));
+  }
+  return p;
+}
+
+void Kernel::ArmProcMain(Proc* p, std::function<void(UserEnv&)> main) {
+  HWPROF_CHECK(p->fiber == nullptr);
+  p->fiber = std::make_unique<Fiber>([this, p, main = std::move(main)] {
+    // A new process starts by "returning from swtch".
+    sched_->FinishSwitchIn();
+    DeliverPending();
+    UserEnv env(*this, *p);
+    main(env);
+    // Falling off main is exit(0).
+    syscalls_->Exit(0);
+  });
+  p->fiber->set_exit_to(proc0_->fiber.get());
+}
+
+Proc* Kernel::Spawn(const std::string& name, std::function<void(UserEnv&)> main,
+                    int resident_pages) {
+  const int resident =
+      resident_pages > 0 ? resident_pages : config_.default_resident_pages;
+  Proc* p = NewProcInternal(name, std::move(main));
+  // Size the address space so `resident` pages fit (data-heavy layout, like
+  // a shell that has been running a while).
+  ImageLayout layout;
+  layout.text_pages = 16;
+  layout.data_pages = static_cast<std::uint32_t>(resident) + 16;
+  layout.bss_pages = 8;
+  layout.stack_pages = 4;
+  p->vm = vm_->NewVmspace(layout, static_cast<std::uint32_t>(resident));
+  sched_->SetRunnable(p);
+  return p;
+}
+
+Proc* Kernel::FindProc(int pid) {
+  for (const auto& p : procs_) {
+    if (p->pid == pid) {
+      return p.get();
+    }
+  }
+  return nullptr;
+}
+
+void Kernel::ReapProc(Proc* p) {
+  HWPROF_CHECK(p != nullptr && p->state == ProcState::kZombie);
+  for (auto it = procs_.begin(); it != procs_.end(); ++it) {
+    if (it->get() == p) {
+      procs_.erase(it);
+      return;
+    }
+  }
+  HWPROF_UNREACHABLE("reaping a process not in the table");
+}
+
+void Kernel::Run(Nanoseconds until) {
+  HWPROF_CHECK_MSG(booted_, "Run before Boot");
+  HWPROF_CHECK(curproc_ == proc0_);
+  HWPROF_CHECK(until > Now());
+  stopping_ = false;
+  stop_time_ = until;
+  machine_.events().ScheduleAt(until, [this] { stopping_ = true; });
+  sched_->Swtch();
+  HWPROF_CHECK(curproc_ == proc0_);
+}
+
+// --- Interrupt plumbing ---------------------------------------------------------
+
+void Kernel::IntrHook() {
+  if (!booted_) {
+    return;
+  }
+  ServiceHardIrqs();
+  ServiceSoft();
+  AstCheck();
+}
+
+void Kernel::DeliverPending() {
+  if (!booted_) {
+    return;
+  }
+  ServiceHardIrqs();
+  ServiceSoft();
+}
+
+void Kernel::ServiceHardIrqs() {
+  // PIC priority: IRQ0 (clock) above the slave-cascade disk above the
+  // ether card.
+  static constexpr IrqLine kPriority[] = {IrqLine::kClock, IrqLine::kDisk,
+                                          IrqLine::kUart, IrqLine::kEther};
+  bool again = true;
+  while (again) {
+    again = false;
+    for (IrqLine line : kPriority) {
+      if (machine_.irq().IsPending(line) && spl_->current() < IrqLevel(line)) {
+        ServiceIrq(line);
+        again = true;
+        break;  // recheck from the highest priority
+      }
+    }
+  }
+}
+
+void Kernel::ServiceIrq(IrqLine line) {
+  machine_.irq().Acknowledge(line);
+  const Ipl prev = spl_->RawRaise(IrqLevel(line));
+  ++intr_depth_;
+  {
+    KPROF(*this, f_isaintr_);
+    cpu().Use(cost().intr_entry_ns);
+    switch (line) {
+      case IrqLine::kClock:
+        clocksys_->HardclockIntr();
+        break;
+      case IrqLine::kEther:
+        net_->we().Intr();
+        break;
+      case IrqLine::kDisk:
+        if (fs_->mounted()) {
+          fs_->disk().Intr();
+        }
+        break;
+      case IrqLine::kUart:
+        tty_->Intr();
+        break;
+      case IrqLine::kCount:
+        HWPROF_UNREACHABLE("bad line");
+    }
+    cpu().Use(cost().intr_exit_ns);
+    // The 386 has no asynchronous system traps; the interrupt epilogue
+    // emulates them in software — the paper's ~24 µs per-interrupt tax.
+    cpu().Use(cost().ast_emulation_ns);
+  }
+  --intr_depth_;
+  spl_->RawRestore(prev);
+}
+
+void Kernel::ServiceSoft() {
+  if (in_soft_dispatch_) {
+    return;
+  }
+  in_soft_dispatch_ = true;
+  while (true) {
+    if (softnet_pending_ && spl_->current() < Ipl::kSoftNet) {
+      softnet_pending_ = false;
+      const Ipl prev = spl_->RawRaise(Ipl::kSoftNet);
+      net_->IpIntr();
+      spl_->RawRestore(prev);
+      continue;
+    }
+    if (softclock_pending_ && spl_->current() < Ipl::kSoftClock) {
+      softclock_pending_ = false;
+      const Ipl prev = spl_->RawRaise(Ipl::kSoftClock);
+      clocksys_->SoftclockIntr();
+      spl_->RawRestore(prev);
+      continue;
+    }
+    break;
+  }
+  in_soft_dispatch_ = false;
+}
+
+void Kernel::AstCheck() {
+  if (intr_depth_ != 0 || in_soft_dispatch_ || !user_mode_) {
+    return;
+  }
+  Proc* p = curproc_;
+  if (p == nullptr || p == proc0_ || spl_->current() != Ipl::kNone) {
+    return;
+  }
+  if (stopping_ || p->need_resched) {
+    p->need_resched = false;
+    sched_->Preempt();
+  }
+}
+
+void Kernel::RaiseSoftNet() { softnet_pending_ = true; }
+void Kernel::RaiseSoftClock() { softclock_pending_ = true; }
+
+// --- Profiled C library -----------------------------------------------------------
+
+void Kernel::Bcopy(std::size_t n) {
+  KPROF(*this, f_bcopy_);
+  cpu().Use(2 * kMicrosecond + cost().MainCopy(n));
+}
+
+void Kernel::BcopyFromIsa8(std::size_t n) {
+  // Same bcopy symbol: the driver hands bcopy a source pointer into the
+  // controller's shared memory, and the 8-bit ISA cycles do the rest. This
+  // is why Fig 3's bcopy average is so high under network load.
+  KPROF(*this, f_bcopy_);
+  cpu().Use(2 * kMicrosecond + cost().Isa8Copy(n));
+}
+
+void Kernel::BcopyToIsa8(std::size_t n) {
+  KPROF(*this, f_bcopy_);
+  cpu().Use(2 * kMicrosecond + cost().Isa8Copy(n));
+}
+
+void Kernel::Bcopyb(std::size_t n) {
+  KPROF(*this, f_bcopyb_);
+  // Byte copies within ISA video memory: both sides of every move cross the
+  // bus (Fig 5 measures ~3.6 ms per console scroll).
+  cpu().Use(2 * kMicrosecond + cost().Isa8Copy(n) + cost().MainCopy(n));
+}
+
+void Kernel::Bzero(std::size_t n) {
+  KPROF(*this, f_bzero_);
+  cpu().Use(1 * kMicrosecond + cost().MainZero(n));
+}
+
+void Kernel::Copyin(std::size_t n) {
+  KPROF(*this, f_copyin_);
+  cpu().Use(3 * kMicrosecond + cost().MainCopy(n));
+}
+
+void Kernel::Copyout(std::size_t n) {
+  KPROF(*this, f_copyout_);
+  cpu().Use(3 * kMicrosecond + cost().MainCopy(n));
+}
+
+void Kernel::CopyoutSlow(std::size_t n) {
+  KPROF(*this, f_copyout_);
+  cpu().Use(3 * kMicrosecond + cost().Isa8Copy(n));
+}
+
+void Kernel::Copyinstr(std::size_t n) {
+  KPROF(*this, f_copyinstr_);
+  cpu().Use(cost().copyinstr_fixed_ns + n * cost().copyinstr_ns_per_byte);
+}
+
+int Kernel::Imin(int a, int b) {
+  KPROF(*this, f_min_);
+  cpu().Use(3 * kMicrosecond);
+  return a < b ? a : b;
+}
+
+FuncInfo* Kernel::RegFn(std::string_view name, Subsys subsys, bool context_switch) {
+  return instr_.RegisterFunction(name, subsys, context_switch);
+}
+
+FuncInfo* Kernel::RegInline(std::string_view name, Subsys subsys) {
+  return instr_.RegisterInline(name, subsys);
+}
+
+void Kernel::SyscallEnter() {
+  // Trap, argument copyin, handler dispatch.
+  cpu().Use(cost().syscall_entry_ns);
+}
+
+void Kernel::SyscallExit() {
+  cpu().Use(cost().syscall_exit_ns);
+  // The return path drops to base level and runs anything pended — the
+  // spl0 calls sprinkled through the paper's summaries.
+  spl_->spl0();
+}
+
+}  // namespace hwprof

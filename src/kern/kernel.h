@@ -1,0 +1,216 @@
+// The simulated 386BSD-like kernel: facade over every subsystem, the
+// interrupt dispatch layer, and the profiled C-library routines.
+//
+// The kernel runs on the simulated Machine: all computation is expressed as
+// cost-model charges, all process contexts are fibers, and every instrumented
+// function brackets itself with ProfileScope triggers — bus reads of
+// _ProfileBase + tag that the Profiler board latches.
+
+#ifndef HWPROF_SRC_KERN_KERNEL_H_
+#define HWPROF_SRC_KERN_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/units.h"
+#include "src/instr/instrumenter.h"
+#include "src/instr/profile_scope.h"
+#include "src/kern/proc.h"
+#include "src/kern/spl.h"
+#include "src/sim/machine.h"
+
+namespace hwprof {
+
+class ClockSys;
+class Console;
+class EtherSegment;
+class Fs;
+class Kmem;
+class MbufPool;
+class NetStack;
+class Nfs;
+class PipeOps;
+class Sched;
+class Syscalls;
+class TtyDevice;
+class UserEnv;
+class Vm;
+
+struct KernelConfig {
+  // Size of the unprofiled kernel image (drives the Fig 2 remap).
+  std::uint32_t base_image_bytes = 600 * 1024;
+  // Compute UDP checksums? (Typically off for NFS in this era — the reason
+  // the paper finds NFS outrunning FTP-style transfers.)
+  bool udp_checksums = false;
+  // Seed for all kernel-internal randomness (disk rotational position...).
+  std::uint64_t rng_seed = 1993;
+  // Pages a freshly spawned process has resident (drives fork/exec pmap
+  // traffic; the paper's shell-sized processes run ~1000).
+  int default_resident_pages = 64;
+  // Start the classic update daemon (sync every 30 s)? Off by default so
+  // calibrated captures stay undisturbed.
+  bool start_update_daemon = false;
+};
+
+class Kernel {
+ public:
+  Kernel(Machine& machine, Instrumenter& instr, KernelConfig config = KernelConfig{});
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // Installs the interrupt hook, mounts the filesystem and starts the clock.
+  // The caller must have run instr::Linker (or LinkUnprofiled) first.
+  void Boot();
+
+  // Creates a process that will run `main` when first scheduled.
+  // `resident_pages` sizes its address space (<= 0 uses the config default).
+  Proc* Spawn(const std::string& name, std::function<void(UserEnv&)> main,
+              int resident_pages = 0);
+
+  // Process-creation plumbing shared with vfork: allocates a table slot
+  // (fiber armed separately via ArmProcMain when `main` is null).
+  Proc* NewProcInternal(const std::string& name, std::function<void(UserEnv&)> main);
+  void ArmProcMain(Proc* p, std::function<void(UserEnv&)> main);
+
+  // User-mode flag: ASTs (round-robin preemption) only fire on the return
+  // path to user mode, as on the real processor.
+  void SetUserMode(bool on) { user_mode_ = on; }
+  bool user_mode() const { return user_mode_; }
+
+  // Runs the scheduler until virtual time `until`. May be called repeatedly.
+  void Run(Nanoseconds until);
+
+  bool stopping() const { return stopping_; }
+  Nanoseconds stop_time() const { return stop_time_; }
+
+  // --- Accessors ------------------------------------------------------------
+  Machine& machine() { return machine_; }
+  Instrumenter& instr() { return instr_; }
+  Cpu& cpu() { return machine_.cpu(); }
+  const CostModel& cost() const { return machine_.cost(); }
+  Nanoseconds Now() const { return machine_.Now(); }
+  const KernelConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+  Spl& spl() { return *spl_; }
+  Sched& sched() { return *sched_; }
+  ClockSys& clocksys() { return *clocksys_; }
+  Kmem& kmem() { return *kmem_; }
+  MbufPool& mbufs() { return *mbufs_; }
+  NetStack& net() { return *net_; }
+  Vm& vm() { return *vm_; }
+  Fs& fs() { return *fs_; }
+  Nfs& nfs() { return *nfs_; }
+  Console& console() { return *console_; }
+  TtyDevice& tty() { return *tty_; }
+  PipeOps& pipes() { return *pipes_; }
+  Syscalls& syscalls() { return *syscalls_; }
+  EtherSegment& wire() { return *wire_; }
+
+  Proc* curproc() { return curproc_; }
+  Proc* proc0() { return proc0_; }
+  void SetCurproc(Proc* p) { curproc_ = p; }
+  Proc* FindProc(int pid);
+  const std::vector<std::unique_ptr<Proc>>& procs() const { return procs_; }
+  void ReapProc(Proc* p);
+
+  // --- Function registry ------------------------------------------------------
+  FuncInfo* RegFn(std::string_view name, Subsys subsys, bool context_switch = false);
+  FuncInfo* RegInline(std::string_view name, Subsys subsys);
+
+  // --- Profiled C library -------------------------------------------------------
+  void Bcopy(std::size_t n);             // DRAM to DRAM
+  void BcopyFromIsa8(std::size_t n);     // controller memory to DRAM
+  void BcopyToIsa8(std::size_t n);       // DRAM to controller memory
+  void Bcopyb(std::size_t n);            // byte copy in video memory
+  void Bzero(std::size_t n);
+  void Copyin(std::size_t n);            // user to kernel
+  void Copyout(std::size_t n);           // kernel to user
+  void CopyoutSlow(std::size_t n);       // controller memory to user (ISA rate)
+  void Copyinstr(std::size_t n);         // user string fetch
+  int Imin(int a, int b);                // min() — appears in Fig 4
+
+  // --- Interrupt plumbing --------------------------------------------------------
+  // Marks software interrupts pending; delivered when the level allows.
+  void RaiseSoftNet();
+  void RaiseSoftClock();
+  // Runs every unmasked pending hard and soft interrupt (called from splx /
+  // spl0 and after events).
+  void DeliverPending();
+  int intr_depth() const { return intr_depth_; }
+
+  // The profiled syscall() dispatcher bracket: trap entry, argument copyin,
+  // and the return-path AST check.
+  void SyscallEnter();
+  void SyscallExit();
+
+ private:
+  void IntrHook();
+  void ServiceHardIrqs();
+  void ServiceIrq(IrqLine line);
+  void ServiceSoft();
+  void AstCheck();
+
+  Machine& machine_;
+  Instrumenter& instr_;
+  KernelConfig config_;
+  Rng rng_;
+
+  std::unique_ptr<Spl> spl_;
+  std::unique_ptr<Sched> sched_;
+  std::unique_ptr<ClockSys> clocksys_;
+  std::unique_ptr<Kmem> kmem_;
+  std::unique_ptr<MbufPool> mbufs_;
+  std::unique_ptr<EtherSegment> wire_;
+  std::unique_ptr<NetStack> net_;
+  std::unique_ptr<Vm> vm_;
+  std::unique_ptr<Fs> fs_;
+  std::unique_ptr<Nfs> nfs_;
+  std::unique_ptr<Console> console_;
+  std::unique_ptr<TtyDevice> tty_;
+  std::unique_ptr<PipeOps> pipes_;
+  std::unique_ptr<Syscalls> syscalls_;
+
+  std::vector<std::unique_ptr<Proc>> procs_;
+  Proc* proc0_ = nullptr;
+  Proc* curproc_ = nullptr;
+  int next_pid_ = 1;
+
+  bool booted_ = false;
+  bool stopping_ = false;
+  Nanoseconds stop_time_ = 0;
+
+  int intr_depth_ = 0;
+  bool softnet_pending_ = false;
+  bool softclock_pending_ = false;
+  bool in_soft_dispatch_ = false;
+
+  bool user_mode_ = false;
+
+  FuncInfo* f_isaintr_ = nullptr;
+  FuncInfo* f_bcopy_ = nullptr;
+  FuncInfo* f_bcopyb_ = nullptr;
+  FuncInfo* f_bzero_ = nullptr;
+  FuncInfo* f_copyin_ = nullptr;
+  FuncInfo* f_copyout_ = nullptr;
+  FuncInfo* f_copyinstr_ = nullptr;
+  FuncInfo* f_min_ = nullptr;
+};
+
+// Convenience macro for instrumented kernel function bodies:
+//   void Foo::Bar() { KPROF(kernel_, f_bar_); ... }
+// Line-unique so nested scopes can coexist in one block.
+#define HWPROF_KPROF_CONCAT_INNER(a, b) a##b
+#define HWPROF_KPROF_CONCAT(a, b) HWPROF_KPROF_CONCAT_INNER(a, b)
+#define KPROF(kernel_ref, func_info)                                           \
+  ::hwprof::ProfileScope HWPROF_KPROF_CONCAT(prof_scope_, __LINE__)(            \
+      (kernel_ref).machine(), (kernel_ref).instr(), (func_info))
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_KERNEL_H_

@@ -1,0 +1,67 @@
+#include "src/kern/kmem.h"
+
+#include "src/base/assert.h"
+#include "src/kern/kernel.h"
+#include "src/kern/vm.h"
+#include "src/kern/vm_map.h"
+
+namespace hwprof {
+
+Kmem::Kmem(Kernel& kernel)
+    : kernel_(kernel),
+      f_malloc_(kernel.RegFn("malloc", Subsys::kKmem)),
+      f_free_(kernel.RegFn("free", Subsys::kKmem)),
+      f_kmem_alloc_(kernel.RegFn("kmem_alloc", Subsys::kKmem)),
+      f_kmem_free_(kernel.RegFn("kmem_free", Subsys::kKmem)) {}
+
+Kmem::AllocId Kmem::Malloc(std::size_t size, const char* type) {
+  HWPROF_CHECK(size > 0);
+  (void)type;
+  KPROF(kernel_, f_malloc_);
+  // The bucket allocator runs under splimp (interrupt-level callers).
+  const int s = kernel_.spl().splimp();
+  kernel_.cpu().Use(kernel_.cost().malloc_body_ns);
+  const AllocId id = next_id_++;
+  live_.emplace(id, size);
+  bytes_allocated_ += size;
+  ++allocation_count_;
+  kernel_.spl().splx(s);
+  return id;
+}
+
+void Kmem::Free(AllocId id) {
+  KPROF(kernel_, f_free_);
+  const int s = kernel_.spl().splimp();
+  kernel_.cpu().Use(kernel_.cost().free_body_ns);
+  auto it = live_.find(id);
+  HWPROF_CHECK_MSG(it != live_.end(), "free of dead kernel allocation");
+  live_.erase(it);
+  kernel_.spl().splx(s);
+}
+
+Kmem::AllocId Kmem::KmemAlloc(std::size_t pages) {
+  HWPROF_CHECK(pages > 0);
+  KPROF(kernel_, f_kmem_alloc_);
+  kernel_.cpu().Use(kernel_.cost().kmem_alloc_body_ns);
+  // Each wired page is zeroed and entered into the kernel pmap — this is
+  // why Table 1 shows kmem_alloc at ~800 µs against malloc's ~37 µs.
+  for (std::size_t i = 0; i < pages; ++i) {
+    kernel_.Bzero(Vmspace::kPageBytes);
+    kernel_.vm().PmapEnterKernel();
+  }
+  const AllocId id = next_id_++;
+  live_.emplace(id, pages * Vmspace::kPageBytes);
+  bytes_allocated_ += pages * Vmspace::kPageBytes;
+  ++allocation_count_;
+  return id;
+}
+
+void Kmem::KmemFree(AllocId id) {
+  KPROF(kernel_, f_kmem_free_);
+  kernel_.cpu().Use(kernel_.cost().free_body_ns);
+  auto it = live_.find(id);
+  HWPROF_CHECK_MSG(it != live_.end(), "kmem_free of dead allocation");
+  live_.erase(it);
+}
+
+}  // namespace hwprof

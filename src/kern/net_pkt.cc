@@ -1,0 +1,245 @@
+#include "src/kern/net_pkt.h"
+
+#include "src/base/assert.h"
+
+namespace hwprof {
+namespace {
+
+void Put16(Bytes& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void Put32(Bytes& b, std::uint32_t v) {
+  Put16(b, static_cast<std::uint16_t>(v >> 16));
+  Put16(b, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
+std::uint16_t Get16(const Bytes& b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+std::uint32_t Get32(const Bytes& b, std::size_t off) {
+  return (static_cast<std::uint32_t>(Get16(b, off)) << 16) | Get16(b, off + 2);
+}
+
+void Patch16(Bytes& b, std::size_t off, std::uint16_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 1] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+// Pseudo-header sum for TCP/UDP.
+std::uint32_t PseudoSum(const IpHeader& ih, std::uint8_t proto, std::size_t len) {
+  std::uint32_t sum = 0;
+  sum += (ih.src >> 16) + (ih.src & 0xFFFF);
+  sum += (ih.dst >> 16) + (ih.dst & 0xFFFF);
+  sum += proto;
+  sum += static_cast<std::uint32_t>(len);
+  return sum;
+}
+
+std::uint16_t Fold(std::uint32_t sum) {
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(sum);
+}
+
+}  // namespace
+
+std::uint16_t InetSum(const Bytes& data, std::uint32_t initial) {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i] << 8);
+  }
+  return Fold(sum);
+}
+
+std::uint16_t InetChecksum(const Bytes& data) {
+  return static_cast<std::uint16_t>(~InetSum(data) & 0xFFFF);
+}
+
+Bytes BuildEtherFrame(const EtherHeader& eh, const Bytes& ip_packet) {
+  Bytes frame;
+  frame.reserve(kEtherHeaderBytes + ip_packet.size());
+  // 6-byte MACs with the node id in the final byte.
+  for (int i = 0; i < 5; ++i) {
+    frame.push_back(0x02);
+  }
+  frame.push_back(eh.dst);
+  for (int i = 0; i < 5; ++i) {
+    frame.push_back(0x02);
+  }
+  frame.push_back(eh.src);
+  Put16(frame, eh.type);
+  frame.insert(frame.end(), ip_packet.begin(), ip_packet.end());
+  if (frame.size() < kEtherMinFrame) {
+    frame.resize(kEtherMinFrame, 0);
+  }
+  return frame;
+}
+
+bool ParseEtherFrame(const Bytes& frame, EtherHeader* eh, Bytes* ip_packet) {
+  if (frame.size() < kEtherHeaderBytes) {
+    return false;
+  }
+  eh->dst = frame[5];
+  eh->src = frame[11];
+  eh->type = Get16(frame, 12);
+  ip_packet->assign(frame.begin() + kEtherHeaderBytes, frame.end());
+  return true;
+}
+
+Bytes BuildIpPacket(const IpHeader& ih, const Bytes& payload) {
+  Bytes pkt;
+  pkt.reserve(IpHeader::kBytes + payload.size());
+  pkt.push_back(0x45);  // v4, ihl=5
+  pkt.push_back(0);     // tos
+  Put16(pkt, static_cast<std::uint16_t>(IpHeader::kBytes + payload.size()));
+  Put16(pkt, ih.id);
+  // Flags/fragment-offset word: MF bit 13, offset in 8-byte units.
+  const std::uint16_t frag_word = static_cast<std::uint16_t>(
+      (ih.more_frags ? 0x2000 : 0) | ((ih.frag_off / 8) & 0x1FFF));
+  Put16(pkt, frag_word);
+  pkt.push_back(ih.ttl);
+  pkt.push_back(ih.proto);
+  Put16(pkt, 0);  // checksum placeholder
+  Put32(pkt, ih.src);
+  Put32(pkt, ih.dst);
+  const Bytes header(pkt.begin(), pkt.end());
+  Patch16(pkt, 10, InetChecksum(header));
+  pkt.insert(pkt.end(), payload.begin(), payload.end());
+  return pkt;
+}
+
+std::vector<Bytes> BuildIpFragments(const IpHeader& ih, const Bytes& payload,
+                                    std::size_t mtu) {
+  std::vector<Bytes> packets;
+  const std::size_t max_frag = ((mtu - IpHeader::kBytes) / 8) * 8;
+  HWPROF_CHECK(max_frag > 0);
+  if (payload.size() + IpHeader::kBytes <= mtu) {
+    packets.push_back(BuildIpPacket(ih, payload));
+    return packets;
+  }
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const std::size_t take = std::min(max_frag, payload.size() - off);
+    IpHeader fragment = ih;
+    fragment.frag_off = static_cast<std::uint16_t>(off);
+    fragment.more_frags = off + take < payload.size();
+    packets.push_back(BuildIpPacket(
+        fragment, Bytes(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                        payload.begin() + static_cast<std::ptrdiff_t>(off + take))));
+    off += take;
+  }
+  return packets;
+}
+
+bool ParseIpPacket(const Bytes& packet, IpHeader* ih, Bytes* payload) {
+  if (packet.size() < IpHeader::kBytes || packet[0] != 0x45) {
+    return false;
+  }
+  const Bytes header(packet.begin(), packet.begin() + IpHeader::kBytes);
+  if (InetSum(header) != 0xFFFF) {
+    return false;  // header checksum failure
+  }
+  ih->total_len = Get16(packet, 2);
+  ih->id = Get16(packet, 4);
+  const std::uint16_t frag_word = Get16(packet, 6);
+  ih->more_frags = (frag_word & 0x2000) != 0;
+  ih->frag_off = static_cast<std::uint16_t>((frag_word & 0x1FFF) * 8);
+  ih->ttl = packet[8];
+  ih->proto = packet[9];
+  ih->src = Get32(packet, 12);
+  ih->dst = Get32(packet, 16);
+  if (ih->total_len < IpHeader::kBytes || ih->total_len > packet.size()) {
+    return false;
+  }
+  payload->assign(packet.begin() + IpHeader::kBytes, packet.begin() + ih->total_len);
+  return true;
+}
+
+Bytes BuildTcpSegment(const IpHeader& ih, const TcpHeader& th, const Bytes& payload) {
+  Bytes seg;
+  seg.reserve(TcpHeader::kBytes + payload.size());
+  Put16(seg, th.sport);
+  Put16(seg, th.dport);
+  Put32(seg, th.seq);
+  Put32(seg, th.ack);
+  seg.push_back(0x50);  // data offset = 5 words
+  seg.push_back(th.flags);
+  Put16(seg, th.win);
+  Put16(seg, 0);  // checksum placeholder
+  Put16(seg, 0);  // urgent pointer
+  seg.insert(seg.end(), payload.begin(), payload.end());
+  const std::uint32_t pseudo = PseudoSum(ih, kIpProtoTcp, seg.size());
+  const std::uint16_t cksum = static_cast<std::uint16_t>(~InetSum(seg, pseudo) & 0xFFFF);
+  Patch16(seg, 16, cksum);
+  return seg;
+}
+
+bool ParseTcpSegment(const IpHeader& ih, const Bytes& segment, TcpHeader* th, Bytes* payload,
+                     bool* checksum_ok) {
+  if (segment.size() < TcpHeader::kBytes) {
+    return false;
+  }
+  th->sport = Get16(segment, 0);
+  th->dport = Get16(segment, 2);
+  th->seq = Get32(segment, 4);
+  th->ack = Get32(segment, 8);
+  th->flags = segment[13];
+  th->win = Get16(segment, 14);
+  payload->assign(segment.begin() + TcpHeader::kBytes, segment.end());
+  const std::uint32_t pseudo = PseudoSum(ih, kIpProtoTcp, segment.size());
+  *checksum_ok = InetSum(segment, pseudo) == 0xFFFF;
+  return true;
+}
+
+Bytes BuildUdpDatagram(const IpHeader& ih, const UdpHeader& uh, const Bytes& payload) {
+  Bytes dgram;
+  dgram.reserve(UdpHeader::kBytes + payload.size());
+  Put16(dgram, uh.sport);
+  Put16(dgram, uh.dport);
+  Put16(dgram, static_cast<std::uint16_t>(UdpHeader::kBytes + payload.size()));
+  Put16(dgram, 0);
+  dgram.insert(dgram.end(), payload.begin(), payload.end());
+  if (uh.has_checksum) {
+    const std::uint32_t pseudo = PseudoSum(ih, kIpProtoUdp, dgram.size());
+    std::uint16_t cksum = static_cast<std::uint16_t>(~InetSum(dgram, pseudo) & 0xFFFF);
+    if (cksum == 0) {
+      cksum = 0xFFFF;  // 0 means "no checksum" on the wire
+    }
+    Patch16(dgram, 6, cksum);
+  }
+  return dgram;
+}
+
+bool ParseUdpDatagram(const IpHeader& ih, const Bytes& datagram, UdpHeader* uh, Bytes* payload,
+                      bool* checksum_ok) {
+  if (datagram.size() < UdpHeader::kBytes) {
+    return false;
+  }
+  uh->sport = Get16(datagram, 0);
+  uh->dport = Get16(datagram, 2);
+  uh->len = Get16(datagram, 4);
+  const std::uint16_t wire_cksum = Get16(datagram, 6);
+  uh->has_checksum = wire_cksum != 0;
+  if (uh->len < UdpHeader::kBytes || uh->len > datagram.size()) {
+    return false;
+  }
+  payload->assign(datagram.begin() + UdpHeader::kBytes, datagram.begin() + uh->len);
+  if (uh->has_checksum) {
+    const Bytes covered(datagram.begin(), datagram.begin() + uh->len);
+    const std::uint32_t pseudo = PseudoSum(ih, kIpProtoUdp, covered.size());
+    *checksum_ok = InetSum(covered, pseudo) == 0xFFFF;
+  } else {
+    *checksum_ok = true;
+  }
+  return true;
+}
+
+}  // namespace hwprof

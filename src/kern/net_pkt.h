@@ -1,0 +1,107 @@
+// On-the-wire packet formats: Ethernet/IP/TCP/UDP headers with real
+// byte-level encoding and Internet checksums.
+//
+// Frames carry genuine bytes end to end so data integrity and checksum
+// correctness are testable properties of the stack, not assumptions. The
+// *cost* of checksumming is charged separately by the kernel's in_cksum;
+// these helpers are the arithmetic only.
+
+#ifndef HWPROF_SRC_KERN_NET_PKT_H_
+#define HWPROF_SRC_KERN_NET_PKT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hwprof {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Internet one's-complement checksum over `data`, optionally seeded with a
+// running (folded) sum. Returns the folded 16-bit sum, not yet inverted.
+std::uint16_t InetSum(const Bytes& data, std::uint32_t initial = 0);
+// Final checksum (inverted fold) over data.
+std::uint16_t InetChecksum(const Bytes& data);
+
+inline constexpr std::size_t kEtherHeaderBytes = 14;
+inline constexpr std::size_t kEtherMinFrame = 60;    // without FCS
+inline constexpr std::size_t kEtherMaxPayload = 1500;
+inline constexpr std::uint16_t kEtherTypeIp = 0x0800;
+
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+struct EtherHeader {
+  std::uint8_t dst = 0;  // node id (low byte of the MAC)
+  std::uint8_t src = 0;
+  std::uint16_t type = kEtherTypeIp;
+};
+
+struct IpHeader {
+  static constexpr std::size_t kBytes = 20;
+  std::uint8_t ttl = 64;
+  std::uint8_t proto = 0;
+  std::uint16_t total_len = 0;   // header + payload
+  std::uint16_t id = 0;
+  std::uint16_t frag_off = 0;    // payload offset in bytes (8-byte aligned)
+  bool more_frags = false;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kBytes = 20;
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kAck = 0x10;
+  static constexpr std::uint8_t kPsh = 0x08;
+
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t win = 0;
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kBytes = 8;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint16_t len = 0;       // header + payload
+  bool has_checksum = false;   // UDP checksums are optional (NFS turns them off)
+};
+
+// --- Frame building ---------------------------------------------------------
+
+// Builds a full Ethernet frame around an IP packet (padding to the minimum
+// frame size).
+Bytes BuildEtherFrame(const EtherHeader& eh, const Bytes& ip_packet);
+// Parses the Ethernet header; returns false if the frame is too short.
+bool ParseEtherFrame(const Bytes& frame, EtherHeader* eh, Bytes* ip_packet);
+
+// Builds an IP packet (computing the header checksum) around `payload`.
+Bytes BuildIpPacket(const IpHeader& ih, const Bytes& payload);
+
+// Fragments `payload` into IP packets of at most `mtu` bytes each
+// (8-byte-aligned fragment payloads, MF set on all but the last) — how the
+// era's NFS moved its 8 KiB UDP reads over Ethernet.
+std::vector<Bytes> BuildIpFragments(const IpHeader& ih, const Bytes& payload,
+                                    std::size_t mtu = kEtherMaxPayload);
+// Parses and validates the IP header (checksum included).
+bool ParseIpPacket(const Bytes& packet, IpHeader* ih, Bytes* payload);
+
+// Builds a TCP segment (header + payload) with a valid checksum over the
+// pseudo-header.
+Bytes BuildTcpSegment(const IpHeader& ih, const TcpHeader& th, const Bytes& payload);
+// Parses a TCP segment; `checksum_ok` reports pseudo-header verification.
+bool ParseTcpSegment(const IpHeader& ih, const Bytes& segment, TcpHeader* th, Bytes* payload,
+                     bool* checksum_ok);
+
+// Builds a UDP datagram; checksum included only if `uh.has_checksum`.
+Bytes BuildUdpDatagram(const IpHeader& ih, const UdpHeader& uh, const Bytes& payload);
+bool ParseUdpDatagram(const IpHeader& ih, const Bytes& datagram, UdpHeader* uh, Bytes* payload,
+                      bool* checksum_ok);
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_NET_PKT_H_

@@ -1,0 +1,33 @@
+#include "src/kern/net_wire.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace hwprof {
+
+EtherSegment::EtherSegment(Machine& machine) : machine_(machine) {}
+
+void EtherSegment::Attach(EtherNode* node) {
+  HWPROF_CHECK(node != nullptr);
+  nodes_.push_back(node);
+}
+
+Nanoseconds EtherSegment::Transmit(std::uint8_t sender, Bytes frame) {
+  const Nanoseconds start = std::max(machine_.Now(), busy_until_);
+  const Nanoseconds done = start + machine_.cost().EtherWire(frame.size());
+  busy_until_ = done;
+  ++frames_carried_;
+  bytes_carried_ += frame.size();
+  machine_.events().ScheduleAt(done, [this, sender, f = std::move(frame)] {
+    for (EtherNode* node : nodes_) {
+      if (node->node_id() != sender) {
+        node->OnFrame(f);
+      }
+    }
+  });
+  return done;
+}
+
+}  // namespace hwprof

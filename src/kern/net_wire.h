@@ -1,0 +1,58 @@
+// The shared 10 Mb/s Ethernet segment connecting the simulated PC to remote
+// host models (the Sparcstation traffic source, the NFS server).
+//
+// The medium serializes transmissions: a frame occupies the wire for
+// inter-frame gap + bytes × 800 ns, then is delivered to every other
+// attached node. Collisions are not modelled (two-node segments in all the
+// paper's experiments).
+
+#ifndef HWPROF_SRC_KERN_NET_WIRE_H_
+#define HWPROF_SRC_KERN_NET_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kern/net_pkt.h"
+#include "src/sim/machine.h"
+
+namespace hwprof {
+
+class EtherNode {
+ public:
+  virtual ~EtherNode() = default;
+  // Node id = the low byte of the station's MAC address.
+  virtual std::uint8_t node_id() const = 0;
+  // Called at frame delivery time (end of the frame on the wire).
+  virtual void OnFrame(const Bytes& frame) = 0;
+};
+
+class EtherSegment {
+ public:
+  explicit EtherSegment(Machine& machine);
+  EtherSegment(const EtherSegment&) = delete;
+  EtherSegment& operator=(const EtherSegment&) = delete;
+
+  void Attach(EtherNode* node);
+
+  // Queues `frame` for transmission from `sender`. The frame goes on the
+  // wire as soon as the medium is free and is delivered to all other nodes
+  // when fully transmitted. Returns the delivery (end-of-frame) time.
+  Nanoseconds Transmit(std::uint8_t sender, Bytes frame);
+
+  // Earliest time the medium is free.
+  Nanoseconds FreeAt() const { return busy_until_; }
+
+  std::uint64_t frames_carried() const { return frames_carried_; }
+  std::uint64_t bytes_carried() const { return bytes_carried_; }
+
+ private:
+  Machine& machine_;
+  std::vector<EtherNode*> nodes_;
+  Nanoseconds busy_until_ = 0;
+  std::uint64_t frames_carried_ = 0;
+  std::uint64_t bytes_carried_ = 0;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_NET_WIRE_H_

@@ -1,0 +1,89 @@
+#include "src/kern/pipe.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+#include "src/kern/kernel.h"
+#include "src/kern/kmem.h"
+#include "src/kern/sched.h"
+
+namespace hwprof {
+
+PipeOps::PipeOps(Kernel& kernel)
+    : kernel_(kernel),
+      f_pipe_create_(kernel.RegFn("pipe", Subsys::kSyscall)),
+      f_pipe_read_(kernel.RegFn("pipe_read", Subsys::kSyscall)),
+      f_pipe_write_(kernel.RegFn("pipe_write", Subsys::kSyscall)) {}
+
+std::shared_ptr<Pipe> PipeOps::Create() {
+  KPROF(kernel_, f_pipe_create_);
+  kernel_.cpu().Use(20 * kMicrosecond);
+  const Kmem::AllocId a = kernel_.kmem().Malloc(kPipeBufferBytes, "pipe");
+  (void)a;
+  auto pipe = std::make_shared<Pipe>();
+  pipe->readers = 1;
+  pipe->writers = 1;
+  return pipe;
+}
+
+long PipeOps::Read(Pipe& pipe, std::size_t n, Bytes* out) {
+  KPROF(kernel_, f_pipe_read_);
+  kernel_.cpu().Use(10 * kMicrosecond);
+  while (pipe.buffer.empty()) {
+    if (pipe.writers == 0) {
+      return 0;  // EOF
+    }
+    kernel_.sched().Tsleep(&pipe.buffer, "piperd");
+  }
+  const std::size_t take = std::min(n, pipe.buffer.size());
+  kernel_.Copyout(take);
+  out->insert(out->end(), pipe.buffer.begin(),
+              pipe.buffer.begin() + static_cast<std::ptrdiff_t>(take));
+  pipe.buffer.erase(pipe.buffer.begin(),
+                    pipe.buffer.begin() + static_cast<std::ptrdiff_t>(take));
+  // Writers blocked on a full buffer can go again.
+  kernel_.sched().Wakeup(&pipe.writers);
+  return static_cast<long>(take);
+}
+
+long PipeOps::Write(Pipe& pipe, const Bytes& data) {
+  KPROF(kernel_, f_pipe_write_);
+  kernel_.cpu().Use(10 * kMicrosecond);
+  std::size_t written = 0;
+  while (written < data.size()) {
+    if (pipe.readers == 0) {
+      return written > 0 ? static_cast<long>(written) : -1;  // EPIPE
+    }
+    if (pipe.Space() == 0) {
+      kernel_.sched().Tsleep(&pipe.writers, "pipewr");
+      continue;
+    }
+    const std::size_t take = std::min(data.size() - written, pipe.Space());
+    kernel_.Copyin(take);
+    pipe.buffer.insert(pipe.buffer.end(),
+                       data.begin() + static_cast<std::ptrdiff_t>(written),
+                       data.begin() + static_cast<std::ptrdiff_t>(written + take));
+    written += take;
+    pipe.bytes_through += take;
+    kernel_.sched().Wakeup(&pipe.buffer);
+  }
+  return static_cast<long>(written);
+}
+
+void PipeOps::CloseEnd(Pipe& pipe, bool write_end) {
+  if (write_end) {
+    HWPROF_CHECK(pipe.writers > 0);
+    --pipe.writers;
+    if (pipe.writers == 0) {
+      kernel_.sched().Wakeup(&pipe.buffer);  // readers see EOF
+    }
+  } else {
+    HWPROF_CHECK(pipe.readers > 0);
+    --pipe.readers;
+    if (pipe.readers == 0) {
+      kernel_.sched().Wakeup(&pipe.writers);  // writers see EPIPE
+    }
+  }
+}
+
+}  // namespace hwprof

@@ -1,0 +1,66 @@
+// Pipes: the interprocess communication path the paper proposes profiling
+// ("profiling several user processes at the same time to closely monitor
+// and analyse interactions occurring via the interprocess communications
+// facilities").
+//
+// A classic bounded-buffer pipe: writers block when the 4 KiB buffer is
+// full, readers block when it is empty, EOF when the last writer closes.
+// The blocking hand-offs go through tsleep/wakeup/swtch, so a profile of a
+// producer/consumer pair shows the full context-switch ping-pong.
+
+#ifndef HWPROF_SRC_KERN_PIPE_H_
+#define HWPROF_SRC_KERN_PIPE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "src/instr/instrumenter.h"
+#include "src/kern/net_pkt.h"  // Bytes
+
+namespace hwprof {
+
+class Kernel;
+
+inline constexpr std::size_t kPipeBufferBytes = 4096;
+
+struct Pipe {
+  std::deque<std::uint8_t> buffer;
+  int readers = 0;
+  int writers = 0;
+  std::uint64_t bytes_through = 0;
+
+  std::size_t Space() const {
+    return buffer.size() < kPipeBufferBytes ? kPipeBufferBytes - buffer.size() : 0;
+  }
+};
+
+// Profiled pipe operations (owned by the kernel; one registration).
+class PipeOps {
+ public:
+  explicit PipeOps(Kernel& kernel);
+  PipeOps(const PipeOps&) = delete;
+  PipeOps& operator=(const PipeOps&) = delete;
+
+  std::shared_ptr<Pipe> Create();
+
+  // Blocking read of up to `n` bytes (returns 0 at EOF).
+  long Read(Pipe& pipe, std::size_t n, Bytes* out);
+
+  // Blocking write of all of `data`; returns bytes written, or -1 (EPIPE)
+  // if no reader remains.
+  long Write(Pipe& pipe, const Bytes& data);
+
+  // End-of-side bookkeeping on close.
+  void CloseEnd(Pipe& pipe, bool write_end);
+
+ private:
+  Kernel& kernel_;
+  FuncInfo* f_pipe_create_;
+  FuncInfo* f_pipe_read_;
+  FuncInfo* f_pipe_write_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_PIPE_H_

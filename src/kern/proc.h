@@ -1,0 +1,79 @@
+// Process table entries.
+//
+// Each simulated process owns a fiber (its kernel+user stack), a vmspace and
+// a descriptor table. Proc 0 is the scheduler/idle context adopted from the
+// host thread.
+
+#ifndef HWPROF_SRC_KERN_PROC_H_
+#define HWPROF_SRC_KERN_PROC_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/kern/fiber.h"
+
+namespace hwprof {
+
+class Socket;
+struct Pipe;
+struct Vmspace;
+class UserEnv;
+
+enum class ProcState : std::uint8_t {
+  kEmbryo,    // created, never run
+  kRunnable,  // on the run queue
+  kRunning,   // the current process
+  kSleeping,  // tsleep'd on a channel
+  kZombie,    // exited, awaiting wait()
+};
+
+// An open-file table entry: a vnode (inode + offset), a socket, or one end
+// of a pipe.
+struct OpenFile {
+  int inode = -1;                  // FFS inode number, or -1
+  std::uint64_t offset = 0;        // file offset for vnode reads/writes
+  std::shared_ptr<Socket> socket;  // non-null for sockets
+  std::shared_ptr<Pipe> pipe;      // non-null for pipe ends
+  bool pipe_write_end = false;
+  bool writable = false;
+};
+
+struct Proc {
+  int pid = 0;
+  std::string name;
+  ProcState state = ProcState::kEmbryo;
+
+  // Sleep bookkeeping (tsleep/wakeup).
+  const void* wchan = nullptr;
+  const char* wmesg = nullptr;
+  bool timed_out = false;
+
+  // Set by roundrobin / stop requests; acted on at AST points.
+  bool need_resched = false;
+
+  // Interrupt priority level this context last ran at; swapped in and out by
+  // swtch, so a process sleeping at splbio does not mask interrupts for
+  // whoever runs next (the real kernel's per-stack spl discipline).
+  std::uint8_t saved_ipl = 0;
+
+  std::unique_ptr<Fiber> fiber;
+  std::unique_ptr<Vmspace> vm;
+  std::vector<std::shared_ptr<OpenFile>> fds;
+
+  Proc* parent = nullptr;
+  int exit_status = 0;
+  // vfork: parent sleeps on the child until it execs or exits.
+  bool vfork_done = false;
+
+  Nanoseconds created_at = 0;
+
+  // kmem_alloc'd u-area (vfork children); released at exit.
+  std::uint64_t uarea_kmem = 0;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_PROC_H_

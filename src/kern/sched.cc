@@ -1,0 +1,192 @@
+#include "src/kern/sched.h"
+
+#include "src/base/assert.h"
+#include "src/kern/clock.h"
+#include "src/kern/kernel.h"
+
+namespace hwprof {
+
+Sched::Sched(Kernel& kernel)
+    : kernel_(kernel),
+      f_swtch_(kernel.RegFn("swtch", Subsys::kSched, /*context_switch=*/true)),
+      f_tsleep_(kernel.RegFn("tsleep", Subsys::kSched)),
+      f_wakeup_(kernel.RegFn("wakeup", Subsys::kSched)),
+      f_setrunqueue_(kernel.RegFn("setrunqueue", Subsys::kSched)) {}
+
+void Sched::SetRunnable(Proc* p) {
+  HWPROF_CHECK(p != nullptr);
+  HWPROF_CHECK_MSG(p->state != ProcState::kZombie, "waking a zombie");
+  if (p->state == ProcState::kRunnable || p->state == ProcState::kRunning) {
+    return;
+  }
+  KPROF(kernel_, f_setrunqueue_);
+  kernel_.cpu().Use(2 * kMicrosecond);
+  p->state = ProcState::kRunnable;
+  p->wchan = nullptr;
+  runq_.push_back(p);
+}
+
+Proc* Sched::PopRunq() {
+  while (!runq_.empty()) {
+    Proc* p = runq_.front();
+    runq_.pop_front();
+    if (p->state == ProcState::kRunnable) {
+      return p;
+    }
+    // A proc may have been killed while queued; skip it.
+  }
+  return nullptr;
+}
+
+void Sched::SwitchTo(Proc* next) {
+  Proc* self = kernel_.curproc();
+  HWPROF_CHECK(self != nullptr && next != nullptr && self != next);
+  if (self->state == ProcState::kRunning) {
+    self->state = ProcState::kRunnable;  // still ready, just descheduled
+  }
+  next->state = ProcState::kRunning;
+  kernel_.SetCurproc(next);
+  // Swap the per-context interrupt priority level with the stack switch.
+  self->saved_ipl =
+      static_cast<std::uint8_t>(kernel_.spl().SwapForSwitch(static_cast<Ipl>(next->saved_ipl)));
+  Fiber::Switch(*self->fiber, *next->fiber);
+  // Resumed: we are `self` again, re-chosen by some later swtch (which
+  // restored our saved level). Anything pended while we were off-CPU and
+  // unmasked at our level can go now.
+  HWPROF_CHECK(kernel_.curproc() == self);
+  kernel_.DeliverPending();
+}
+
+void Sched::Swtch() {
+  KPROF(kernel_, f_swtch_);
+  kernel_.cpu().Use(kernel_.cost().swtch_body_ns);
+  ++voluntary_switches_;
+
+  Proc* self = kernel_.curproc();
+  HWPROF_CHECK(self != nullptr);
+
+  if (self == kernel_.proc0()) {
+    // The scheduler context: dispatch work, idling right here — on this
+    // stack, inside swtch — when the run queue is empty, exactly as the
+    // 386BSD idle loop does. Exits only when the kernel is stopping.
+    while (!kernel_.stopping()) {
+      if (Proc* next = PopRunq()) {
+        SwitchTo(next);
+        continue;  // resumed: the run queue drained; idle again
+      }
+      if (!kernel_.cpu().IdleWait(kernel_.stop_time())) {
+        // No device events remain before the stop time: nothing can ever
+        // become runnable, so the idle loop is done.
+        break;
+      }
+    }
+    return;
+  }
+
+  // An ordinary process switching out: pick the next runnable process, or
+  // fall back to the scheduler context.
+  Proc* next = kernel_.stopping() ? kernel_.proc0() : PopRunq();
+  if (next == nullptr) {
+    next = kernel_.proc0();
+  }
+  if (next == self) {
+    self->state = ProcState::kRunning;
+    return;
+  }
+  SwitchTo(next);
+}
+
+int Sched::Tsleep(const void* chan, const char* wmesg, Nanoseconds timeout) {
+  KPROF(kernel_, f_tsleep_);
+  kernel_.cpu().Use(kernel_.cost().tsleep_body_ns);
+  Proc* p = kernel_.curproc();
+  HWPROF_CHECK_MSG(p != kernel_.proc0(), "the scheduler context cannot sleep");
+  HWPROF_CHECK_MSG(kernel_.intr_depth() == 0, "tsleep from interrupt context");
+  p->state = ProcState::kSleeping;
+  p->wchan = chan;
+  p->wmesg = wmesg;
+  p->timed_out = false;
+  ClockSys::CalloutId callout = 0;
+  if (timeout != 0) {
+    callout = kernel_.clocksys().Timeout(
+        [this, p] {
+          p->timed_out = true;
+          WakeupProc(p);
+        },
+        timeout);
+  }
+  Swtch();
+  if (timeout != 0 && !p->timed_out) {
+    kernel_.clocksys().Untimeout(callout);
+  }
+  return p->timed_out ? kSleepTimedOut : kSleepOk;
+}
+
+void Sched::Wakeup(const void* chan) {
+  KPROF(kernel_, f_wakeup_);
+  kernel_.cpu().Use(kernel_.cost().wakeup_body_ns);
+  for (const auto& p : kernel_.procs()) {
+    if (p->state == ProcState::kSleeping && p->wchan == chan) {
+      p->state = ProcState::kRunnable;
+      p->wchan = nullptr;
+      runq_.push_back(p.get());
+    }
+  }
+}
+
+void Sched::WakeupProc(Proc* p) {
+  if (p->state == ProcState::kSleeping) {
+    p->state = ProcState::kRunnable;
+    p->wchan = nullptr;
+    runq_.push_back(p);
+  }
+}
+
+void Sched::Preempt() {
+  Proc* self = kernel_.curproc();
+  HWPROF_CHECK(self != nullptr && self != kernel_.proc0());
+  ++preemptions_;
+  self->state = ProcState::kRunnable;
+  runq_.push_back(self);
+  Swtch();
+}
+
+void Sched::ExitCurrent(int status) {
+  Proc* self = kernel_.curproc();
+  HWPROF_CHECK(self != nullptr && self != kernel_.proc0());
+  self->exit_status = status;
+  self->state = ProcState::kZombie;
+  self->vfork_done = true;
+  if (self->parent != nullptr) {
+    Wakeup(self->parent);  // wait() sleeps on the parent proc itself
+    Wakeup(self);          // vfork sleeps on the child
+  }
+  // Final departure: this fiber is never resumed. It still goes out through
+  // swtch's *entry* trigger — exit() calls swtch() and never returns, and
+  // whoever runs next emits the balancing swtch exit.
+  if (f_swtch_->enabled && kernel_.instr().linked()) {
+    kernel_.machine().TriggerRead(kernel_.instr().profile_base() + f_swtch_->entry_tag);
+  }
+  kernel_.cpu().Use(kernel_.cost().swtch_body_ns);
+  Proc* next = PopRunq();
+  if (next == nullptr) {
+    next = kernel_.proc0();
+  }
+  next->state = ProcState::kRunning;
+  kernel_.SetCurproc(next);
+  kernel_.spl().SwapForSwitch(static_cast<Ipl>(next->saved_ipl));
+  Fiber* self_fiber = self->fiber.get();
+  Fiber::Switch(*self_fiber, *next->fiber);
+  HWPROF_UNREACHABLE("zombie process resumed");
+}
+
+void Sched::FinishSwitchIn() {
+  // A new process "returns from swtch": emit the exit trigger so the
+  // analyser sees a balanced context-switch event, as a forked child's
+  // hand-crafted kernel stack provides on real hardware.
+  if (f_swtch_->enabled && kernel_.instr().linked()) {
+    kernel_.machine().TriggerRead(kernel_.instr().profile_base() + f_swtch_->exit_tag());
+  }
+}
+
+}  // namespace hwprof

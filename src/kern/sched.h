@@ -1,0 +1,88 @@
+// Run queue, swtch, tsleep/wakeup — the context-switch machinery the
+// analyser must understand ('!' modifier on swtch).
+//
+// As in 386BSD, *all* context switching funnels through swtch(): the caller
+// saves its context, scans the run queue, and — if nothing is runnable —
+// spins in the idle loop right there, on the outgoing process's stack. The
+// time between a swtch entry and the next swtch exit is therefore exactly
+// the scheduler's dead time, which is how the analysis software computes
+// idle time (interrupt activity inside that window excepted).
+
+#ifndef HWPROF_SRC_KERN_SCHED_H_
+#define HWPROF_SRC_KERN_SCHED_H_
+
+#include <deque>
+
+#include "src/base/units.h"
+#include "src/instr/instrumenter.h"
+#include "src/kern/proc.h"
+
+namespace hwprof {
+
+class Kernel;
+
+// tsleep() results.
+inline constexpr int kSleepOk = 0;
+inline constexpr int kSleepTimedOut = 35;  // EWOULDBLOCK
+
+class Sched {
+ public:
+  explicit Sched(Kernel& kernel);
+  Sched(const Sched&) = delete;
+  Sched& operator=(const Sched&) = delete;
+
+  // Marks `p` runnable (setrun). Callable from interrupt handlers.
+  void SetRunnable(Proc* p);
+
+  // The context switch. Saves the current process, picks the next runnable
+  // one (idling here if none), and resumes it. Returns in the *resumed*
+  // process's context — possibly much later in virtual time.
+  void Swtch();
+
+  // Sleeps the current process on `chan`. With a non-zero `timeout` a
+  // callout wakes the process if nothing else does first; returns
+  // kSleepTimedOut in that case, else kSleepOk.
+  int Tsleep(const void* chan, const char* wmesg, Nanoseconds timeout = 0);
+
+  // Wakes every process sleeping on `chan`.
+  void Wakeup(const void* chan);
+
+  // Wakes exactly `p` if it is sleeping (used by tsleep timeouts).
+  void WakeupProc(Proc* p);
+
+  // Round-robin preemption at an AST point: requeues the current process
+  // and switches.
+  void Preempt();
+
+  // Terminates the current process: zombie state, parent wakeup, and a
+  // final switch that never returns.
+  [[noreturn]] void ExitCurrent(int status);
+
+  bool RunqEmpty() const { return runq_.empty(); }
+  std::size_t RunqLength() const { return runq_.size(); }
+
+  // Fired on a newly created process's first instructions: emits the swtch
+  // *exit* trigger, because a forked child is arranged to "return from
+  // swtch" just like any other resumed process.
+  void FinishSwitchIn();
+
+  std::uint64_t voluntary_switches() const { return voluntary_switches_; }
+  std::uint64_t preemptions() const { return preemptions_; }
+
+ private:
+  Proc* PopRunq();
+  void SwitchTo(Proc* next);
+
+  Kernel& kernel_;
+  std::deque<Proc*> runq_;
+  FuncInfo* f_swtch_;
+  FuncInfo* f_tsleep_;
+  FuncInfo* f_wakeup_;
+  FuncInfo* f_setrunqueue_;
+  std::uint64_t voluntary_switches_ = 0;
+  std::uint64_t preemptions_ = 0;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_SCHED_H_

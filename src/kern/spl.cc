@@ -1,0 +1,86 @@
+#include "src/kern/spl.h"
+
+#include "src/base/assert.h"
+#include "src/kern/kernel.h"
+
+namespace hwprof {
+
+Ipl IrqLevel(IrqLine line) {
+  switch (line) {
+    case IrqLine::kClock:
+      return Ipl::kClock;
+    case IrqLine::kEther:
+      return Ipl::kImp;
+    case IrqLine::kDisk:
+      return Ipl::kBio;
+    case IrqLine::kUart:
+      return Ipl::kTty;
+    case IrqLine::kCount:
+      break;
+  }
+  HWPROF_UNREACHABLE("bad IrqLine");
+}
+
+Spl::Spl(Kernel& kernel)
+    : kernel_(kernel),
+      f_splsoftclock_(kernel.RegFn("splsoftclock", Subsys::kIntr)),
+      f_splnet_(kernel.RegFn("splnet", Subsys::kIntr)),
+      f_splbio_(kernel.RegFn("splbio", Subsys::kIntr)),
+      f_splimp_(kernel.RegFn("splimp", Subsys::kIntr)),
+      f_spltty_(kernel.RegFn("spltty", Subsys::kIntr)),
+      f_splclock_(kernel.RegFn("splclock", Subsys::kIntr)),
+      f_splhigh_(kernel.RegFn("splhigh", Subsys::kIntr)),
+      f_splx_(kernel.RegFn("splx", Subsys::kIntr)),
+      f_spl0_(kernel.RegFn("spl0", Subsys::kIntr)) {}
+
+int Spl::Raise(Ipl to, FuncInfo* func) {
+  KPROF(kernel_, func);
+  // The emulation masks first (cli), then grinds through the PIC mask
+  // bookkeeping — so no interrupt lands inside the raise itself.
+  const Ipl old = current_;
+  if (to > current_) {
+    current_ = to;
+  }
+  kernel_.cpu().Use(kernel_.cost().spl_raise_ns);
+  return static_cast<int>(old);
+}
+
+int Spl::splsoftclock() { return Raise(Ipl::kSoftClock, f_splsoftclock_); }
+int Spl::splnet() { return Raise(Ipl::kSoftNet, f_splnet_); }
+int Spl::splbio() { return Raise(Ipl::kBio, f_splbio_); }
+int Spl::splimp() { return Raise(Ipl::kImp, f_splimp_); }
+int Spl::spltty() { return Raise(Ipl::kTty, f_spltty_); }
+int Spl::splclock() { return Raise(Ipl::kClock, f_splclock_); }
+int Spl::splhigh() { return Raise(Ipl::kHigh, f_splhigh_); }
+
+void Spl::splx(int s) {
+  KPROF(kernel_, f_splx_);
+  kernel_.cpu().Use(kernel_.cost().splx_ns);
+  HWPROF_CHECK(s >= 0 && s <= static_cast<int>(Ipl::kHigh));
+  const Ipl restored = static_cast<Ipl>(s);
+  const bool lowered = restored < current_;
+  current_ = restored;
+  if (lowered) {
+    kernel_.DeliverPending();
+  }
+}
+
+int Spl::spl0() {
+  KPROF(kernel_, f_spl0_);
+  kernel_.cpu().Use(kernel_.cost().spl0_ns);
+  const Ipl old = current_;
+  current_ = Ipl::kNone;
+  kernel_.DeliverPending();
+  return static_cast<int>(old);
+}
+
+Ipl Spl::RawRaise(Ipl to) {
+  const Ipl old = current_;
+  HWPROF_CHECK_MSG(to >= current_, "hardware never lowers the running level");
+  current_ = to;
+  return old;
+}
+
+void Spl::RawRestore(Ipl s) { current_ = s; }
+
+}  // namespace hwprof

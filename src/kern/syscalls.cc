@@ -1,0 +1,449 @@
+#include "src/kern/syscalls.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+#include "src/kern/fs.h"
+#include "src/kern/kernel.h"
+#include "src/kern/kmem.h"
+#include "src/kern/net.h"
+#include "src/kern/pipe.h"
+#include "src/kern/sched.h"
+#include "src/kern/user_env.h"
+#include "src/kern/vm.h"
+
+namespace hwprof {
+
+// Brackets one trap: the profiled syscall() dispatcher plus entry/exit
+// costs (including the return-path AST check the 386 emulates in software).
+class SyscallFrame {
+ public:
+  SyscallFrame(Kernel& kernel, FuncInfo* dispatcher)
+      : kernel_(kernel), scope_(kernel.machine(), kernel.instr(), dispatcher) {
+    kernel_.SyscallEnter();
+  }
+  ~SyscallFrame() { kernel_.SyscallExit(); }
+  SyscallFrame(const SyscallFrame&) = delete;
+  SyscallFrame& operator=(const SyscallFrame&) = delete;
+
+ private:
+  Kernel& kernel_;
+  ProfileScope scope_;
+};
+
+Syscalls::Syscalls(Kernel& kernel)
+    : kernel_(kernel),
+      f_syscall_(kernel.RegFn("syscall", Subsys::kSyscall)),
+      f_open_(kernel.RegFn("open", Subsys::kSyscall)),
+      f_close_(kernel.RegFn("close", Subsys::kSyscall)),
+      f_read_(kernel.RegFn("read", Subsys::kSyscall)),
+      f_write_(kernel.RegFn("write", Subsys::kSyscall)),
+      f_vn_read_(kernel.RegFn("vn_read", Subsys::kSyscall)),
+      f_vn_write_(kernel.RegFn("vn_write", Subsys::kSyscall)),
+      f_socket_(kernel.RegFn("socket", Subsys::kSyscall)),
+      f_bind_(kernel.RegFn("bind", Subsys::kSyscall)),
+      f_listen_(kernel.RegFn("listen", Subsys::kSyscall)),
+      f_accept_(kernel.RegFn("accept", Subsys::kSyscall)),
+      f_recvfrom_(kernel.RegFn("recvfrom", Subsys::kSyscall)),
+      f_connect_(kernel.RegFn("connect", Subsys::kSyscall)),
+      f_sendto_(kernel.RegFn("sendto", Subsys::kSyscall)),
+      f_shutdown_(kernel.RegFn("shutdown", Subsys::kSyscall)),
+      f_vfork_(kernel.RegFn("vfork", Subsys::kProc)),
+      f_execve_(kernel.RegFn("execve", Subsys::kProc)),
+      f_exit_(kernel.RegFn("exit", Subsys::kProc)),
+      f_wait4_(kernel.RegFn("wait4", Subsys::kProc)),
+      f_falloc_(kernel.RegFn("falloc", Subsys::kSyscall)),
+      f_fdalloc_(kernel.RegFn("fdalloc", Subsys::kSyscall)) {}
+
+int Syscalls::FdAlloc(Proc& p) {
+  KPROF(kernel_, f_fdalloc_);
+  kernel_.cpu().Use(10 * kMicrosecond);
+  const int limit = kernel_.Imin(static_cast<int>(p.fds.size()) + 1, 64);
+  for (int fd = 0; fd < limit; ++fd) {
+    if (static_cast<std::size_t>(fd) == p.fds.size()) {
+      p.fds.push_back(nullptr);
+      return fd;
+    }
+    if (p.fds[static_cast<std::size_t>(fd)] == nullptr) {
+      return fd;
+    }
+  }
+  return -1;
+}
+
+std::shared_ptr<OpenFile> Syscalls::FAlloc() {
+  KPROF(kernel_, f_falloc_);
+  kernel_.cpu().Use(15 * kMicrosecond);
+  const Kmem::AllocId a = kernel_.kmem().Malloc(64, "file");
+  (void)a;
+  return std::make_shared<OpenFile>();
+}
+
+OpenFile* Syscalls::FileFor(int fd) {
+  Proc* p = kernel_.curproc();
+  if (p == nullptr || fd < 0 || static_cast<std::size_t>(fd) >= p->fds.size()) {
+    return nullptr;
+  }
+  return p->fds[static_cast<std::size_t>(fd)].get();
+}
+
+int Syscalls::Open(const std::string& path, bool create) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_open_);
+  kernel_.cpu().Use(20 * kMicrosecond);
+  kernel_.Copyinstr(path.size() + 1);
+  int ino = kernel_.fs().Namei(path);
+  if (ino < 0 && create) {
+    ino = kernel_.fs().Create(path);
+  }
+  if (ino < 0) {
+    return -1;
+  }
+  std::shared_ptr<OpenFile> file = FAlloc();
+  file->inode = ino;
+  file->writable = create;
+  const int fd = FdAlloc(*kernel_.curproc());
+  if (fd < 0) {
+    return -1;
+  }
+  kernel_.curproc()->fds[static_cast<std::size_t>(fd)] = std::move(file);
+  return fd;
+}
+
+long Syscalls::Read(int fd, std::size_t n, Bytes* out) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_read_);
+  kernel_.cpu().Use(12 * kMicrosecond);
+  OpenFile* file = FileFor(fd);
+  if (file == nullptr) {
+    return -1;
+  }
+  if (file->socket != nullptr) {
+    const std::size_t got = kernel_.net().SoReceive(*file->socket, n, out);
+    return static_cast<long>(got);
+  }
+  if (file->pipe != nullptr) {
+    if (file->pipe_write_end) {
+      return -1;
+    }
+    return kernel_.pipes().Read(*file->pipe, n, out);
+  }
+  KPROF(kernel_, f_vn_read_);
+  kernel_.cpu().Use(8 * kMicrosecond);
+  const long got = kernel_.fs().ReadFile(file->inode, file->offset, n, out);
+  if (got > 0) {
+    // uiomove: cache buffer to user space.
+    kernel_.Copyout(static_cast<std::size_t>(got));
+    file->offset += static_cast<std::uint64_t>(got);
+  }
+  return got;
+}
+
+long Syscalls::ReadAt(int fd, std::uint64_t off, std::size_t n, Bytes* out) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_read_);
+  kernel_.cpu().Use(12 * kMicrosecond);
+  OpenFile* file = FileFor(fd);
+  if (file == nullptr || file->socket != nullptr) {
+    return -1;
+  }
+  KPROF(kernel_, f_vn_read_);
+  kernel_.cpu().Use(8 * kMicrosecond);
+  const long got = kernel_.fs().ReadFile(file->inode, off, n, out);
+  if (got > 0) {
+    kernel_.Copyout(static_cast<std::size_t>(got));
+  }
+  return got;
+}
+
+long Syscalls::Write(int fd, const Bytes& data) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_write_);
+  kernel_.cpu().Use(12 * kMicrosecond);
+  OpenFile* file = FileFor(fd);
+  if (file == nullptr || file->socket != nullptr || !file->writable) {
+    return -1;
+  }
+  if (file->pipe != nullptr) {
+    return kernel_.pipes().Write(*file->pipe, data);
+  }
+  KPROF(kernel_, f_vn_write_);
+  kernel_.cpu().Use(8 * kMicrosecond);
+  kernel_.Copyin(data.size());
+  const long wrote = kernel_.fs().WriteFile(file->inode, file->offset, data);
+  if (wrote > 0) {
+    file->offset += static_cast<std::uint64_t>(wrote);
+  }
+  return wrote;
+}
+
+int Syscalls::Close(int fd) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_close_);
+  kernel_.cpu().Use(15 * kMicrosecond);
+  Proc* p = kernel_.curproc();
+  if (p == nullptr || fd < 0 || static_cast<std::size_t>(fd) >= p->fds.size() ||
+      p->fds[static_cast<std::size_t>(fd)] == nullptr) {
+    return -1;
+  }
+  OpenFile* file = p->fds[static_cast<std::size_t>(fd)].get();
+  if (file->pipe != nullptr) {
+    kernel_.pipes().CloseEnd(*file->pipe, file->pipe_write_end);
+  }
+  p->fds[static_cast<std::size_t>(fd)] = nullptr;
+  return 0;
+}
+
+bool Syscalls::Pipe(int* read_fd, int* write_fd) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  std::shared_ptr<::hwprof::Pipe> pipe = kernel_.pipes().Create();
+  std::shared_ptr<OpenFile> read_file = FAlloc();
+  read_file->pipe = pipe;
+  read_file->pipe_write_end = false;
+  *read_fd = FdAlloc(*kernel_.curproc());
+  if (*read_fd < 0) {
+    return false;
+  }
+  kernel_.curproc()->fds[static_cast<std::size_t>(*read_fd)] = std::move(read_file);
+  std::shared_ptr<OpenFile> write_file = FAlloc();
+  write_file->pipe = pipe;
+  write_file->pipe_write_end = true;
+  write_file->writable = true;
+  *write_fd = FdAlloc(*kernel_.curproc());
+  if (*write_fd < 0) {
+    return false;
+  }
+  kernel_.curproc()->fds[static_cast<std::size_t>(*write_fd)] = std::move(write_file);
+  return true;
+}
+
+int Syscalls::Socket(bool tcp) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_socket_);
+  kernel_.cpu().Use(10 * kMicrosecond);
+  std::shared_ptr<::hwprof::Socket> so = kernel_.net().SoCreate(
+      tcp ? ::hwprof::Socket::Proto::kTcp : ::hwprof::Socket::Proto::kUdp);
+  std::shared_ptr<OpenFile> file = FAlloc();
+  file->socket = std::move(so);
+  const int fd = FdAlloc(*kernel_.curproc());
+  if (fd < 0) {
+    return -1;
+  }
+  kernel_.curproc()->fds[static_cast<std::size_t>(fd)] = std::move(file);
+  return fd;
+}
+
+bool Syscalls::Bind(int fd, std::uint16_t port) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_bind_);
+  kernel_.cpu().Use(12 * kMicrosecond);
+  OpenFile* file = FileFor(fd);
+  if (file == nullptr || file->socket == nullptr) {
+    return false;
+  }
+  return kernel_.net().SoBind(file->socket, port);
+}
+
+bool Syscalls::Listen(int fd) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_listen_);
+  kernel_.cpu().Use(10 * kMicrosecond);
+  OpenFile* file = FileFor(fd);
+  if (file == nullptr || file->socket == nullptr || file->socket->lport == 0) {
+    return false;
+  }
+  kernel_.net().SoListen(*file->socket);
+  return true;
+}
+
+int Syscalls::Accept(int fd) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_accept_);
+  kernel_.cpu().Use(15 * kMicrosecond);
+  OpenFile* file = FileFor(fd);
+  if (file == nullptr || file->socket == nullptr || !file->socket->listening) {
+    return -1;
+  }
+  std::shared_ptr<::hwprof::Socket> conn = kernel_.net().SoAccept(*file->socket);
+  std::shared_ptr<OpenFile> conn_file = FAlloc();
+  conn_file->socket = std::move(conn);
+  const int conn_fd = FdAlloc(*kernel_.curproc());
+  if (conn_fd < 0) {
+    return -1;
+  }
+  kernel_.curproc()->fds[static_cast<std::size_t>(conn_fd)] = std::move(conn_file);
+  return conn_fd;
+}
+
+bool Syscalls::Connect(int fd, std::uint32_t dst_ip, std::uint16_t dport) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_connect_);
+  kernel_.cpu().Use(20 * kMicrosecond);
+  Proc* p = kernel_.curproc();
+  if (p == nullptr || fd < 0 || static_cast<std::size_t>(fd) >= p->fds.size() ||
+      p->fds[static_cast<std::size_t>(fd)] == nullptr ||
+      p->fds[static_cast<std::size_t>(fd)]->socket == nullptr) {
+    return false;
+  }
+  return kernel_.net().SoConnect(p->fds[static_cast<std::size_t>(fd)]->socket, dst_ip, dport);
+}
+
+long Syscalls::Send(int fd, const Bytes& data) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_sendto_);
+  kernel_.cpu().Use(12 * kMicrosecond);
+  OpenFile* file = FileFor(fd);
+  if (file == nullptr || file->socket == nullptr) {
+    return -1;
+  }
+  return kernel_.net().SoSend(*file->socket, data);
+}
+
+int Syscalls::Shutdown(int fd) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_shutdown_);
+  kernel_.cpu().Use(12 * kMicrosecond);
+  OpenFile* file = FileFor(fd);
+  if (file == nullptr || file->socket == nullptr) {
+    return -1;
+  }
+  kernel_.net().SoShutdown(*file->socket);
+  return 0;
+}
+
+long Syscalls::Recv(int fd, std::size_t n, Bytes* out) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_recvfrom_);
+  kernel_.cpu().Use(10 * kMicrosecond);
+  OpenFile* file = FileFor(fd);
+  if (file == nullptr || file->socket == nullptr) {
+    return -1;
+  }
+  return static_cast<long>(kernel_.net().SoReceive(*file->socket, n, out));
+}
+
+int Syscalls::Vfork(std::function<void(UserEnv&)> child_main) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_vfork_);
+  Proc* parent = kernel_.curproc();
+  HWPROF_CHECK(parent != nullptr && parent != kernel_.proc0());
+
+  // proc table slot, credentials, statistics — the proc_dup bookkeeping.
+  kernel_.cpu().Use(kernel_.cost().proc_dup_fixed_ns);
+  const Kmem::AllocId a1 = kernel_.kmem().Malloc(1024, "proc");
+  Proc* child = kernel_.NewProcInternal(parent->name + "-child", nullptr);
+  child->parent = parent;
+
+  // Allocate and duplicate the u-area / kernel stack (two wired pages).
+  child->uarea_kmem = kernel_.kmem().KmemAlloc(2);
+  kernel_.Bcopy(2 * Vmspace::kPageBytes);
+
+  // Descriptor table duplication: one reference per open file.
+  child->fds = parent->fds;
+  kernel_.Bcopy(parent->fds.size() * 16 + 64);
+
+  // The expensive part: vmspace_fork (Fig 5's pmap traffic).
+  child->vm = std::make_unique<Vmspace>();
+  kernel_.vm().ForkVmspace(*parent->vm, *child->vm);
+  kernel_.kmem().Free(a1);
+
+  // Arm the child to run `child_main` when scheduled.
+  kernel_.ArmProcMain(child, std::move(child_main));
+  kernel_.sched().SetRunnable(child);
+
+  // vfork: the parent waits until the child execs or exits.
+  while (!child->vfork_done) {
+    kernel_.sched().Tsleep(child, "vfork");
+  }
+  return child->pid;
+}
+
+bool Syscalls::Execve(const std::string& path) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_execve_);
+  Proc* p = kernel_.curproc();
+  HWPROF_CHECK(p != nullptr && p != kernel_.proc0());
+
+  // Path and argument strings from user space.
+  const int ino = kernel_.fs().Namei(path);  // includes per-component copyinstr
+  if (ino < 0) {
+    return false;
+  }
+  kernel_.Copyinstr(32);  // argv
+  kernel_.Copyinstr(64);  // envp
+
+  // Image activation: read the header through the buffer cache (warm after
+  // the first exec — the paper's fork/exec numbers exclude disk activity).
+  Bytes header;
+  kernel_.fs().ReadFile(ino, 0, 1024, &header);
+  kernel_.cpu().Use(kernel_.cost().exec_header_ns);
+
+  // Size the new image from the file.
+  const std::uint64_t file_size = kernel_.fs().FileSize(ino);
+  ImageLayout layout;
+  layout.text_pages = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(4, file_size / Vmspace::kPageBytes));
+  layout.data_pages = layout.text_pages / 2 + 4;
+  layout.bss_pages = 8;
+  layout.stack_pages = 4;
+
+  // Tear down the old address space and demand-fault the new image.
+  const std::uint32_t initial_faults =
+      std::min<std::uint32_t>(56, layout.text_pages + layout.data_pages);
+  kernel_.vm().ExecReplace(*p->vm, layout, initial_faults);
+
+  // vfork parent resumes here.
+  p->vfork_done = true;
+  kernel_.sched().Wakeup(p);
+  return true;
+}
+
+void Syscalls::Exit(int status) {
+  {
+    SyscallFrame frame(kernel_, f_syscall_);
+    KPROF(kernel_, f_exit_);
+    Proc* p = kernel_.curproc();
+    HWPROF_CHECK(p != nullptr && p != kernel_.proc0());
+    kernel_.cpu().Use(200 * kMicrosecond);
+    // Close descriptors and release the address space.
+    p->fds.clear();
+    if (p->vm != nullptr) {
+      kernel_.vm().DestroyVmspace(*p->vm);
+    }
+    if (p->uarea_kmem != 0) {
+      kernel_.kmem().KmemFree(p->uarea_kmem);
+      p->uarea_kmem = 0;
+    }
+  }
+  kernel_.sched().ExitCurrent(status);
+}
+
+int Syscalls::Wait(int* status_out) {
+  SyscallFrame frame(kernel_, f_syscall_);
+  KPROF(kernel_, f_wait4_);
+  kernel_.cpu().Use(30 * kMicrosecond);
+  Proc* self = kernel_.curproc();
+  while (true) {
+    bool have_child = false;
+    for (const auto& p : kernel_.procs()) {
+      if (p->parent != self) {
+        continue;
+      }
+      have_child = true;
+      if (p->state == ProcState::kZombie) {
+        const int pid = p->pid;
+        if (status_out != nullptr) {
+          *status_out = p->exit_status;
+        }
+        kernel_.ReapProc(p.get());
+        return pid;
+      }
+    }
+    if (!have_child) {
+      return -1;
+    }
+    kernel_.sched().Tsleep(self, "wait");
+  }
+}
+
+}  // namespace hwprof

@@ -1,0 +1,108 @@
+// System-call handlers: the macro-profiling layer.
+//
+// The paper's "macro-profiling" instruments the syscall and VNODE entry
+// points so every kernel code path is bracketed by a handful of high-level
+// functions ("How long does it take to fork/exec a process?"). Each handler
+// here charges trap entry/exit costs and runs under a profiled "syscall"
+// dispatcher scope plus its own named scope (read, vfork, execve...).
+
+#ifndef HWPROF_SRC_KERN_SYSCALLS_H_
+#define HWPROF_SRC_KERN_SYSCALLS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/instr/instrumenter.h"
+#include "src/kern/net_pkt.h"  // Bytes
+#include "src/kern/proc.h"
+
+namespace hwprof {
+
+class Kernel;
+class UserEnv;
+
+class Syscalls {
+ public:
+  explicit Syscalls(Kernel& kernel);
+  Syscalls(const Syscalls&) = delete;
+  Syscalls& operator=(const Syscalls&) = delete;
+
+  // --- Files -----------------------------------------------------------------
+  // open(2): returns an fd, or -1. With `create`, makes the file first.
+  int Open(const std::string& path, bool create);
+  // read(2): appends up to `n` bytes to `out`; returns the count or -1.
+  long Read(int fd, std::size_t n, Bytes* out);
+  // pread-style read at an absolute offset (regular files only; the fd's
+  // offset is not moved).
+  long ReadAt(int fd, std::uint64_t off, std::size_t n, Bytes* out);
+  // write(2): returns bytes written or -1.
+  long Write(int fd, const Bytes& data);
+  int Close(int fd);
+  // pipe(2): creates a pipe; returns the read and write fds.
+  bool Pipe(int* read_fd, int* write_fd);
+
+  // --- Sockets ---------------------------------------------------------------
+  // socket(2): tcp or udp; returns an fd.
+  int Socket(bool tcp);
+  bool Bind(int fd, std::uint16_t port);
+  bool Listen(int fd);
+  // accept(2): blocks; returns the connection's fd or -1.
+  int Accept(int fd);
+  // connect(2): active open; blocks through the handshake.
+  bool Connect(int fd, std::uint32_t dst_ip, std::uint16_t dport);
+  // send(2): blocking send of the whole buffer.
+  long Send(int fd, const Bytes& data);
+  // shutdown(2) of the write side: queues a FIN.
+  int Shutdown(int fd);
+  // recv(2): blocks for data/EOF; returns bytes (0 at EOF) or -1.
+  long Recv(int fd, std::size_t n, Bytes* out);
+
+  // --- Processes --------------------------------------------------------------
+  // vfork(2) (which 386BSD 0.1 implements as a full fork, hence the paper's
+  // 24 ms): returns the child's pid. The child runs `child_main`.
+  int Vfork(std::function<void(UserEnv&)> child_main);
+  // execve(2): replaces the current image with `path` (which must exist).
+  bool Execve(const std::string& path);
+  // exit(2).
+  [[noreturn]] void Exit(int status);
+  // wait4(2): blocks until a child exits; returns its pid, or -1 if the
+  // process has no children.
+  int Wait(int* status_out = nullptr);
+
+ private:
+  // Descriptor helpers (profiled falloc/fdalloc, as in Figure 4).
+  int FdAlloc(Proc& p);
+  std::shared_ptr<OpenFile> FAlloc();
+  OpenFile* FileFor(int fd);
+
+  Kernel& kernel_;
+
+  FuncInfo* f_syscall_;
+  FuncInfo* f_open_;
+  FuncInfo* f_close_;
+  FuncInfo* f_read_;
+  FuncInfo* f_write_;
+  FuncInfo* f_vn_read_;
+  FuncInfo* f_vn_write_;
+  FuncInfo* f_socket_;
+  FuncInfo* f_bind_;
+  FuncInfo* f_listen_;
+  FuncInfo* f_accept_;
+  FuncInfo* f_recvfrom_;
+  FuncInfo* f_connect_;
+  FuncInfo* f_sendto_;
+  FuncInfo* f_shutdown_;
+  FuncInfo* f_vfork_;
+  FuncInfo* f_execve_;
+  FuncInfo* f_exit_;
+  FuncInfo* f_wait4_;
+  FuncInfo* f_falloc_;
+  FuncInfo* f_fdalloc_;
+
+  friend class SyscallFrame;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_SYSCALLS_H_

@@ -1,0 +1,91 @@
+#include "src/kern/tty.h"
+
+#include "src/base/assert.h"
+#include "src/kern/kernel.h"
+#include "src/kern/sched.h"
+
+namespace hwprof {
+
+TerminalHost::TerminalHost(Kernel& kernel) : kernel_(kernel) {
+  kernel.tty().AttachTerminal(this);
+}
+
+void TerminalHost::Type(const std::string& text, Nanoseconds when, Nanoseconds inter_char) {
+  Nanoseconds t = when;
+  for (char c : text) {
+    kernel_.machine().events().ScheduleAt(t, [this, c] { kernel_.tty().LineReceive(c); });
+    t += inter_char;
+  }
+}
+
+TtyDevice::TtyDevice(Kernel& kernel)
+    : kernel_(kernel),
+      f_siointr_(kernel.RegFn("siointr", Subsys::kIntr)),
+      f_ttyinput_(kernel.RegFn("ttyinput", Subsys::kLib)),
+      f_ttread_(kernel.RegFn("ttread", Subsys::kSyscall)),
+      f_ttstart_(kernel.RegFn("ttstart", Subsys::kLib)) {}
+
+void TtyDevice::LineReceive(char c) {
+  if (rx_full_) {
+    // The previous character was never read: hardware overrun, data lost.
+    ++overruns_;
+  }
+  rx_full_ = true;
+  rx_char_ = c;
+  rx_arrived_at_ = kernel_.Now();
+  kernel_.machine().irq().Raise(IrqLine::kUart);
+}
+
+void TtyDevice::Intr() {
+  KPROF(kernel_, f_siointr_);
+  kernel_.cpu().Use(12 * kMicrosecond);  // IIR/LSR reads across the bus
+  while (rx_full_) {
+    // Read RBR: clears the holding register, releasing the line.
+    const char c = rx_char_;
+    rx_full_ = false;
+    latencies_.push_back(kernel_.Now() - rx_arrived_at_);
+    ++chars_received_;
+    kernel_.cpu().Use(3 * kMicrosecond);  // RBR read
+    TtyInput(c);
+  }
+}
+
+void TtyDevice::TtyInput(char c) {
+  KPROF(kernel_, f_ttyinput_);
+  kernel_.cpu().Use(18 * kMicrosecond);  // canonical processing, clist append
+  EchoChar(c);
+  if (c == '\n') {
+    lines_.push_back(partial_line_);
+    partial_line_.clear();
+    kernel_.sched().Wakeup(&lines_);
+  } else {
+    partial_line_ += c;
+  }
+}
+
+void TtyDevice::EchoChar(char c) {
+  KPROF(kernel_, f_ttstart_);
+  kernel_.cpu().Use(8 * kMicrosecond);  // THR write
+  if (host_ != nullptr) {
+    // Transmit completes after the character's wire time (9600 baud:
+    // ~1.04 ms per character); the host sees it then.
+    kernel_.machine().events().ScheduleAt(kernel_.Now() + 1'042 * kMicrosecond,
+                                          [this, c] { host_->OnEchoChar(c); });
+  }
+}
+
+std::string TtyDevice::ReadLine() {
+  KPROF(kernel_, f_ttread_);
+  kernel_.cpu().Use(15 * kMicrosecond);
+  const int s = kernel_.spl().spltty();
+  while (lines_.empty()) {
+    kernel_.sched().Tsleep(&lines_, "ttyin");
+  }
+  std::string line = std::move(lines_.front());
+  lines_.pop_front();
+  kernel_.spl().splx(s);
+  kernel_.Copyout(line.size() + 1);
+  return line;
+}
+
+}  // namespace hwprof

@@ -1,0 +1,100 @@
+// Serial line and tty layer — the paper's motivating question: "What
+// happens if you wish to measure the time taken to process character input
+// interrupts?"
+//
+// A 16450-class UART with a ONE-character receive holding register: if the
+// kernel does not service the interrupt before the next character arrives,
+// the character is lost (a hardware overrun — exactly the failure mode that
+// makes interrupt latency worth measuring). The tty layer does canonical
+// input processing with echo; a TerminalHost models the human (or paste
+// burst) on the other end of the line and verifies its echoes.
+
+#ifndef HWPROF_SRC_KERN_TTY_H_
+#define HWPROF_SRC_KERN_TTY_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/instr/instrumenter.h"
+
+namespace hwprof {
+
+class Kernel;
+
+// The remote end of the serial line.
+class TerminalHost {
+ public:
+  explicit TerminalHost(Kernel& kernel);
+  TerminalHost(const TerminalHost&) = delete;
+  TerminalHost& operator=(const TerminalHost&) = delete;
+
+  // Types `text` starting at `when`, one character per `inter_char` gap
+  // (3 ms ≈ a 9600-baud paste; 100 ms ≈ a fast typist).
+  void Type(const std::string& text, Nanoseconds when, Nanoseconds inter_char);
+
+  // Characters echoed back by the tty (for verification).
+  const std::string& echoed() const { return echoed_; }
+  void OnEchoChar(char c) { echoed_ += c; }
+
+ private:
+  Kernel& kernel_;
+  std::string echoed_;
+};
+
+class TtyDevice {
+ public:
+  explicit TtyDevice(Kernel& kernel);
+  TtyDevice(const TtyDevice&) = delete;
+  TtyDevice& operator=(const TtyDevice&) = delete;
+
+  void AttachTerminal(TerminalHost* host) { host_ = host; }
+
+  // Line side: a character hits the receive holding register at time `now`.
+  // Overwrites (and drops) any unserviced previous character — the 16450's
+  // single-register overrun.
+  void LineReceive(char c);
+
+  // siointr: the IRQ4 handler body (dispatched by the kernel).
+  void Intr();
+
+  // ttread: blocks the calling process until a full line is available
+  // (canonical mode), then returns it without the newline.
+  std::string ReadLine();
+
+  std::uint64_t chars_received() const { return chars_received_; }
+  std::uint64_t overruns() const { return overruns_; }
+  // Interrupt service latency (arrival -> handler read) per character.
+  const std::vector<Nanoseconds>& latencies() const { return latencies_; }
+
+ private:
+  void TtyInput(char c);
+  void EchoChar(char c);
+
+  Kernel& kernel_;
+  TerminalHost* host_ = nullptr;
+
+  // 16450 registers.
+  bool rx_full_ = false;
+  char rx_char_ = 0;
+  Nanoseconds rx_arrived_at_ = 0;
+
+  // Canonical-mode line discipline state.
+  std::string partial_line_;
+  std::deque<std::string> lines_;
+
+  std::uint64_t chars_received_ = 0;
+  std::uint64_t overruns_ = 0;
+  std::vector<Nanoseconds> latencies_;
+
+  FuncInfo* f_siointr_;
+  FuncInfo* f_ttyinput_;
+  FuncInfo* f_ttread_;
+  FuncInfo* f_ttstart_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_TTY_H_

@@ -1,0 +1,109 @@
+#include "src/kern/user_env.h"
+
+#include "src/base/assert.h"
+#include "src/kern/console.h"
+#include "src/kern/kernel.h"
+#include "src/kern/nfs.h"
+#include "src/kern/syscalls.h"
+#include "src/kern/tty.h"
+#include "src/kern/vm.h"
+#include "src/kern/vm_map.h"
+
+namespace hwprof {
+
+void UserEnv::Compute(Nanoseconds cost) {
+  kernel_.SetUserMode(true);
+  kernel_.cpu().Use(cost);
+  kernel_.SetUserMode(false);
+}
+
+void UserEnv::TouchPages(int n, bool write) {
+  HWPROF_CHECK(proc_.vm != nullptr);
+  // Touch from the start of the data entry; wrap within it.
+  const VmEntry* data_entry = nullptr;
+  for (const VmEntry& e : proc_.vm->entries) {
+    if (e.kind == VmEntryKind::kData) {
+      data_entry = &e;
+      break;
+    }
+  }
+  if (data_entry == nullptr) {
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t vpage =
+        data_entry->start_page + static_cast<std::uint32_t>(i) % data_entry->npages;
+    kernel_.SetUserMode(true);
+    kernel_.cpu().Use(500);  // the access itself
+    kernel_.SetUserMode(false);
+    if (proc_.vm->pmap.pages.count(vpage) == 0) {
+      kernel_.vm().Fault(*proc_.vm, vpage, write);
+    }
+  }
+}
+
+void UserEnv::Print(const std::string& text) { kernel_.console().Write(text); }
+
+int UserEnv::Open(const std::string& path, bool create) {
+  return kernel_.syscalls().Open(path, create);
+}
+long UserEnv::Read(int fd, std::size_t n, Bytes* out) {
+  return kernel_.syscalls().Read(fd, n, out);
+}
+long UserEnv::ReadAt(int fd, std::uint64_t off, std::size_t n, Bytes* out) {
+  return kernel_.syscalls().ReadAt(fd, off, n, out);
+}
+long UserEnv::Write(int fd, const Bytes& data) { return kernel_.syscalls().Write(fd, data); }
+int UserEnv::Close(int fd) { return kernel_.syscalls().Close(fd); }
+bool UserEnv::Pipe(int* read_fd, int* write_fd) {
+  return kernel_.syscalls().Pipe(read_fd, write_fd);
+}
+int UserEnv::Socket(bool tcp) { return kernel_.syscalls().Socket(tcp); }
+bool UserEnv::Bind(int fd, std::uint16_t port) { return kernel_.syscalls().Bind(fd, port); }
+bool UserEnv::Listen(int fd) { return kernel_.syscalls().Listen(fd); }
+int UserEnv::Accept(int fd) { return kernel_.syscalls().Accept(fd); }
+long UserEnv::Recv(int fd, std::size_t n, Bytes* out) {
+  return kernel_.syscalls().Recv(fd, n, out);
+}
+bool UserEnv::Connect(int fd, std::uint32_t dst_ip, std::uint16_t dport) {
+  return kernel_.syscalls().Connect(fd, dst_ip, dport);
+}
+long UserEnv::Send(int fd, const Bytes& data) { return kernel_.syscalls().Send(fd, data); }
+int UserEnv::Shutdown(int fd) { return kernel_.syscalls().Shutdown(fd); }
+int UserEnv::Vfork(std::function<void(UserEnv&)> child_main) {
+  return kernel_.syscalls().Vfork(std::move(child_main));
+}
+bool UserEnv::Execve(const std::string& path) { return kernel_.syscalls().Execve(path); }
+void UserEnv::Exit(int status) { kernel_.syscalls().Exit(status); }
+int UserEnv::Wait(int* status) { return kernel_.syscalls().Wait(status); }
+
+std::string UserEnv::ReadTtyLine() {
+  kernel_.SyscallEnter();
+  std::string line = kernel_.tty().ReadLine();
+  kernel_.SyscallExit();
+  return line;
+}
+
+long UserEnv::NfsRead(std::uint32_t fh, std::uint32_t off, std::uint32_t len, Bytes* out) {
+  return kernel_.nfs().Read(fh, off, len, out);
+}
+long UserEnv::NfsWrite(std::uint32_t fh, std::uint32_t off, const Bytes& data) {
+  return kernel_.nfs().Write(fh, off, data);
+}
+
+std::uint32_t UserEnv::MmapProfiler() {
+  // The driver stub reserves the Profiler's physical window; mmap maps it at
+  // the same virtual location the kernel triggers use. (In the paper a
+  // modified crt0 does this before main().)
+  kernel_.SyscallEnter();
+  kernel_.cpu().Use(300 * kMicrosecond);  // open(2) + mmap(2) of the stub
+  kernel_.SyscallExit();
+  return kernel_.instr().profile_base();
+}
+
+void UserEnv::UserTrigger(std::uint32_t profile_base, std::uint16_t tag) {
+  HWPROF_CHECK_MSG(profile_base != 0, "profiler window not mapped");
+  kernel_.machine().TriggerRead(profile_base + tag);
+}
+
+}  // namespace hwprof

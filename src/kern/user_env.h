@@ -1,0 +1,84 @@
+// UserEnv: the "user program" API.
+//
+// Workloads are C++ functions running on a process's fiber; UserEnv is their
+// view of the machine — user-mode computation, page touches (which fault
+// through vm_fault), console output, and the syscall surface. It also
+// exposes the paper's user-level profiling hook: mmap'ing the Profiler's
+// address window into the process so user code can emit its own event tags.
+
+#ifndef HWPROF_SRC_KERN_USER_ENV_H_
+#define HWPROF_SRC_KERN_USER_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/base/units.h"
+#include "src/kern/net_pkt.h"  // Bytes
+#include "src/kern/proc.h"
+
+namespace hwprof {
+
+class Kernel;
+
+class UserEnv {
+ public:
+  UserEnv(Kernel& kernel, Proc& proc) : kernel_(kernel), proc_(proc) {}
+
+  Kernel& kernel() { return kernel_; }
+  Proc& proc() { return proc_; }
+  int pid() const { return proc_.pid; }
+
+  // Burns `cost` of user-mode CPU time (preemptible at AST points).
+  void Compute(Nanoseconds cost);
+
+  // Touches `n` pages starting at the process's data segment; non-resident
+  // pages fault through vm_fault.
+  void TouchPages(int n, bool write = false);
+
+  // Console output (kernel console; scrolls cost real bcopyb time).
+  void Print(const std::string& text);
+
+  // --- Syscalls ----------------------------------------------------------------
+  int Open(const std::string& path, bool create = false);
+  long Read(int fd, std::size_t n, Bytes* out);
+  long ReadAt(int fd, std::uint64_t off, std::size_t n, Bytes* out);
+  long Write(int fd, const Bytes& data);
+  int Close(int fd);
+  bool Pipe(int* read_fd, int* write_fd);
+  int Socket(bool tcp);
+  bool Bind(int fd, std::uint16_t port);
+  bool Listen(int fd);
+  int Accept(int fd);
+  long Recv(int fd, std::size_t n, Bytes* out);
+  bool Connect(int fd, std::uint32_t dst_ip, std::uint16_t dport);
+  long Send(int fd, const Bytes& data);
+  int Shutdown(int fd);
+  int Vfork(std::function<void(UserEnv&)> child_main);
+  bool Execve(const std::string& path);
+  [[noreturn]] void Exit(int status);
+  int Wait(int* status = nullptr);
+
+  // Blocking canonical-mode read of one line from the serial console.
+  std::string ReadTtyLine();
+
+  // --- NFS client --------------------------------------------------------------
+  long NfsRead(std::uint32_t fh, std::uint32_t off, std::uint32_t len, Bytes* out);
+  long NfsWrite(std::uint32_t fh, std::uint32_t off, const Bytes& data);
+
+  // --- User-level profiling -------------------------------------------------------
+  // Opens the Profiler driver stub and mmaps the board's window into this
+  // process, returning the user-space ProfileBase (0 if the kernel was not
+  // linked with one). A profiling crt0 would do this at startup.
+  std::uint32_t MmapProfiler();
+  // Emits one user-level event tag through the mapped window.
+  void UserTrigger(std::uint32_t profile_base, std::uint16_t tag);
+
+ private:
+  Kernel& kernel_;
+  Proc& proc_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_USER_ENV_H_

@@ -1,0 +1,258 @@
+#include "src/kern/vm.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+#include "src/kern/kernel.h"
+#include "src/kern/kmem.h"
+
+namespace hwprof {
+
+const char* VmEntryKindName(VmEntryKind k) {
+  switch (k) {
+    case VmEntryKind::kText:
+      return "text";
+    case VmEntryKind::kData:
+      return "data";
+    case VmEntryKind::kBss:
+      return "bss";
+    case VmEntryKind::kStack:
+      return "stack";
+    case VmEntryKind::kAnon:
+      return "anon";
+  }
+  HWPROF_UNREACHABLE("bad VmEntryKind");
+}
+
+Vm::Vm(Kernel& kernel)
+    : kernel_(kernel),
+      f_pmap_pte_(kernel.RegFn("pmap_pte", Subsys::kVm)),
+      f_pmap_enter_(kernel.RegFn("pmap_enter", Subsys::kVm)),
+      f_pmap_remove_(kernel.RegFn("pmap_remove", Subsys::kVm)),
+      f_pmap_protect_(kernel.RegFn("pmap_protect", Subsys::kVm)),
+      f_pmap_copy_(kernel.RegFn("pmap_copy", Subsys::kVm)),
+      f_vm_fault_(kernel.RegFn("vm_fault", Subsys::kVm)),
+      f_vm_page_lookup_(kernel.RegFn("vm_page_lookup", Subsys::kVm)),
+      f_vm_page_alloc_(kernel.RegFn("vm_page_alloc", Subsys::kVm)),
+      f_vm_map_lookup_(kernel.RegFn("vm_map_lookup", Subsys::kVm)),
+      f_vmspace_fork_(kernel.RegFn("vmspace_fork", Subsys::kVm)),
+      f_vmspace_free_(kernel.RegFn("vmspace_free", Subsys::kVm)),
+      f_vm_map_entry_create_(kernel.RegFn("vm_map_entry_create", Subsys::kVm)) {}
+
+bool Vm::PmapPte(Pmap& pmap, std::uint32_t vpage) {
+  KPROF(kernel_, f_pmap_pte_);
+  kernel_.cpu().Use(kernel_.cost().pmap_pte_ns);
+  return pmap.pages.count(vpage) != 0;
+}
+
+void Vm::PmapEnter(Pmap& pmap, std::uint32_t vpage, bool writable) {
+  KPROF(kernel_, f_pmap_enter_);
+  kernel_.cpu().Use(kernel_.cost().pmap_enter_body_ns);
+  PmapPte(pmap, vpage);
+  pmap.pages[vpage] = PageTableEntry{writable, false};
+}
+
+std::size_t Vm::PmapRemove(Pmap& pmap, std::uint32_t first, std::uint32_t last) {
+  KPROF(kernel_, f_pmap_remove_);
+  kernel_.cpu().Use(kernel_.cost().pmap_remove_fixed_ns);
+  // One pmap_pte walk locates the range; within it the PTEs are contiguous
+  // and scanned inline (the per-page pv-list unlink, page free and PTE
+  // invalidate are pmap_remove's own net time — the bulk of Fig 5).
+  PmapPte(pmap, first);
+  std::size_t removed = 0;
+  for (std::uint32_t vpage = first; vpage <= last; ++vpage) {
+    auto it = pmap.pages.find(vpage);
+    if (it == pmap.pages.end()) {
+      continue;
+    }
+    kernel_.cpu().Use(kernel_.cost().pmap_remove_per_page_ns);
+    pmap.pages.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+std::size_t Vm::PmapProtect(Pmap& pmap, std::uint32_t first, std::uint32_t last,
+                            bool writable) {
+  KPROF(kernel_, f_pmap_protect_);
+  kernel_.cpu().Use(kernel_.cost().pmap_protect_fixed_ns);
+  std::size_t changed = 0;
+  for (std::uint32_t vpage = first; vpage <= last; ++vpage) {
+    if (!PmapPte(pmap, vpage)) {
+      continue;
+    }
+    kernel_.cpu().Use(1 * kMicrosecond);
+    auto& pte = pmap.pages[vpage];
+    pte.writable = writable;
+    if (!writable) {
+      pte.copy_on_write = true;
+    }
+    ++changed;
+  }
+  return changed;
+}
+
+std::size_t Vm::PmapCopy(Pmap& dst, const Pmap& src, std::uint32_t first, std::uint32_t last) {
+  KPROF(kernel_, f_pmap_copy_);
+  kernel_.cpu().Use(kernel_.cost().pmap_protect_fixed_ns);
+  std::size_t copied = 0;
+  PmapPte(dst, first);  // locate the destination page-table page
+  auto lo = src.pages.lower_bound(first);
+  auto hi = src.pages.upper_bound(last);
+  for (auto it = lo; it != hi; ++it) {
+    kernel_.cpu().Use(8 * kMicrosecond);  // allocate/copy PTE + pv entry for the child
+    dst.pages[it->first] = PageTableEntry{false, true};  // COW in the child too
+    ++copied;
+  }
+  return copied;
+}
+
+void Vm::PmapEnterKernel() {
+  PmapEnter(kernel_pmap_, next_kernel_page_++, /*writable=*/true);
+}
+
+std::unique_ptr<Vmspace> Vm::NewVmspace(const ImageLayout& layout,
+                                        std::uint32_t resident_pages) {
+  auto vm = std::make_unique<Vmspace>();
+  std::uint32_t page = 0x10;  // user VA base
+  auto add = [&](std::uint32_t npages, bool writable, VmEntryKind kind) {
+    if (npages == 0) {
+      return;
+    }
+    vm->entries.push_back(VmEntry{page, npages, writable, kind});
+    page += npages;
+  };
+  add(layout.text_pages, false, VmEntryKind::kText);
+  add(layout.data_pages, true, VmEntryKind::kData);
+  add(layout.bss_pages, true, VmEntryKind::kBss);
+  // Leave a gap below the stack, as real layouts do.
+  page += 16;
+  add(layout.stack_pages, true, VmEntryKind::kStack);
+
+  // Cost-free pre-population (the process "has been running a while"):
+  // spread residency across the entries proportionally.
+  const std::uint32_t total = static_cast<std::uint32_t>(vm->TotalPages());
+  const std::uint32_t want = std::min(resident_pages, total);
+  std::uint32_t placed = 0;
+  for (const VmEntry& e : vm->entries) {
+    const std::uint32_t share =
+        std::min<std::uint32_t>(e.npages, want * e.npages / std::max(1u, total) + 1);
+    for (std::uint32_t i = 0; i < share && placed < want; ++i, ++placed) {
+      vm->pmap.pages[e.start_page + i] = PageTableEntry{e.writable, false};
+    }
+  }
+  return vm;
+}
+
+bool Vm::Fault(Vmspace& vm, std::uint32_t vpage, bool write) {
+  KPROF(kernel_, f_vm_fault_);
+  kernel_.cpu().Use(kernel_.cost().vm_fault_fixed_ns);
+  ++fault_count_;
+
+  const VmEntry* entry = nullptr;
+  {
+    KPROF(kernel_, f_vm_map_lookup_);
+    kernel_.cpu().Use(kernel_.cost().vm_map_entry_ns / 2);
+    entry = vm.Lookup(vpage);
+  }
+  if (entry == nullptr || (write && !entry->writable)) {
+    return false;  // SIGSEGV territory
+  }
+  {
+    KPROF(kernel_, f_vm_page_lookup_);
+    kernel_.cpu().Use(kernel_.cost().vm_page_lookup_ns);
+  }
+  {
+    // Grab a free page from the object/free list (the expensive step that
+    // makes Table 1's vm_fault ~410 µs inclusive).
+    KPROF(kernel_, f_vm_page_alloc_);
+    kernel_.cpu().Use(kernel_.cost().vm_page_alloc_ns);
+  }
+  auto it = vm.pmap.pages.find(vpage);
+  if (it != vm.pmap.pages.end() && it->second.copy_on_write && write) {
+    // COW break: copy the page.
+    kernel_.Bcopy(Vmspace::kPageBytes);
+  } else {
+    // Zero-fill (or fill from the cached image; either way a page of
+    // memory traffic).
+    kernel_.Bzero(Vmspace::kPageBytes);
+  }
+  PmapEnter(vm.pmap, vpage, entry->writable);
+  return true;
+}
+
+void Vm::ForkVmspace(Vmspace& parent, Vmspace& child) {
+  KPROF(kernel_, f_vmspace_fork_);
+  kernel_.cpu().Use(300 * kMicrosecond);
+  child.entries.clear();
+  child.pmap.pages.clear();
+  for (const VmEntry& e : parent.entries) {
+    // Shadow-object chain setup — the "thick glue" between the Mach VM
+    // layer and the old kernel the paper complains about.
+    kernel_.cpu().Use(kernel_.cost().shadow_object_ns);
+    {
+      KPROF(kernel_, f_vm_map_entry_create_);
+      kernel_.cpu().Use(kernel_.cost().vm_map_entry_ns);
+    }
+    const Kmem::AllocId a = kernel_.kmem().Malloc(64, "vmmapent");
+    kernel_.kmem().Free(a);
+    child.entries.push_back(e);
+    if (e.writable) {
+      // Write-protect the parent's resident pages for copy-on-write...
+      PmapProtect(parent.pmap, e.start_page, e.end_page() - 1, false);
+    }
+    // ...and duplicate the page tables into the child.
+    PmapCopy(child.pmap, parent.pmap, e.start_page, e.end_page() - 1);
+  }
+}
+
+void Vm::ExecReplace(Vmspace& vm, const ImageLayout& layout, std::uint32_t initial_faults) {
+  // Tear down the old image, entry by entry — Fig 5's pmap_remove calls,
+  // including the multi-millisecond one for the big data segment.
+  {
+    KPROF(kernel_, f_vmspace_free_);
+    kernel_.cpu().Use(30 * kMicrosecond);
+    for (const VmEntry& e : vm.entries) {
+      PmapRemove(vm.pmap, e.start_page, e.end_page() - 1);
+    }
+    vm.entries.clear();
+  }
+  // Install the new layout.
+  std::uint32_t page = 0x10;
+  auto add = [&](std::uint32_t npages, bool writable, VmEntryKind kind) {
+    if (npages == 0) {
+      return;
+    }
+    KPROF(kernel_, f_vm_map_entry_create_);
+    kernel_.cpu().Use(kernel_.cost().vm_map_entry_ns);
+    vm.entries.push_back(VmEntry{page, npages, writable, kind});
+    page += npages;
+  };
+  add(layout.text_pages, false, VmEntryKind::kText);
+  add(layout.data_pages, true, VmEntryKind::kData);
+  add(layout.bss_pages, true, VmEntryKind::kBss);
+  page += 16;
+  add(layout.stack_pages, true, VmEntryKind::kStack);
+
+  // Demand-fault the initial working set (text entry point, data, stack) —
+  // the ~410 µs vm_faults that make execve expensive.
+  std::uint32_t faulted = 0;
+  for (const VmEntry& e : vm.entries) {
+    for (std::uint32_t i = 0; i < e.npages && faulted < initial_faults; ++i, ++faulted) {
+      Fault(vm, e.start_page + i, e.writable);
+    }
+  }
+}
+
+void Vm::DestroyVmspace(Vmspace& vm) {
+  KPROF(kernel_, f_vmspace_free_);
+  kernel_.cpu().Use(30 * kMicrosecond);
+  for (const VmEntry& e : vm.entries) {
+    PmapRemove(vm.pmap, e.start_page, e.end_page() - 1);
+  }
+  vm.entries.clear();
+}
+
+std::size_t Vm::EntryPages(const Vmspace& vm) const { return vm.TotalPages(); }
+
+}  // namespace hwprof

@@ -1,0 +1,97 @@
+// The VM subsystem: profiled, costed operations over Vmspace/Pmap — the
+// pmap layer whose "thick glue" the paper identifies as the fork/exec
+// bottleneck (Fig 5), plus vm_fault, vmspace_fork, exec image replacement
+// and address-space teardown.
+
+#ifndef HWPROF_SRC_KERN_VM_H_
+#define HWPROF_SRC_KERN_VM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/instr/instrumenter.h"
+#include "src/kern/vm_map.h"
+
+namespace hwprof {
+
+class Kernel;
+struct Proc;
+
+// Layout of a fresh process image, in pages.
+struct ImageLayout {
+  std::uint32_t text_pages = 16;
+  std::uint32_t data_pages = 24;
+  std::uint32_t bss_pages = 8;
+  std::uint32_t stack_pages = 4;
+};
+
+class Vm {
+ public:
+  explicit Vm(Kernel& kernel);
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  // --- pmap layer (all profiled) ---------------------------------------------
+  // pmap_pte: the page-table walk — Fig 5's most-called function.
+  bool PmapPte(Pmap& pmap, std::uint32_t vpage);
+  // pmap_enter: installs a mapping (walks with pmap_pte first).
+  void PmapEnter(Pmap& pmap, std::uint32_t vpage, bool writable);
+  // pmap_remove: tears down [first, last] inclusive; returns pages removed.
+  std::size_t PmapRemove(Pmap& pmap, std::uint32_t first, std::uint32_t last);
+  // pmap_protect: write-protects (or re-enables) resident pages in range.
+  std::size_t PmapProtect(Pmap& pmap, std::uint32_t first, std::uint32_t last, bool writable);
+  // pmap_copy: duplicates resident PTEs of `src` into `dst` (fork).
+  std::size_t PmapCopy(Pmap& dst, const Pmap& src, std::uint32_t first, std::uint32_t last);
+  // Kernel-pmap enter used by kmem_alloc.
+  void PmapEnterKernel();
+
+  // --- vm layer ------------------------------------------------------------
+  // Builds a fresh vmspace with the standard text/data/bss/stack entries and
+  // faults in `resident_pages` of it (cost-free pre-population for Spawn;
+  // exec uses the costed path below).
+  std::unique_ptr<Vmspace> NewVmspace(const ImageLayout& layout, std::uint32_t resident_pages);
+
+  // vm_fault: resolves a fault at `vpage`. Zero-fill or COW-copy plus
+  // pmap_enter; Table 1 measures this at ~410 µs.
+  bool Fault(Vmspace& vm, std::uint32_t vpage, bool write);
+
+  // vmspace_fork: duplicates `parent`'s address space into `child` — entry
+  // copies, COW write-protection of the parent, and page-table duplication.
+  // This is where fork's 1000+ pmap_pte calls come from.
+  void ForkVmspace(Vmspace& parent, Vmspace& child);
+
+  // execve's address-space replacement: tears down the old image (the large
+  // pmap_remove calls of Fig 5), installs the new layout, and demand-faults
+  // its initial working set.
+  void ExecReplace(Vmspace& vm, const ImageLayout& layout, std::uint32_t initial_faults);
+
+  // exit teardown.
+  void DestroyVmspace(Vmspace& vm);
+
+  std::uint64_t faults() const { return fault_count_; }
+
+ private:
+  std::size_t EntryPages(const Vmspace& vm) const;
+
+  Kernel& kernel_;
+  Pmap kernel_pmap_;
+  std::uint64_t fault_count_ = 0;
+  std::uint32_t next_kernel_page_ = 0x100;
+
+  FuncInfo* f_pmap_pte_;
+  FuncInfo* f_pmap_enter_;
+  FuncInfo* f_pmap_remove_;
+  FuncInfo* f_pmap_protect_;
+  FuncInfo* f_pmap_copy_;
+  FuncInfo* f_vm_fault_;
+  FuncInfo* f_vm_page_lookup_;
+  FuncInfo* f_vm_page_alloc_;
+  FuncInfo* f_vm_map_lookup_;
+  FuncInfo* f_vmspace_fork_;
+  FuncInfo* f_vmspace_free_;
+  FuncInfo* f_vm_map_entry_create_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_VM_H_

@@ -1,0 +1,82 @@
+// Virtual memory data structures: vm_map entries, page table entries, and
+// the per-process pmap (machine-dependent layer).
+//
+// These are plain containers; the profiled, costed operations on them live
+// in src/kern/vm.h. The structure mirrors the Mach-derived 386BSD VM layer
+// the paper profiles: a machine-independent map of entries backed by a
+// machine-dependent pmap whose per-PTE walks (pmap_pte) dominate Fig 5.
+
+#ifndef HWPROF_SRC_KERN_VM_MAP_H_
+#define HWPROF_SRC_KERN_VM_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hwprof {
+
+struct PageTableEntry {
+  bool writable = false;
+  bool copy_on_write = false;
+};
+
+// Machine-dependent address-space representation (page tables).
+struct Pmap {
+  std::map<std::uint32_t, PageTableEntry> pages;  // vpage -> PTE
+
+  std::size_t Resident() const { return pages.size(); }
+  std::size_t ResidentInRange(std::uint32_t first, std::uint32_t last) const {
+    auto lo = pages.lower_bound(first);
+    auto hi = pages.upper_bound(last);
+    std::size_t n = 0;
+    for (auto it = lo; it != hi; ++it) {
+      ++n;
+    }
+    return n;
+  }
+};
+
+enum class VmEntryKind : std::uint8_t { kText, kData, kBss, kStack, kAnon };
+
+const char* VmEntryKindName(VmEntryKind k);
+
+struct VmEntry {
+  std::uint32_t start_page = 0;
+  std::uint32_t npages = 0;
+  bool writable = false;
+  VmEntryKind kind = VmEntryKind::kAnon;
+
+  std::uint32_t end_page() const { return start_page + npages; }  // exclusive
+  bool Contains(std::uint32_t vpage) const {
+    return vpage >= start_page && vpage < end_page();
+  }
+};
+
+struct Vmspace {
+  static constexpr std::uint32_t kPageBytes = 4096;
+
+  std::vector<VmEntry> entries;
+  Pmap pmap;
+
+  const VmEntry* Lookup(std::uint32_t vpage) const {
+    for (const VmEntry& e : entries) {
+      if (e.Contains(vpage)) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  std::size_t TotalPages() const {
+    std::size_t n = 0;
+    for (const VmEntry& e : entries) {
+      n += e.npages;
+    }
+    return n;
+  }
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_KERN_VM_MAP_H_

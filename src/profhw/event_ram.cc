@@ -1,0 +1,26 @@
+#include "src/profhw/event_ram.h"
+
+#include "src/base/assert.h"
+
+namespace hwprof {
+
+EventRam::EventRam(std::size_t depth) : depth_(depth) {
+  HWPROF_CHECK(depth > 0);
+  words_.reserve(depth);
+}
+
+bool EventRam::Store(std::uint16_t tag, std::uint32_t timestamp) {
+  if (words_.size() >= depth_) {
+    overflowed_ = true;
+    return false;
+  }
+  words_.push_back(RawEvent{tag, timestamp});
+  return true;
+}
+
+void EventRam::Reset() {
+  words_.clear();
+  overflowed_ = false;
+}
+
+}  // namespace hwprof

@@ -1,0 +1,74 @@
+#include "src/profhw/profiler.h"
+
+namespace hwprof {
+
+Profiler::Profiler(ProfilerConfig config)
+    : timer_(config.timer_bits, config.timer_clock_hz), ram_(config.ram_depth) {}
+
+void Profiler::PlugInto(IsaBus& bus) { bus.AddTapListener(this); }
+
+void Profiler::Unplug(IsaBus& bus) { bus.RemoveTapListener(this); }
+
+void Profiler::Arm() {
+  ram_.Reset();
+  armed_ = true;
+}
+
+void Profiler::Disarm() { armed_ = false; }
+
+void Profiler::OnEpromRead(std::uint16_t addr_lines, Nanoseconds now) {
+  if (!armed_ || readout_) {
+    return;
+  }
+  // The PAL gates the store on the armed flip-flop and the not-overflowed
+  // latch; the RAM handles the latter.
+  ram_.Store(addr_lines, timer_.Sample(now));
+}
+
+void Profiler::EnterReadoutMode(ReadoutBank bank) {
+  armed_ = false;
+  readout_ = true;
+  bank_ = bank;
+}
+
+void Profiler::ExitReadoutMode() { readout_ = false; }
+
+bool Profiler::ProvideEpromData(std::uint16_t addr_lines, std::uint8_t* data) {
+  if (!readout_) {
+    return false;
+  }
+  const std::vector<RawEvent>& events = ram_.Contents();
+  const std::size_t off = addr_lines;
+  if (bank_ == ReadoutBank::kTags) {
+    if (off < 4) {
+      const auto count = static_cast<std::uint32_t>(events.size());
+      *data = static_cast<std::uint8_t>((count >> (8 * off)) & 0xFF);
+      return true;
+    }
+    const std::size_t index = (off - 4) / 2;
+    if (index >= events.size()) {
+      return false;
+    }
+    const std::uint16_t tag = events[index].tag;
+    *data = static_cast<std::uint8_t>((tag >> (8 * ((off - 4) % 2))) & 0xFF);
+    return true;
+  }
+  const std::size_t index = off / 3;
+  if (index >= events.size()) {
+    return false;
+  }
+  const std::uint32_t timestamp = events[index].timestamp;
+  *data = static_cast<std::uint8_t>((timestamp >> (8 * (off % 3))) & 0xFF);
+  return true;
+}
+
+RawTrace Profiler::Upload() const {
+  RawTrace trace;
+  trace.events = ram_.Contents();
+  trace.timer_bits = timer_.bits();
+  trace.timer_clock_hz = timer_.clock_hz();
+  trace.overflowed = ram_.overflowed();
+  return trace;
+}
+
+}  // namespace hwprof

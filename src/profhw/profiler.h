@@ -1,0 +1,87 @@
+// The Profiler board (Figure 1), behaviourally modelled.
+//
+// Plugged into the EPROM socket of the target, the board sees the 16 address
+// lines plus the chip enables of every read decoded to the socket window.
+// When armed (the start switch), each observed read latches the address
+// lines as the event tag together with the free-running timer value, and the
+// address counter advances. Two LEDs report state: "active" (armed and
+// storing) and "overflow" (address counter wrapped; storing stopped).
+
+#ifndef HWPROF_SRC_PROFHW_PROFILER_H_
+#define HWPROF_SRC_PROFHW_PROFILER_H_
+
+#include <cstdint>
+
+#include "src/base/units.h"
+#include "src/profhw/event_ram.h"
+#include "src/profhw/raw_trace.h"
+#include "src/profhw/usec_timer.h"
+#include "src/sim/bus.h"
+
+namespace hwprof {
+
+struct ProfilerConfig {
+  std::size_t ram_depth = kDefaultEventRamDepth;
+  unsigned timer_bits = 24;
+  std::uint64_t timer_clock_hz = 1'000'000;
+};
+
+// Which RAM bank the ZIF readout multiplexes into the socket window.
+enum class ReadoutBank : std::uint8_t { kTags, kTimestamps };
+
+class Profiler : public EpromTapListener {
+ public:
+  explicit Profiler(ProfilerConfig config = ProfilerConfig{});
+
+  // Attaches the board to `bus`'s EPROM socket. The board powers from the
+  // socket, so attachment is the only connection required.
+  void PlugInto(IsaBus& bus);
+  void Unplug(IsaBus& bus);
+
+  // The start switch: begins a capture (clears RAM, address counter and the
+  // overflow latch).
+  void Arm();
+  // Stops capturing without clearing RAM.
+  void Disarm();
+
+  bool armed() const { return armed_; }
+  // LED 1: armed and still storing. LED 2: address counter overflowed.
+  bool led_active() const { return armed_ && !ram_.overflowed(); }
+  bool led_overflow() const { return ram_.overflowed(); }
+
+  std::size_t events_captured() const { return ram_.used(); }
+  std::size_t capacity() const { return ram_.depth(); }
+  const UsecTimer& timer() const { return timer_; }
+
+  // EpromTapListener: one bus read decoded to the socket.
+  void OnEpromRead(std::uint16_t addr_lines, Nanoseconds now) override;
+
+  // --- ZIF readout (the paper's future-work upgrade) -------------------------
+  // Multiplexes a storage RAM bank into the socket window so the *target*
+  // can read the capture in place, instead of carrying battery-backed RAMs
+  // to another host. Capturing stops while in readout mode.
+  //
+  // Bank layouts (little-endian):
+  //   kTags:        [count u32][tag u16 per event]
+  //   kTimestamps:  [timestamp u24 per event]
+  void EnterReadoutMode(ReadoutBank bank);
+  void ExitReadoutMode();
+  bool in_readout() const { return readout_; }
+  bool ProvideEpromData(std::uint16_t addr_lines, std::uint8_t* data) override;
+
+  // Models pulling the battery-backed Smart-Socket RAMs and uploading their
+  // contents to a host: returns the raw capture. The board keeps its data
+  // (reading RAM is non-destructive).
+  RawTrace Upload() const;
+
+ private:
+  UsecTimer timer_;
+  EventRam ram_;
+  bool armed_ = false;
+  bool readout_ = false;
+  ReadoutBank bank_ = ReadoutBank::kTags;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_PROFHW_PROFILER_H_

@@ -1,0 +1,53 @@
+#include "src/profhw/raw_trace.h"
+
+#include "src/base/strings.h"
+
+namespace hwprof {
+
+std::string RawTrace::Serialize() const {
+  std::string out = StrFormat("hwprof-raw v1 %u %llu %d\n", timer_bits,
+                              static_cast<unsigned long long>(timer_clock_hz),
+                              overflowed ? 1 : 0);
+  for (const RawEvent& e : events) {
+    out += StrFormat("%u %u\n", e.tag, e.timestamp);
+  }
+  return out;
+}
+
+bool RawTrace::Deserialize(const std::string& text, RawTrace* out) {
+  const std::vector<std::string_view> lines = SplitLines(text);
+  if (lines.empty()) {
+    return false;
+  }
+  const std::vector<std::string_view> header = Split(lines[0], ' ');
+  if (header.size() != 5 || header[0] != "hwprof-raw" || header[1] != "v1") {
+    return false;
+  }
+  std::uint64_t bits = 0;
+  std::uint64_t hz = 0;
+  std::uint64_t overflow = 0;
+  if (!ParseUint(header[2], &bits) || !ParseUint(header[3], &hz) ||
+      !ParseUint(header[4], &overflow) || bits < 8 || bits > 32 || hz == 0 || overflow > 1) {
+    return false;
+  }
+  RawTrace trace;
+  trace.timer_bits = static_cast<unsigned>(bits);
+  trace.timer_clock_hz = hz;
+  trace.overflowed = overflow == 1;
+  trace.events.reserve(lines.size() - 1);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::vector<std::string_view> fields = Split(lines[i], ' ');
+    std::uint64_t tag = 0;
+    std::uint64_t timestamp = 0;
+    if (fields.size() != 2 || !ParseUint(fields[0], &tag) || !ParseUint(fields[1], &timestamp) ||
+        tag > 0xFFFF || timestamp > 0xFFFFFFFFull) {
+      return false;
+    }
+    trace.events.push_back(RawEvent{static_cast<std::uint16_t>(tag),
+                                    static_cast<std::uint32_t>(timestamp)});
+  }
+  *out = std::move(trace);
+  return true;
+}
+
+}  // namespace hwprof

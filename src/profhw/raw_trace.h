@@ -1,0 +1,42 @@
+// Raw capture data: the exact information the Profiler's RAM holds.
+//
+// Each stored event is 40 bits wide — a 16-bit tag section and a 24-bit (by
+// default) timer section. This is *all* the analysis software ever receives;
+// keeping the container this narrow enforces the paper's information
+// boundary between hardware capture and host-side analysis.
+
+#ifndef HWPROF_SRC_PROFHW_RAW_TRACE_H_
+#define HWPROF_SRC_PROFHW_RAW_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hwprof {
+
+struct RawEvent {
+  std::uint16_t tag = 0;
+  std::uint32_t timestamp = 0;  // masked to the timer width
+
+  friend bool operator==(const RawEvent&, const RawEvent&) = default;
+};
+
+struct RawTrace {
+  std::vector<RawEvent> events;
+  unsigned timer_bits = 24;
+  std::uint64_t timer_clock_hz = 1'000'000;
+  bool overflowed = false;  // address counter hit the end; capture stopped
+
+  // Serialises to the simple line format uploaded to the UNIX host:
+  //   "hwprof-raw v1 <timer_bits> <clock_hz> <overflowed>" then one
+  //   "<tag> <timestamp>" line per event.
+  std::string Serialize() const;
+
+  // Parses the upload format. Returns false on malformed input, leaving
+  // `*out` unspecified.
+  static bool Deserialize(const std::string& text, RawTrace* out);
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_PROFHW_RAW_TRACE_H_

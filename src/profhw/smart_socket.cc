@@ -1,0 +1,27 @@
+#include "src/profhw/smart_socket.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hwprof {
+
+bool SaveCapture(const RawTrace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << trace.Serialize();
+  return static_cast<bool>(out);
+}
+
+bool LoadCapture(const std::string& path, RawTrace* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return RawTrace::Deserialize(buffer.str(), out);
+}
+
+}  // namespace hwprof

@@ -1,0 +1,26 @@
+// Battery-backed Smart-Socket transfer: file persistence for captures.
+//
+// In the paper the data RAMs sit in battery-backed Smart-Sockets and are
+// physically carried to a networked host, then copied to a UNIX machine for
+// processing. Here that journey is a round-trip through a file in the
+// RawTrace upload format.
+
+#ifndef HWPROF_SRC_PROFHW_SMART_SOCKET_H_
+#define HWPROF_SRC_PROFHW_SMART_SOCKET_H_
+
+#include <string>
+
+#include "src/profhw/raw_trace.h"
+
+namespace hwprof {
+
+// Writes `trace` to `path`. Returns false on I/O failure.
+bool SaveCapture(const RawTrace& trace, const std::string& path);
+
+// Reads a capture previously written by SaveCapture. Returns false on I/O
+// failure or malformed contents.
+bool LoadCapture(const std::string& path, RawTrace* out);
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_PROFHW_SMART_SOCKET_H_

@@ -1,0 +1,54 @@
+// Free-running microsecond counter of the Profiler board.
+//
+// The prototype clocks a 24-bit counter at 1 MHz: the count wraps every
+// ~16.7 s, which bounds the *interval between events*, not the total run
+// (the analysis software only ever uses deltas). The paper's future-work
+// section considers a wider counter ("fitting a wider RAM module for
+// accepting more clock data bits") and a higher clock rate; both are
+// parameters here so that trade-off is explorable.
+
+#ifndef HWPROF_SRC_PROFHW_USEC_TIMER_H_
+#define HWPROF_SRC_PROFHW_USEC_TIMER_H_
+
+#include <cstdint>
+
+#include "src/base/assert.h"
+#include "src/base/units.h"
+
+namespace hwprof {
+
+class UsecTimer {
+ public:
+  // `bits` is the counter width (the prototype's RAM holds 24 timer bits);
+  // `clock_hz` is the oscillator rate (prototype: 1 MHz).
+  explicit UsecTimer(unsigned bits = 24, std::uint64_t clock_hz = 1'000'000);
+
+  unsigned bits() const { return bits_; }
+  std::uint64_t clock_hz() const { return clock_hz_; }
+
+  // Counter mask (2^bits - 1).
+  std::uint32_t Mask() const { return mask_; }
+
+  // Raw counter value latched at virtual time `now`.
+  std::uint32_t Sample(Nanoseconds now) const;
+
+  // Longest interval between two events that is still unambiguous, in
+  // nanoseconds (one full wrap period).
+  Nanoseconds WrapPeriod() const;
+
+  // Interval, in timer ticks, from an earlier sample to a later one,
+  // assuming at most one wrap between them (the analyser's contract).
+  std::uint32_t TicksBetween(std::uint32_t earlier, std::uint32_t later) const;
+
+  // Converts timer ticks to nanoseconds.
+  Nanoseconds TicksToNs(std::uint64_t ticks) const;
+
+ private:
+  unsigned bits_;
+  std::uint64_t clock_hz_;
+  std::uint32_t mask_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_PROFHW_USEC_TIMER_H_

@@ -1,0 +1,36 @@
+#include "src/sim/cost_model.h"
+
+namespace hwprof {
+
+CostModel CostModel::I386Dx40() { return CostModel{}; }
+
+CostModel CostModel::I386Dx40AsmCksum() {
+  CostModel m;
+  m.cksum_use_asm = true;
+  return m;
+}
+
+CostModel CostModel::M68020At25() {
+  CostModel m;
+  m.cycle_ns = 40;  // 25 MHz
+  // spl* maps to one move-to-status-register: the 680x0 has real hardware
+  // interrupt priority levels.
+  m.spl_raise_ns = 800;
+  m.splx_ns = 600;
+  m.spl0_ns = 900;
+  // True vectored interrupts with hardware levels: no software-interrupt
+  // emulation tax, cheaper entry/exit.
+  m.ast_emulation_ns = 0;
+  m.intr_entry_ns = 8'000;
+  m.intr_exit_ns = 5'000;
+  m.hardclock_body_ns = 40'000;
+  // The embedded board's network controller sits on the local bus: frame
+  // copies are ~4x faster than the PC's 8-bit ISA path.
+  m.isa8_ns_per_byte = 180;
+  m.isa16_ns_per_byte = 140;
+  // The Megadata kernel checksums in assembler.
+  m.cksum_use_asm = true;
+  return m;
+}
+
+}  // namespace hwprof

@@ -1,0 +1,63 @@
+#include "src/sim/cpu.h"
+
+#include "src/base/assert.h"
+
+namespace hwprof {
+
+Cpu::Cpu(VirtualClock* clock, EventQueue* queue) : clock_(clock), queue_(queue) {
+  HWPROF_CHECK(clock != nullptr && queue != nullptr);
+}
+
+void Cpu::DispatchAt(Nanoseconds* deadline) {
+  queue_->RunDue(clock_->Now());
+  if (intr_hook_) {
+    const Nanoseconds before = clock_->Now();
+    intr_hook_();
+    const Nanoseconds service = clock_->Now() - before;
+    if (deadline != nullptr) {
+      *deadline += service;
+    }
+  }
+}
+
+void Cpu::Use(Nanoseconds cost) {
+  Nanoseconds deadline = clock_->Now() + cost;
+  while (clock_->Now() < deadline) {
+    const Nanoseconds next = queue_->NextTime();
+    if (next <= clock_->Now()) {
+      // An event became due at the current instant (e.g. scheduled by an
+      // interrupt handler); dispatch without advancing.
+      DispatchAt(&deadline);
+      continue;
+    }
+    if (next < deadline) {
+      busy_ns_ += next - clock_->Now();
+      clock_->AdvanceTo(next);
+      DispatchAt(&deadline);
+    } else {
+      busy_ns_ += deadline - clock_->Now();
+      clock_->AdvanceTo(deadline);
+    }
+  }
+}
+
+bool Cpu::IdleWait(Nanoseconds until) {
+  const Nanoseconds next = queue_->NextTime();
+  if (next == EventQueue::kNever || next > until) {
+    if (until > clock_->Now()) {
+      idle_ns_ += until - clock_->Now();
+      clock_->AdvanceTo(until);
+    }
+    return false;
+  }
+  if (next > clock_->Now()) {
+    idle_ns_ += next - clock_->Now();
+    clock_->AdvanceTo(next);
+  }
+  DispatchAt(nullptr);
+  return true;
+}
+
+void Cpu::PollInterrupts() { DispatchAt(nullptr); }
+
+}  // namespace hwprof

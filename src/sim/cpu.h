@@ -1,0 +1,65 @@
+// CPU model: the single consumer of virtual time.
+//
+// Kernel and user code express computation as Use(cost) calls. While the CPU
+// "executes", device events that fall inside the interval fire at their
+// scheduled instants and the interrupt hook runs — so interrupt handlers
+// preempt modelled work exactly where they would preempt an instruction
+// stream, and the preempted work still completes its remaining cost
+// afterwards (the deadline is extended by the service time).
+
+#ifndef HWPROF_SRC_SIM_CPU_H_
+#define HWPROF_SRC_SIM_CPU_H_
+
+#include <functional>
+
+#include "src/base/units.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace hwprof {
+
+class Cpu {
+ public:
+  Cpu(VirtualClock* clock, EventQueue* queue);
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  // Installs the kernel's interrupt-dispatch check. It runs after every
+  // device event dispatch and decides, based on spl state, whether any
+  // pending IRQ is serviced now. May be empty.
+  void SetInterruptHook(std::function<void()> hook) { intr_hook_ = std::move(hook); }
+
+  // Consumes `cost` of CPU time. Device events inside the window fire at
+  // their scheduled virtual times; time spent inside interrupt service
+  // extends the window (preemption, not theft).
+  void Use(Nanoseconds cost);
+
+  // Idles (scheduler idle loop) until the next device event at or before
+  // `until` has been dispatched, or until `until` if nothing is pending.
+  // Returns true if an event was dispatched. Idle time is accounted
+  // separately from busy time.
+  bool IdleWait(Nanoseconds until);
+
+  // Runs any already-due events plus the interrupt hook without consuming
+  // time. Used by spl-lowering points that must deliver pended interrupts.
+  void PollInterrupts();
+
+  Nanoseconds busy_ns() const { return busy_ns_; }
+  Nanoseconds idle_ns() const { return idle_ns_; }
+  VirtualClock& clock() { return *clock_; }
+
+ private:
+  // Dispatches due events and the hook; adds interrupt service time to
+  // `*deadline` when provided.
+  void DispatchAt(Nanoseconds* deadline);
+
+  VirtualClock* clock_;
+  EventQueue* queue_;
+  std::function<void()> intr_hook_;
+  Nanoseconds busy_ns_ = 0;
+  Nanoseconds idle_ns_ = 0;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_SIM_CPU_H_

@@ -1,0 +1,62 @@
+// Interrupt request controller (8259-PIC-like latch model).
+//
+// Device models raise lines; the kernel's spl layer decides when a pending
+// line may actually be serviced. The controller itself only latches and
+// reports — priority masking is a *software* affair on the 386/ISA
+// architecture, which is exactly the inefficiency the paper measures.
+
+#ifndef HWPROF_SRC_SIM_IRQ_H_
+#define HWPROF_SRC_SIM_IRQ_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/base/assert.h"
+
+namespace hwprof {
+
+// Hardware interrupt lines present in the simulated PC.
+enum class IrqLine : std::uint8_t {
+  kClock = 0,  // i8254 timer, IRQ0
+  kEther = 1,  // WD8003E, IRQ3
+  kDisk = 2,   // IDE, IRQ14
+  kUart = 3,   // 16450 serial, IRQ4
+  kCount = 4,
+};
+
+inline constexpr std::size_t kIrqLineCount = static_cast<std::size_t>(IrqLine::kCount);
+
+class IrqController {
+ public:
+  IrqController() { pending_.fill(false); }
+
+  // Latches a request on `line`. Level stays asserted until acknowledged.
+  void Raise(IrqLine line) { pending_[Index(line)] = true; }
+
+  // Drops the request (device acknowledged by its handler).
+  void Acknowledge(IrqLine line) { pending_[Index(line)] = false; }
+
+  bool IsPending(IrqLine line) const { return pending_[Index(line)]; }
+
+  bool AnyPending() const {
+    for (bool p : pending_) {
+      if (p) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  static std::size_t Index(IrqLine line) {
+    const auto i = static_cast<std::size_t>(line);
+    HWPROF_CHECK(i < kIrqLineCount);
+    return i;
+  }
+
+  std::array<bool, kIrqLineCount> pending_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_SIM_IRQ_H_

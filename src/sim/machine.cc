@@ -1,0 +1,30 @@
+#include "src/sim/machine.h"
+
+namespace hwprof {
+
+Machine::Machine(CostModel model)
+    : cost_(model), cpu_(&clock_, &events_) {
+  bus_.InstallEpromSocket(kDefaultEpromSocketPhys);
+}
+
+std::uint8_t Machine::SocketRead(std::uint32_t va) {
+  cpu_.Use(cost_.trigger_read_ns);
+  std::uint8_t data = 0xFF;
+  std::uint32_t phys = 0;
+  if (address_map_.mapped() && address_map_.VirtualToIsaPhys(va, &phys)) {
+    bus_.Read8(phys, clock_.Now(), &data);
+  }
+  return data;
+}
+
+void Machine::TriggerRead(std::uint32_t va) {
+  // The trigger instruction itself (movb _ProfileBase+tag,%al) costs one ISA
+  // bus cycle; this is the measurable intrusiveness of the whole scheme.
+  cpu_.Use(cost_.trigger_read_ns);
+  std::uint32_t phys = 0;
+  if (address_map_.mapped() && address_map_.VirtualToIsaPhys(va, &phys)) {
+    bus_.Read8(phys, clock_.Now());
+  }
+}
+
+}  // namespace hwprof

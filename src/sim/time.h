@@ -1,0 +1,37 @@
+// Virtual time source for the simulated machine.
+//
+// Time only moves forward, and only through the CPU (executing modelled work)
+// or the scheduler idle loop (skipping to the next device event). Everything
+// else — the Profiler's microsecond counter, device timings, report columns —
+// derives from this clock.
+
+#ifndef HWPROF_SRC_SIM_TIME_H_
+#define HWPROF_SRC_SIM_TIME_H_
+
+#include "src/base/assert.h"
+#include "src/base/units.h"
+
+namespace hwprof {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  Nanoseconds Now() const { return now_; }
+
+  // Moves the clock forward to `t`. `t` must not be in the past.
+  void AdvanceTo(Nanoseconds t) {
+    HWPROF_CHECK_MSG(t >= now_, "virtual time may not move backwards");
+    now_ = t;
+  }
+
+  // Moves the clock forward by `d`.
+  void Advance(Nanoseconds d) { now_ += d; }
+
+ private:
+  Nanoseconds now_ = 0;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_SIM_TIME_H_

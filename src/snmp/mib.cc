@@ -1,0 +1,253 @@
+#include "src/snmp/mib.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+#include "src/base/strings.h"
+
+namespace hwprof {
+
+int CompareOid(const Oid& a, const Oid& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      return a[i] < b[i] ? -1 : 1;
+    }
+  }
+  if (a.size() == b.size()) {
+    return 0;
+  }
+  return a.size() < b.size() ? -1 : 1;
+}
+
+std::string OidToString(const Oid& oid) {
+  std::string out;
+  for (std::size_t i = 0; i < oid.size(); ++i) {
+    out += StrFormat(i == 0 ? "%u" : ".%u", oid[i]);
+  }
+  return out;
+}
+
+// --- LinearMib -------------------------------------------------------------------
+
+void LinearMib::Insert(const Oid& oid, const std::string& value) {
+  for (MibEntry& e : entries_) {
+    if (CountedCompare(e.oid, oid) == 0) {
+      e.value = value;
+      return;
+    }
+  }
+  entries_.push_back(MibEntry{oid, value});
+}
+
+const MibEntry* LinearMib::Get(const Oid& oid) {
+  for (const MibEntry& e : entries_) {
+    if (CountedCompare(e.oid, oid) == 0) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const MibEntry* LinearMib::GetNext(const Oid& oid) {
+  const MibEntry* best = nullptr;
+  for (const MibEntry& e : entries_) {
+    if (CountedCompare(e.oid, oid) <= 0) {
+      continue;
+    }
+    if (best == nullptr || CountedCompare(e.oid, best->oid) < 0) {
+      best = &e;
+    }
+  }
+  return best;
+}
+
+// --- BTreeMib ---------------------------------------------------------------------
+
+struct BTreeMib::Node {
+  // keys.size() in [kOrder/2 - 1, kOrder - 1] except at the root;
+  // children.size() == keys.size() + 1 for internal nodes, 0 for leaves.
+  std::vector<MibEntry> keys;
+  std::vector<std::unique_ptr<Node>> children;
+
+  bool IsLeaf() const { return children.empty(); }
+  bool IsFull() const { return keys.size() == static_cast<std::size_t>(kOrder - 1); }
+};
+
+BTreeMib::BTreeMib() : root_(std::make_unique<Node>()) {}
+BTreeMib::~BTreeMib() = default;
+
+const MibEntry* BTreeMib::Get(const Oid& oid) { return GetFrom(root_.get(), oid); }
+
+const MibEntry* BTreeMib::GetFrom(Node* node, const Oid& oid) {
+  // Binary search within the node.
+  int lo = 0;
+  int hi = static_cast<int>(node->keys.size());
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    const int cmp = CountedCompare(oid, node->keys[static_cast<std::size_t>(mid)].oid);
+    if (cmp == 0) {
+      return &node->keys[static_cast<std::size_t>(mid)];
+    }
+    if (cmp < 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (node->IsLeaf()) {
+    return nullptr;
+  }
+  return GetFrom(node->children[static_cast<std::size_t>(lo)].get(), oid);
+}
+
+const MibEntry* BTreeMib::GetNext(const Oid& oid) { return GetNextFrom(root_.get(), oid); }
+
+const MibEntry* BTreeMib::GetNextFrom(Node* node, const Oid& oid) {
+  // Find the first key strictly greater than `oid` in this node.
+  int lo = 0;
+  int hi = static_cast<int>(node->keys.size());
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (CountedCompare(node->keys[static_cast<std::size_t>(mid)].oid, oid) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const MibEntry* candidate =
+      lo < static_cast<int>(node->keys.size()) ? &node->keys[static_cast<std::size_t>(lo)]
+                                               : nullptr;
+  if (node->IsLeaf()) {
+    return candidate;
+  }
+  // A deeper successor in the subtree left of `candidate` wins if present.
+  const MibEntry* deeper = GetNextFrom(node->children[static_cast<std::size_t>(lo)].get(), oid);
+  return deeper != nullptr ? deeper : candidate;
+}
+
+void BTreeMib::SplitChild(Node* parent, int index) {
+  Node* child = parent->children[static_cast<std::size_t>(index)].get();
+  HWPROF_CHECK(child->IsFull());
+  auto right = std::make_unique<Node>();
+  const int mid = (kOrder - 1) / 2;
+
+  // Move the upper keys/children to the new right node.
+  for (std::size_t i = static_cast<std::size_t>(mid) + 1; i < child->keys.size(); ++i) {
+    right->keys.push_back(std::move(child->keys[i]));
+  }
+  if (!child->IsLeaf()) {
+    for (std::size_t i = static_cast<std::size_t>(mid) + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->children.resize(static_cast<std::size_t>(mid) + 1);
+  }
+  MibEntry median = std::move(child->keys[static_cast<std::size_t>(mid)]);
+  child->keys.resize(static_cast<std::size_t>(mid));
+
+  parent->keys.insert(parent->keys.begin() + index, std::move(median));
+  parent->children.insert(parent->children.begin() + index + 1, std::move(right));
+}
+
+void BTreeMib::InsertNonFull(Node* node, MibEntry entry) {
+  // Find position (binary search), replacing on exact match.
+  int lo = 0;
+  int hi = static_cast<int>(node->keys.size());
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    const int cmp = CountedCompare(entry.oid, node->keys[static_cast<std::size_t>(mid)].oid);
+    if (cmp == 0) {
+      node->keys[static_cast<std::size_t>(mid)].value = std::move(entry.value);
+      --size_;  // caller counted an insert; replacements don't grow
+      return;
+    }
+    if (cmp < 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (node->IsLeaf()) {
+    node->keys.insert(node->keys.begin() + lo, std::move(entry));
+    return;
+  }
+  Node* child = node->children[static_cast<std::size_t>(lo)].get();
+  if (child->IsFull()) {
+    SplitChild(node, lo);
+    const int cmp = CountedCompare(entry.oid, node->keys[static_cast<std::size_t>(lo)].oid);
+    if (cmp == 0) {
+      node->keys[static_cast<std::size_t>(lo)].value = std::move(entry.value);
+      --size_;
+      return;
+    }
+    if (cmp > 0) {
+      ++lo;
+    }
+    child = node->children[static_cast<std::size_t>(lo)].get();
+  }
+  InsertNonFull(child, std::move(entry));
+}
+
+void BTreeMib::Insert(const Oid& oid, const std::string& value) {
+  ++size_;
+  if (root_->IsFull()) {
+    auto new_root = std::make_unique<Node>();
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+  InsertNonFull(root_.get(), MibEntry{oid, value});
+}
+
+int BTreeMib::Height() const {
+  int height = 0;
+  for (const Node* n = root_.get(); !n->IsLeaf(); n = n->children.front().get()) {
+    ++height;
+  }
+  return height;
+}
+
+void BTreeMib::CheckInvariants() const {
+  std::size_t count = 0;
+  CheckNode(root_.get(), true, &count);
+  HWPROF_CHECK_MSG(count == size_, "B-tree size mismatch");
+}
+
+// Recursive invariant check; returns leaf depth.
+int BTreeMib::CheckNode(const Node* node, bool is_root, std::size_t* count) {
+  HWPROF_CHECK(node->keys.size() <= static_cast<std::size_t>(kOrder - 1));
+  if (!is_root) {
+    HWPROF_CHECK_MSG(node->keys.size() + 1 >= static_cast<std::size_t>(kOrder / 2),
+                     "B-tree node underfull");
+  }
+  for (std::size_t i = 1; i < node->keys.size(); ++i) {
+    HWPROF_CHECK_MSG(CompareOid(node->keys[i - 1].oid, node->keys[i].oid) < 0,
+                     "B-tree keys out of order");
+  }
+  *count += node->keys.size();
+  if (node->IsLeaf()) {
+    return 0;
+  }
+  HWPROF_CHECK(node->children.size() == node->keys.size() + 1);
+  int depth = -1;
+  for (std::size_t i = 0; i < node->children.size(); ++i) {
+    const int child_depth = CheckNode(node->children[i].get(), false, count);
+    if (depth == -1) {
+      depth = child_depth;
+    }
+    HWPROF_CHECK_MSG(depth == child_depth, "B-tree leaves at uneven depth");
+    // Separator ordering against child extremes.
+    const Node* child = node->children[i].get();
+    if (!child->keys.empty()) {
+      if (i > 0) {
+        HWPROF_CHECK(CompareOid(node->keys[i - 1].oid, child->keys.front().oid) < 0);
+      }
+      if (i < node->keys.size()) {
+        HWPROF_CHECK(CompareOid(child->keys.back().oid, node->keys[i].oid) < 0);
+      }
+    }
+  }
+  return depth + 1;
+}
+
+}  // namespace hwprof

@@ -1,0 +1,111 @@
+// MIB stores for the SNMP case study.
+//
+// The paper's first profiling win: "A SNMP client based on the CMU SNMP
+// code was profiled, highlighting a major bottleneck in searching the MIB
+// table linearly; redesigning the data structure to use a B-tree to hold
+// the MIB data reduced the CPU cycles required to respond to SNMP requests
+// by an order of magnitude."
+//
+// Both stores are real data structures over real OIDs (the B-tree is a
+// genuine order-8 B-tree with GETNEXT support); each counts its key
+// comparisons so the simulated lookup cost — and the profiler's view of it
+// — is driven by the algorithm actually executed.
+
+#ifndef HWPROF_SRC_SNMP_MIB_H_
+#define HWPROF_SRC_SNMP_MIB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hwprof {
+
+// An SNMP object identifier, e.g. 1.3.6.1.2.1.2.2.1.10.3.
+using Oid = std::vector<std::uint32_t>;
+
+// Lexicographic OID order (the order GETNEXT walks).
+int CompareOid(const Oid& a, const Oid& b);
+std::string OidToString(const Oid& oid);
+
+struct MibEntry {
+  Oid oid;
+  std::string value;
+};
+
+class MibStore {
+ public:
+  virtual ~MibStore() = default;
+
+  // Inserts (or replaces) an entry.
+  virtual void Insert(const Oid& oid, const std::string& value) = 0;
+
+  // Exact-match GET. Returns nullptr if absent.
+  virtual const MibEntry* Get(const Oid& oid) = 0;
+
+  // GETNEXT: the first entry strictly after `oid` in lexicographic order.
+  virtual const MibEntry* GetNext(const Oid& oid) = 0;
+
+  virtual std::size_t size() const = 0;
+
+  // Key comparisons performed since construction — the cost driver.
+  std::uint64_t comparisons() const { return comparisons_; }
+  void ResetComparisons() { comparisons_ = 0; }
+
+ protected:
+  int CountedCompare(const Oid& a, const Oid& b) {
+    ++comparisons_;
+    return CompareOid(a, b);
+  }
+
+  std::uint64_t comparisons_ = 0;
+};
+
+// The CMU-style flat table with linear scans.
+class LinearMib : public MibStore {
+ public:
+  void Insert(const Oid& oid, const std::string& value) override;
+  const MibEntry* Get(const Oid& oid) override;
+  const MibEntry* GetNext(const Oid& oid) override;
+  std::size_t size() const override { return entries_.size(); }
+
+ private:
+  std::vector<MibEntry> entries_;  // kept in insertion order, as CMU did
+};
+
+// The redesigned store: an order-8 in-memory B-tree.
+class BTreeMib : public MibStore {
+ public:
+  static constexpr int kOrder = 8;  // max children per node
+
+  BTreeMib();
+  ~BTreeMib() override;
+
+  void Insert(const Oid& oid, const std::string& value) override;
+  const MibEntry* Get(const Oid& oid) override;
+  const MibEntry* GetNext(const Oid& oid) override;
+  std::size_t size() const override { return size_; }
+
+  // Height of the tree (for tests: must stay logarithmic).
+  int Height() const;
+  // Validates every B-tree invariant (key counts, ordering, uniform leaf
+  // depth); aborts on violation. For tests.
+  void CheckInvariants() const;
+
+  struct Node;  // public so tests can introspect via CheckInvariants
+
+ private:
+  const MibEntry* GetFrom(Node* node, const Oid& oid);
+  const MibEntry* GetNextFrom(Node* node, const Oid& oid);
+  // Splits full child `index` of `parent`.
+  void SplitChild(Node* parent, int index);
+  void InsertNonFull(Node* node, MibEntry entry);
+  static int CheckNode(const Node* node, bool is_root, std::size_t* count);
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_SNMP_MIB_H_

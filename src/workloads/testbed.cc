@@ -1,0 +1,37 @@
+#include "src/workloads/testbed.h"
+
+#include "src/base/assert.h"
+
+namespace hwprof {
+
+Testbed::Testbed(TestbedConfig config)
+    : machine_(config.cost), instr_(&tags_), profiler_(config.profiler) {
+  // Seed the names file with the initial dummy entry that fixes the
+  // starting tag number ("the name/event tag file may be generated from
+  // scratch, with an initial dummy entry indicating the starting tag
+  // number to use").
+  HWPROF_CHECK(config.first_tag % 2 == 0 && config.first_tag >= 2);
+  HWPROF_CHECK(
+      tags_.AddFunction("__dummy_base", static_cast<std::uint16_t>(config.first_tag - 2)));
+
+  // "Compile" the kernel: constructing it registers every function with the
+  // instrumenter, extending the tag file.
+  kernel_ = std::make_unique<Kernel>(machine_, instr_, config.kernel);
+
+  // Two-stage link, then plug the board into the spare EPROM socket.
+  if (config.profiled) {
+    link_ = Linker::Link(machine_, instr_, config.kernel.base_image_bytes);
+    profiler_.PlugInto(machine_.bus());
+  } else {
+    link_ = Linker::LinkUnprofiled(machine_, instr_, config.kernel.base_image_bytes);
+  }
+
+  kernel_->Boot();
+}
+
+RawTrace Testbed::StopAndUpload() {
+  profiler_.Disarm();
+  return profiler_.Upload();
+}
+
+}  // namespace hwprof

@@ -1,0 +1,58 @@
+// Testbed: one-stop assembly of the full experimental rig — simulated
+// machine, tag file, instrumenter, two-stage link, Profiler board and
+// kernel — exactly as a profiling session in the paper sets up.
+
+#ifndef HWPROF_SRC_WORKLOADS_TESTBED_H_
+#define HWPROF_SRC_WORKLOADS_TESTBED_H_
+
+#include <memory>
+
+#include "src/instr/instrumenter.h"
+#include "src/instr/linker.h"
+#include "src/instr/tag_file.h"
+#include "src/kern/kernel.h"
+#include "src/profhw/profiler.h"
+#include "src/sim/machine.h"
+
+namespace hwprof {
+
+struct TestbedConfig {
+  CostModel cost = CostModel::I386Dx40();
+  KernelConfig kernel;
+  ProfilerConfig profiler;
+  // Compile the kernel with profiling triggers? (false = the control build
+  // for the overhead experiment.)
+  bool profiled = true;
+  // Seed the tag file with an initial dummy entry setting the numbering
+  // base, as the paper's workflow does.
+  std::uint16_t first_tag = 500;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = TestbedConfig{});
+
+  Machine& machine() { return machine_; }
+  TagFile& tags() { return tags_; }
+  Instrumenter& instr() { return instr_; }
+  Profiler& profiler() { return profiler_; }
+  Kernel& kernel() { return *kernel_; }
+  const LinkResult& link() const { return link_; }
+
+  // Arms the Profiler (the start switch).
+  void Arm() { profiler_.Arm(); }
+  // Stops capturing and uploads the RAM contents.
+  RawTrace StopAndUpload();
+
+ private:
+  Machine machine_;
+  TagFile tags_;
+  Instrumenter instr_;
+  Profiler profiler_;
+  std::unique_ptr<Kernel> kernel_;
+  LinkResult link_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_WORKLOADS_TESTBED_H_

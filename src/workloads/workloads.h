@@ -1,0 +1,105 @@
+// The paper's experiments, packaged as reusable workload drivers shared by
+// the examples, tests and benchmark harnesses.
+
+#ifndef HWPROF_SRC_WORKLOADS_WORKLOADS_H_
+#define HWPROF_SRC_WORKLOADS_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/units.h"
+#include "src/kern/net_hosts.h"
+#include "src/kern/net_pkt.h"
+#include "src/kern/nfs.h"
+#include "src/workloads/testbed.h"
+
+namespace hwprof {
+
+// --- Network receive (Figures 3 & 4) -----------------------------------------
+// A Sparcstation-class sender saturates the wire with a TCP stream; the PC
+// listens, accepts, and reads/discards. The PC is CPU-bound throughout.
+
+struct NetReceiveResult {
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_acked = 0;      // sender's view
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t rx_dropped = 0;       // board-ring overruns
+  bool integrity_ok = true;           // received bytes match the sent stream
+  Nanoseconds elapsed = 0;
+  Nanoseconds done_at = 0;            // virtual time the receiver saw EOF (0 if never)
+  double throughput_kb_s = 0.0;
+};
+
+NetReceiveResult RunNetworkReceive(Testbed& tb, Nanoseconds duration,
+                                   std::uint64_t stream_bytes, bool verify_payload = true);
+
+// --- Fork/exec (Figure 5) -----------------------------------------------------
+// A shell-sized process (≈1000 resident pages) loops vfork+execve of a
+// cached /bin/test image, printing a line per iteration (console scrolls
+// and all).
+
+struct ForkExecResult {
+  int iterations_done = 0;
+  std::vector<Nanoseconds> cycle_times;  // parent-measured vfork..wait
+  Nanoseconds elapsed = 0;
+};
+
+ForkExecResult RunForkExec(Testbed& tb, int iterations, Nanoseconds max_time,
+                           int shell_resident_pages = 1000,
+                           std::size_t image_bytes = 180 * 1024);
+
+// --- Filesystem write storm (§Filesystems) -------------------------------------
+
+struct FsWriteResult {
+  std::uint64_t bytes_written = 0;
+  Nanoseconds elapsed = 0;
+  double cpu_busy_pct = 0.0;  // the paper's "CPU was only busy for 28%"
+  std::uint64_t disk_writes = 0;
+};
+
+FsWriteResult RunFsWrite(Testbed& tb, std::uint64_t total_bytes, Nanoseconds max_time);
+
+// --- Filesystem random reads (§Filesystems: 18–26 ms per read) -----------------
+
+struct FsReadResult {
+  std::vector<Nanoseconds> read_times;  // user-observed, cold cache
+  std::uint64_t bytes_read = 0;
+  bool data_ok = true;  // read-back matches what was installed
+};
+
+FsReadResult RunFsRandomReads(Testbed& tb, int reads, Nanoseconds max_time);
+
+// --- NFS vs FTP-style transfer (§Filesystems) -----------------------------------
+
+struct TransferCompareResult {
+  std::uint64_t nfs_bytes = 0;
+  Nanoseconds nfs_elapsed = 0;
+  double nfs_kb_s = 0.0;
+  std::uint64_t tcp_bytes = 0;
+  Nanoseconds tcp_elapsed = 0;
+  double tcp_kb_s = 0.0;
+  bool nfs_data_ok = true;
+};
+
+// Runs the NFS read on `tb_nfs` and the TCP receive on `tb_tcp` (two rigs so
+// the captures stay separate), transferring `bytes` each way.
+TransferCompareResult RunNfsVsFtp(Testbed& tb_nfs, Testbed& tb_tcp, std::uint64_t bytes);
+
+// --- Mixed workload (Table 1) ----------------------------------------------------
+// Touches every Table 1 function: vm_fault (page touches), kmem_alloc
+// (vfork u-areas), malloc/free (descriptors, sockets), splnet (network),
+// spl0, copyinstr (namei).
+
+struct MixedResult {
+  Nanoseconds elapsed = 0;
+};
+
+MixedResult RunMixed(Testbed& tb, Nanoseconds duration);
+
+// Deterministic file contents for integrity checks.
+Bytes PatternBytes(std::size_t n, std::uint8_t seed = 0);
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_WORKLOADS_WORKLOADS_H_

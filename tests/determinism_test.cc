@@ -1,0 +1,155 @@
+// Cross-cutting simulator properties: bit-exact determinism, exact
+// trigger-accounting arithmetic, and agreement between the analyser's view
+// and the machine's own accounting.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/decoder.h"
+#include "src/analysis/histogram.h"
+#include "src/kern/clock.h"
+#include "src/analysis/summary.h"
+#include "src/kern/user_env.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+TEST(Determinism, IdenticalRunsProduceIdenticalCaptures) {
+  // The whole point of a virtual-time simulator: two runs of the same
+  // workload are bit-for-bit identical, captures included.
+  auto run = [] {
+    Testbed tb;
+    tb.Arm();
+    RunNetworkReceive(tb, Sec(2), 128 * 1024, false);
+    return tb.StopAndUpload();
+  };
+  const RawTrace a = run();
+  const RawTrace b = run();
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Determinism, ForkExecIsDeterministicToo) {
+  auto run = [] {
+    Testbed tb;
+    tb.Arm();
+    ForkExecResult r = RunForkExec(tb, 3, Sec(5));
+    return std::make_pair(r.cycle_times, tb.StopAndUpload().events);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Determinism, DiskRandomnessIsSeeded) {
+  auto run = [](std::uint64_t seed) {
+    TestbedConfig config;
+    config.kernel.rng_seed = seed;
+    Testbed tb(config);
+    FsReadResult r = RunFsRandomReads(tb, 10, Sec(30));
+    return r.read_times;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));  // seeds matter (rotational latency differs)
+}
+
+TEST(ExactAccounting, LeafSplCallNetIsTheModelledCost) {
+  // A leaf function's decoded net time equals body cost + the exit
+  // trigger's bus cycle (the entry trigger lands before the entry event).
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  tb.Arm();
+  k.Spawn("p", [&](UserEnv& env) {
+    (void)env;
+    const int s = k.spl().splnet();
+    k.spl().splx(s);
+  });
+  // Stop the clock so nothing else contributes.
+  k.clocksys().Stop();
+  k.Run(Msec(10));
+  DecodedTrace d = Decoder::Decode(tb.StopAndUpload(), tb.tags());
+  const FuncStats* splnet = d.Stats("splnet");
+  ASSERT_NE(splnet, nullptr);
+  ASSERT_EQ(splnet->calls, 1u);
+  // The board's 1 MHz timer quantises each timestamp to a microsecond, so
+  // the decoded interval is exact only to +/-1 us.
+  const double expected = static_cast<double>(tb.machine().cost().spl_raise_ns +
+                                              tb.machine().cost().trigger_read_ns);
+  EXPECT_NEAR(static_cast<double>(splnet->net), expected, 1000.0);
+  const FuncStats* splx = d.Stats("splx");
+  ASSERT_NE(splx, nullptr);
+  EXPECT_NEAR(static_cast<double>(splx->net),
+              static_cast<double>(tb.machine().cost().splx_ns +
+                                  tb.machine().cost().trigger_read_ns),
+              1000.0);
+}
+
+TEST(ExactAccounting, DecodedRunTimeMatchesCpuBusyTime) {
+  // Over a capture window, the analyser's "accumulated run time" must track
+  // the machine's own busy accounting: everything busy happens inside some
+  // profiled function except syscall stubs and user compute.
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  const Nanoseconds busy0 = k.cpu().busy_ns();
+  const Nanoseconds idle0 = k.cpu().idle_ns();
+  tb.Arm();
+  RunNetworkReceive(tb, Sec(2), 128 * 1024, false);
+  RawTrace raw = tb.StopAndUpload();
+  const Nanoseconds busy = k.cpu().busy_ns() - busy0;
+  const Nanoseconds idle = k.cpu().idle_ns() - idle0;
+  DecodedTrace d = Decoder::Decode(raw, tb.tags());
+  if (raw.overflowed) {
+    // The capture stopped early; compare rates instead of totals.
+    const double busy_frac =
+        static_cast<double>(busy) / static_cast<double>(busy + idle);
+    const double decoded_frac = static_cast<double>(d.RunTime()) /
+                                static_cast<double>(d.ElapsedTotal());
+    EXPECT_NEAR(busy_frac, decoded_frac, 0.08);
+  } else {
+    EXPECT_LE(d.RunTime(), busy + Msec(1));
+    EXPECT_GT(d.RunTime(), busy * 7 / 10);
+  }
+}
+
+TEST(ExactAccounting, SummaryNetSumsStayWithinRunTime) {
+  Testbed tb;
+  tb.Arm();
+  RunMixed(tb, Sec(2));
+  DecodedTrace d = Decoder::Decode(tb.StopAndUpload(), tb.tags());
+  Summary s(d);
+  double pct_sum = 0;
+  for (const SummaryRow& row : s.rows()) {
+    pct_sum += row.pct_net;
+  }
+  EXPECT_LE(pct_sum, 100.5);  // non-overlapping net shares
+  EXPECT_GT(pct_sum, 40.0);   // most busy time is inside profiled functions
+}
+
+TEST(ExactAccounting, BcopyHistogramIsBimodalUnderNetworkLoad) {
+  // Fig 3's giveaway signature: tiny mbuf copies vs millisecond driver
+  // copies.
+  Testbed tb;
+  tb.Arm();
+  RunNetworkReceive(tb, Sec(2), 128 * 1024, false);
+  DecodedTrace d = Decoder::Decode(tb.StopAndUpload(), tb.tags());
+  Histogram h = Histogram::ForFunction(d, "bcopy");
+  ASSERT_GT(h.Total(), 20u);
+  // Population both below 256 µs and above 512 µs.
+  std::uint64_t low = 0;
+  std::uint64_t high = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    if (Histogram::BucketFloor(b) < 256) {
+      low += h.Count(b);
+    }
+    if (Histogram::BucketFloor(b) >= 512) {
+      high += h.Count(b);
+    }
+  }
+  EXPECT_GT(low, 0u);
+  EXPECT_GT(high, 0u);
+}
+
+}  // namespace
+}  // namespace hwprof

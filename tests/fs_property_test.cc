@@ -1,0 +1,111 @@
+// Filesystem fuzz: random operation sequences checked against an in-memory
+// reference model — contents, sizes, and directory structure must agree at
+// every step, across cache evictions and async write-back.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/base/rng.h"
+#include "src/kern/fs.h"
+#include "src/kern/user_env.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+class FsFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FsFuzzTest, RandomOpsMatchReferenceModel) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  bool done = false;
+
+  k.Spawn("fuzzer", [&](UserEnv& env) {
+    Rng rng(GetParam());
+    std::map<std::string, Bytes> model;  // path -> contents
+    const std::vector<std::string> names{"/a", "/b", "/dir/c", "/dir/d", "/dir/sub/e"};
+    k.fs().Mkdir("/dir");
+    k.fs().Mkdir("/dir/sub");
+
+    for (int step = 0; step < 120 && !k.stopping(); ++step) {
+      const std::string& path = names[rng.NextBelow(names.size())];
+      const int op = static_cast<int>(rng.NextBelow(3));
+      if (op == 0) {
+        // Write through open(O_CREAT)+write: overwrites from offset 0
+        // without truncation (classic UNIX semantics).
+        const std::size_t n = 1 + rng.NextBelow(3 * kFsBlockBytes);
+        const Bytes data = PatternBytes(n, static_cast<std::uint8_t>(step));
+        const int fd = env.Open(path, /*create=*/true);
+        ASSERT_GE(fd, 0) << path;
+        ASSERT_EQ(env.Write(fd, data), static_cast<long>(data.size()));
+        env.Close(fd);
+        Bytes& ref = model[path];
+        if (ref.size() < data.size()) {
+          ref.resize(data.size());
+        }
+        std::copy(data.begin(), data.end(), ref.begin());
+      } else if (op == 1) {
+        // Full read-back comparison.
+        const auto it = model.find(path);
+        const int fd = env.Open(path, false);
+        if (it == model.end()) {
+          EXPECT_EQ(fd, -1) << path << " should not exist";
+        } else {
+          ASSERT_GE(fd, 0) << path;
+          Bytes out;
+          long total = 0;
+          while (true) {
+            const long n = env.Read(fd, 16 * 1024, &out);
+            if (n <= 0) {
+              break;
+            }
+            total += n;
+          }
+          EXPECT_EQ(total, static_cast<long>(it->second.size())) << path;
+          EXPECT_EQ(out, it->second) << path;
+          env.Close(fd);
+        }
+      } else {
+        // Random-offset partial read via pread.
+        const auto it = model.find(path);
+        if (it == model.end() || it->second.empty()) {
+          continue;
+        }
+        const int fd = env.Open(path, false);
+        ASSERT_GE(fd, 0);
+        const std::uint64_t off = rng.NextBelow(it->second.size());
+        const std::size_t want = 1 + rng.NextBelow(kFsBlockBytes);
+        Bytes out;
+        const long n = env.ReadAt(fd, off, want, &out);
+        const std::size_t expect_n =
+            std::min<std::size_t>(want, it->second.size() - off);
+        EXPECT_EQ(n, static_cast<long>(expect_n)) << path;
+        EXPECT_TRUE(std::equal(out.begin(), out.end(),
+                               it->second.begin() + static_cast<std::ptrdiff_t>(off)))
+            << path << " @" << off;
+        env.Close(fd);
+      }
+    }
+    // Final sweep: flush everything, then verify every file one last time.
+    k.fs().SyncAll();
+    for (const auto& [path, contents] : model) {
+      const int ino = k.fs().Namei(path);
+      ASSERT_GE(ino, 0) << path;
+      EXPECT_EQ(k.fs().FileSize(ino), contents.size()) << path;
+      Bytes out;
+      ASSERT_EQ(k.fs().ReadFile(ino, 0, contents.size(), &out),
+                static_cast<long>(contents.size()));
+      EXPECT_EQ(out, contents) << path;
+    }
+    done = true;
+  });
+  k.Run(Sec(600));
+  ASSERT_TRUE(done) << "fuzz body did not finish in simulated time";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsFuzzTest, ::testing::Values(11u, 23u, 47u, 1993u));
+
+}  // namespace
+}  // namespace hwprof

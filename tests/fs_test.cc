@@ -1,0 +1,251 @@
+// Filesystem stack: FFS-lite semantics, buffer cache behaviour, disk model.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/decoder.h"
+#include "src/kern/fs.h"
+#include "src/kern/user_env.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+void InProc(Testbed& tb, std::function<void(Kernel&, UserEnv&)> body) {
+  Kernel& k = tb.kernel();
+  bool done = false;
+  k.Spawn("t", [&, body = std::move(body)](UserEnv& env) {
+    body(k, env);
+    done = true;
+  });
+  k.Run(Sec(120));
+  ASSERT_TRUE(done) << "fs test body did not finish";
+}
+
+TEST(Fs, CreateWriteReadRoundTrip) {
+  Testbed tb;
+  InProc(tb, [](Kernel& k, UserEnv& env) {
+    (void)k;
+    const int fd = env.Open("/f", /*create=*/true);
+    ASSERT_GE(fd, 0);
+    const Bytes data = PatternBytes(1000);
+    EXPECT_EQ(env.Write(fd, data), 1000);
+    env.Close(fd);
+    const int rd = env.Open("/f", false);
+    Bytes out;
+    EXPECT_EQ(env.Read(rd, 2000, &out), 1000);
+    EXPECT_EQ(out, data);
+  });
+}
+
+TEST(Fs, OpenMissingFileFails) {
+  Testbed tb;
+  InProc(tb, [](Kernel& k, UserEnv& env) {
+    (void)k;
+    EXPECT_EQ(env.Open("/missing", false), -1);
+    EXPECT_EQ(env.Open("/no/such/dir/file", true), -1);
+  });
+}
+
+TEST(Fs, SequentialReadsAdvanceOffset) {
+  Testbed tb;
+  InProc(tb, [](Kernel& k, UserEnv& env) {
+    (void)k;
+    const int fd = env.Open("/f", true);
+    const Bytes data = PatternBytes(300);
+    env.Write(fd, data);
+    env.Close(fd);
+    const int rd = env.Open("/f", false);
+    Bytes a;
+    Bytes b;
+    Bytes c;
+    EXPECT_EQ(env.Read(rd, 100, &a), 100);
+    EXPECT_EQ(env.Read(rd, 100, &b), 100);
+    EXPECT_EQ(env.Read(rd, 100, &c), 100);
+    Bytes joined = a;
+    joined.insert(joined.end(), b.begin(), b.end());
+    joined.insert(joined.end(), c.begin(), c.end());
+    EXPECT_EQ(joined, data);
+    Bytes eof;
+    EXPECT_EQ(env.Read(rd, 100, &eof), 0);
+  });
+}
+
+TEST(Fs, MultiBlockFileSurvivesCacheEviction) {
+  // Write more than the 64-buffer cache holds, then read it all back:
+  // every byte must round-trip through the disk model.
+  Testbed tb;
+  InProc(tb, [](Kernel& k, UserEnv& env) {
+    const std::size_t big = (kBufCacheBuffers + 16) * kFsBlockBytes;
+    const int fd = env.Open("/big", true);
+    const Bytes data = PatternBytes(big);
+    ASSERT_EQ(env.Write(fd, data), static_cast<long>(big));
+    env.Close(fd);
+    k.fs().SyncAll();
+    EXPECT_GT(k.fs().disk().writes_completed(), kBufCacheBuffers);
+    const int rd = env.Open("/big", false);
+    Bytes out;
+    long total = 0;
+    while (true) {
+      const long n = env.Read(rd, 64 * 1024, &out);
+      if (n <= 0) {
+        break;
+      }
+      total += n;
+    }
+    ASSERT_EQ(total, static_cast<long>(big));
+    EXPECT_EQ(out, data);
+  });
+}
+
+TEST(Fs, HierarchicalDirectories) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  k.fs().InstallFile("/usr/share/dict/words", PatternBytes(100, 3));
+  InProc(tb, [](Kernel& k2, UserEnv& env) {
+    EXPECT_GE(k2.fs().Namei("/usr"), 0);
+    EXPECT_TRUE(k2.fs().IsDirectory(k2.fs().Namei("/usr/share")));
+    const int fd = env.Open("/usr/share/dict/words", false);
+    ASSERT_GE(fd, 0);
+    Bytes out;
+    EXPECT_EQ(env.Read(fd, 200, &out), 100);
+    EXPECT_EQ(out, PatternBytes(100, 3));
+    // Sibling creation in a nested dir.
+    EXPECT_GE(env.Open("/usr/share/dict/words2", true), 0);
+    EXPECT_EQ(k2.fs().Namei("/usr/share/dict/nope"), -1);
+  });
+}
+
+TEST(Fs, MkdirThenCreateInside) {
+  Testbed tb;
+  InProc(tb, [](Kernel& k, UserEnv& env) {
+    EXPECT_GE(k.fs().Mkdir("/tmp"), 0);
+    EXPECT_TRUE(k.fs().IsDirectory(k.fs().Namei("/tmp")));
+    const int fd = env.Open("/tmp/x", true);
+    EXPECT_GE(fd, 0);
+    // Duplicate mkdir fails.
+    EXPECT_EQ(k.fs().Mkdir("/tmp"), -1);
+  });
+}
+
+TEST(Fs, PartialBlockOverwrite) {
+  Testbed tb;
+  InProc(tb, [](Kernel& k, UserEnv& env) {
+    (void)k;
+    const int fd = env.Open("/f", true);
+    env.Write(fd, PatternBytes(kFsBlockBytes * 2, 1));
+    env.Close(fd);
+    // Overwrite 100 bytes in the middle through a fresh descriptor.
+    const int fd2 = env.Open("/f", true);
+    (void)fd2;
+    // (Open(create) on an existing path fails; reuse the write path via fs.)
+    Bytes patch(100, 0xEE);
+    k.fs().WriteFile(k.fs().Namei("/f"), 5000, patch);
+    const int rd = env.Open("/f", false);
+    Bytes out;
+    env.Read(rd, kFsBlockBytes * 2, &out);
+    Bytes expect = PatternBytes(kFsBlockBytes * 2, 1);
+    std::copy(patch.begin(), patch.end(), expect.begin() + 5000);
+    EXPECT_EQ(out, expect);
+  });
+}
+
+TEST(Fs, InstallFileScatteredSpreadsBlocks) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  const int ino = k.fs().InstallFileScattered("/scat", PatternBytes(64 * 1024), 13);
+  ASSERT_GE(ino, 0);
+  // Read it back through the kernel path: contents intact despite the
+  // scattered allocation.
+  InProc(tb, [](Kernel& k2, UserEnv& env) {
+    (void)k2;
+    const int fd = env.Open("/scat", false);
+    Bytes out;
+    long total = 0;
+    while (true) {
+      const long n = env.Read(fd, 32 * 1024, &out);
+      if (n <= 0) {
+        break;
+      }
+      total += n;
+    }
+    EXPECT_EQ(total, 64 * 1024);
+    EXPECT_EQ(out, PatternBytes(64 * 1024));
+  });
+}
+
+TEST(Fs, CacheHitsAvoidTheDisk) {
+  Testbed tb;
+  InProc(tb, [](Kernel& k, UserEnv& env) {
+    const int fd = env.Open("/f", true);
+    env.Write(fd, PatternBytes(kFsBlockBytes));
+    env.Close(fd);
+    k.fs().SyncAll();
+    const std::uint64_t reads0 = k.fs().disk().reads_completed();
+    // Two back-to-back reads: the block is cached after the write.
+    for (int i = 0; i < 2; ++i) {
+      const int rd = env.Open("/f", false);
+      Bytes out;
+      env.Read(rd, kFsBlockBytes, &out);
+      env.Close(rd);
+    }
+    EXPECT_EQ(k.fs().disk().reads_completed(), reads0);
+    EXPECT_GT(k.fs().cache_hits(), 0u);
+  });
+}
+
+TEST(Fs, ColdReadCostsMechanicalTime) {
+  // A cold 8 KiB read should take tens of milliseconds (paper: 18–26 ms).
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  k.fs().InstallFileScattered("/cold", PatternBytes(512 * 1024), 7);
+  InProc(tb, [](Kernel& k2, UserEnv& env) {
+    (void)k2;
+    const int fd = env.Open("/cold", false);
+    const Nanoseconds t0 = k2.Now();
+    Bytes out;
+    env.ReadAt(fd, 256 * 1024, kFsBlockBytes, &out);
+    const Nanoseconds t = k2.Now() - t0;
+    EXPECT_GT(t, Msec(5));
+    EXPECT_LT(t, Msec(45));
+    EXPECT_EQ(out.size(), kFsBlockBytes);
+  });
+}
+
+TEST(Fs, WriteInterruptCostMatchesPaper) {
+  // "Each write interrupt took about 200 µs in total, with about 149 µs of
+  // that being actual transfer time."
+  Testbed tb;
+  tb.Arm();
+  FsWriteResult res = RunFsWrite(tb, 512 * 1024, Sec(30));
+  ASSERT_GT(res.disk_writes, 0u);
+  RawTrace raw = tb.StopAndUpload();
+  DecodedTrace decoded = Decoder::Decode(raw, tb.tags());
+  const FuncStats* wdintr = decoded.Stats("wdintr");
+  ASSERT_NE(wdintr, nullptr);
+  const std::uint64_t avg_us = ToWholeUsec(wdintr->AvgNet());
+  EXPECT_GT(avg_us, 150u);
+  EXPECT_LT(avg_us, 260u);
+}
+
+TEST(Fs, WriteStormLeavesCpuMostlyIdle) {
+  Testbed tb;
+  FsWriteResult res = RunFsWrite(tb, 1 * kMiB, Sec(60));
+  EXPECT_EQ(res.bytes_written, 1 * kMiB);
+  // Paper: ~28% busy. Generous band: the disk, not the CPU, dominates.
+  EXPECT_GT(res.cpu_busy_pct, 15.0);
+  EXPECT_LT(res.cpu_busy_pct, 45.0);
+}
+
+TEST(Fs, FileSizeTracksWrites) {
+  Testbed tb;
+  InProc(tb, [](Kernel& k, UserEnv& env) {
+    const int fd = env.Open("/f", true);
+    env.Write(fd, Bytes(100, 1));
+    env.Write(fd, Bytes(50, 2));
+    EXPECT_EQ(k.fs().FileSize(k.fs().Namei("/f")), 150u);
+  });
+}
+
+}  // namespace
+}  // namespace hwprof

@@ -1,0 +1,282 @@
+// Unit tests for src/instr: tag file format, instrumenter, two-stage link.
+
+#include <gtest/gtest.h>
+
+#include "src/instr/instrumenter.h"
+#include "src/instr/linker.h"
+#include "src/instr/profile_scope.h"
+#include "src/instr/tag_file.h"
+#include "src/sim/machine.h"
+
+namespace hwprof {
+namespace {
+
+// --- TagFile parsing ------------------------------------------------------------
+
+TEST(TagFile, ParsesThePapersSample) {
+  // Verbatim from the paper.
+  const char* text =
+      "main/502\n"
+      "hardclock/510\n"
+      "gatherstats/512\n"
+      "softclock/514\n"
+      "timeout/516\n"
+      "untimeout/518\n"
+      "swtch/600!\n"
+      "MGET/1002=\n";
+  TagFile file;
+  ASSERT_TRUE(TagFile::Parse(text, &file));
+  EXPECT_EQ(file.size(), 8u);
+
+  const TagEntry* main_fn = file.FindByName("main");
+  ASSERT_NE(main_fn, nullptr);
+  EXPECT_EQ(main_fn->tag, 502);
+  EXPECT_EQ(main_fn->kind, TagKind::kFunction);
+  EXPECT_EQ(main_fn->exit_tag(), 503);
+
+  const TagEntry* swtch = file.FindByName("swtch");
+  ASSERT_NE(swtch, nullptr);
+  EXPECT_EQ(swtch->kind, TagKind::kContextSwitch);
+
+  const TagEntry* mget = file.FindByName("MGET");
+  ASSERT_NE(mget, nullptr);
+  EXPECT_EQ(mget->kind, TagKind::kInline);
+}
+
+TEST(TagFile, FindByTagCoversEntryAndExit) {
+  TagFile file;
+  ASSERT_TRUE(TagFile::Parse("foo/100\nbar/102\n", &file));
+  EXPECT_EQ(file.FindByTag(100)->name, "foo");
+  EXPECT_EQ(file.FindByTag(101)->name, "foo");  // exit tag
+  EXPECT_EQ(file.FindByTag(102)->name, "bar");
+  EXPECT_EQ(file.FindByTag(104), nullptr);
+}
+
+TEST(TagFile, InlineTagsCoverOnlyTheirValue) {
+  TagFile file;
+  ASSERT_TRUE(TagFile::Parse("MARK/111=\n", &file));
+  EXPECT_NE(file.FindByTag(111), nullptr);
+  EXPECT_EQ(file.FindByTag(112), nullptr);
+}
+
+TEST(TagFile, RejectsOddFunctionTags) {
+  TagFile file;
+  EXPECT_FALSE(TagFile::Parse("foo/101\n", &file));
+}
+
+TEST(TagFile, RejectsDuplicateNamesAndOverlappingTags) {
+  TagFile file;
+  EXPECT_FALSE(TagFile::Parse("foo/100\nfoo/200\n", &file));
+  EXPECT_FALSE(TagFile::Parse("foo/100\nbar/100\n", &file));
+  // bar's entry tag collides with foo's exit tag (100+1 = 101 is covered,
+  // and an inline at 101 overlaps it).
+  EXPECT_FALSE(TagFile::Parse("foo/100\nM/101=\n", &file));
+}
+
+TEST(TagFile, SkipsCommentsAndBlanks) {
+  TagFile file;
+  ASSERT_TRUE(TagFile::Parse("# comment\n\n  \nfoo/100\n", &file));
+  EXPECT_EQ(file.size(), 1u);
+}
+
+TEST(TagFile, RejectsMalformedLines) {
+  TagFile file;
+  EXPECT_FALSE(TagFile::Parse("noslash\n", &file));
+  EXPECT_FALSE(TagFile::Parse("/100\n", &file));
+  EXPECT_FALSE(TagFile::Parse("foo/abc\n", &file));
+  EXPECT_FALSE(TagFile::Parse("foo/70000\n", &file));
+}
+
+TEST(TagFile, FormatParsesBackIdentically) {
+  TagFile file;
+  ASSERT_TRUE(TagFile::Parse("main/502\nswtch/600!\nMGET/1002=\n", &file));
+  TagFile again;
+  ASSERT_TRUE(TagFile::Parse(file.Format(), &again));
+  EXPECT_EQ(again.Format(), file.Format());
+  EXPECT_EQ(again.size(), file.size());
+}
+
+TEST(TagFile, AssignTakesNextValueAboveHighest) {
+  TagFile file;
+  ASSERT_TRUE(TagFile::Parse("base/500\n", &file));
+  // Highest covered tag is 501 (base's exit) -> next even is 502.
+  EXPECT_EQ(file.Assign("f1", TagKind::kFunction), 502);
+  EXPECT_EQ(file.Assign("f2", TagKind::kFunction), 504);
+  // Inline takes the next raw value (odd allowed).
+  EXPECT_EQ(file.Assign("m1", TagKind::kInline), 506);
+  EXPECT_EQ(file.Assign("f3", TagKind::kFunction), 508);
+}
+
+TEST(TagFile, MergeConcatenatesDisjointFiles) {
+  TagFile a;
+  TagFile b;
+  ASSERT_TRUE(TagFile::Parse("foo/100\n", &a));
+  ASSERT_TRUE(TagFile::Parse("bar/200\n", &b));
+  EXPECT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_NE(a.FindByName("bar"), nullptr);
+}
+
+TEST(TagFile, MergeRejectsCollisionsAtomically) {
+  TagFile a;
+  TagFile b;
+  ASSERT_TRUE(TagFile::Parse("foo/100\n", &a));
+  ASSERT_TRUE(TagFile::Parse("ok/200\nfoo/300\n", &b));
+  EXPECT_FALSE(a.Merge(b));
+  EXPECT_EQ(a.size(), 1u);  // nothing from b leaked in
+}
+
+// --- Instrumenter ---------------------------------------------------------------------
+
+TEST(Instrumenter, AssignsAndExtendsTheFile) {
+  TagFile tags;
+  ASSERT_TRUE(TagFile::Parse("__base/500\n", &tags));
+  Instrumenter instr(&tags);
+  FuncInfo* a = instr.RegisterFunction("alpha", Subsys::kNet);
+  FuncInfo* b = instr.RegisterFunction("beta", Subsys::kVm);
+  EXPECT_EQ(a->entry_tag, 502);
+  EXPECT_EQ(b->entry_tag, 504);
+  EXPECT_EQ(instr.function_count(), 2u);
+  EXPECT_NE(tags.FindByName("alpha"), nullptr);  // file extended
+}
+
+TEST(Instrumenter, ReusesTagsOnRecompilation) {
+  TagFile tags;
+  ASSERT_TRUE(TagFile::Parse("alpha/700\n", &tags));
+  Instrumenter instr(&tags);
+  FuncInfo* a = instr.RegisterFunction("alpha", Subsys::kNet);
+  EXPECT_EQ(a->entry_tag, 700);  // stable across recompiles
+}
+
+TEST(Instrumenter, SelectiveProfilingBySubsystem) {
+  TagFile tags;
+  Instrumenter instr(&tags);
+  FuncInfo* net_fn = instr.RegisterFunction("tcp_x", Subsys::kNet);
+  FuncInfo* vm_fn = instr.RegisterFunction("pmap_x", Subsys::kVm);
+  instr.DisableAll();
+  instr.SetSubsysEnabled(Subsys::kNet, true);
+  EXPECT_TRUE(net_fn->enabled);
+  EXPECT_FALSE(vm_fn->enabled);
+  instr.EnableAll();
+  EXPECT_TRUE(vm_fn->enabled);
+}
+
+TEST(InstrumenterDeath, DoubleRegistrationAborts) {
+  TagFile tags;
+  Instrumenter instr(&tags);
+  instr.RegisterFunction("dup", Subsys::kNet);
+  EXPECT_DEATH(instr.RegisterFunction("dup", Subsys::kNet), "twice");
+}
+
+// --- ProfileScope ------------------------------------------------------------------------
+
+class CountingTap : public EpromTapListener {
+ public:
+  void OnEpromRead(std::uint16_t addr, Nanoseconds) override { tags.push_back(addr); }
+  std::vector<std::uint16_t> tags;
+};
+
+TEST(ProfileScope, EmitsEntryAndExitTriggers) {
+  Machine machine;
+  TagFile tags;
+  Instrumenter instr(&tags);
+  FuncInfo* fn = instr.RegisterFunction("foo", Subsys::kNet);
+  Linker::Link(machine, instr, 600 * 1024);
+  CountingTap tap;
+  machine.bus().AddTapListener(&tap);
+  {
+    ProfileScope scope(machine, instr, fn);
+  }
+  ASSERT_EQ(tap.tags.size(), 2u);
+  EXPECT_EQ(tap.tags[0], fn->entry_tag);
+  EXPECT_EQ(tap.tags[1], fn->exit_tag());
+}
+
+TEST(ProfileScope, DisabledFunctionIsFree) {
+  Machine machine;
+  TagFile tags;
+  Instrumenter instr(&tags);
+  FuncInfo* fn = instr.RegisterFunction("foo", Subsys::kNet);
+  Linker::Link(machine, instr, 600 * 1024);
+  fn->enabled = false;
+  CountingTap tap;
+  machine.bus().AddTapListener(&tap);
+  const Nanoseconds before = machine.Now();
+  {
+    ProfileScope scope(machine, instr, fn);
+  }
+  EXPECT_TRUE(tap.tags.empty());
+  EXPECT_EQ(machine.Now(), before);  // zero cost when compiled out
+}
+
+TEST(ProfileScope, UnlinkedKernelIsInert) {
+  Machine machine;
+  TagFile tags;
+  Instrumenter instr(&tags);
+  FuncInfo* fn = instr.RegisterFunction("foo", Subsys::kNet);
+  CountingTap tap;
+  machine.bus().AddTapListener(&tap);
+  {
+    ProfileScope scope(machine, instr, fn);
+  }
+  EXPECT_TRUE(tap.tags.empty());
+}
+
+TEST(ProfileScope, InlineTriggerEmitsOneEvent) {
+  Machine machine;
+  TagFile tags;
+  Instrumenter instr(&tags);
+  FuncInfo* mark = instr.RegisterInline("MARK", Subsys::kNet);
+  Linker::Link(machine, instr, 600 * 1024);
+  CountingTap tap;
+  machine.bus().AddTapListener(&tap);
+  InlineTrigger(machine, instr, mark);
+  ASSERT_EQ(tap.tags.size(), 1u);
+  EXPECT_EQ(tap.tags[0], mark->entry_tag);
+}
+
+// --- Linker (the Figure 2 fixed point) -------------------------------------------------------
+
+TEST(Linker, ImageGrowsWithInstrumentation) {
+  Machine machine;
+  TagFile tags;
+  Instrumenter instr(&tags);
+  for (int i = 0; i < 10; ++i) {
+    instr.RegisterFunction("fn" + std::to_string(i), Subsys::kNet);
+  }
+  instr.RegisterInline("MARK", Subsys::kNet);
+  const LinkResult result = Linker::Link(machine, instr, 600 * 1024);
+  // 10 functions x 2 triggers x 5 bytes + 1 inline x 5 bytes.
+  EXPECT_EQ(result.kernel_size, 600 * 1024 + 10 * 2 * 5 + 5);
+  EXPECT_EQ(result.profile_base,
+            result.isa_va_base + (kDefaultEpromSocketPhys - kIsaHoleBase));
+  EXPECT_EQ(instr.profile_base(), result.profile_base);
+}
+
+TEST(Linker, ProfileBaseDependsOnKernelSize) {
+  Machine m1;
+  Machine m2;
+  TagFile t1;
+  TagFile t2;
+  Instrumenter i1(&t1);
+  Instrumenter i2(&t2);
+  i1.RegisterFunction("f", Subsys::kNet);
+  i2.RegisterFunction("f", Subsys::kNet);
+  const LinkResult r1 = Linker::Link(m1, i1, 600 * 1024);
+  const LinkResult r2 = Linker::Link(m2, i2, 900 * 1024);
+  EXPECT_NE(r1.profile_base, r2.profile_base);
+}
+
+TEST(Linker, UnprofiledLinkLeavesTriggersInert) {
+  Machine machine;
+  TagFile tags;
+  Instrumenter instr(&tags);
+  instr.RegisterFunction("f", Subsys::kNet);
+  const LinkResult result = Linker::LinkUnprofiled(machine, instr, 600 * 1024);
+  EXPECT_EQ(result.profile_base, 0u);
+  EXPECT_FALSE(instr.linked());
+  EXPECT_EQ(result.kernel_size, 600u * 1024);  // no growth
+}
+
+}  // namespace
+}  // namespace hwprof

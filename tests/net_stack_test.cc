@@ -1,0 +1,242 @@
+// The networking stack end to end: handshake, ordered delivery, windows,
+// EOF, drops/retransmits, UDP checksum policy.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/kern/net.h"
+#include "src/kern/net_hosts.h"
+#include "src/kern/nfs.h"
+#include "src/kern/user_env.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+TEST(NetStack, HandshakeEstablishesConnection) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto sender = std::make_shared<SenderHost>(tb.machine(), k.wire(), kSenderNodeId,
+                                             kSenderIpAddr);
+  bool accepted = false;
+  k.Spawn("srv", [&](UserEnv& env) {
+    const int fd = env.Socket(true);
+    ASSERT_TRUE(env.Bind(fd, 4000));
+    ASSERT_TRUE(env.Listen(fd));
+    const int conn = env.Accept(fd);
+    accepted = conn >= 0;
+  });
+  tb.machine().events().ScheduleAt(Msec(20), [&] {
+    sender->StartStream(kPcIpAddr, 4000, 1000);
+  });
+  k.Run(Sec(2));
+  EXPECT_TRUE(accepted);
+  EXPECT_TRUE(sender->connected() || sender->done());
+}
+
+class StreamSizeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamSizeTest, DeliversExactVerifiedByteStream) {
+  Testbed tb;
+  NetReceiveResult res = RunNetworkReceive(tb, Sec(20), GetParam());
+  EXPECT_EQ(res.bytes_received, GetParam());
+  EXPECT_TRUE(res.integrity_ok);
+  EXPECT_NE(res.done_at, 0u) << "receiver never saw EOF";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StreamSizeTest,
+                         ::testing::Values(1ull, 100ull, 1460ull, 1461ull, 8192ull,
+                                           65536ull, 300000ull));
+
+TEST(NetStack, SmallMssStillDeliversInOrder) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto sender = std::make_shared<SenderHost>(tb.machine(), k.wire(), kSenderNodeId,
+                                             kSenderIpAddr);
+  std::uint64_t got = 0;
+  bool ok = true;
+  std::uint64_t cursor = 0;
+  k.Spawn("srv", [&](UserEnv& env) {
+    const int fd = env.Socket(true);
+    env.Bind(fd, 4000);
+    env.Listen(fd);
+    const int conn = env.Accept(fd);
+    while (true) {
+      Bytes chunk;
+      if (env.Recv(conn, 4096, &chunk) <= 0) {
+        break;
+      }
+      for (std::uint8_t b : chunk) {
+        ok &= b == SenderHost::PayloadByte(cursor++);
+      }
+      got += chunk.size();
+    }
+  });
+  tb.machine().events().ScheduleAt(Msec(20), [&] {
+    sender->StartStream(kPcIpAddr, 4000, 20000, /*mss=*/536);
+  });
+  k.Run(Sec(20));
+  EXPECT_EQ(got, 20000u);
+  EXPECT_TRUE(ok);
+}
+
+TEST(NetStack, ReceiverWindowThrottlesInFlightData) {
+  // If the receiving process never reads, the sender must stall at the
+  // advertised window rather than blast the whole stream.
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto sender = std::make_shared<SenderHost>(tb.machine(), k.wire(), kSenderNodeId,
+                                             kSenderIpAddr);
+  k.Spawn("lazy", [&](UserEnv& env) {
+    const int fd = env.Socket(true);
+    env.Bind(fd, 4000);
+    env.Listen(fd);
+    env.Accept(fd);
+    // Accept, then never read.
+    env.Compute(Sec(5));
+  });
+  tb.machine().events().ScheduleAt(Msec(20), [&] {
+    sender->StartStream(kPcIpAddr, 4000, 1 * kMiB);
+  });
+  k.Run(Sec(3));
+  // The socket buffer is 16 KiB: no more than that (plus slop) can be acked.
+  EXPECT_LE(sender->bytes_acked(), 32u * 1024);
+  EXPECT_GT(sender->bytes_acked(), 0u);
+}
+
+TEST(NetStack, RetransmitRecoversFromRingOverflow) {
+  // Stall interrupt processing long enough for the 8 KiB board ring to
+  // overflow, dropping frames; the sender's go-back-N timer must recover
+  // and the stream must still arrive intact.
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto sender = std::make_shared<SenderHost>(tb.machine(), k.wire(), kSenderNodeId,
+                                             kSenderIpAddr);
+  std::uint64_t got = 0;
+  bool ok = true;
+  std::uint64_t cursor = 0;
+  k.Spawn("srv", [&](UserEnv& env) {
+    const int fd = env.Socket(true);
+    env.Bind(fd, 4000);
+    env.Listen(fd);
+    const int conn = env.Accept(fd);
+    // Block out the ether card for a long stretch right after accepting.
+    const int s = k.spl().splhigh();
+    k.cpu().Use(Msec(50));
+    k.spl().splx(s);
+    while (true) {
+      Bytes chunk;
+      if (env.Recv(conn, 8192, &chunk) <= 0) {
+        break;
+      }
+      for (std::uint8_t b : chunk) {
+        ok &= b == SenderHost::PayloadByte(cursor++);
+      }
+      got += chunk.size();
+    }
+  });
+  tb.machine().events().ScheduleAt(Msec(20), [&] {
+    sender->StartStream(kPcIpAddr, 4000, 100 * 1024);
+  });
+  k.Run(Sec(30));
+  EXPECT_EQ(got, 100u * 1024);
+  EXPECT_TRUE(ok);
+  EXPECT_GT(k.net().we().rx_dropped() + sender->retransmits(), 0u)
+      << "the stall should have forced drops or retransmits";
+}
+
+TEST(NetStack, ChecksumFailuresAreDropped) {
+  // Corrupt frames injected straight onto the wire must be discarded by
+  // in_cksum verification, not delivered.
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  std::uint64_t got = 0;
+  k.Spawn("srv", [&](UserEnv& env) {
+    const int fd = env.Socket(false);  // udp
+    env.Bind(fd, 5000);
+    Bytes data;
+    env.Recv(fd, 4096, &data);
+    got = data.size();
+  });
+  tb.machine().events().ScheduleAt(Msec(20), [&] {
+    // A hand-built UDP datagram with a deliberately bad checksum.
+    IpHeader ih;
+    ih.proto = kIpProtoUdp;
+    ih.src = kSenderIpAddr;
+    ih.dst = kPcIpAddr;
+    UdpHeader uh;
+    uh.sport = 9;
+    uh.dport = 5000;
+    uh.has_checksum = true;
+    Bytes dgram = BuildUdpDatagram(ih, uh, Bytes{1, 2, 3});
+    dgram[9] ^= 0xFF;  // corrupt payload after checksumming
+    EtherHeader eh;
+    eh.src = kSenderNodeId;
+    eh.dst = kPcNodeId;
+    k.wire().Transmit(kSenderNodeId, BuildEtherFrame(eh, BuildIpPacket(ih, dgram)));
+  });
+  k.Run(Msec(500));
+  EXPECT_EQ(got, 0u);
+  EXPECT_GE(k.net().cksum_failures(), 1u);
+}
+
+TEST(NetStack, UdpDeliversDatagram) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  Bytes got;
+  k.Spawn("srv", [&](UserEnv& env) {
+    const int fd = env.Socket(false);
+    env.Bind(fd, 5000);
+    env.Recv(fd, 4096, &got);
+  });
+  tb.machine().events().ScheduleAt(Msec(20), [&] {
+    IpHeader ih;
+    ih.proto = kIpProtoUdp;
+    ih.src = kSenderIpAddr;
+    ih.dst = kPcIpAddr;
+    UdpHeader uh;
+    uh.sport = 9;
+    uh.dport = 5000;
+    uh.has_checksum = false;  // era default
+    const Bytes dgram = BuildUdpDatagram(ih, uh, Bytes{4, 5, 6, 7});
+    EtherHeader eh;
+    eh.src = kSenderNodeId;
+    eh.dst = kPcNodeId;
+    k.wire().Transmit(kSenderNodeId, BuildEtherFrame(eh, BuildIpPacket(ih, dgram)));
+  });
+  k.Run(Msec(500));
+  EXPECT_EQ(got, (Bytes{4, 5, 6, 7}));
+}
+
+TEST(NetStack, BindRejectsPortCollision) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  bool first = false;
+  bool second = true;
+  k.Spawn("p", [&](UserEnv& env) {
+    const int a = env.Socket(true);
+    const int b = env.Socket(true);
+    first = env.Bind(a, 4000);
+    second = env.Bind(b, 4000);
+  });
+  k.Run(Msec(200));
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+}
+
+TEST(NetStack, DriverCopyCostDominatesReceive) {
+  // Per received full-size frame, weget's bcopy from controller memory
+  // should cost about 1 ms (1045 µs in the paper).
+  Testbed tb;
+  NetReceiveResult res = RunNetworkReceive(tb, Sec(5), 64 * 1024, false);
+  ASSERT_GT(res.bytes_received, 0u);
+  // ~45 full frames: total driver copy time ≈ 45 ms; CPU time per byte of
+  // stream ≥ 697 ns.
+  EXPECT_GT(tb.kernel().cpu().busy_ns(),
+            res.bytes_received * tb.kernel().cost().isa8_ns_per_byte);
+}
+
+}  // namespace
+}  // namespace hwprof

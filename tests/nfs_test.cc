@@ -1,0 +1,147 @@
+// NFS-lite: RPC round trips, retransmission, checksum policy, and the
+// NFS-vs-FTP comparison the paper's filesystem study makes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/kern/nfs.h"
+#include "src/kern/user_env.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+TEST(Nfs, ReadRoundTrip) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto server = std::make_shared<NfsServerHost>(tb.machine(), k.wire());
+  const Bytes contents = PatternBytes(10 * 1024, 9);
+  const std::uint32_t fh = server->Export("f", contents);
+  Bytes got;
+  long n = -1;
+  k.Spawn("client", [&](UserEnv& env) {
+    k.nfs().Init();
+    n = env.NfsRead(fh, 0, 10 * 1024, &got);
+  });
+  k.Run(Sec(10));
+  EXPECT_EQ(n, 10 * 1024);
+  EXPECT_EQ(got, contents);
+  EXPECT_GT(server->rpcs_served(), 0u);
+}
+
+TEST(Nfs, ReadAtOffsetAndPastEof) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto server = std::make_shared<NfsServerHost>(tb.machine(), k.wire());
+  const Bytes contents = PatternBytes(2000, 4);
+  const std::uint32_t fh = server->Export("f", contents);
+  Bytes mid;
+  Bytes past;
+  long n_mid = -1;
+  long n_past = -1;
+  k.Spawn("client", [&](UserEnv& env) {
+    k.nfs().Init();
+    n_mid = env.NfsRead(fh, 500, 1000, &mid);
+    n_past = env.NfsRead(fh, 5000, 100, &past);
+  });
+  k.Run(Sec(10));
+  EXPECT_EQ(n_mid, 1000);
+  EXPECT_EQ(mid, Bytes(contents.begin() + 500, contents.begin() + 1500));
+  EXPECT_EQ(n_past, 0);
+}
+
+TEST(Nfs, WriteRoundTrip) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto server = std::make_shared<NfsServerHost>(tb.machine(), k.wire());
+  const std::uint32_t fh = server->Export("f", Bytes{});
+  const Bytes data = PatternBytes(3000, 2);
+  long wrote = -1;
+  k.Spawn("client", [&](UserEnv& env) {
+    k.nfs().Init();
+    wrote = env.NfsWrite(fh, 0, data);
+  });
+  k.Run(Sec(10));
+  EXPECT_EQ(wrote, 3000);
+  EXPECT_EQ(server->Contents(fh), data);
+}
+
+TEST(Nfs, UnknownHandleFails) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto server = std::make_shared<NfsServerHost>(tb.machine(), k.wire());
+  server->Export("f", Bytes(10, 1));
+  long n = 0;
+  k.Spawn("client", [&](UserEnv& env) {
+    k.nfs().Init();
+    Bytes out;
+    n = env.NfsRead(999, 0, 10, &out);
+  });
+  k.Run(Sec(10));
+  EXPECT_EQ(n, -1);
+}
+
+TEST(Nfs, RetransmitsWhenServerIsSlow) {
+  // Server service time beyond the client's 1 s timer: the stop-and-wait
+  // client resends, and the eventual reply still completes the read.
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto server = std::make_shared<NfsServerHost>(tb.machine(), k.wire());
+  server->SetServiceDelay(1500 * kMillisecond);
+  const std::uint32_t fh = server->Export("f", PatternBytes(100));
+  Bytes got;
+  long n = -1;
+  k.Spawn("client", [&](UserEnv& env) {
+    k.nfs().Init();
+    n = env.NfsRead(fh, 0, 100, &got);
+  });
+  k.Run(Sec(10));
+  EXPECT_EQ(n, 100);
+  EXPECT_EQ(got, PatternBytes(100));
+  EXPECT_GE(k.nfs().timeouts(), 1u);
+}
+
+TEST(Nfs, BeatsFtpStyleTcpTransfer) {
+  // The paper's observation: with UDP checksums off and in_cksum unfixed,
+  // NFS reads outrun an FTP-style TCP stream of the same size.
+  Testbed tb_nfs;
+  Testbed tb_tcp;
+  TransferCompareResult res = RunNfsVsFtp(tb_nfs, tb_tcp, 256 * 1024);
+  EXPECT_EQ(res.nfs_bytes, 256u * 1024);
+  EXPECT_EQ(res.tcp_bytes, 256u * 1024);
+  EXPECT_TRUE(res.nfs_data_ok);
+  EXPECT_GT(res.nfs_kb_s, res.tcp_kb_s)
+      << "NFS " << res.nfs_kb_s << " KB/s vs TCP " << res.tcp_kb_s << " KB/s";
+}
+
+TEST(Nfs, UdpChecksumsSlowTheClientDown) {
+  // Enabling UDP checksums adds in_cksum work on every reply.
+  auto run_with = [](bool checksums) {
+    TestbedConfig config;
+    config.kernel.udp_checksums = checksums;
+    Testbed tb(config);
+    Kernel& k = tb.kernel();
+    auto server = std::make_shared<NfsServerHost>(tb.machine(), k.wire());
+    server->SetUseChecksums(checksums);
+    const std::uint32_t fh = server->Export("f", PatternBytes(128 * 1024));
+    auto done = std::make_shared<Nanoseconds>(0);
+    k.Spawn("client", [fh, done, &k](UserEnv& env) {
+      k.nfs().Init();
+      Bytes out;
+      env.NfsRead(fh, 0, 128 * 1024, &out);
+      *done = k.Now();
+    });
+    k.Run(Sec(60));
+    return *done;
+  };
+  const Nanoseconds with = run_with(true);
+  const Nanoseconds without = run_with(false);
+  ASSERT_NE(with, 0u);
+  ASSERT_NE(without, 0u);
+  EXPECT_LT(without, with);
+}
+
+}  // namespace
+}  // namespace hwprof

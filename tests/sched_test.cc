@@ -1,0 +1,230 @@
+// Scheduler, fibers, tsleep/wakeup, preemption and process lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/kern/clock.h"
+#include "src/kern/fs.h"
+#include "src/kern/fiber.h"
+#include "src/kern/sched.h"
+#include "src/kern/user_env.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+// --- Fiber primitives ----------------------------------------------------------
+
+TEST(Fiber, SwitchRoundTrip) {
+  Fiber main_fiber;
+  std::vector<int> order;
+  Fiber worker([&order] { order.push_back(2); });
+  worker.set_exit_to(&main_fiber);
+  order.push_back(1);
+  Fiber::Switch(main_fiber, worker);
+  order.push_back(3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(worker.finished());
+}
+
+TEST(Fiber, NestedSwitches) {
+  Fiber main_fiber;
+  std::vector<int> order;
+  Fiber* back_to = &main_fiber;
+  Fiber b([&] {
+    order.push_back(20);
+  });
+  Fiber a([&] {
+    order.push_back(10);
+    b.set_exit_to(back_to);
+    // a -> b; b finishes straight to main, a never resumes.
+    Fiber dummy;
+    Fiber::Switch(dummy, b);
+  });
+  a.set_exit_to(&main_fiber);
+  Fiber::Switch(main_fiber, a);
+  EXPECT_EQ(order, (std::vector<int>{10, 20}));
+}
+
+// --- Process lifecycle ------------------------------------------------------------
+
+TEST(Sched, SpawnedProcessRunsAndExits) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  bool ran = false;
+  k.Spawn("p", [&ran](UserEnv& env) {
+    env.Compute(1 * kMillisecond);
+    ran = true;
+  });
+  k.Run(Msec(100));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Sched, ProcessesInterleaveViaSleep) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  std::vector<int> order;
+  // Two procs alternating through tsleep/wakeup on each other.
+  Proc* p1 = nullptr;
+  Proc* p2 = nullptr;
+  p1 = k.Spawn("a", [&](UserEnv& env) {
+    (void)env;
+    for (int i = 0; i < 3; ++i) {
+      order.push_back(1);
+      k.sched().Wakeup(&order);
+      k.sched().Tsleep(&order, "ping", Msec(50));
+    }
+    k.sched().Wakeup(&order);
+  });
+  p2 = k.Spawn("b", [&](UserEnv& env) {
+    (void)env;
+    for (int i = 0; i < 3; ++i) {
+      order.push_back(2);
+      k.sched().Wakeup(&order);
+      k.sched().Tsleep(&order, "pong", Msec(50));
+    }
+  });
+  (void)p1;
+  (void)p2;
+  k.Run(Sec(2));
+  ASSERT_GE(order.size(), 5u);
+  // Strict alternation: 1,2,1,2...
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_NE(order[i], order[i - 1]) << "at " << i;
+  }
+}
+
+TEST(Sched, TsleepTimeoutFires) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  int result = -1;
+  Nanoseconds slept_for = 0;
+  k.Spawn("sleeper", [&](UserEnv& env) {
+    (void)env;
+    const Nanoseconds t0 = k.Now();
+    result = k.sched().Tsleep(&result, "never", Msec(50));
+    slept_for = k.Now() - t0;
+  });
+  k.Run(Sec(1));
+  EXPECT_EQ(result, kSleepTimedOut);
+  // Callout wheel rounds up to ticks; allow generous slack.
+  EXPECT_GE(slept_for, Msec(40));
+  EXPECT_LE(slept_for, Msec(120));
+}
+
+TEST(Sched, WakeupBeatsTimeout) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  int result = -1;
+  int chan = 0;
+  k.Spawn("sleeper", [&](UserEnv& env) {
+    (void)env;
+    result = k.sched().Tsleep(&chan, "chan", Sec(5));
+  });
+  k.Spawn("waker", [&](UserEnv& env) {
+    env.Compute(5 * kMillisecond);
+    k.sched().Wakeup(&chan);
+  });
+  k.Run(Sec(1));
+  EXPECT_EQ(result, kSleepOk);
+}
+
+TEST(Sched, RoundRobinPreemptsCpuHogs) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  Nanoseconds end_a = 0;
+  Nanoseconds end_b = 0;
+  k.Spawn("hog-a", [&](UserEnv& env) {
+    env.Compute(Msec(400));
+    end_a = k.Now();
+  });
+  k.Spawn("hog-b", [&](UserEnv& env) {
+    env.Compute(Msec(400));
+    end_b = k.Now();
+  });
+  k.Run(Sec(3));
+  ASSERT_NE(end_a, 0u);
+  ASSERT_NE(end_b, 0u);
+  // With round-robin both finish near t=800ms, close together — not one
+  // after the other (which would put them ~400ms apart).
+  const Nanoseconds gap = end_a > end_b ? end_a - end_b : end_b - end_a;
+  EXPECT_LT(gap, Msec(150));
+  EXPECT_GT(k.sched().preemptions(), 3u);
+}
+
+TEST(Sched, WaitReapsZombieChild) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  int reaped_pid = -1;
+  int status = -1;
+  int child_pid = -1;
+  k.Spawn("parent", [&](UserEnv& env) {
+    child_pid = env.Vfork([](UserEnv& child) {
+      child.Compute(1 * kMillisecond);
+      child.Exit(42);
+    });
+    reaped_pid = env.Wait(&status);
+  });
+  k.Run(Sec(2));
+  EXPECT_GT(child_pid, 0);
+  EXPECT_EQ(reaped_pid, child_pid);
+  EXPECT_EQ(status, 42);
+  EXPECT_EQ(k.FindProc(child_pid), nullptr);  // gone from the table
+}
+
+TEST(Sched, WaitWithNoChildrenReturnsError) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  int r = 0;
+  k.Spawn("lonely", [&](UserEnv& env) { r = env.Wait(); });
+  k.Run(Msec(200));
+  EXPECT_EQ(r, -1);
+}
+
+TEST(Sched, RunCanBeCalledRepeatedly) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  int laps = 0;
+  k.Spawn("laps", [&](UserEnv& env) {
+    for (int i = 0; i < 10; ++i) {
+      env.Compute(Msec(30));
+      ++laps;
+    }
+  });
+  k.Run(Msec(100));
+  const int after_first = laps;
+  EXPECT_GT(after_first, 0);
+  EXPECT_LT(after_first, 10);  // stopped mid-flight
+  k.Run(Msec(600));
+  EXPECT_EQ(laps, 10);  // resumed where it left off
+}
+
+TEST(Sched, VforkBlocksParentUntilExec) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  k.fs().InstallFile("/bin/x", PatternBytes(8 * 1024));
+  Nanoseconds parent_resumed = 0;
+  Nanoseconds child_execed = 0;
+  k.Spawn("parent", [&](UserEnv& env) {
+    env.Vfork([&child_execed, &k](UserEnv& child) {
+      child.Execve("/bin/x");
+      child_execed = k.Now();
+      child.Compute(Msec(100));  // long-running child
+      child.Exit(0);
+    });
+    parent_resumed = k.Now();
+    env.Wait();
+  });
+  k.Run(Sec(3));
+  ASSERT_NE(parent_resumed, 0u);
+  ASSERT_NE(child_execed, 0u);
+  // vfork semantics: the parent resumes only after the exec, but does not
+  // wait for the child's whole life.
+  EXPECT_GE(parent_resumed, child_execed);
+  EXPECT_LT(parent_resumed, child_execed + Msec(50));
+}
+
+}  // namespace
+}  // namespace hwprof

@@ -1,0 +1,275 @@
+// Unit tests for src/sim: clock, event queue, CPU, bus decode, address map.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/bus.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/cpu.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/machine.h"
+#include "src/sim/time.h"
+
+namespace hwprof {
+namespace {
+
+// --- VirtualClock -----------------------------------------------------------------
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  clock.Advance(5);
+  clock.AdvanceTo(10);
+  EXPECT_EQ(clock.Now(), 10u);
+}
+
+TEST(VirtualClockDeath, RefusesToGoBackwards) {
+  VirtualClock clock;
+  clock.AdvanceTo(10);
+  EXPECT_DEATH(clock.AdvanceTo(9), "backwards");
+}
+
+// --- EventQueue --------------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.RunDue(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesRunInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(10, [&] { order.push_back(2); });
+  q.ScheduleAt(10, [&] { order.push_back(3); });
+  q.RunDue(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunDueStopsAtNow) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] { ++fired; });
+  q.ScheduleAt(20, [&] { ++fired; });
+  q.RunDue(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.NextTime(), 20u);
+}
+
+TEST(EventQueue, CancelPreventsRun) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.ScheduleAt(10, [&] { ++fired; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // second cancel is a no-op
+  q.RunDue(100);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreDueEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] {
+    ++fired;
+    q.ScheduleAt(10, [&] { ++fired; });  // same instant, newly due
+  });
+  q.RunDue(10);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NextTimeEmptyIsNever) {
+  EventQueue q;
+  EXPECT_EQ(q.NextTime(), EventQueue::kNever);
+  EXPECT_TRUE(q.Empty());
+}
+
+// --- Cpu -----------------------------------------------------------------------------
+
+TEST(Cpu, UseAdvancesClockAndAccountsBusy) {
+  VirtualClock clock;
+  EventQueue q;
+  Cpu cpu(&clock, &q);
+  cpu.Use(1000);
+  EXPECT_EQ(clock.Now(), 1000u);
+  EXPECT_EQ(cpu.busy_ns(), 1000u);
+  EXPECT_EQ(cpu.idle_ns(), 0u);
+}
+
+TEST(Cpu, EventsFireAtTheirInstantDuringUse) {
+  VirtualClock clock;
+  EventQueue q;
+  Cpu cpu(&clock, &q);
+  Nanoseconds fired_at = 0;
+  q.ScheduleAt(400, [&] { fired_at = clock.Now(); });
+  cpu.Use(1000);
+  EXPECT_EQ(fired_at, 400u);
+  EXPECT_EQ(clock.Now(), 1000u);
+}
+
+TEST(Cpu, InterruptServiceExtendsTheWorkWindow) {
+  VirtualClock clock;
+  EventQueue q;
+  Cpu cpu(&clock, &q);
+  bool pending = false;
+  cpu.SetInterruptHook([&] {
+    if (pending) {
+      pending = false;
+      cpu.Use(500);  // interrupt handler consumes CPU
+    }
+  });
+  q.ScheduleAt(300, [&] { pending = true; });
+  cpu.Use(1000);
+  // The preempted work still completes its full 1000ns: total = 1500.
+  EXPECT_EQ(clock.Now(), 1500u);
+  EXPECT_EQ(cpu.busy_ns(), 1500u);
+}
+
+TEST(Cpu, IdleWaitAccountsIdleSeparately) {
+  VirtualClock clock;
+  EventQueue q;
+  Cpu cpu(&clock, &q);
+  int fired = 0;
+  q.ScheduleAt(700, [&] { ++fired; });
+  EXPECT_TRUE(cpu.IdleWait(1000));
+  EXPECT_EQ(clock.Now(), 700u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(cpu.idle_ns(), 700u);
+  EXPECT_EQ(cpu.busy_ns(), 0u);
+  // Nothing left: idles through to the deadline.
+  EXPECT_FALSE(cpu.IdleWait(1000));
+  EXPECT_EQ(clock.Now(), 1000u);
+}
+
+// --- IsaBus / EPROM tap -----------------------------------------------------------------
+
+class RecordingTap : public EpromTapListener {
+ public:
+  void OnEpromRead(std::uint16_t addr, Nanoseconds now) override {
+    reads.push_back({addr, now});
+  }
+  std::vector<std::pair<std::uint16_t, Nanoseconds>> reads;
+};
+
+TEST(IsaBus, DecodesSocketWindowReads) {
+  IsaBus bus;
+  bus.InstallEpromSocket(0xD0000);
+  RecordingTap tap;
+  bus.AddTapListener(&tap);
+  bus.Read8(0xD0000 + 1386, 100);
+  bus.Read8(0xD0000 + 0xFFFF, 200);
+  bus.Read8(0xC0000, 300);  // outside the window: not decoded
+  ASSERT_EQ(tap.reads.size(), 2u);
+  EXPECT_EQ(tap.reads[0].first, 1386);
+  EXPECT_EQ(tap.reads[0].second, 100u);
+  EXPECT_EQ(tap.reads[1].first, 0xFFFF);
+  EXPECT_EQ(bus.eprom_read_count(), 2u);
+}
+
+TEST(IsaBus, RemoveTapListenerStopsDelivery) {
+  IsaBus bus;
+  bus.InstallEpromSocket(0xD0000);
+  RecordingTap tap;
+  bus.AddTapListener(&tap);
+  bus.Read8(0xD0000, 1);
+  bus.RemoveTapListener(&tap);
+  bus.Read8(0xD0000, 2);
+  EXPECT_EQ(tap.reads.size(), 1u);
+}
+
+TEST(IsaBusDeath, SocketMustSitInsideIsaHole) {
+  IsaBus bus;
+  EXPECT_DEATH(bus.InstallEpromSocket(0x10000), "ISA memory hole");
+}
+
+// --- AddressMap (Figure 2) ---------------------------------------------------------------
+
+TEST(AddressMap, IsaWindowFollowsKernelRoundedToPages) {
+  AddressMap map;
+  map.MapKernel(600 * 1024);  // exactly page aligned
+  const std::uint32_t base = map.IsaVirtualBase();
+  EXPECT_EQ(base, AddressMap::kKernelBase + 600 * 1024 +
+                      AddressMap::kFixedPages * AddressMap::kPageSize);
+}
+
+TEST(AddressMap, KernelSizeChangesTheWindow) {
+  AddressMap small_map;
+  AddressMap big_map;
+  small_map.MapKernel(600 * 1024);
+  big_map.MapKernel(600 * 1024 + 1);  // one byte more: one page more
+  EXPECT_EQ(big_map.IsaVirtualBase(), small_map.IsaVirtualBase() + AddressMap::kPageSize);
+}
+
+TEST(AddressMap, TranslatesInsideWindowOnly) {
+  AddressMap map;
+  map.MapKernel(4096);
+  const std::uint32_t base = map.IsaVirtualBase();
+  std::uint32_t phys = 0;
+  EXPECT_TRUE(map.VirtualToIsaPhys(base, &phys));
+  EXPECT_EQ(phys, kIsaHoleBase);
+  EXPECT_TRUE(map.VirtualToIsaPhys(base + 0x30000, &phys));
+  EXPECT_EQ(phys, kIsaHoleBase + 0x30000);
+  EXPECT_FALSE(map.VirtualToIsaPhys(base - 1, &phys));
+  EXPECT_FALSE(map.VirtualToIsaPhys(base + (kIsaHoleEnd - kIsaHoleBase), &phys));
+}
+
+// --- Machine ----------------------------------------------------------------------------
+
+TEST(Machine, TriggerReadReachesTheSocket) {
+  Machine machine;
+  machine.address_map().MapKernel(600 * 1024);
+  RecordingTap tap;
+  machine.bus().AddTapListener(&tap);
+  const std::uint32_t profile_base = machine.address_map().IsaVirtualBase() +
+                                     (kDefaultEpromSocketPhys - kIsaHoleBase);
+  machine.TriggerRead(profile_base + 502);
+  ASSERT_EQ(tap.reads.size(), 1u);
+  EXPECT_EQ(tap.reads[0].first, 502);
+  // The trigger costs what the paper measured (~200 ns per trigger).
+  EXPECT_EQ(machine.Now(), machine.cost().trigger_read_ns);
+}
+
+TEST(Machine, TriggerOutsideWindowIsInert) {
+  Machine machine;
+  machine.address_map().MapKernel(600 * 1024);
+  RecordingTap tap;
+  machine.bus().AddTapListener(&tap);
+  machine.TriggerRead(0x1000);  // nowhere near the remapped ISA hole
+  EXPECT_TRUE(tap.reads.empty());
+}
+
+// --- CostModel ------------------------------------------------------------------------------
+
+TEST(CostModel, DerivedHelpersScaleLinearly) {
+  const CostModel m = CostModel::I386Dx40();
+  EXPECT_EQ(m.MainCopy(1000), 1000 * m.main_copy_ns_per_byte);
+  EXPECT_EQ(m.Isa8Copy(1500), 1500 * m.isa8_ns_per_byte);
+  // The headline calibration: a 1500-byte driver copy is ~1045 µs.
+  EXPECT_NEAR(static_cast<double>(m.Isa8Copy(1500)) / 1000.0, 1045.0, 10.0);
+  // ISA is ~18x slower than DRAM ("up to 20 times slower").
+  EXPECT_GT(m.isa8_ns_per_byte, 15 * m.main_copy_ns_per_byte);
+  EXPECT_LT(m.isa8_ns_per_byte, 20 * m.main_copy_ns_per_byte);
+}
+
+TEST(CostModel, ChecksumRates) {
+  const CostModel m = CostModel::I386Dx40();
+  // Unoptimised C checksum beats nothing; data in controller memory is
+  // worse; assembler is close to copy speed.
+  EXPECT_LT(m.Checksum(1024, false), m.Checksum(1024, true));
+  const CostModel asm_model = CostModel::I386Dx40AsmCksum();
+  EXPECT_LT(asm_model.Checksum(1024, false), m.Checksum(1024, false) / 3);
+}
+
+TEST(CostModel, EtherWireRate) {
+  const CostModel m = CostModel::I386Dx40();
+  // 10 Mb/s: 1518 bytes ≈ 1.2 ms + IFG.
+  EXPECT_NEAR(static_cast<double>(m.EtherWire(1518)) / 1e6, 1.22, 0.05);
+}
+
+}  // namespace
+}  // namespace hwprof

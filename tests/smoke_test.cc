@@ -1,0 +1,55 @@
+// End-to-end smoke tests: boot the rig, run workloads, capture and decode.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/decoder.h"
+#include "src/kern/clock.h"
+#include "src/kern/net.h"
+#include "src/analysis/summary.h"
+#include "src/analysis/trace_report.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+TEST(Smoke, BootAndIdle) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  tb.Arm();
+  k.Run(Sec(1));
+  EXPECT_GE(k.Now(), Sec(1));
+  // 100 Hz clock: ~100 ticks in a second.
+  EXPECT_GE(k.clocksys().ticks(), 95u);
+  EXPECT_LE(k.clocksys().ticks(), 105u);
+  // The profiler saw the clock interrupt triggers.
+  RawTrace raw = tb.StopAndUpload();
+  EXPECT_GT(raw.events.size(), 300u);  // ISAINTR+hardclock+gatherstats pairs
+  DecodedTrace decoded = Decoder::Decode(raw, tb.tags());
+  EXPECT_EQ(decoded.unknown_tags, 0u);
+  const FuncStats* hc = decoded.Stats("hardclock");
+  ASSERT_NE(hc, nullptr);
+  EXPECT_GE(hc->calls, 90u);
+}
+
+TEST(Smoke, NetworkReceiveDeliversVerifiedStream) {
+  Testbed tb;
+  tb.Arm();
+  NetReceiveResult res = RunNetworkReceive(tb, Sec(3), 256 * 1024);
+  EXPECT_TRUE(res.integrity_ok);
+  EXPECT_GT(res.bytes_received, 0u);
+  RawTrace raw = tb.StopAndUpload();
+  DecodedTrace decoded = Decoder::Decode(raw, tb.tags());
+  Summary summary(decoded);
+  // The receive path's signature functions all appear.
+  for (const char* fn : {"bcopy", "in_cksum", "tcp_input", "ipintr", "soreceive",
+                         "weintr", "splnet"}) {
+    EXPECT_NE(summary.Row(fn), nullptr) << fn;
+  }
+  // swtch is accounted as the Idle header, not a row.
+  EXPECT_EQ(summary.Row("swtch"), nullptr);
+  EXPECT_NE(decoded.Stats("swtch"), nullptr);
+}
+
+}  // namespace
+}  // namespace hwprof

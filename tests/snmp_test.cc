@@ -1,0 +1,202 @@
+// The SNMP case study: B-tree correctness (property-tested against a
+// reference map), linear/B-tree equivalence, comparison-count scaling, and
+// the agent serving verified replies end to end through the network stack.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/kern/user_env.h"
+#include "src/snmp/agent.h"
+#include "src/snmp/mib.h"
+#include "src/workloads/testbed.h"
+
+namespace hwprof {
+namespace {
+
+struct OidLess {
+  bool operator()(const Oid& a, const Oid& b) const { return CompareOid(a, b) < 0; }
+};
+
+Oid RandomOid(Rng& rng) {
+  Oid oid;
+  const std::size_t len = 1 + rng.NextBelow(8);
+  for (std::size_t i = 0; i < len; ++i) {
+    oid.push_back(static_cast<std::uint32_t>(rng.NextBelow(20)));
+  }
+  return oid;
+}
+
+TEST(Oid, CompareIsLexicographic) {
+  EXPECT_EQ(CompareOid({1, 3, 6}, {1, 3, 6}), 0);
+  EXPECT_LT(CompareOid({1, 3}, {1, 3, 6}), 0);   // prefix sorts first
+  EXPECT_GT(CompareOid({1, 4}, {1, 3, 6}), 0);
+  EXPECT_LT(CompareOid({}, {0}), 0);
+  EXPECT_EQ(OidToString({1, 3, 6, 1}), "1.3.6.1");
+}
+
+class MibEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MibEquivalenceTest, BothStoresMatchAReferenceMap) {
+  Rng rng(GetParam());
+  LinearMib linear;
+  BTreeMib btree;
+  std::map<Oid, std::string, OidLess> reference;
+
+  // Random inserts (with duplicates, exercising replacement).
+  for (int i = 0; i < 500; ++i) {
+    const Oid oid = RandomOid(rng);
+    const std::string value = "v" + std::to_string(i);
+    linear.Insert(oid, value);
+    btree.Insert(oid, value);
+    reference[oid] = value;
+  }
+  btree.CheckInvariants();
+  EXPECT_EQ(linear.size(), reference.size());
+  EXPECT_EQ(btree.size(), reference.size());
+
+  // GET agreement on hits and misses.
+  for (int i = 0; i < 300; ++i) {
+    const Oid probe = RandomOid(rng);
+    const auto it = reference.find(probe);
+    const MibEntry* from_linear = linear.Get(probe);
+    const MibEntry* from_btree = btree.Get(probe);
+    if (it == reference.end()) {
+      EXPECT_EQ(from_linear, nullptr);
+      EXPECT_EQ(from_btree, nullptr);
+    } else {
+      ASSERT_NE(from_linear, nullptr);
+      ASSERT_NE(from_btree, nullptr);
+      EXPECT_EQ(from_linear->value, it->second);
+      EXPECT_EQ(from_btree->value, it->second);
+    }
+  }
+
+  // GETNEXT agreement (the MIB-walk operation).
+  for (int i = 0; i < 300; ++i) {
+    const Oid probe = RandomOid(rng);
+    const auto it = reference.upper_bound(probe);
+    const MibEntry* from_linear = linear.GetNext(probe);
+    const MibEntry* from_btree = btree.GetNext(probe);
+    if (it == reference.end()) {
+      EXPECT_EQ(from_linear, nullptr);
+      EXPECT_EQ(from_btree, nullptr);
+    } else {
+      ASSERT_NE(from_linear, nullptr);
+      ASSERT_NE(from_btree, nullptr);
+      EXPECT_EQ(CompareOid(from_linear->oid, it->first), 0);
+      EXPECT_EQ(CompareOid(from_btree->oid, it->first), 0);
+      EXPECT_EQ(from_btree->value, it->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MibEquivalenceTest,
+                         ::testing::Values(1u, 7u, 42u, 1993u, 0xDEADu));
+
+TEST(BTreeMib, FullWalkVisitsEverythingInOrder) {
+  Rng rng(3);
+  BTreeMib btree;
+  std::map<Oid, std::string, OidLess> reference;
+  for (int i = 0; i < 800; ++i) {
+    const Oid oid = RandomOid(rng);
+    btree.Insert(oid, "x");
+    reference[oid] = "x";
+  }
+  // Walk with GETNEXT from the root of the namespace.
+  Oid cursor;  // empty OID sorts before everything
+  std::size_t visited = 0;
+  Oid prev;
+  while (const MibEntry* e = btree.GetNext(cursor)) {
+    if (visited > 0) {
+      EXPECT_LT(CompareOid(prev, e->oid), 0) << "walk went backwards";
+    }
+    prev = e->oid;
+    cursor = e->oid;
+    ++visited;
+  }
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(BTreeMib, HeightStaysLogarithmic) {
+  BTreeMib btree;
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    btree.Insert(Oid{1, 3, 6, i}, "v");
+  }
+  btree.CheckInvariants();
+  // Order-8 tree of 4000 keys: height well under 6.
+  EXPECT_LE(btree.Height(), 6);
+  EXPECT_GE(btree.Height(), 3);
+}
+
+TEST(Mib, ComparisonCountsSeparateTheAlgorithms) {
+  // The order-of-magnitude observation, at the data-structure level.
+  constexpr std::size_t kEntries = 1000;
+  LinearMib linear;
+  BTreeMib btree;
+  const std::vector<Oid> oids = SnmpAgent::PopulateStandardMib(&linear, kEntries);
+  SnmpAgent::PopulateStandardMib(&btree, kEntries);
+  linear.ResetComparisons();
+  btree.ResetComparisons();
+
+  Rng rng(9);
+  constexpr int kLookups = 200;
+  for (int i = 0; i < kLookups; ++i) {
+    const Oid& probe = oids[rng.NextBelow(oids.size())];
+    ASSERT_NE(linear.Get(probe), nullptr);
+    ASSERT_NE(btree.Get(probe), nullptr);
+  }
+  const double linear_per = static_cast<double>(linear.comparisons()) / kLookups;
+  const double btree_per = static_cast<double>(btree.comparisons()) / kLookups;
+  EXPECT_GT(linear_per, 300.0);  // ~N/2
+  EXPECT_LT(btree_per, 40.0);    // ~log2(N) within nodes
+  EXPECT_GT(linear_per / btree_per, 10.0) << "expected an order of magnitude";
+}
+
+TEST(SnmpAgent, ServesVerifiedRepliesEndToEnd) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto mib = std::make_unique<BTreeMib>();
+  const std::vector<Oid> oids = SnmpAgent::PopulateStandardMib(mib.get(), 200);
+  auto agent = std::make_shared<SnmpAgent>(k, mib.get());
+  auto client =
+      std::make_shared<SnmpClientHost>(tb.machine(), k.wire(), oids, /*seed=*/11);
+
+  k.Spawn("snmpd", [agent](UserEnv& env) { agent->Serve(env); });
+  tb.machine().events().ScheduleAt(Msec(20), [client] { client->Start(100); });
+  k.Run(Sec(30));
+
+  EXPECT_TRUE(client->done());
+  EXPECT_EQ(client->received(), 100u);
+  EXPECT_EQ(client->mismatches(), 0u);
+  EXPECT_GE(agent->stats().replies, 100u);
+  EXPECT_GT(client->MeanRtt(), 0u);
+}
+
+TEST(SnmpAgent, BTreeAgentAnswersFasterThanLinear) {
+  auto run_with = [](MibStore* mib, const std::vector<Oid>& oids) {
+    Testbed tb;
+    Kernel& k = tb.kernel();
+    auto agent = std::make_shared<SnmpAgent>(k, mib);
+    auto client =
+        std::make_shared<SnmpClientHost>(tb.machine(), k.wire(), oids, /*seed=*/5);
+    k.Spawn("snmpd", [agent](UserEnv& env) { agent->Serve(env); });
+    tb.machine().events().ScheduleAt(Msec(20), [client] { client->Start(60); });
+    k.Run(Sec(60));
+    EXPECT_EQ(client->mismatches(), 0u);
+    EXPECT_EQ(client->received(), 60u);
+    return client->MeanRtt();
+  };
+  LinearMib linear;
+  BTreeMib btree;
+  const std::vector<Oid> oids = SnmpAgent::PopulateStandardMib(&linear, 1000);
+  SnmpAgent::PopulateStandardMib(&btree, 1000);
+  const Nanoseconds linear_rtt = run_with(&linear, oids);
+  const Nanoseconds btree_rtt = run_with(&btree, oids);
+  EXPECT_LT(btree_rtt, linear_rtt / 2) << "B-tree should win decisively";
+}
+
+}  // namespace
+}  // namespace hwprof

@@ -1,0 +1,175 @@
+// spl priority semantics, interrupt masking/pending delivery, clock ticks
+// and callouts.
+
+#include <gtest/gtest.h>
+
+#include "src/kern/clock.h"
+#include "src/kern/sched.h"
+#include "src/kern/user_env.h"
+#include "src/workloads/testbed.h"
+
+namespace hwprof {
+namespace {
+
+TEST(Spl, RaiseNeverLowers) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  bool checked = false;
+  k.Spawn("p", [&](UserEnv& env) {
+    (void)env;
+    const int s0 = k.spl().splhigh();
+    EXPECT_EQ(static_cast<Ipl>(s0), Ipl::kNone);
+    // A lower raise while at splhigh keeps splhigh.
+    const int s1 = k.spl().splnet();
+    EXPECT_EQ(static_cast<Ipl>(s1), Ipl::kHigh);
+    EXPECT_EQ(k.spl().current(), Ipl::kHigh);
+    k.spl().splx(s1);
+    EXPECT_EQ(k.spl().current(), Ipl::kHigh);
+    k.spl().splx(s0);
+    EXPECT_EQ(k.spl().current(), Ipl::kNone);
+    checked = true;
+  });
+  k.Run(Msec(50));
+  EXPECT_TRUE(checked);
+}
+
+TEST(Spl, SplclockMasksTheClockUntilSplx) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  std::uint64_t ticks_during = 0;
+  std::uint64_t ticks_after = 0;
+  k.Spawn("blocker", [&](UserEnv& env) {
+    (void)env;
+    const int s = k.spl().splclock();
+    // 100 ms at splclock: ~10 ticks are pended, none delivered.
+    k.cpu().Use(Msec(100));
+    ticks_during = k.clocksys().ticks();
+    k.spl().splx(s);  // delivery happens here
+    ticks_after = k.clocksys().ticks();
+  });
+  k.Run(Msec(300));
+  EXPECT_EQ(ticks_during, 0u);
+  EXPECT_GE(ticks_after, 1u);
+  // The latch holds one pending tick (level-triggered), not a count.
+  EXPECT_LE(ticks_after, 2u);
+}
+
+TEST(Spl, LowerPriorityWorkIsInterruptedByClock) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  std::uint64_t ticks_seen = 0;
+  k.Spawn("netjob", [&](UserEnv& env) {
+    (void)env;
+    const int s = k.spl().splnet();  // below splclock: clock still fires
+    k.cpu().Use(Msec(100));
+    ticks_seen = k.clocksys().ticks();
+    k.spl().splx(s);
+  });
+  k.Run(Msec(300));
+  EXPECT_GE(ticks_seen, 9u);
+}
+
+TEST(Spl, PerProcessLevelRestoredAcrossSwitch) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  Ipl seen_by_b = Ipl::kHigh;
+  bool a_resumed_at_bio = false;
+  int chan = 0;
+  k.Spawn("a", [&](UserEnv& env) {
+    (void)env;
+    const int s = k.spl().splbio();
+    k.sched().Tsleep(&chan, "x", Msec(100));
+    // Resumed: our level must still be splbio.
+    a_resumed_at_bio = k.spl().current() == Ipl::kBio;
+    k.spl().splx(s);
+  });
+  k.Spawn("b", [&](UserEnv& env) {
+    env.Compute(Msec(5));
+    // A sleeps at splbio, but that must not leak into us.
+    seen_by_b = k.spl().current();
+    k.sched().Wakeup(&chan);
+  });
+  k.Run(Sec(1));
+  EXPECT_EQ(seen_by_b, Ipl::kNone);
+  EXPECT_TRUE(a_resumed_at_bio);
+}
+
+TEST(Clock, TickRateIs100Hz) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  k.Run(Sec(2));
+  EXPECT_GE(k.clocksys().ticks(), 195u);
+  EXPECT_LE(k.clocksys().ticks(), 205u);
+}
+
+TEST(Clock, CalloutsFireInOrder) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  std::vector<int> order;
+  k.Spawn("setter", [&](UserEnv& env) {
+    (void)env;
+    k.clocksys().Timeout([&] { order.push_back(3); }, Msec(300));
+    k.clocksys().Timeout([&] { order.push_back(1); }, Msec(100));
+    k.clocksys().Timeout([&] { order.push_back(2); }, Msec(200));
+  });
+  k.Run(Sec(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Clock, UntimeoutCancels) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  int fired = 0;
+  k.Spawn("setter", [&](UserEnv& env) {
+    (void)env;
+    const auto id = k.clocksys().Timeout([&] { ++fired; }, Msec(100));
+    EXPECT_TRUE(k.clocksys().Untimeout(id));
+    EXPECT_FALSE(k.clocksys().Untimeout(id));
+  });
+  k.Run(Sec(1));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Clock, CalloutDelayRoundsUpToTicks) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  Nanoseconds fired_at = 0;
+  Nanoseconds set_at = 0;
+  k.Spawn("setter", [&](UserEnv& env) {
+    (void)env;
+    set_at = k.Now();
+    k.clocksys().Timeout([&] { fired_at = k.Now(); }, Usec(1));
+  });
+  k.Run(Sec(1));
+  ASSERT_NE(fired_at, 0u);
+  const Nanoseconds delay = fired_at - set_at;
+  EXPECT_GE(delay, Usec(1));
+  EXPECT_LE(delay, 2 * kTickInterval + Msec(1));
+}
+
+TEST(Clock, HardclockCostMatchesThePaper) {
+  // "the regular clock tick interrupt took on average 94 microseconds".
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  const Nanoseconds busy0 = k.cpu().busy_ns();
+  k.Run(Sec(5));
+  const std::uint64_t ticks = k.clocksys().ticks();
+  ASSERT_GT(ticks, 0u);
+  const double per_tick_us =
+      static_cast<double>(k.cpu().busy_ns() - busy0) / 1000.0 / static_cast<double>(ticks);
+  EXPECT_GT(per_tick_us, 70.0);
+  EXPECT_LT(per_tick_us, 120.0);
+}
+
+TEST(Clock, StopHaltsTicking) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  k.Run(Msec(100));
+  k.clocksys().Stop();
+  const std::uint64_t ticks = k.clocksys().ticks();
+  k.Run(Msec(300));
+  EXPECT_EQ(k.clocksys().ticks(), ticks);
+}
+
+}  // namespace
+}  // namespace hwprof

@@ -1,0 +1,148 @@
+// Call-graph analysis and the hwprof_analyze CLI entry point.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/analysis/callgraph.h"
+#include "src/analysis/decoder.h"
+#include "src/profhw/smart_socket.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+#include "tools/analyze_main.h"
+
+namespace hwprof {
+namespace {
+
+// --- CallGraph ----------------------------------------------------------------
+
+const TagFile& GraphNames() {
+  static const TagFile* names = [] {
+    auto* file = new TagFile();
+    HWPROF_CHECK(TagFile::Parse("a/100\nb/102\nc/104\n", file));
+    return file;
+  }();
+  return *names;
+}
+
+TEST(CallGraph, EdgesReflectNesting) {
+  RawTrace raw;
+  // a{ b{ c{} } b{} }  and a top-level c{}.
+  raw.events = {{100, 0},  {102, 10}, {104, 20}, {105, 30}, {103, 40},
+                {102, 50}, {103, 60}, {101, 70}, {104, 80}, {105, 90}};
+  DecodedTrace d = Decoder::Decode(raw, GraphNames());
+  CallGraph graph(d);
+
+  const CallEdge* ab = graph.Edge("a", "b");
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab->calls, 2u);
+  EXPECT_EQ(ToWholeUsec(ab->callee_elapsed), 40u);  // 30 + 10
+
+  const CallEdge* bc = graph.Edge("b", "c");
+  ASSERT_NE(bc, nullptr);
+  EXPECT_EQ(bc->calls, 1u);
+
+  const CallEdge* top_a = graph.Edge(kSpontaneous, "a");
+  ASSERT_NE(top_a, nullptr);
+  EXPECT_EQ(top_a->calls, 1u);
+  const CallEdge* top_c = graph.Edge(kSpontaneous, "c");
+  ASSERT_NE(top_c, nullptr);
+
+  EXPECT_EQ(graph.Edge("a", "c"), nullptr);  // only nested via b
+}
+
+TEST(CallGraph, CallersAndCalleesSorted) {
+  RawTrace raw;
+  raw.events = {{100, 0}, {104, 10}, {105, 100}, {101, 110},   // a -> c (90us)
+                {102, 120}, {104, 130}, {105, 140}, {103, 150}};  // b -> c (10us)
+  DecodedTrace d = Decoder::Decode(raw, GraphNames());
+  CallGraph graph(d);
+  const auto callers = graph.CallersOf("c");
+  ASSERT_EQ(callers.size(), 2u);
+  EXPECT_EQ(callers[0]->caller, "a");  // heavier edge first
+  EXPECT_EQ(callers[1]->caller, "b");
+  EXPECT_EQ(graph.CalleesOf("a").size(), 1u);
+}
+
+TEST(CallGraph, RealWorkloadGraphIsSane) {
+  Testbed tb;
+  tb.Arm();
+  RunNetworkReceive(tb, Sec(2), 64 * 1024, false);
+  DecodedTrace d = Decoder::Decode(tb.StopAndUpload(), tb.tags());
+  CallGraph graph(d);
+  // The driver copy is called from weget, never spontaneously.
+  const auto bcopy_callers = graph.CallersOf("bcopy");
+  ASSERT_FALSE(bcopy_callers.empty());
+  bool from_weget = false;
+  for (const CallEdge* edge : bcopy_callers) {
+    EXPECT_NE(edge->caller, kSpontaneous);
+    from_weget |= edge->caller == "weget";
+  }
+  EXPECT_TRUE(from_weget);
+  // tcp_input is reached from ipintr.
+  ASSERT_NE(graph.Edge("ipintr", "tcp_input"), nullptr);
+  const std::string text = graph.Format(d, 8);
+  EXPECT_NE(text.find("bcopy"), std::string::npos);
+  EXPECT_NE(text.find("<-"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+// --- hwprof_analyze CLI ----------------------------------------------------------
+
+struct CliFiles {
+  std::string capture;
+  std::string names;
+};
+
+CliFiles WriteSessionFiles() {
+  Testbed tb;
+  tb.Arm();
+  RunNetworkReceive(tb, Sec(1), 32 * 1024, false);
+  CliFiles files;
+  files.capture = ::testing::TempDir() + "/cli.hwprof";
+  files.names = ::testing::TempDir() + "/cli.names";
+  HWPROF_CHECK(SaveCapture(tb.StopAndUpload(), files.capture));
+  std::ofstream names_out(files.names);
+  names_out << tb.tags().Format();
+  return files;
+}
+
+int RunCli(std::initializer_list<const char*> args, std::string* error) {
+  std::vector<const char*> argv{"hwprof_analyze"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return AnalyzeMain(static_cast<int>(argv.size()), argv.data(), error);
+}
+
+TEST(AnalyzeCli, DefaultSummary) {
+  const CliFiles files = WriteSessionFiles();
+  std::string error;
+  EXPECT_EQ(RunCli({files.capture.c_str(), files.names.c_str()}, &error), 0) << error;
+}
+
+TEST(AnalyzeCli, AllReportsRun) {
+  const CliFiles files = WriteSessionFiles();
+  std::string error;
+  EXPECT_EQ(RunCli({files.capture.c_str(), files.names.c_str(), "--summary", "10", "--trace",
+                    "40", "--callgraph", "5", "--histogram", "bcopy", "--spl", "--processes"},
+                   &error),
+            0)
+      << error;
+}
+
+TEST(AnalyzeCli, ErrorsAreReported) {
+  std::string error;
+  EXPECT_NE(RunCli({}, &error), 0);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_NE(RunCli({"/nonexistent.hwprof", "/nonexistent.names"}, &error), 0);
+  EXPECT_NE(error.find("cannot load"), std::string::npos);
+
+  const CliFiles files = WriteSessionFiles();
+  error.clear();
+  EXPECT_NE(RunCli({files.capture.c_str(), files.names.c_str(), "--bogus"}, &error), 0);
+  EXPECT_NE(error.find("unknown option"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hwprof

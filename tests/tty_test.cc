@@ -1,0 +1,114 @@
+// Serial line / tty: canonical input, echo round trip, interrupt latency,
+// and the single-register overrun that makes latency worth measuring.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/analysis/decoder.h"
+#include "src/kern/tty.h"
+#include "src/kern/user_env.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+TEST(Tty, TypedLineIsReadAndEchoed) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto term = std::make_unique<TerminalHost>(k);
+  std::string line;
+  k.Spawn("getty", [&](UserEnv& env) { line = env.ReadTtyLine(); });
+  term->Type("hello\n", Msec(50), Msec(3));
+  k.Run(Sec(2));
+  EXPECT_EQ(line, "hello");
+  EXPECT_EQ(term->echoed(), "hello\n");
+  EXPECT_EQ(k.tty().overruns(), 0u);
+  EXPECT_EQ(k.tty().chars_received(), 6u);
+}
+
+TEST(Tty, MultipleLinesQueueInOrder) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto term = std::make_unique<TerminalHost>(k);
+  std::vector<std::string> lines;
+  k.Spawn("getty", [&](UserEnv& env) {
+    for (int i = 0; i < 3; ++i) {
+      lines.push_back(env.ReadTtyLine());
+    }
+  });
+  term->Type("one\ntwo\nthree\n", Msec(50), Msec(3));
+  k.Run(Sec(2));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST(Tty, InterruptLatencyIsTensOfMicroseconds) {
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto term = std::make_unique<TerminalHost>(k);
+  k.Spawn("getty", [&](UserEnv& env) { env.ReadTtyLine(); });
+  term->Type("latency\n", Msec(50), Msec(5));
+  k.Run(Sec(2));
+  ASSERT_FALSE(k.tty().latencies().empty());
+  for (Nanoseconds lat : k.tty().latencies()) {
+    EXPECT_LT(lat, Msec(1)) << "char sat unserviced too long on an idle system";
+  }
+}
+
+TEST(Tty, BlockedInterruptsCauseOverruns) {
+  // A process sitting at splhigh for longer than the inter-character gap
+  // loses characters — the 16450 has a single holding register.
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto term = std::make_unique<TerminalHost>(k);
+  k.Spawn("hog", [&](UserEnv& env) {
+    (void)env;
+    const int s = k.spl().splhigh();
+    k.cpu().Use(Msec(100));  // masked for 100 ms while chars arrive at 3 ms
+    k.spl().splx(s);
+  });
+  term->Type("0123456789ABCDEF\n", Msec(20), Msec(3));
+  k.Run(Sec(1));
+  EXPECT_GT(k.tty().overruns(), 5u);
+}
+
+TEST(Tty, FastPasteSurvivesWhenUnmasked) {
+  // 1 ms per character (faster than 9600 baud): still no loss when the
+  // system is otherwise idle.
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto term = std::make_unique<TerminalHost>(k);
+  std::string line;
+  k.Spawn("getty", [&](UserEnv& env) { line = env.ReadTtyLine(); });
+  term->Type("the quick brown fox jumps over the lazy dog\n", Msec(20), Msec(1));
+  k.Run(Sec(2));
+  EXPECT_EQ(line, "the quick brown fox jumps over the lazy dog");
+  EXPECT_EQ(k.tty().overruns(), 0u);
+}
+
+TEST(Tty, CharInputVisibleToTheProfiler) {
+  // The paper's motivating measurement, end to end: siointr/ttyinput show
+  // up in the capture with per-call costs.
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  auto term = std::make_unique<TerminalHost>(k);
+  k.Spawn("getty", [&](UserEnv& env) { env.ReadTtyLine(); });
+  tb.Arm();
+  term->Type("profile me\n", Msec(20), Msec(5));
+  k.Run(Sec(1));
+  DecodedTrace d = Decoder::Decode(tb.StopAndUpload(), tb.tags());
+  const FuncStats* siointr = d.Stats("siointr");
+  const FuncStats* ttyinput = d.Stats("ttyinput");
+  ASSERT_NE(siointr, nullptr);
+  ASSERT_NE(ttyinput, nullptr);
+  EXPECT_EQ(ttyinput->calls, 11u);  // one per character
+  EXPECT_GT(ToWholeUsec(siointr->AvgNet()), 5u);
+  EXPECT_LT(ToWholeUsec(siointr->elapsed / siointr->calls), 200u);
+}
+
+}  // namespace
+}  // namespace hwprof

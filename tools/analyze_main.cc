@@ -1,0 +1,110 @@
+#include "tools/analyze_main.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/analysis/callgraph.h"
+#include "src/analysis/decoder.h"
+#include "src/analysis/grouping.h"
+#include "src/analysis/histogram.h"
+#include "src/analysis/process_report.h"
+#include "src/analysis/summary.h"
+#include "src/analysis/trace_report.h"
+#include "src/base/strings.h"
+#include "src/profhw/smart_socket.h"
+
+namespace hwprof {
+namespace {
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
+  if (argc < 3) {
+    *error =
+        "usage: hwprof_analyze <capture> <names> [--summary N] [--trace N] "
+        "[--callgraph N] [--histogram FN] [--spl]";
+    return 2;
+  }
+
+  RawTrace raw;
+  if (!LoadCapture(argv[1], &raw)) {
+    *error = StrFormat("cannot load capture '%s'", argv[1]);
+    return 1;
+  }
+  std::string names_text;
+  TagFile names;
+  if (!ReadFileToString(argv[2], &names_text) || !TagFile::Parse(names_text, &names)) {
+    *error = StrFormat("cannot parse names file '%s'", argv[2]);
+    return 1;
+  }
+
+  const DecodedTrace decoded = Decoder::Decode(raw, names);
+  if (decoded.unknown_tags > 0) {
+    std::printf("warning: %llu events carried tags missing from the names file\n",
+                static_cast<unsigned long long>(decoded.unknown_tags));
+  }
+
+  bool did_something = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_number = [&](std::size_t fallback) -> std::size_t {
+      if (i + 1 < argc) {
+        std::uint64_t value = 0;
+        if (ParseUint(argv[i + 1], &value)) {
+          ++i;
+          return static_cast<std::size_t>(value);
+        }
+      }
+      return fallback;
+    };
+    if (arg == "--summary") {
+      std::printf("%s\n", Summary(decoded).Format(next_number(20)).c_str());
+      did_something = true;
+    } else if (arg == "--trace") {
+      TraceReportOptions opts;
+      opts.max_lines = next_number(60);
+      std::printf("%s\n", TraceReport::Format(decoded, opts).c_str());
+      did_something = true;
+    } else if (arg == "--callgraph") {
+      std::printf("%s", CallGraph(decoded).Format(decoded, next_number(10)).c_str());
+      did_something = true;
+    } else if (arg == "--histogram") {
+      if (i + 1 >= argc) {
+        *error = "--histogram needs a function name";
+        return 2;
+      }
+      const std::string fn = argv[++i];
+      std::printf("%s\n", Histogram::ForFunction(decoded, fn).Format(fn).c_str());
+      did_something = true;
+    } else if (arg == "--processes") {
+      ProcessReport report(decoded);
+      std::printf("%s\n", report.Format(decoded).c_str());
+      did_something = true;
+    } else if (arg == "--spl") {
+      Grouping grouping(decoded, Grouping::SplGroup(decoded));
+      std::printf("%s\n", grouping.Format().c_str());
+      did_something = true;
+    } else {
+      *error = StrFormat("unknown option '%s'", arg.c_str());
+      return 2;
+    }
+  }
+  if (!did_something) {
+    std::printf("%s\n", Summary(decoded).Format(20).c_str());
+  }
+  return 0;
+}
+
+}  // namespace hwprof

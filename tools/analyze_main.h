@@ -1,0 +1,25 @@
+// The host-side analysis tool, as a reusable entry point (the binary's
+// main() calls this; tests call it directly with temp files).
+
+#ifndef HWPROF_TOOLS_ANALYZE_MAIN_H_
+#define HWPROF_TOOLS_ANALYZE_MAIN_H_
+
+#include <string>
+
+namespace hwprof {
+
+// Runs the analyzer:
+//   hwprof_analyze <capture-file> <names-file> [options]
+// Options:
+//   --summary N      top-N function summary (default report, N=20)
+//   --trace N        first N code-path trace lines
+//   --callgraph N    gprof-style caller/callee blocks for the top N
+//   --histogram FN   per-call net-time histogram of function FN
+//   --processes      per-process (activity-context) CPU accounting
+//   --spl            spl* subsystem grouping
+// Returns 0 on success; prints to stdout, errors to `*error`.
+int AnalyzeMain(int argc, const char* const* argv, std::string* error);
+
+}  // namespace hwprof
+
+#endif  // HWPROF_TOOLS_ANALYZE_MAIN_H_

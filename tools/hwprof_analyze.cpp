@@ -1,0 +1,20 @@
+// hwprof_analyze: the standalone host-side analysis tool.
+//
+// Feed it a capture (as written by SaveCapture / the examples) and the
+// names file the kernel was compiled against:
+//
+//   hwprof_analyze capture.hwprof kernel.names --summary 20 --trace 80
+
+#include <cstdio>
+#include <string>
+
+#include "tools/analyze_main.h"
+
+int main(int argc, char** argv) {
+  std::string error;
+  const int rc = hwprof::AnalyzeMain(argc, argv, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "hwprof_analyze: %s\n", error.c_str());
+  }
+  return rc;
+}
