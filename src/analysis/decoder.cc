@@ -15,53 +15,212 @@ namespace {
 // One reconstructed event before tree building.
 struct DecodedEvent {
   Nanoseconds t = 0;
-  const TagEntry* entry = nullptr;  // null = unknown tag
+  const TagEntry* entry = nullptr;  // never null here (unknowns are filtered)
   bool is_exit = false;
 };
 
-class DecoderImpl {
- public:
-  DecoderImpl(const RawTrace& raw, const TagFile& names) : raw_(raw), names_(names) {}
+// Stalled-window compaction threshold: processed events are erased from the
+// front of the buffer once this many accumulate while later events wait on
+// lookahead.
+constexpr std::size_t kCompactThreshold = 4096;
 
-  DecodedTrace Run() {
-    ReconstructTimes();
-    BuildTrees();
-    FinishOpenNodes();
-    Aggregate();
-    out_.truncated = raw_.overflowed;
-    out_.event_count = events_.size();
-    return std::move(out_);
+}  // namespace
+
+// The engine behind both decoders. Events arrive through Feed in arbitrary
+// slices; each is time-reconstructed immediately and then decoded as soon as
+// its handling cannot depend on events that have not arrived yet (Undecided
+// below). At Finish the end of the buffer is the end of the trace — the same
+// terminator the one-shot decoder's lookahead scans run into — so any
+// chunking of the same event sequence yields identical decisions.
+class StreamingDecoder::Impl {
+ public:
+  Impl(const TagFile& names, unsigned timer_bits, std::uint64_t timer_clock_hz,
+       StreamingOptions options)
+      : names_(names), timer_(timer_bits, timer_clock_hz), opts_(options) {
+    current_ = NewStack();
   }
 
- private:
-  // Absolute-time reconstruction: the timer value is only an interval
-  // counter; consecutive events are less than one wrap apart by hardware
-  // contract, so each delta is (later - earlier) mod 2^bits.
-  void ReconstructTimes() {
-    const UsecTimer timer(raw_.timer_bits, raw_.timer_clock_hz);
-    Nanoseconds now = 0;
-    std::uint32_t prev = raw_.events.empty() ? 0 : raw_.events.front().timestamp;
-    events_.reserve(raw_.events.size());
-    for (const RawEvent& e : raw_.events) {
-      const std::uint32_t ticks = timer.TicksBetween(prev, e.timestamp);
-      now += timer.TicksToNs(ticks);
-      prev = e.timestamp;
-      DecodedEvent ev;
-      ev.t = now;
+  void Feed(const RawEvent* events, std::size_t count) {
+    HWPROF_CHECK_MSG(!finished_, "StreamingDecoder: Feed after Finish");
+    for (std::size_t k = 0; k < count; ++k) {
+      const RawEvent& e = events[k];
+      // Absolute-time reconstruction: the timer value is only an interval
+      // counter; consecutive events are less than one wrap apart by hardware
+      // contract, so each delta is (later - earlier) mod 2^bits. Unknown
+      // tags still advance the clock — their cycles happened.
+      if (!have_prev_) {
+        prev_ = e.timestamp;
+        have_prev_ = true;
+      }
+      now_ += timer_.TicksToNs(timer_.TicksBetween(prev_, e.timestamp));
+      prev_ = e.timestamp;
       const TagEntry* entry = names_.FindByTag(e.tag);
       if (entry == nullptr) {
         ++out_.unknown_tags;
         continue;
       }
+      DecodedEvent ev;
+      ev.t = now_;
       ev.entry = entry;
       ev.is_exit = entry->IsFunctionLike() && e.tag == entry->exit_tag();
+      if (known_events_ == 0) {
+        out_.start_time = now_;
+        last_time_ = now_;
+      }
+      out_.end_time = now_;
+      ++known_events_;
       events_.push_back(ev);
     }
-    if (!events_.empty()) {
-      out_.start_time = events_.front().t;
-      out_.end_time = events_.back().t;
+    Process(/*final=*/false);
+  }
+
+  void NoteDropped(std::uint64_t count) {
+    HWPROF_CHECK_MSG(!finished_, "StreamingDecoder: NoteDropped after Finish");
+    if (count == 0) {
+      return;
+    }
+    out_.dropped_events += count;
+    ++out_.capture_gaps;
+  }
+
+  std::uint64_t events_seen() const { return known_events_; }
+  std::uint64_t dropped_events() const { return out_.dropped_events; }
+  std::size_t pending() const { return events_.size() - head_; }
+
+  DecodedTrace SnapshotStats() const {
+    HWPROF_CHECK_MSG(!finished_, "StreamingDecoder: SnapshotStats after Finish");
+    DecodedTrace snap;
+    snap.start_time = out_.start_time;
+    snap.end_time = out_.end_time;
+    snap.event_count = known_events_;
+    snap.unknown_tags = out_.unknown_tags;
+    snap.orphan_exits = out_.orphan_exits;
+    snap.unclosed_entries = out_.unclosed_entries;
+    snap.dropped_events = out_.dropped_events;
+    snap.capture_gaps = out_.capture_gaps;
+    snap.idle_time = out_.idle_time;
+    snap.per_function = out_.per_function;  // calls already pruned, if any
+    for (const auto& stack : out_.stacks) {
+      Accumulate(*stack->root, &snap);
+    }
+    return snap;
+  }
+
+  DecodedTrace Finish(bool truncated) {
+    HWPROF_CHECK_MSG(!finished_, "StreamingDecoder: Finish called twice");
+    finished_ = true;
+    Process(/*final=*/true);
+    FinishOpenNodes();
+    for (const auto& stack : out_.stacks) {
+      Accumulate(*stack->root, &out_);
+    }
+    out_.truncated = truncated;
+    out_.event_count = known_events_;
+    return std::move(out_);
+  }
+
+ private:
+  // --- Decode loop -----------------------------------------------------------
+
+  void Process(bool final) {
+    while (head_ < events_.size()) {
+      const DecodedEvent ev = events_[head_];
+      if (!final && Undecided(head_, ev)) {
+        break;  // everything from here on waits for more of the trace
+      }
+      AttributeInterval(ev.t);
+      StepEvent(ev, head_);
+      ++head_;
+    }
+    if (head_ == events_.size()) {
+      events_.clear();
+      head_ = 0;
+    } else if (head_ >= kCompactThreshold) {
+      events_.erase(events_.begin(), events_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
     }
   }
+
+  // True when handling `ev` would consult lookahead whose scan runs past the
+  // buffered events without reaching a terminator (chain exhausted, chain
+  // mismatch, or a context switch) — i.e. the one-shot decoder, seeing more
+  // of the trace, could decide differently.
+  bool Undecided(std::size_t index, const DecodedEvent& ev) const {
+    if (!ev.is_exit || ev.entry->kind == TagKind::kInline) {
+      return false;
+    }
+    if (ev.entry->kind == TagKind::kContextSwitch) {
+      // Both HandleSwtchExit paths end in ResolveResumed(index), which
+      // scores suspended stacks from index + 1. On the pending-close path
+      // the outgoing stack's swtch node is closed *before* the scoring, so
+      // its chain must be judged without its top frame.
+      const ActivityStack* skip_top_of =
+          (pending_swtch_ != nullptr && pending_swtch_->top->fn != nullptr &&
+           pending_swtch_->top->fn->kind == TagKind::kContextSwitch)
+              ? pending_swtch_
+              : nullptr;
+      return !ScoresDecided(index + 1, nullptr, skip_top_of);
+    }
+    // A normal exit needs lookahead only when its function is not open
+    // anywhere on the running stack (HandleExit's suspended-stack fallback).
+    for (const CallNode* n = current_->top; n != nullptr && n->parent != nullptr;
+         n = n->parent) {
+      if (n->fn != nullptr && n->fn->name == ev.entry->name) {
+        return false;
+      }
+    }
+    return !ScoresDecided(index, ev.entry, nullptr);
+  }
+
+  // Whether every suspended stack BestSuspendedMatch would consider has a
+  // final score given the events buffered so far.
+  bool ScoresDecided(std::size_t from, const TagEntry* require_top,
+                     const ActivityStack* skip_top_of) const {
+    for (const ActivityStack* s : suspend_order_) {
+      if (require_top != nullptr && s->top->fn != require_top) {
+        continue;
+      }
+      bool decided = true;
+      MatchScore(s, from, /*skip_top=*/s == skip_top_of, &decided);
+      if (!decided) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void StepEvent(const DecodedEvent& ev, std::size_t index) {
+    const TagEntry* fn = ev.entry;
+
+    if (fn->kind == TagKind::kInline) {
+      OpenNode(current_, fn, ev.t, /*inline_marker=*/true);
+      return;
+    }
+
+    if (!ev.is_exit) {
+      OpenNode(current_, fn, ev.t, /*inline_marker=*/false);
+      if (fn->kind == TagKind::kContextSwitch) {
+        // The outgoing process is now suspended inside swtch. Idle-window
+        // activity (interrupts) nests under the open swtch node, so the
+        // node's *net* time is pure idle.
+        pending_swtch_ = current_;
+        current_->suspended = true;
+        suspend_order_.push_back(current_);
+        // Interrupt activity is decoded onto the same stack (under the
+        // open swtch node); `current_` stays pointed at it.
+      }
+      return;
+    }
+
+    // Exit event.
+    if (fn->kind == TagKind::kContextSwitch) {
+      HandleSwtchExit(ev, index);
+      return;
+    }
+    HandleExit(ev, index);
+  }
+
+  // --- Tree building ---------------------------------------------------------
 
   ActivityStack* NewStack() {
     auto stack = std::make_unique<ActivityStack>();
@@ -97,13 +256,19 @@ class DecoderImpl {
     } else {
       raw_node->closed = true;
     }
-    TraceStep step;
-    step.t = t;
-    step.node = raw_node;
-    step.is_exit = false;
-    step.depth = DepthOf(raw_node);
-    step.stack_id = stack->id;
-    out_.steps.push_back(step);
+    if (opts_.retain_structure) {
+      TraceStep step;
+      step.t = t;
+      step.node = raw_node;
+      step.is_exit = false;
+      step.depth = DepthOf(raw_node);
+      step.stack_id = stack->id;
+      out_.steps.push_back(step);
+    } else if (inline_marker && raw_node->parent == stack->root.get()) {
+      // Top-level markers carry no stats and would otherwise accumulate.
+      stack->root->children.pop_back();
+      return nullptr;
+    }
     return raw_node;
   }
 
@@ -114,15 +279,35 @@ class DecoderImpl {
     node->closed = true;
     node->forced_close = forced;
     stack->top = node->parent;
-    TraceStep step;
-    step.t = t;
-    step.node = node;
-    step.is_exit = true;
-    step.depth = DepthOf(node);
-    step.stack_id = stack->id;
-    step.context_switch_in = context_switch_in;
-    out_.steps.push_back(step);
+    if (opts_.retain_structure) {
+      TraceStep step;
+      step.t = t;
+      step.node = node;
+      step.is_exit = true;
+      step.depth = DepthOf(node);
+      step.stack_id = stack->id;
+      step.context_switch_in = context_switch_in;
+      out_.steps.push_back(step);
+    } else if (node->parent == stack->root.get()) {
+      PruneRootChild(stack, node);
+    }
   }
+
+  // Folds a finished top-level call (its whole subtree is closed) into the
+  // running stats and frees it. Closed nodes never accumulate further time,
+  // so this is exactly the contribution the final Aggregate would have made.
+  void PruneRootChild(ActivityStack* stack, CallNode* node) {
+    Accumulate(*node, &out_);
+    auto& kids = stack->root->children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      if (it->get() == node) {
+        kids.erase(std::next(it).base());
+        return;
+      }
+    }
+  }
+
+  // --- Context-switch resolution ---------------------------------------------
 
   // Scores how well `s`'s open-frame chain matches the exit sequence in
   // events_[from...]: the number of chain frames (innermost first) that the
@@ -130,9 +315,20 @@ class DecoderImpl {
   // at the next context switch. Several processes commonly sit suspended in
   // the same function (tsleep); only the deeper frames (biowait vs
   // soaccept...) disambiguate who actually resumed.
-  int MatchScore(ActivityStack* s, std::size_t from) const {
+  //
+  // `skip_top` judges the chain without its innermost frame (used by the
+  // decidedness precheck, which runs before a pending swtch node is closed).
+  // `decided`, when non-null, is cleared if the scan ran off the end of the
+  // buffered events before reaching a terminator — meaning the score could
+  // still change as more of the trace arrives.
+  int MatchScore(const ActivityStack* s, std::size_t from, bool skip_top,
+                 bool* decided) const {
     std::vector<const TagEntry*> chain;
-    for (CallNode* n = s->top; n != nullptr && n->parent != nullptr; n = n->parent) {
+    const CallNode* start = s->top;
+    if (skip_top && start != nullptr && start->parent != nullptr) {
+      start = start->parent;
+    }
+    for (const CallNode* n = start; n != nullptr && n->parent != nullptr; n = n->parent) {
       chain.push_back(n->fn);
     }
     if (chain.empty()) {
@@ -141,13 +337,15 @@ class DecoderImpl {
     std::size_t ci = 0;
     int depth = 0;
     int score = 0;
+    bool terminated = false;
     for (std::size_t j = from; j < events_.size() && ci < chain.size(); ++j) {
       const DecodedEvent& e = events_[j];
       if (e.entry->kind == TagKind::kInline) {
         continue;
       }
       if (e.entry->kind == TagKind::kContextSwitch) {
-        break;  // this context blocks again; what we matched stands
+        terminated = true;  // this context blocks again; what we matched stands
+        break;
       }
       if (!e.is_exit) {
         ++depth;  // a nested call opened after the resume
@@ -162,7 +360,14 @@ class DecoderImpl {
         ++ci;
         continue;
       }
-      break;  // mismatch against the chain
+      terminated = true;  // mismatch against the chain
+      break;
+    }
+    if (ci >= chain.size()) {
+      terminated = true;
+    }
+    if (!terminated && decided != nullptr) {
+      *decided = false;
     }
     return score;
   }
@@ -179,7 +384,7 @@ class DecoderImpl {
       if (require_top != nullptr && s->top->fn != require_top) {
         continue;
       }
-      const int score = MatchScore(s, from);
+      const int score = MatchScore(s, from, /*skip_top=*/false, nullptr);
       if (score > best_score) {
         best = s;
         best_score = score;
@@ -192,65 +397,6 @@ class DecoderImpl {
     s->suspended = false;
     suspend_order_.erase(std::remove(suspend_order_.begin(), suspend_order_.end(), s),
                          suspend_order_.end());
-  }
-
-  // Charges the interval since the previous event to the running context:
-  // net to the innermost open call, elapsed to every open call on its
-  // stack. Time with no open call (user mode / unprofiled code) is left
-  // unattributed, as on the real system.
-  void AttributeInterval(Nanoseconds now) {
-    const Nanoseconds interval = now - last_time_;
-    last_time_ = now;
-    if (interval == 0 || current_ == nullptr) {
-      return;
-    }
-    CallNode* top = current_->top;
-    if (top->parent == nullptr) {
-      return;  // nothing open: unattributed time
-    }
-    top->net_acc += interval;
-    for (CallNode* n = top; n != nullptr && n->parent != nullptr; n = n->parent) {
-      n->elapsed_acc += interval;
-    }
-  }
-
-  void BuildTrees() {
-    current_ = NewStack();
-    if (!events_.empty()) {
-      last_time_ = events_.front().t;
-    }
-    for (std::size_t i = 0; i < events_.size(); ++i) {
-      const DecodedEvent& ev = events_[i];
-      AttributeInterval(ev.t);
-      const TagEntry* fn = ev.entry;
-
-      if (fn->kind == TagKind::kInline) {
-        OpenNode(current_, fn, ev.t, /*inline_marker=*/true);
-        continue;
-      }
-
-      if (!ev.is_exit) {
-        OpenNode(current_, fn, ev.t, /*inline_marker=*/false);
-        if (fn->kind == TagKind::kContextSwitch) {
-          // The outgoing process is now suspended inside swtch. Idle-window
-          // activity (interrupts) nests under the open swtch node, so the
-          // node's *net* time is pure idle.
-          pending_swtch_ = current_;
-          current_->suspended = true;
-          suspend_order_.push_back(current_);
-          // Interrupt activity is decoded onto the same stack (under the
-          // open swtch node); `current_` stays pointed at it.
-        }
-        continue;
-      }
-
-      // Exit event.
-      if (fn->kind == TagKind::kContextSwitch) {
-        HandleSwtchExit(ev, i);
-        continue;
-      }
-      HandleExit(ev, i);
-    }
   }
 
   void HandleSwtchExit(const DecodedEvent& ev, std::size_t index) {
@@ -325,6 +471,28 @@ class DecoderImpl {
     ++out_.orphan_exits;
   }
 
+  // --- Accounting ------------------------------------------------------------
+
+  // Charges the interval since the previous event to the running context:
+  // net to the innermost open call, elapsed to every open call on its
+  // stack. Time with no open call (user mode / unprofiled code) is left
+  // unattributed, as on the real system.
+  void AttributeInterval(Nanoseconds now) {
+    const Nanoseconds interval = now - last_time_;
+    last_time_ = now;
+    if (interval == 0 || current_ == nullptr) {
+      return;
+    }
+    CallNode* top = current_->top;
+    if (top->parent == nullptr) {
+      return;  // nothing open: unattributed time
+    }
+    top->net_acc += interval;
+    for (CallNode* n = top; n != nullptr && n->parent != nullptr; n = n->parent) {
+      n->elapsed_acc += interval;
+    }
+  }
+
   void FinishOpenNodes() {
     for (const auto& stack : out_.stacks) {
       while (stack->top != stack->root.get()) {
@@ -339,9 +507,9 @@ class DecoderImpl {
     }
   }
 
-  void AggregateNode(const CallNode& node) {
+  static void Accumulate(const CallNode& node, DecodedTrace* into) {
     if (node.fn != nullptr && !node.inline_marker) {
-      FuncStats& stats = out_.per_function[node.fn->name];
+      FuncStats& stats = into->per_function[node.fn->name];
       const Nanoseconds net = node.Net();
       if (stats.calls == 0) {
         stats.min_net = net;
@@ -355,34 +523,70 @@ class DecoderImpl {
       stats.net += net;
       if (node.fn->kind == TagKind::kContextSwitch) {
         stats.context_switch = true;
-        out_.idle_time += net;
+        into->idle_time += net;
       }
     }
     for (const auto& child : node.children) {
-      AggregateNode(*child);
+      Accumulate(*child, into);
     }
   }
 
-  void Aggregate() {
-    for (const auto& stack : out_.stacks) {
-      AggregateNode(*stack->root);
-    }
-  }
-
-  const RawTrace& raw_;
   const TagFile& names_;
-  std::vector<DecodedEvent> events_;
+  const UsecTimer timer_;
+  const StreamingOptions opts_;
+
   DecodedTrace out_;
+  // Pending window: time-reconstructed events not yet folded into the trees.
+  // events_[0, head_) are done (kept until compaction); the rest wait.
+  std::vector<DecodedEvent> events_;
+  std::size_t head_ = 0;
+  std::uint64_t known_events_ = 0;
+  bool have_prev_ = false;
+  std::uint32_t prev_ = 0;
+  Nanoseconds now_ = 0;
+  Nanoseconds last_time_ = 0;
   ActivityStack* current_ = nullptr;
   ActivityStack* pending_swtch_ = nullptr;
   std::vector<ActivityStack*> suspend_order_;
-  Nanoseconds last_time_ = 0;
+  bool finished_ = false;
 };
 
-}  // namespace
+StreamingDecoder::StreamingDecoder(const TagFile& names, unsigned timer_bits,
+                                   std::uint64_t timer_clock_hz, StreamingOptions options)
+    : impl_(std::make_unique<Impl>(names, timer_bits, timer_clock_hz, options)) {}
+
+StreamingDecoder::~StreamingDecoder() = default;
+
+void StreamingDecoder::Feed(const RawEvent* events, std::size_t count) {
+  impl_->Feed(events, count);
+}
+
+void StreamingDecoder::Feed(const std::vector<RawEvent>& events) {
+  impl_->Feed(events.data(), events.size());
+}
+
+void StreamingDecoder::FeedChunk(const TraceChunk& chunk) {
+  impl_->NoteDropped(chunk.dropped_before);
+  impl_->Feed(chunk.events.data(), chunk.events.size());
+}
+
+void StreamingDecoder::NoteDropped(std::uint64_t count) { impl_->NoteDropped(count); }
+
+std::uint64_t StreamingDecoder::events_seen() const { return impl_->events_seen(); }
+
+std::uint64_t StreamingDecoder::dropped_events() const { return impl_->dropped_events(); }
+
+std::size_t StreamingDecoder::pending() const { return impl_->pending(); }
+
+DecodedTrace StreamingDecoder::SnapshotStats() const { return impl_->SnapshotStats(); }
+
+DecodedTrace StreamingDecoder::Finish(bool truncated) { return impl_->Finish(truncated); }
 
 DecodedTrace Decoder::Decode(const RawTrace& raw, const TagFile& names) {
-  return DecoderImpl(raw, names).Run();
+  StreamingDecoder decoder(names, raw.timer_bits, raw.timer_clock_hz,
+                           StreamingOptions{.retain_structure = true});
+  decoder.Feed(raw.events);
+  return decoder.Finish(raw.overflowed);
 }
 
 }  // namespace hwprof

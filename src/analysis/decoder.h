@@ -106,6 +106,12 @@ struct DecodedTrace {
   std::uint64_t orphan_exits = 0;
   std::uint64_t unclosed_entries = 0;
 
+  // Streaming-capture accounting: events the board dropped when the drain
+  // lost the race (from drain-chunk headers), and the number of distinct
+  // gaps they occurred in. Always 0 for one-shot captures.
+  std::uint64_t dropped_events = 0;
+  std::uint64_t capture_gaps = 0;
+
   Nanoseconds ElapsedTotal() const { return end_time - start_time; }
   Nanoseconds RunTime() const {
     return ElapsedTotal() > idle_time ? ElapsedTotal() - idle_time : 0;
@@ -124,6 +130,67 @@ class Decoder {
   // Lifetime: the returned trace's CallNodes point into `names`' entries;
   // `names` must outlive the DecodedTrace.
   static DecodedTrace Decode(const RawTrace& raw, const TagFile& names);
+};
+
+struct StreamingOptions {
+  // Keep the full call trees and the chronological step list (what the
+  // trace/callgraph/process reports need; batch Decode() sets this). When
+  // false, finished top-level calls are folded into the per-function stats
+  // and freed as the stream advances, so memory is bounded by stack depth
+  // plus the context-switch lookahead window — not by capture length.
+  bool retain_structure = false;
+};
+
+// Incremental decoder: feed a capture in arbitrarily-sized chunks and get
+// the same answer the one-shot Decoder produces on the concatenation. All
+// cross-event state — absolute-time reconstruction across 24-bit timer
+// wraps, open call stacks, suspended contexts, the one-event-lookahead
+// context-switch resolution — carries across chunk boundaries. Events whose
+// handling needs lookahead (a `swtch` exit deciding which suspended stack
+// resumes) are buffered until enough of the future has arrived to decide
+// exactly as the one-shot decoder would; everything else is decoded as it
+// arrives.
+//
+// Lifetime: `names` must outlive the decoder and any DecodedTrace it emits.
+class StreamingDecoder {
+ public:
+  explicit StreamingDecoder(const TagFile& names, unsigned timer_bits = 24,
+                            std::uint64_t timer_clock_hz = 1'000'000,
+                            StreamingOptions options = StreamingOptions{});
+  ~StreamingDecoder();
+  StreamingDecoder(const StreamingDecoder&) = delete;
+  StreamingDecoder& operator=(const StreamingDecoder&) = delete;
+
+  // Feeds the next events of the capture, in order.
+  void Feed(const RawEvent* events, std::size_t count);
+  void Feed(const std::vector<RawEvent>& events);
+  // Feeds one drained bank: accounts its dropped_before, then its events.
+  void FeedChunk(const TraceChunk& chunk);
+  // Records a capture gap of `count` dropped events at the current position.
+  // The decoder keeps its stacks (later orphan exits are tolerated as
+  // usual); note that a gap longer than the timer wrap period makes the
+  // interval across it ambiguous, as on the real hardware.
+  void NoteDropped(std::uint64_t count);
+
+  // Known-tag events accepted so far.
+  std::uint64_t events_seen() const;
+  std::uint64_t dropped_events() const;
+  // Events buffered awaiting context-switch lookahead.
+  std::size_t pending() const;
+
+  // Running statistics view of everything decoded so far: per-function
+  // stats, idle and elapsed totals (open calls included, with time
+  // accumulated to date). Carries no trees or steps; pass it to Summary for
+  // a live Figure 3 report.
+  DecodedTrace SnapshotStats() const;
+
+  // Decodes everything still buffered, closes open calls, and returns the
+  // final trace. The decoder is consumed: only the destructor may follow.
+  DecodedTrace Finish(bool truncated = false);
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace hwprof

@@ -5,14 +5,22 @@
 
 namespace hwprof {
 
+namespace {
+
+FuncInfo* DumpFunc(Instrumenter& instr, const char* name) {
+  FuncInfo* f = instr.Find(name);
+  return f != nullptr ? f : instr.RegisterFunction(name, Subsys::kLib);
+}
+
+}  // namespace
+
 RawTrace InBandReadout(Machine& machine, Instrumenter& instr, Profiler& profiler) {
   HWPROF_CHECK_MSG(instr.linked(), "in-band readout needs a resolved ProfileBase");
+  HWPROF_CHECK_MSG(!profiler.double_buffered(),
+                   "double-buffered boards drain through DrainChunk");
   HWPROF_CHECK_MSG(profiler.timer().bits() <= 24,
                    "the ZIF readout banks carry 24 timer bits");
-  FuncInfo* f_profdump = instr.Find("profdump");
-  if (f_profdump == nullptr) {
-    f_profdump = instr.RegisterFunction("profdump", Subsys::kLib);
-  }
+  FuncInfo* f_profdump = DumpFunc(instr, "profdump");
   // The dump routine itself is instrumented — but its own triggers would be
   // swallowed by readout mode anyway, which is exactly what the hardware
   // would do (the RAMs are disconnected from the capture path).
@@ -53,6 +61,77 @@ RawTrace InBandReadout(Machine& machine, Instrumenter& instr, Profiler& profiler
   }
   profiler.ExitReadoutMode();
   return trace;
+}
+
+bool DrainChunk(Machine& machine, Instrumenter& instr, Profiler& profiler, TraceChunk* out) {
+  HWPROF_CHECK_MSG(instr.linked(), "the streaming drain needs a resolved ProfileBase");
+  HWPROF_CHECK_MSG(profiler.double_buffered(), "DrainChunk needs a double-buffered board");
+  HWPROF_CHECK_MSG(profiler.timer().bits() <= 24, "the drain port carries 24 timer bits");
+  out->events.clear();
+  out->dropped_before = 0;
+
+  FuncInfo* f_profdrain = DumpFunc(instr, "profdrain");
+  // Unlike profdump, the drain's own triggers ARE captured (into the active
+  // bank) — streaming observes its own cost, as real double-buffered
+  // tracers do.
+  ProfileScope scope(machine, instr, f_profdrain);
+  const std::uint32_t base = instr.profile_base();
+  auto read_byte = [&](std::uint32_t offset) { return machine.SocketRead(base + offset); };
+  auto read_u32 = [&](std::uint32_t port) {
+    std::uint32_t value = 0;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(read_byte(port + i)) << (8 * i);
+    }
+    return value;
+  };
+
+  if ((read_byte(kDrainStatusPort) & kDrainStatusReady) == 0) {
+    return false;
+  }
+  const std::uint32_t count = read_u32(kDrainCountPort);
+  HWPROF_CHECK_MSG(count <= profiler.capacity(), "implausible drain count");
+  out->dropped_before = read_u32(kDrainDropPort);
+  out->events.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint16_t lo = read_byte(kDrainDataPort);
+    const std::uint16_t hi = read_byte(kDrainDataPort);
+    out->events[i].tag = static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t timestamp = 0;
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      timestamp |= static_cast<std::uint32_t>(read_byte(kDrainDataPort)) << (8 * b);
+    }
+    out->events[i].timestamp = timestamp;
+  }
+  const std::uint8_t ack = read_byte(kDrainReleasePort);
+  HWPROF_CHECK_MSG(ack == kDrainAck, "drain release not acknowledged");
+  return true;
+}
+
+void DrainRemaining(Machine& machine, Instrumenter& instr, Profiler& profiler,
+                    std::vector<TraceChunk>* out) {
+  HWPROF_CHECK_MSG(profiler.double_buffered(), "DrainRemaining needs a double-buffered board");
+  TraceChunk chunk;
+  // A bank may already be sealed (the fill won the race at the very end).
+  if (DrainChunk(machine, instr, profiler, &chunk)) {
+    out->push_back(std::move(chunk));
+  }
+  // Drops after the last stored event would be stamped into the next bank's
+  // header by the seal's swap — a bank that will never fill or drain. Note
+  // them now and report them as a trailing, event-free chunk instead.
+  const std::uint64_t trailing_drops = profiler.pending_drops();
+  // Seal whatever the active bank holds, then drain it.
+  const std::uint32_t base = instr.profile_base();
+  machine.SocketRead(base + kDrainSealPort);
+  if (DrainChunk(machine, instr, profiler, &chunk)) {
+    out->push_back(std::move(chunk));
+  }
+  if (trailing_drops > 0) {
+    TraceChunk tail;
+    tail.dropped_before = trailing_drops;
+    out->push_back(std::move(tail));
+  }
 }
 
 }  // namespace hwprof

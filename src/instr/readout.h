@@ -22,7 +22,25 @@ namespace hwprof {
 // bank-by-bank into readout mode and left disarmed afterwards. The result
 // is bit-identical to Profiler::Upload(). Charges real bus time on
 // `machine` (profiled as "profdump" when instrumentation is linked).
+// Single-buffer boards only.
 RawTrace InBandReadout(Machine& machine, Instrumenter& instr, Profiler& profiler);
+
+// --- Streaming drain (double-buffered boards) --------------------------------
+// The kernel-side drain routine (profdrain): reads the sealed standby bank
+// through the drain ports in the upper half of the socket window while
+// capture continues in the other bank, then releases the bank back to the
+// board. Every byte costs a real ISA cycle, and the routine's own
+// entry/exit triggers land in the active bank — the drain profiles itself.
+//
+// Returns false (and leaves `*out` empty) when no sealed bank is ready.
+bool DrainChunk(Machine& machine, Instrumenter& instr, Profiler& profiler, TraceChunk* out);
+
+// End-of-run flush: drains a ready standby bank if any, commands the board
+// to seal the active bank, and drains that too. Appends in capture order.
+// A final chunk with no events is appended if the board dropped events
+// after the last one it stored. Call with the board disarmed.
+void DrainRemaining(Machine& machine, Instrumenter& instr, Profiler& profiler,
+                    std::vector<TraceChunk>* out);
 
 }  // namespace hwprof
 

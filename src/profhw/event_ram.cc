@@ -10,6 +10,9 @@ EventRam::EventRam(std::size_t depth) : depth_(depth) {
 }
 
 bool EventRam::Store(std::uint16_t tag, std::uint32_t timestamp) {
+  if (sealed_) {
+    return false;
+  }
   if (words_.size() >= depth_) {
     overflowed_ = true;
     return false;
@@ -21,6 +24,7 @@ bool EventRam::Store(std::uint16_t tag, std::uint32_t timestamp) {
 void EventRam::Reset() {
   words_.clear();
   overflowed_ = false;
+  sealed_ = false;
 }
 
 }  // namespace hwprof

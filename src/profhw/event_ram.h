@@ -25,13 +25,22 @@ class EventRam {
 
   std::size_t depth() const { return depth_; }
   std::size_t used() const { return words_.size(); }
+  bool full() const { return words_.size() >= depth_; }
   bool overflowed() const { return overflowed_; }
 
-  // Stores one event word. Returns false (and latches overflow) once full.
+  // Stores one event word. Returns false (and latches overflow) once full,
+  // or (without latching) while sealed.
   bool Store(std::uint16_t tag, std::uint32_t timestamp);
 
-  // Clears contents, the address counter, and the overflow latch.
+  // Clears contents, the address counter, and the overflow and seal latches.
   void Reset();
+
+  // Seal latch (the streaming upgrade): a sealed bank is disconnected from
+  // the capture path — it holds a finished capture awaiting drain. Sealing
+  // does not latch overflow; the board-level logic decides what a refused
+  // store means (bank swap or drop).
+  void Seal() { sealed_ = true; }
+  bool sealed() const { return sealed_; }
 
   // Battery-backed readout: the stored words in address order.
   const std::vector<RawEvent>& Contents() const { return words_; }
@@ -39,6 +48,7 @@ class EventRam {
  private:
   std::size_t depth_;
   bool overflowed_ = false;
+  bool sealed_ = false;
   std::vector<RawEvent> words_;
 };
 

@@ -1,9 +1,14 @@
 #include "src/profhw/profiler.h"
 
+#include "src/base/assert.h"
+
 namespace hwprof {
 
 Profiler::Profiler(ProfilerConfig config)
-    : timer_(config.timer_bits, config.timer_clock_hz), ram_(config.ram_depth) {}
+    : timer_(config.timer_bits, config.timer_clock_hz),
+      ram_(config.ram_depth),
+      ram_b_(config.ram_depth),
+      double_buffer_(config.double_buffer) {}
 
 void Profiler::PlugInto(IsaBus& bus) { bus.AddTapListener(this); }
 
@@ -11,12 +16,77 @@ void Profiler::Unplug(IsaBus& bus) { bus.RemoveTapListener(this); }
 
 void Profiler::Arm() {
   ram_.Reset();
+  ram_b_.Reset();
+  active_ = 0;
+  sealed_ = -1;
+  drops_before_[0] = 0;
+  drops_before_[1] = 0;
+  pending_drops_ = 0;
+  total_captured_ = 0;
+  dropped_ = 0;
+  bank_switches_ = 0;
+  drain_cursor_ = 0;
   armed_ = true;
 }
 
 void Profiler::Disarm() { armed_ = false; }
 
+bool Profiler::led_active() const {
+  if (double_buffer_) {
+    return armed_;
+  }
+  return armed_ && !ram_.overflowed();
+}
+
+bool Profiler::led_overflow() const {
+  return double_buffer_ ? dropped_ > 0 : ram_.overflowed();
+}
+
+std::size_t Profiler::events_captured() const {
+  return double_buffer_ ? ram_.used() + ram_b_.used() : ram_.used();
+}
+
+void Profiler::SealActiveAndSwap() {
+  HWPROF_CHECK(sealed_ < 0);
+  bank(active_).Seal();
+  sealed_ = active_;
+  active_ = 1 - active_;
+  bank(active_).Reset();
+  drops_before_[active_] =
+      static_cast<std::uint32_t>(pending_drops_ > 0xFFFFFFFFull ? 0xFFFFFFFFull
+                                                                : pending_drops_);
+  pending_drops_ = 0;
+  drain_cursor_ = 0;
+  ++bank_switches_;
+}
+
+void Profiler::StoreDoubleBuffered(std::uint16_t tag, std::uint32_t timestamp) {
+  EventRam* act = &bank(active_);
+  if (act->full()) {
+    if (sealed_ >= 0) {
+      // Both banks hold data: the drain lost the race. Count the loss.
+      ++dropped_;
+      ++pending_drops_;
+      return;
+    }
+    SealActiveAndSwap();
+    act = &bank(active_);
+  }
+  act->Store(tag, timestamp);
+  ++total_captured_;
+}
+
 void Profiler::OnEpromRead(std::uint16_t addr_lines, Nanoseconds now) {
+  if (double_buffer_) {
+    if (addr_lines >= kDrainWindowBase) {
+      return;  // drain-port cycle: A15 gates the event latch
+    }
+    if (!armed_) {
+      return;
+    }
+    StoreDoubleBuffered(addr_lines, timer_.Sample(now));
+    return;
+  }
   if (!armed_ || readout_) {
     return;
   }
@@ -26,20 +96,95 @@ void Profiler::OnEpromRead(std::uint16_t addr_lines, Nanoseconds now) {
 }
 
 void Profiler::EnterReadoutMode(ReadoutBank bank) {
+  HWPROF_CHECK_MSG(!double_buffer_,
+                   "double-buffered boards stream through the drain ports");
   armed_ = false;
   readout_ = true;
-  bank_ = bank;
+  readout_bank_ = bank;
 }
 
 void Profiler::ExitReadoutMode() { readout_ = false; }
 
+bool Profiler::ProvideDrainData(std::uint16_t addr_lines, std::uint8_t* data) {
+  const EventRam* sealed_bank = sealed_ >= 0 ? &bank(sealed_) : nullptr;
+  if (addr_lines == kDrainStatusPort) {
+    std::uint8_t status = 0;
+    if (sealed_bank != nullptr) {
+      status |= kDrainStatusReady;
+    }
+    if (armed_) {
+      status |= kDrainStatusArmed;
+    }
+    if (dropped_ > 0) {
+      status |= kDrainStatusDropped;
+    }
+    *data = status;
+    return true;
+  }
+  if (addr_lines >= kDrainCountPort && addr_lines < kDrainCountPort + 4) {
+    const auto count =
+        static_cast<std::uint32_t>(sealed_bank != nullptr ? sealed_bank->used() : 0);
+    *data = static_cast<std::uint8_t>((count >> (8 * (addr_lines - kDrainCountPort))) & 0xFF);
+    return true;
+  }
+  if (addr_lines >= kDrainDropPort && addr_lines < kDrainDropPort + 4) {
+    const std::uint32_t drops = sealed_bank != nullptr ? drops_before_[sealed_] : 0;
+    *data = static_cast<std::uint8_t>((drops >> (8 * (addr_lines - kDrainDropPort))) & 0xFF);
+    return true;
+  }
+  if (addr_lines == kDrainDataPort) {
+    if (sealed_bank == nullptr) {
+      return false;
+    }
+    const std::vector<RawEvent>& events = sealed_bank->Contents();
+    const std::size_t tag_bytes = events.size() * 2;
+    const std::size_t total_bytes = tag_bytes + events.size() * 3;
+    if (drain_cursor_ >= total_bytes) {
+      return false;  // past the end: floating bus
+    }
+    if (drain_cursor_ < tag_bytes) {
+      const std::uint16_t tag = events[drain_cursor_ / 2].tag;
+      *data = static_cast<std::uint8_t>((tag >> (8 * (drain_cursor_ % 2))) & 0xFF);
+    } else {
+      const std::size_t off = drain_cursor_ - tag_bytes;
+      const std::uint32_t timestamp = events[off / 3].timestamp;
+      *data = static_cast<std::uint8_t>((timestamp >> (8 * (off % 3))) & 0xFF);
+    }
+    ++drain_cursor_;
+    return true;
+  }
+  if (addr_lines == kDrainReleasePort) {
+    if (sealed_bank != nullptr) {
+      bank(sealed_).Reset();
+      sealed_ = -1;
+      drain_cursor_ = 0;
+    }
+    *data = kDrainAck;
+    return true;
+  }
+  if (addr_lines == kDrainSealPort) {
+    if (sealed_ < 0 && bank(active_).used() > 0) {
+      SealActiveAndSwap();
+    }
+    *data = kDrainAck;
+    return true;
+  }
+  return false;
+}
+
 bool Profiler::ProvideEpromData(std::uint16_t addr_lines, std::uint8_t* data) {
+  if (double_buffer_) {
+    if (addr_lines < kDrainWindowBase) {
+      return false;  // trigger window: nothing drives the data lines
+    }
+    return ProvideDrainData(addr_lines, data);
+  }
   if (!readout_) {
     return false;
   }
   const std::vector<RawEvent>& events = ram_.Contents();
   const std::size_t off = addr_lines;
-  if (bank_ == ReadoutBank::kTags) {
+  if (readout_bank_ == ReadoutBank::kTags) {
     if (off < 4) {
       const auto count = static_cast<std::uint32_t>(events.size());
       *data = static_cast<std::uint8_t>((count >> (8 * off)) & 0xFF);
@@ -64,9 +209,19 @@ bool Profiler::ProvideEpromData(std::uint16_t addr_lines, std::uint8_t* data) {
 
 RawTrace Profiler::Upload() const {
   RawTrace trace;
-  trace.events = ram_.Contents();
   trace.timer_bits = timer_.bits();
   trace.timer_clock_hz = timer_.clock_hz();
+  if (double_buffer_) {
+    if (sealed_ >= 0) {
+      const auto& old_events = bank(sealed_).Contents();
+      trace.events.insert(trace.events.end(), old_events.begin(), old_events.end());
+    }
+    const auto& live = bank(active_).Contents();
+    trace.events.insert(trace.events.end(), live.begin(), live.end());
+    trace.overflowed = dropped_ > 0;
+    return trace;
+  }
+  trace.events = ram_.Contents();
   trace.overflowed = ram_.overflowed();
   return trace;
 }

@@ -21,6 +21,16 @@ struct RawEvent {
   friend bool operator==(const RawEvent&, const RawEvent&) = default;
 };
 
+// One drained bank of a streaming (double-buffered) capture: the events in
+// address order plus the number of events the board dropped immediately
+// before the first one (the drain lost the race to the fill).
+struct TraceChunk {
+  std::vector<RawEvent> events;
+  std::uint64_t dropped_before = 0;
+
+  friend bool operator==(const TraceChunk&, const TraceChunk&) = default;
+};
+
 struct RawTrace {
   std::vector<RawEvent> events;
   unsigned timer_bits = 24;

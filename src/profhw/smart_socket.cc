@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/base/strings.h"
+
 namespace hwprof {
 
 bool SaveCapture(const RawTrace& trace, const std::string& path) {
@@ -22,6 +24,117 @@ bool LoadCapture(const std::string& path, RawTrace* out) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return RawTrace::Deserialize(buffer.str(), out);
+}
+
+std::uint64_t StreamCapture::TotalEvents() const {
+  std::uint64_t n = 0;
+  for (const TraceChunk& c : chunks) {
+    n += c.events.size();
+  }
+  return n;
+}
+
+std::uint64_t StreamCapture::TotalDropped() const {
+  std::uint64_t n = 0;
+  for (const TraceChunk& c : chunks) {
+    n += c.dropped_before;
+  }
+  return n;
+}
+
+RawTrace StreamCapture::Flatten() const {
+  RawTrace raw;
+  raw.timer_bits = timer_bits;
+  raw.timer_clock_hz = timer_clock_hz;
+  raw.events.reserve(static_cast<std::size_t>(TotalEvents()));
+  for (const TraceChunk& c : chunks) {
+    raw.events.insert(raw.events.end(), c.events.begin(), c.events.end());
+  }
+  return raw;
+}
+
+bool SaveStreamHeader(const std::string& path, unsigned timer_bits,
+                      std::uint64_t timer_clock_hz) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << StrFormat("hwprof-stream v1 %u %llu\n", timer_bits,
+                   static_cast<unsigned long long>(timer_clock_hz));
+  return static_cast<bool>(out);
+}
+
+bool AppendStreamChunk(const std::string& path, const TraceChunk& chunk) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return false;
+  }
+  std::string text = StrFormat("chunk %zu %llu\n", chunk.events.size(),
+                               static_cast<unsigned long long>(chunk.dropped_before));
+  for (const RawEvent& e : chunk.events) {
+    text += StrFormat("%u %u\n", e.tag, e.timestamp);
+  }
+  out << text;
+  return static_cast<bool>(out);
+}
+
+bool LoadStream(const std::string& path, StreamCapture* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const std::vector<std::string_view> lines = SplitLines(text);
+  if (lines.empty()) {
+    return false;
+  }
+  const std::vector<std::string_view> header = Split(lines[0], ' ');
+  std::uint64_t bits = 0;
+  std::uint64_t hz = 0;
+  if (header.size() != 4 || header[0] != "hwprof-stream" || header[1] != "v1" ||
+      !ParseUint(header[2], &bits) || !ParseUint(header[3], &hz) || bits < 8 || bits > 32 ||
+      hz == 0) {
+    return false;
+  }
+  StreamCapture capture;
+  capture.timer_bits = static_cast<unsigned>(bits);
+  capture.timer_clock_hz = hz;
+
+  std::size_t i = 1;
+  while (i < lines.size()) {
+    const std::vector<std::string_view> fields = Split(lines[i], ' ');
+    std::uint64_t count = 0;
+    std::uint64_t dropped = 0;
+    if (fields.size() != 3 || fields[0] != "chunk" || !ParseUint(fields[1], &count) ||
+        !ParseUint(fields[2], &dropped)) {
+      return false;
+    }
+    ++i;
+    TraceChunk chunk;
+    chunk.dropped_before = dropped;
+    chunk.events.reserve(static_cast<std::size_t>(count));
+    while (chunk.events.size() < count && i < lines.size()) {
+      const std::vector<std::string_view> ev = Split(lines[i], ' ');
+      std::uint64_t tag = 0;
+      std::uint64_t timestamp = 0;
+      if (ev.size() != 2 || !ParseUint(ev[0], &tag) || !ParseUint(ev[1], &timestamp) ||
+          tag > 0xFFFF || timestamp > 0xFFFFFFFFull) {
+        return false;
+      }
+      chunk.events.push_back(
+          RawEvent{static_cast<std::uint16_t>(tag), static_cast<std::uint32_t>(timestamp)});
+      ++i;
+    }
+    if (chunk.events.size() < count) {
+      capture.truncated_tail = true;  // writer still appending this chunk
+    }
+    capture.chunks.push_back(std::move(chunk));
+  }
+  *out = std::move(capture);
+  return true;
 }
 
 }  // namespace hwprof

@@ -4,11 +4,22 @@
 // physically carried to a networked host, then copied to a UNIX machine for
 // processing. Here that journey is a round-trip through a file in the
 // RawTrace upload format.
+//
+// Streaming captures use a second, append-friendly format — a header line
+// followed by one block per drained bank — so a long-running target can keep
+// appending chunks while `hwprof_analyze --follow` digests the same file
+// incrementally:
+//
+//   hwprof-stream v1 <timer_bits> <clock_hz>
+//   chunk <event_count> <dropped_before>
+//   <tag> <timestamp>
+//   ...
 
 #ifndef HWPROF_SRC_PROFHW_SMART_SOCKET_H_
 #define HWPROF_SRC_PROFHW_SMART_SOCKET_H_
 
 #include <string>
+#include <vector>
 
 #include "src/profhw/raw_trace.h"
 
@@ -20,6 +31,36 @@ bool SaveCapture(const RawTrace& trace, const std::string& path);
 // Reads a capture previously written by SaveCapture. Returns false on I/O
 // failure or malformed contents.
 bool LoadCapture(const std::string& path, RawTrace* out);
+
+// --- Chunked stream files ----------------------------------------------------
+
+// A parsed stream file: chunks in drain order.
+struct StreamCapture {
+  unsigned timer_bits = 24;
+  std::uint64_t timer_clock_hz = 1'000'000;
+  std::vector<TraceChunk> chunks;
+  // The file ended mid-chunk (writer still appending, or a torn write). The
+  // events parsed so far are kept; the missing tail is simply not there yet.
+  bool truncated_tail = false;
+
+  std::uint64_t TotalEvents() const;
+  std::uint64_t TotalDropped() const;
+  // Flattens the chunks into one RawTrace (drop counts are lost; callers
+  // that care about gaps should feed chunks to the StreamingDecoder).
+  RawTrace Flatten() const;
+};
+
+// Starts (truncates) a stream file with the header line only.
+bool SaveStreamHeader(const std::string& path, unsigned timer_bits,
+                      std::uint64_t timer_clock_hz);
+
+// Appends one drained chunk to an existing stream file.
+bool AppendStreamChunk(const std::string& path, const TraceChunk& chunk);
+
+// Parses a stream file. Tolerates a truncated final chunk (see
+// StreamCapture::truncated_tail); returns false only on I/O failure or a
+// malformed header/body.
+bool LoadStream(const std::string& path, StreamCapture* out);
 
 }  // namespace hwprof
 

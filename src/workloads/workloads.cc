@@ -1,12 +1,15 @@
 #include "src/workloads/workloads.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 
 #include "src/base/assert.h"
 #include "src/base/strings.h"
+#include "src/instr/readout.h"
 #include "src/kern/fs.h"
 #include "src/kern/user_env.h"
+#include "src/profhw/smart_socket.h"
 
 namespace hwprof {
 
@@ -75,6 +78,61 @@ NetReceiveResult RunNetworkReceive(Testbed& tb, Nanoseconds duration,
   if (effective > 0) {
     result->throughput_kb_s = static_cast<double>(result->bytes_received) /
                               (static_cast<double>(effective) / 1e9) / 1024.0;
+  }
+  return *result;
+}
+
+StreamingRunResult RunStreamingNetworkReceive(Testbed& tb, Nanoseconds duration,
+                                              std::uint64_t stream_bytes,
+                                              Nanoseconds drain_period,
+                                              const std::string& stream_path) {
+  HWPROF_CHECK_MSG(tb.profiler().double_buffered(),
+                   "the streaming receive needs a double-buffered board");
+  HWPROF_CHECK(drain_period > 0);
+  auto result = std::make_shared<StreamingRunResult>();
+  const bool save = !stream_path.empty();
+  if (save && !SaveStreamHeader(stream_path, tb.profiler().timer().bits(),
+                                tb.profiler().timer().clock_hz())) {
+    result->io_ok = false;
+  }
+
+  // The periodic host-side drain, running as a simulated-time event so its
+  // bus cycles (and its profdrain triggers) interleave with the workload.
+  auto stopped = std::make_shared<bool>(false);
+  auto drain = std::make_shared<std::function<void()>>();
+  *drain = [&tb, result, drain, drain_period, save, stream_path, stopped] {
+    if (*stopped) {
+      return;
+    }
+    ++result->polls;
+    TraceChunk chunk;
+    if (DrainChunk(tb.machine(), tb.instr(), tb.profiler(), &chunk)) {
+      ++result->drains;
+      if (save && !AppendStreamChunk(stream_path, chunk)) {
+        result->io_ok = false;
+      }
+      result->chunks.push_back(std::move(chunk));
+    }
+    tb.machine().events().ScheduleAt(tb.machine().Now() + drain_period,
+                                     [drain] { (*drain)(); });
+  };
+  tb.machine().events().ScheduleAt(tb.machine().Now() + drain_period,
+                                   [drain] { (*drain)(); });
+
+  result->net = RunNetworkReceive(tb, duration, stream_bytes, /*verify_payload=*/false);
+  *stopped = true;
+
+  tb.profiler().Disarm();
+  const std::size_t tail_start = result->chunks.size();
+  DrainRemaining(tb.machine(), tb.instr(), tb.profiler(), &result->chunks);
+  for (std::size_t i = tail_start; save && i < result->chunks.size(); ++i) {
+    if (!AppendStreamChunk(stream_path, result->chunks[i])) {
+      result->io_ok = false;
+    }
+  }
+  for (const TraceChunk& c : result->chunks) {
+    result->events_drained += c.events.size();
+    result->events_dropped += c.dropped_before;
   }
   return *result;
 }

@@ -5,6 +5,7 @@
 #define HWPROF_SRC_WORKLOADS_WORKLOADS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/base/units.h"
@@ -33,6 +34,33 @@ struct NetReceiveResult {
 
 NetReceiveResult RunNetworkReceive(Testbed& tb, Nanoseconds duration,
                                    std::uint64_t stream_bytes, bool verify_payload = true);
+
+// --- Streaming capture of the saturating receive ------------------------------
+// The same workload run long enough to blow far past the 16K event RAM,
+// captured on a double-buffered board: a periodic kernel-side drain
+// (profdrain) empties each sealed bank through the drain ports while
+// capture continues in the other bank. Banks the drain loses the race for
+// are dropped by the board and accounted in the chunk headers.
+
+struct StreamingRunResult {
+  NetReceiveResult net;
+  std::vector<TraceChunk> chunks;  // drained banks, in capture order
+  std::uint64_t events_drained = 0;
+  std::uint64_t events_dropped = 0;  // sum of the chunk headers
+  std::uint64_t drains = 0;          // polls that found a sealed bank
+  std::uint64_t polls = 0;
+  bool io_ok = true;  // stream-file writes all succeeded (true when not saving)
+};
+
+// Runs the receive for `duration`, draining every `drain_period`. The
+// profiler must be configured double-buffered and armed; it is left
+// disarmed, with the tail of the capture flushed via DrainRemaining. When
+// `stream_path` is non-empty the chunks are also appended to a stream file
+// there as they drain (hwprof_analyze --follow reads it).
+StreamingRunResult RunStreamingNetworkReceive(Testbed& tb, Nanoseconds duration,
+                                              std::uint64_t stream_bytes,
+                                              Nanoseconds drain_period,
+                                              const std::string& stream_path = "");
 
 // --- Fork/exec (Figure 5) -----------------------------------------------------
 // A shell-sized process (≈1000 resident pages) loops vfork+execve of a

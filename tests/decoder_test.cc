@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/analysis/decoder.h"
 #include "src/base/rng.h"
 #include "src/instr/tag_file.h"
@@ -321,6 +323,91 @@ TEST(Decoder, EmptyTraceIsHarmless) {
   EXPECT_EQ(d.event_count, 0u);
   EXPECT_EQ(d.ElapsedTotal(), 0u);
   EXPECT_TRUE(d.per_function.empty());
+}
+
+// --- 24-bit wrap regressions across drain (chunk) boundaries ------------------
+// The board's timer wraps every 2^24 us (~16.7 s). With the double-buffered
+// readout a wrap can land between two drained banks, so the StreamingDecoder's
+// carried-over previous-timestamp must reconstruct the same absolute times the
+// one-shot decoder would.
+
+constexpr std::uint32_t kWrap = 1u << 24;
+
+TEST(Decoder, TimerWrapAcrossBankBoundary) {
+  const TagFile& names = MakeNames();
+  RawTrace raw;
+  raw.events = {{100, kWrap - 10}, {101, 10}};  // 20 us call spanning the wrap
+  const DecodedTrace batch = Decoder::Decode(raw, names);
+  ASSERT_NE(batch.Stats("a"), nullptr);
+  EXPECT_EQ(ToWholeUsec(batch.Stats("a")->net), 20u);
+
+  // Same trace, drained as two banks with the boundary exactly at the wrap.
+  StreamingDecoder dec(names);
+  dec.Feed(raw.events.data(), 1);
+  dec.Feed(raw.events.data() + 1, 1);
+  const DecodedTrace inc = dec.Finish();
+  EXPECT_EQ(ToWholeUsec(inc.Stats("a")->net), 20u);
+  EXPECT_EQ(inc.end_time - inc.start_time, batch.end_time - batch.start_time);
+}
+
+TEST(Decoder, GapJustUnderTheWrapHorizonAcrossChunks) {
+  const TagFile& names = MakeNames();
+  // Two events 2^24 - 1 ticks apart: the largest forward gap the 24-bit
+  // counter can represent. One tick more would alias to a gap of zero.
+  RawTrace raw;
+  raw.events = {{100, 7}, {101, 6}};  // delta = kWrap - 1
+  const DecodedTrace batch = Decoder::Decode(raw, names);
+  ASSERT_NE(batch.Stats("a"), nullptr);
+  EXPECT_EQ(ToWholeUsec(batch.Stats("a")->net), static_cast<std::uint64_t>(kWrap - 1));
+
+  StreamingDecoder dec(names);
+  dec.Feed(raw.events.data(), 1);
+  dec.Feed(raw.events.data() + 1, 1);
+  const DecodedTrace inc = dec.Finish();
+  EXPECT_EQ(ToWholeUsec(inc.Stats("a")->net), static_cast<std::uint64_t>(kWrap - 1));
+}
+
+TEST(Decoder, WrapLandingExactlyOnADrainPoint) {
+  const TagFile& names = MakeNames();
+  // The sealed bank ends on the last tick before the wrap; the next bank's
+  // first event carries timestamp 0.
+  RawTrace raw;
+  raw.events = {{100, kWrap - 3}, {102, kWrap - 1}, {103, 0}, {101, 2}};
+  const DecodedTrace batch = Decoder::Decode(raw, names);
+  ASSERT_NE(batch.Stats("b"), nullptr);
+  EXPECT_EQ(ToWholeUsec(batch.Stats("b")->net), 1u);
+  EXPECT_EQ(ToWholeUsec(batch.Stats("a")->net), 4u);
+
+  StreamingDecoder dec(names);
+  dec.Feed(raw.events.data(), 2);
+  dec.Feed(raw.events.data() + 2, 2);
+  const DecodedTrace inc = dec.Finish();
+  EXPECT_EQ(ToWholeUsec(inc.Stats("b")->net), 1u);
+  EXPECT_EQ(ToWholeUsec(inc.Stats("a")->net), 4u);
+  EXPECT_EQ(inc.end_time - inc.start_time, batch.end_time - batch.start_time);
+}
+
+TEST(Decoder, MultipleWrapsAcrossManySmallChunks) {
+  const TagFile& names = MakeNames();
+  RawTrace raw;
+  std::uint32_t now = kWrap - 50;
+  for (int i = 0; i < 40; ++i) {
+    raw.events.push_back({100, now & (kWrap - 1)});
+    now += 600 * 1000;  // 0.6 s per call: wraps roughly every 28 events
+    raw.events.push_back({101, now & (kWrap - 1)});
+    now += 400 * 1000;
+  }
+  const DecodedTrace batch = Decoder::Decode(raw, names);
+
+  StreamingDecoder dec(names);
+  for (std::size_t i = 0; i < raw.events.size(); i += 3) {
+    dec.Feed(raw.events.data() + i, std::min<std::size_t>(3, raw.events.size() - i));
+  }
+  const DecodedTrace inc = dec.Finish();
+  EXPECT_EQ(inc.Stats("a")->net, batch.Stats("a")->net);
+  EXPECT_EQ(inc.Stats("a")->calls, batch.Stats("a")->calls);
+  EXPECT_EQ(inc.end_time - inc.start_time, batch.end_time - batch.start_time);
+  EXPECT_EQ(batch.end_time - batch.start_time, Sec(40) - Usec(400 * 1000));
 }
 
 }  // namespace

@@ -1,0 +1,82 @@
+// Golden-file tests for the paper's two headline reports: the Figure 3
+// summary and the Figure 4 code-path trace, rendered from a fixed,
+// deterministic network-receive capture (the simulator is bit-exact across
+// runs, see determinism_test). Any change to capture, decode or formatting
+// shows up as a readable diff against tests/golden/.
+//
+// To regenerate after an intentional change:
+//   HWPROF_REGEN_GOLDEN=1 ./build/tests/golden_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/decoder.h"
+#include "src/analysis/summary.h"
+#include "src/analysis/trace_report.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(HWPROF_TEST_DIR) + "/golden/" + name;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+void CheckGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("HWPROF_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    ASSERT_TRUE(out.good()) << "write to " << path << " failed";
+    GTEST_SKIP() << "regenerated " << name;
+  }
+  std::string expected;
+  ASSERT_TRUE(ReadFile(path, &expected))
+      << path << " is missing; run with HWPROF_REGEN_GOLDEN=1 to create it";
+  EXPECT_EQ(actual, expected)
+      << name << " drifted; if the change is intentional, regenerate with "
+      << "HWPROF_REGEN_GOLDEN=1";
+}
+
+// One fixed capture shared by both goldens (building it dominates runtime).
+// The testbed outlives the decode: DecodedTrace points into its TagFile.
+const DecodedTrace& ReferenceDecode() {
+  static const DecodedTrace* decoded = [] {
+    auto* tb = new Testbed();
+    tb->Arm();
+    RunNetworkReceive(*tb, Sec(2), 128 * 1024, false);
+    const RawTrace raw = tb->StopAndUpload();
+    return new DecodedTrace(Decoder::Decode(raw, tb->tags()));
+  }();
+  return *decoded;
+}
+
+TEST(Golden, Figure3SummaryOfTheNetworkReceive) {
+  CheckGolden("net_receive_summary.txt", Summary(ReferenceDecode()).Format(20));
+}
+
+TEST(Golden, Figure4CodePathTraceOfTheNetworkReceive) {
+  TraceReportOptions opts;
+  opts.max_lines = 120;
+  CheckGolden("net_receive_trace.txt", TraceReport::Format(ReferenceDecode(), opts));
+}
+
+}  // namespace
+}  // namespace hwprof

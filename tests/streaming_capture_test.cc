@@ -1,0 +1,286 @@
+// Double-buffered (streaming) capture: bank switching, the drain-port
+// register file, drop accounting, the kernel-side drain routines, and the
+// long-run acceptance property — a capture far beyond one RAM's depth whose
+// incremental decode matches the one-shot decode byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/analysis/decoder.h"
+#include "src/analysis/summary.h"
+#include "src/instr/readout.h"
+#include "src/profhw/profiler.h"
+#include "src/profhw/smart_socket.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+ProfilerConfig SmallDoubleBuffer(std::size_t depth) {
+  ProfilerConfig config;
+  config.ram_depth = depth;
+  config.double_buffer = true;
+  return config;
+}
+
+// Reads one drain-port byte straight off the board (the bus would deliver
+// exactly this byte on a socket read of the port address).
+std::uint8_t PortByte(Profiler& p, std::uint16_t port) {
+  std::uint8_t data = 0xFF;
+  p.ProvideEpromData(port, &data);
+  return data;
+}
+
+std::uint32_t PortU32(Profiler& p, std::uint16_t port) {
+  std::uint32_t value = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(PortByte(p, static_cast<std::uint16_t>(port + i)))
+             << (8 * i);
+  }
+  return value;
+}
+
+TEST(DoubleBuffer, FillSealsAndSwapsWithoutLosingEvents) {
+  Profiler p(SmallDoubleBuffer(4));
+  p.Arm();
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    p.OnEpromRead(static_cast<std::uint16_t>(100 + i), (i + 1) * kMicrosecond);
+  }
+  // The bank is full but not sealed yet: the swap happens on the next store.
+  EXPECT_FALSE(p.standby_ready());
+  EXPECT_EQ(p.events_captured(), 4u);
+
+  p.OnEpromRead(110, 10 * kMicrosecond);
+  EXPECT_TRUE(p.standby_ready());
+  EXPECT_EQ(p.bank_switches(), 1u);
+  EXPECT_EQ(p.events_captured(), 5u);
+  EXPECT_EQ(p.total_captured(), 5u);
+  EXPECT_EQ(p.dropped_events(), 0u);
+  EXPECT_FALSE(p.led_overflow());
+}
+
+TEST(DoubleBuffer, DrainPortsServeTheSealedBank) {
+  Profiler p(SmallDoubleBuffer(3));
+  p.Arm();
+  p.OnEpromRead(100, 1 * kMicrosecond);
+  p.OnEpromRead(101, 2 * kMicrosecond);
+  p.OnEpromRead(100, 3 * kMicrosecond);
+  p.OnEpromRead(101, 4 * kMicrosecond);  // forces the swap
+
+  EXPECT_EQ(PortByte(p, kDrainStatusPort) & kDrainStatusReady, kDrainStatusReady);
+  EXPECT_EQ(PortByte(p, kDrainStatusPort) & kDrainStatusArmed, kDrainStatusArmed);
+  EXPECT_EQ(PortByte(p, kDrainStatusPort) & kDrainStatusDropped, 0);
+  EXPECT_EQ(PortU32(p, kDrainCountPort), 3u);
+  EXPECT_EQ(PortU32(p, kDrainDropPort), 0u);
+
+  // Auto-incrementing data port: 3 tags (2 bytes each), then 3 timestamps
+  // (3 bytes each), all little-endian.
+  const std::uint16_t expected_tags[3] = {100, 101, 100};
+  for (int i = 0; i < 3; ++i) {
+    const std::uint16_t lo = PortByte(p, kDrainDataPort);
+    const std::uint16_t hi = PortByte(p, kDrainDataPort);
+    EXPECT_EQ(static_cast<std::uint16_t>(lo | (hi << 8)), expected_tags[i]);
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::uint32_t ts = 0;
+    for (int b = 0; b < 3; ++b) {
+      ts |= static_cast<std::uint32_t>(PortByte(p, kDrainDataPort)) << (8 * b);
+    }
+    EXPECT_EQ(ts, static_cast<std::uint32_t>(i + 1));
+  }
+
+  // Release frees the bank for the next swap.
+  EXPECT_EQ(PortByte(p, kDrainReleasePort), kDrainAck);
+  EXPECT_FALSE(p.standby_ready());
+  EXPECT_EQ(p.events_captured(), 1u);  // the event that forced the swap
+}
+
+TEST(DoubleBuffer, TriggerWindowReadsAreCapturedDrainWindowReadsAreNot) {
+  Profiler p(SmallDoubleBuffer(8));
+  p.Arm();
+  p.OnEpromRead(100, 1 * kMicrosecond);
+  p.OnEpromRead(kDrainStatusPort, 2 * kMicrosecond);  // A15 high: not an event
+  p.OnEpromRead(kDrainDataPort, 3 * kMicrosecond);
+  p.OnEpromRead(101, 4 * kMicrosecond);
+  EXPECT_EQ(p.total_captured(), 2u);
+}
+
+TEST(DoubleBuffer, DropsAreCountedAndStampedOnTheNextBank) {
+  Profiler p(SmallDoubleBuffer(2));
+  p.Arm();
+  p.OnEpromRead(100, 1 * kMicrosecond);
+  p.OnEpromRead(101, 2 * kMicrosecond);  // bank 0 full
+  p.OnEpromRead(102, 3 * kMicrosecond);  // swap; bank 1: [102]
+  p.OnEpromRead(103, 4 * kMicrosecond);  // bank 1 full
+  p.OnEpromRead(104, 5 * kMicrosecond);  // both banks full: dropped
+  p.OnEpromRead(105, 6 * kMicrosecond);  // dropped
+  EXPECT_EQ(p.dropped_events(), 2u);
+  EXPECT_EQ(p.pending_drops(), 2u);
+  EXPECT_TRUE(p.led_overflow());
+  EXPECT_EQ(PortByte(p, kDrainStatusPort) & kDrainStatusDropped, kDrainStatusDropped);
+
+  // Bank 0 drains with no drops before its first event.
+  EXPECT_EQ(PortU32(p, kDrainDropPort), 0u);
+  EXPECT_EQ(PortByte(p, kDrainReleasePort), kDrainAck);
+
+  // The next stored event swaps bank 1 out; the 2 drops that preceded it
+  // are stamped into the new bank's header.
+  p.OnEpromRead(106, 7 * kMicrosecond);
+  EXPECT_EQ(p.pending_drops(), 0u);
+  ASSERT_TRUE(p.standby_ready());
+  EXPECT_EQ(PortU32(p, kDrainCountPort), 2u);  // bank 1: [102, 103]
+  EXPECT_EQ(PortU32(p, kDrainDropPort), 0u);   // nothing dropped before 102
+  EXPECT_EQ(PortByte(p, kDrainReleasePort), kDrainAck);
+
+  // Host-commanded seal of the active bank: [106] with 2 drops before it.
+  EXPECT_EQ(PortByte(p, kDrainSealPort), kDrainAck);
+  ASSERT_TRUE(p.standby_ready());
+  EXPECT_EQ(PortU32(p, kDrainCountPort), 1u);
+  EXPECT_EQ(PortU32(p, kDrainDropPort), 2u);
+}
+
+TEST(DoubleBuffer, UploadConcatenatesSealedThenActive) {
+  Profiler p(SmallDoubleBuffer(2));
+  p.Arm();
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    p.OnEpromRead(static_cast<std::uint16_t>(100 + i), (i + 1) * kMicrosecond);
+  }
+  const RawTrace up = p.Upload();
+  ASSERT_EQ(up.events.size(), 3u);
+  EXPECT_EQ(up.events[0].tag, 100u);  // sealed bank first: its events are older
+  EXPECT_EQ(up.events[1].tag, 101u);
+  EXPECT_EQ(up.events[2].tag, 102u);
+  EXPECT_FALSE(up.overflowed);
+}
+
+// --- Kernel-side drain on the full rig ---------------------------------------
+
+TestbedConfig StreamingRig(std::size_t depth = kDefaultEventRamDepth) {
+  TestbedConfig config;
+  config.profiler = SmallDoubleBuffer(depth);
+  return config;
+}
+
+TEST(StreamingDrain, DrainRemainingMatchesUpload) {
+  Testbed tb(StreamingRig(256));
+  tb.Arm();
+  RunNetworkReceive(tb, Sec(1), 8 * 1024, /*verify_payload=*/false);
+  tb.profiler().Disarm();
+
+  // Upload is non-destructive, so it is the ground truth for the drain.
+  const RawTrace up = tb.profiler().Upload();
+  ASSERT_GT(up.events.size(), 256u);  // several bank switches happened
+
+  std::vector<TraceChunk> chunks;
+  DrainRemaining(tb.machine(), tb.instr(), tb.profiler(), &chunks);
+  std::vector<RawEvent> flat;
+  for (const TraceChunk& c : chunks) {
+    flat.insert(flat.end(), c.events.begin(), c.events.end());
+  }
+  // The mid-run banks were never drained here, so only the still-resident
+  // events (sealed + active) can come out — exactly Upload's view.
+  EXPECT_EQ(flat, up.events);
+  EXPECT_EQ(tb.profiler().events_captured(), 0u);  // drained banks are released
+}
+
+TEST(StreamingDrain, PeriodicDrainKeepsUpWithTheSaturatingReceive) {
+  Testbed tb(StreamingRig());
+  tb.Arm();
+  const StreamingRunResult r =
+      RunStreamingNetworkReceive(tb, Sec(8), 512 * 1024, 100 * kMillisecond);
+  EXPECT_GT(r.net.bytes_received, 0u);
+  EXPECT_GT(r.drains, 0u);
+  // A 100 ms drain period beats the ~0.4 s bank fill time: nothing dropped.
+  EXPECT_EQ(r.events_dropped, 0u);
+  EXPECT_EQ(tb.profiler().dropped_events(), 0u);
+  EXPECT_EQ(r.events_drained, tb.profiler().total_captured());
+  EXPECT_GT(r.events_drained, tb.profiler().capacity());
+}
+
+// The tentpole acceptance property: a capture an order of magnitude past the
+// 16384-event RAM, streamed out bank by bank, whose incremental decode is
+// byte-identical (Figure 3 report and all counters) to decoding the
+// concatenated events in one shot.
+TEST(StreamingDrain, LongRunIncrementalDecodeMatchesOneShot) {
+  Testbed tb(StreamingRig());
+  tb.Arm();
+  const StreamingRunResult r =
+      RunStreamingNetworkReceive(tb, Sec(30), 2500 * 1024, 100 * kMillisecond);
+  ASSERT_EQ(r.events_dropped, 0u);
+  ASSERT_GE(r.events_drained, 10u * kDefaultEventRamDepth);
+  ASSERT_GT(tb.profiler().bank_switches(), 10u);
+
+  RawTrace flat;
+  flat.timer_bits = tb.profiler().timer().bits();
+  flat.timer_clock_hz = tb.profiler().timer().clock_hz();
+  for (const TraceChunk& c : r.chunks) {
+    flat.events.insert(flat.events.end(), c.events.begin(), c.events.end());
+  }
+  const DecodedTrace batch = Decoder::Decode(flat, tb.tags());
+
+  StreamingDecoder dec(tb.tags());
+  for (const TraceChunk& c : r.chunks) {
+    dec.FeedChunk(c);
+  }
+  const DecodedTrace inc = dec.Finish();
+
+  EXPECT_EQ(inc.event_count, batch.event_count);
+  EXPECT_EQ(inc.unknown_tags, batch.unknown_tags);
+  EXPECT_EQ(inc.orphan_exits, batch.orphan_exits);
+  EXPECT_EQ(inc.unclosed_entries, batch.unclosed_entries);
+  EXPECT_EQ(inc.idle_time, batch.idle_time);
+  EXPECT_EQ(inc.start_time, batch.start_time);
+  EXPECT_EQ(inc.end_time, batch.end_time);
+  EXPECT_EQ(Summary(inc).Format(0), Summary(batch).Format(0));
+
+  // The drain routine profiled itself into the capture.
+  const FuncStats* drain = inc.Stats("profdrain");
+  ASSERT_NE(drain, nullptr);
+  EXPECT_GE(drain->calls, r.drains);
+}
+
+TEST(StreamingDrain, SlowDrainDropsAreFullyAccounted) {
+  Testbed tb(StreamingRig());
+  tb.Arm();
+  // Banks fill roughly every 0.4 s; a 2 s drain period must lose the race.
+  const StreamingRunResult r =
+      RunStreamingNetworkReceive(tb, Sec(10), 2500 * 1024, 2 * kSecond);
+  ASSERT_GT(r.events_dropped, 0u);
+  EXPECT_TRUE(tb.profiler().led_overflow());
+  // Every event the board ever stored came out, and every drop is in some
+  // chunk header: stored + dropped = everything the triggers offered.
+  EXPECT_EQ(r.events_drained, tb.profiler().total_captured());
+  EXPECT_EQ(r.events_dropped, tb.profiler().dropped_events());
+
+  // The incremental decoder surfaces the loss explicitly.
+  StreamingDecoder dec(tb.tags());
+  for (const TraceChunk& c : r.chunks) {
+    dec.FeedChunk(c);
+  }
+  const DecodedTrace inc = dec.Finish();
+  EXPECT_EQ(inc.dropped_events, r.events_dropped);
+  EXPECT_GT(inc.capture_gaps, 0u);
+  EXPECT_EQ(inc.event_count, r.events_drained);
+}
+
+TEST(StreamingDrain, StreamFileRoundTripsChunks) {
+  Testbed tb(StreamingRig(1024));
+  tb.Arm();
+  const std::string path = ::testing::TempDir() + "/capture.hwstream";
+  const StreamingRunResult r =
+      RunStreamingNetworkReceive(tb, Sec(1), 32 * 1024, 50 * kMillisecond, path);
+  ASSERT_TRUE(r.io_ok);
+  ASSERT_FALSE(r.chunks.empty());
+
+  StreamCapture cap;
+  ASSERT_TRUE(LoadStream(path, &cap));
+  EXPECT_EQ(cap.timer_bits, tb.profiler().timer().bits());
+  EXPECT_EQ(cap.timer_clock_hz, tb.profiler().timer().clock_hz());
+  EXPECT_FALSE(cap.truncated_tail);
+  EXPECT_EQ(cap.chunks, r.chunks);
+}
+
+}  // namespace
+}  // namespace hwprof

@@ -144,5 +144,38 @@ TEST(AnalyzeCli, ErrorsAreReported) {
   EXPECT_NE(error.find("unknown option"), std::string::npos);
 }
 
+TEST(AnalyzeCli, FollowReadsAChunkedStreamFile) {
+  // Hand-build a stream file the way the streaming workload writes one:
+  // header plus drained banks, with drops stamped on the second chunk.
+  const std::string stream = ::testing::TempDir() + "/cli.hwstream";
+  const std::string names_path = ::testing::TempDir() + "/cli_follow.names";
+  {
+    std::ofstream names_out(names_path);
+    names_out << "a/100\nb/102\n";
+  }
+  ASSERT_TRUE(SaveStreamHeader(stream, 24, 1'000'000));
+  TraceChunk first;
+  first.events = {{100, 10}, {102, 20}, {103, 60}};
+  TraceChunk second;
+  second.events = {{101, 90}};
+  second.dropped_before = 4;
+  ASSERT_TRUE(AppendStreamChunk(stream, first));
+  ASSERT_TRUE(AppendStreamChunk(stream, second));
+
+  std::string error;
+  EXPECT_EQ(RunCli({stream.c_str(), names_path.c_str(), "--follow", "--summary", "5"},
+                   &error),
+            0)
+      << error;
+  // --follow rejects batch-only report options.
+  EXPECT_NE(RunCli({stream.c_str(), names_path.c_str(), "--follow", "--trace", "5"},
+                   &error),
+            0);
+  EXPECT_NE(error.find("not available with --follow"), std::string::npos);
+  // And a missing stream file is a load error, not a crash.
+  EXPECT_NE(RunCli({"/nonexistent.hwstream", names_path.c_str(), "--follow"}, &error), 0);
+  EXPECT_NE(error.find("cannot load stream"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hwprof

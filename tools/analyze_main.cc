@@ -1,8 +1,10 @@
 #include "tools/analyze_main.h"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "src/analysis/callgraph.h"
 #include "src/analysis/decoder.h"
@@ -28,14 +30,109 @@ bool ReadFileToString(const std::string& path, std::string* out) {
   return true;
 }
 
+// Incremental analysis of a chunked stream file: feeds each drained bank to
+// a StreamingDecoder, printing a status line and a running Figure 3 summary
+// as it goes. `--poll N` re-reads the file N times total (with a short real
+// sleep in between) so a still-appending writer can be tailed; new complete
+// chunks are picked up where the previous pass stopped. A chunk the writer
+// never finished is decoded as a truncated tail at the end.
+int FollowMain(const char* path, const TagFile& names, int argc, const char* const* argv,
+               std::string* error) {
+  std::size_t rows = 20;
+  int polls = 1;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_number = [&](std::size_t fallback) -> std::size_t {
+      if (i + 1 < argc) {
+        std::uint64_t value = 0;
+        if (ParseUint(argv[i + 1], &value)) {
+          ++i;
+          return static_cast<std::size_t>(value);
+        }
+      }
+      return fallback;
+    };
+    if (arg == "--follow") {
+      continue;
+    } else if (arg == "--summary") {
+      rows = next_number(20);
+    } else if (arg == "--poll") {
+      polls = static_cast<int>(next_number(1));
+    } else {
+      *error = StrFormat("option '%s' is not available with --follow", arg.c_str());
+      return 2;
+    }
+  }
+
+  StreamCapture capture;
+  if (!LoadStream(path, &capture)) {
+    *error = StrFormat("cannot load stream file '%s'", path);
+    return 1;
+  }
+  StreamingDecoder decoder(names, capture.timer_bits, capture.timer_clock_hz);
+  std::size_t fed = 0;
+  for (int pass = 0; pass < polls; ++pass) {
+    if (pass > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      if (!LoadStream(path, &capture)) {
+        *error = StrFormat("cannot re-read stream file '%s'", path);
+        return 1;
+      }
+    }
+    const std::size_t complete = capture.chunks.size() - (capture.truncated_tail ? 1 : 0);
+    for (; fed < complete; ++fed) {
+      const TraceChunk& chunk = capture.chunks[fed];
+      decoder.FeedChunk(chunk);
+      std::printf(
+          "chunk %zu: %zu events (%llu dropped before) | stream so far: %llu events, "
+          "%llu dropped, %zu awaiting lookahead\n",
+          fed, chunk.events.size(), static_cast<unsigned long long>(chunk.dropped_before),
+          static_cast<unsigned long long>(decoder.events_seen()),
+          static_cast<unsigned long long>(decoder.dropped_events()), decoder.pending());
+      std::printf("%s\n", Summary(decoder.SnapshotStats()).Format(rows).c_str());
+    }
+  }
+  bool truncated = false;
+  if (capture.truncated_tail && fed < capture.chunks.size()) {
+    // The writer never finished this chunk; decode what made it to disk.
+    decoder.FeedChunk(capture.chunks[fed]);
+    ++fed;
+    truncated = true;
+  }
+  const DecodedTrace decoded = decoder.Finish(truncated);
+  std::printf("end of stream: %zu chunks, %llu events, %llu dropped in %llu gaps%s\n", fed,
+              static_cast<unsigned long long>(decoded.event_count),
+              static_cast<unsigned long long>(decoded.dropped_events),
+              static_cast<unsigned long long>(decoded.capture_gaps),
+              truncated ? " (truncated tail)" : "");
+  std::printf("%s\n", Summary(decoded).Format(rows).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
   if (argc < 3) {
     *error =
         "usage: hwprof_analyze <capture> <names> [--summary N] [--trace N] "
-        "[--callgraph N] [--histogram FN] [--spl]";
+        "[--callgraph N] [--histogram FN] [--spl] | <stream> <names> --follow "
+        "[--summary N] [--poll N]";
     return 2;
+  }
+
+  std::string names_text;
+  TagFile names;
+  const bool have_names =
+      ReadFileToString(argv[2], &names_text) && TagFile::Parse(names_text, &names);
+
+  for (int i = 3; i < argc; ++i) {
+    if (std::string(argv[i]) == "--follow") {
+      if (!have_names) {
+        *error = StrFormat("cannot parse names file '%s'", argv[2]);
+        return 1;
+      }
+      return FollowMain(argv[1], names, argc, argv, error);
+    }
   }
 
   RawTrace raw;
@@ -43,9 +140,7 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
     *error = StrFormat("cannot load capture '%s'", argv[1]);
     return 1;
   }
-  std::string names_text;
-  TagFile names;
-  if (!ReadFileToString(argv[2], &names_text) || !TagFile::Parse(names_text, &names)) {
+  if (!have_names) {
     *error = StrFormat("cannot parse names file '%s'", argv[2]);
     return 1;
   }
