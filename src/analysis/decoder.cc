@@ -57,6 +57,7 @@ class StreamingDecoder::Impl {
       const TagEntry* entry = names_.FindByTag(e.tag);
       if (entry == nullptr) {
         ++out_.unknown_tags;
+        ++out_.unknown_tag_counts[e.tag];
         continue;
       }
       DecodedEvent ev;
@@ -96,6 +97,10 @@ class StreamingDecoder::Impl {
     snap.unknown_tags = out_.unknown_tags;
     snap.orphan_exits = out_.orphan_exits;
     snap.unclosed_entries = out_.unclosed_entries;
+    snap.unknown_tag_counts = out_.unknown_tag_counts;
+    snap.orphan_exit_counts = out_.orphan_exit_counts;
+    snap.unclosed_entry_counts = out_.unclosed_entry_counts;
+    snap.truncated_entry_counts = out_.truncated_entry_counts;
     snap.dropped_events = out_.dropped_events;
     snap.capture_gaps = out_.capture_gaps;
     snap.idle_time = out_.idle_time;
@@ -420,6 +425,7 @@ class StreamingDecoder::Impl {
               pending_swtch_ != nullptr);
     }
     ++out_.orphan_exits;
+    ++out_.orphan_exit_counts[ev.entry->name];
     current_ = ResolveResumed(index);
   }
 
@@ -448,6 +454,9 @@ class StreamingDecoder::Impl {
     for (CallNode* n = current_->top; n != nullptr && n->parent != nullptr; n = n->parent) {
       if (n->fn != nullptr && n->fn->name == ev.entry->name) {
         while (current_->top != n) {
+          if (current_->top->fn != nullptr) {
+            ++out_.unclosed_entry_counts[current_->top->fn->name];
+          }
           CloseTop(current_, ev.t, /*forced=*/true, /*context_switch_in=*/false);
           ++out_.unclosed_entries;
         }
@@ -469,6 +478,7 @@ class StreamingDecoder::Impl {
               current_->top->fn ? current_->top->fn->name.c_str() : "<root>");
     }
     ++out_.orphan_exits;
+    ++out_.orphan_exit_counts[ev.entry->name];
   }
 
   // --- Accounting ------------------------------------------------------------
@@ -503,6 +513,10 @@ class StreamingDecoder::Impl {
         node->forced_close = true;
         stack->top = node->parent;
         ++out_.unclosed_entries;
+        if (node->fn != nullptr) {
+          ++out_.unclosed_entry_counts[node->fn->name];
+          ++out_.truncated_entry_counts[node->fn->name];
+        }
       }
     }
   }

@@ -106,6 +106,20 @@ struct DecodedTrace {
   std::uint64_t orphan_exits = 0;
   std::uint64_t unclosed_entries = 0;
 
+  // Attribution for the anomaly counts above, keyed by raw tag value
+  // (unknowns) or function name (orphans/unclosed). hwprof_lint's trace
+  // cross-check turns these into file:line findings against the static
+  // call-structure model instead of leaving them as silent drops.
+  std::map<std::uint16_t, std::uint64_t> unknown_tag_counts;
+  std::map<std::string, std::uint64_t> orphan_exit_counts;
+  std::map<std::string, std::uint64_t> unclosed_entry_counts;
+
+  // The subset of unclosed_entry_counts closed by end-of-capture truncation
+  // (the call stack in flight when the board stopped) rather than by a
+  // mid-trace anomaly. Stopping a capture mid-run is normal, so consumers
+  // judging trace health should subtract these from unclosed_entry_counts.
+  std::map<std::string, std::uint64_t> truncated_entry_counts;
+
   // Streaming-capture accounting: events the board dropped when the drain
   // lost the race (from drain-chunk headers), and the number of distinct
   // gaps they occurred in. Always 0 for one-shot captures.

@@ -45,6 +45,7 @@ class ProfileScope {
 // *within* a function at higher granularity.
 inline void InlineTrigger(Machine& machine, const Instrumenter& instr, const FuncInfo* func) {
   if (func != nullptr && func->enabled && instr.linked()) {
+    // hwprof-lint: suppress(instr-balance) an inline '=' tag is a single event, not an entry/exit pair
     machine.TriggerRead(instr.profile_base() + func->entry_tag);
   }
 }

@@ -5,16 +5,31 @@
 
 namespace hwprof {
 
-bool TagFile::Parse(std::string_view text, TagFile* out) {
+bool TagFile::Parse(std::string_view text, TagFile* out, std::vector<TagDiag>* diags) {
   TagFile file;
+  bool ok = true;
+  int line_no = 0;
+  auto fail = [&](std::string message) {
+    ok = false;
+    if (diags != nullptr) {
+      diags->push_back(TagDiag{line_no, std::move(message)});
+    }
+  };
   for (std::string_view raw_line : SplitLines(text)) {
+    ++line_no;
     const std::string_view line = StripWhitespace(raw_line);
     if (line.empty() || line[0] == '#') {
       continue;
     }
     const std::size_t slash = line.rfind('/');
-    if (slash == std::string_view::npos || slash == 0) {
-      return false;
+    if (slash == std::string_view::npos) {
+      fail(StrFormat("missing '/' between name and tag value in '%.*s'",
+                     static_cast<int>(line.size()), line.data()));
+      continue;
+    }
+    if (slash == 0) {
+      fail("empty function name before '/'");
+      continue;
     }
     const std::string_view name = line.substr(0, slash);
     std::string_view value = line.substr(slash + 1);
@@ -27,8 +42,15 @@ bool TagFile::Parse(std::string_view text, TagFile* out) {
       value.remove_suffix(1);
     }
     std::uint64_t tag = 0;
-    if (!ParseUint(value, &tag) || tag > 0xFFFF) {
-      return false;
+    if (!ParseUint(value, &tag)) {
+      fail(StrFormat("tag value '%.*s' is not a non-negative integer",
+                     static_cast<int>(value.size()), value.data()));
+      continue;
+    }
+    if (tag > 0xFFFF) {
+      fail(StrFormat("tag value %llu does not fit in 16 bits",
+                     static_cast<unsigned long long>(tag)));
+      continue;
     }
     TagEntry entry;
     entry.name = std::string(name);
@@ -37,14 +59,21 @@ bool TagFile::Parse(std::string_view text, TagFile* out) {
     // Function tags must be even so that tag+1 (the exit tag) pairs with
     // them; evenness also guarantees the exit tag fits in 16 bits.
     if (entry.IsFunctionLike() && entry.tag % 2 != 0) {
-      return false;
+      fail(StrFormat("function tag %u is odd (entry tags must be even so tag+1 "
+                     "is the exit tag)",
+                     entry.tag));
+      continue;
     }
-    if (!file.Insert(std::move(entry))) {
-      return false;
+    std::string why;
+    if (!file.Insert(std::move(entry), &why)) {
+      fail(std::move(why));
+      continue;
     }
   }
-  *out = std::move(file);
-  return true;
+  if (ok) {
+    *out = std::move(file);
+  }
+  return ok;
 }
 
 std::string TagFile::Format() const {
@@ -133,10 +162,39 @@ std::uint16_t TagFile::HighestTag() const {
   return highest;
 }
 
-bool TagFile::Insert(TagEntry entry) {
-  if (by_name_.count(entry.name) != 0 || by_tag_.count(entry.entry_tag()) != 0 ||
-      (entry.IsFunctionLike() && by_tag_.count(entry.exit_tag()) != 0)) {
+bool TagFile::Insert(TagEntry entry) { return Insert(std::move(entry), nullptr); }
+
+bool TagFile::Insert(TagEntry entry, std::string* why) {
+  auto collision = [&](std::uint16_t raw) -> const TagEntry* {
+    auto it = by_tag_.find(raw);
+    return it == by_tag_.end() ? nullptr : &entries_[it->second];
+  };
+  if (by_name_.count(entry.name) != 0) {
+    if (why != nullptr) {
+      *why = StrFormat("duplicate name '%s' (already tagged %u)", entry.name.c_str(),
+                       FindByName(entry.name)->tag);
+    }
     return false;
+  }
+  if (const TagEntry* prior = collision(entry.entry_tag())) {
+    if (why != nullptr) {
+      *why = StrFormat("tag %u already covered by '%s/%u'%s", entry.entry_tag(),
+                       prior->name.c_str(), prior->tag,
+                       prior->IsFunctionLike() && entry.entry_tag() == prior->exit_tag()
+                           ? " (its exit tag)"
+                           : "");
+    }
+    return false;
+  }
+  if (entry.IsFunctionLike()) {
+    if (const TagEntry* prior = collision(entry.exit_tag())) {
+      if (why != nullptr) {
+        *why = StrFormat("exit tag %u of '%s/%u' already covered by '%s/%u'",
+                         entry.exit_tag(), entry.name.c_str(), entry.tag,
+                         prior->name.c_str(), prior->tag);
+      }
+      return false;
+    }
   }
   const std::size_t index = entries_.size();
   by_name_.emplace(entry.name, index);

@@ -45,14 +45,27 @@ struct TagEntry {
   std::uint16_t exit_tag() const { return static_cast<std::uint16_t>(tag + 1); }
 };
 
+// One parse problem, attributed to a 1-based line of the input text.
+struct TagDiag {
+  int line = 0;
+  std::string message;
+};
+
 class TagFile {
  public:
   TagFile() = default;
 
   // Parses the file format above. Blank lines and '#' comment lines are
   // skipped. Returns false on malformed lines, duplicate names, duplicate or
-  // overlapping tag values, or odd function tags.
-  static bool Parse(std::string_view text, TagFile* out);
+  // overlapping tag values, or odd function tags. When `diags` is non-null
+  // every problem found is appended to it with its line number and reason
+  // (parsing continues past errors so one pass reports them all); `*out` is
+  // only written when the parse succeeds.
+  static bool Parse(std::string_view text, TagFile* out,
+                    std::vector<TagDiag>* diags);
+  static bool Parse(std::string_view text, TagFile* out) {
+    return Parse(text, out, nullptr);
+  }
 
   // Renders back to the file format, entries in insertion order.
   std::string Format() const;
@@ -88,6 +101,8 @@ class TagFile {
 
  private:
   bool Insert(TagEntry entry);
+  // Like Insert, but on failure sets `*why` to the colliding entry's reason.
+  bool Insert(TagEntry entry, std::string* why);
 
   std::vector<TagEntry> entries_;
   std::unordered_map<std::string, std::size_t> by_name_;

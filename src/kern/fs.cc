@@ -84,6 +84,7 @@ Buf* Fs::GetBlk(std::uint32_t blkno) {
       if (bp->busy) {
         // Wait for the current owner (or in-flight I/O) to release it, then
         // rescan — the buffer may have been reused for another block.
+        // hwprof-lint: suppress(spl-sleep) Tsleep parks the raised IPL in the proc; it only masks while this process runs
         kernel_.sched().Tsleep(bp, "getblk");
         continue;
       }
@@ -105,6 +106,7 @@ Buf* Fs::GetBlk(std::uint32_t blkno) {
     }
     if (victim == nullptr) {
       // Every buffer is busy (all in flight); wait for any completion.
+      // hwprof-lint: suppress(spl-sleep) Tsleep parks the raised IPL in the proc; it only masks while this process runs
       kernel_.sched().Tsleep(&bufs_, "bufwait");
       continue;
     }
@@ -219,6 +221,7 @@ void Fs::Biowait(Buf* bp) {
   kernel_.cpu().Use(4 * kMicrosecond);
   const int s = kernel_.spl().splbio();
   while (!bp->done) {
+    // hwprof-lint: suppress(spl-sleep) Tsleep parks the raised IPL in the proc; it only masks while this process runs
     kernel_.sched().Tsleep(bp, "biowait");
   }
   kernel_.spl().splx(s);
@@ -261,6 +264,7 @@ void Fs::SyncAll() {
     if (!in_flight) {
       break;
     }
+    // hwprof-lint: suppress(spl-sleep) Tsleep parks the raised IPL in the proc; it only masks while this process runs
     kernel_.sched().Tsleep(&bufs_, "syncwait");
   }
   kernel_.spl().splx(s);

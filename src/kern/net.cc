@@ -646,6 +646,7 @@ std::shared_ptr<Socket> NetStack::SoAccept(Socket& so) {
   kernel_.cpu().Use(20 * kMicrosecond);
   const int s = kernel_.spl().splnet();
   while (so.accept_queue.empty()) {
+    // hwprof-lint: suppress(spl-sleep) Tsleep parks the raised IPL in the proc; it only masks while this process runs
     kernel_.sched().Tsleep(&so.accept_queue, "accept");
   }
   std::shared_ptr<Socket> conn = so.accept_queue.front();
@@ -659,6 +660,7 @@ std::size_t NetStack::SoReceive(Socket& so, std::size_t max, Bytes* out) {
   kernel_.cpu().Use(kernel_.cost().soreceive_fixed_ns);
   const int s = kernel_.spl().splnet();
   while (so.rcv.cc == 0 && !so.eof) {
+    // hwprof-lint: suppress(spl-sleep) Tsleep parks the raised IPL in the proc; it only masks while this process runs
     kernel_.sched().Tsleep(&so.rcv, "sbwait");
   }
   std::size_t copied = 0;
@@ -768,6 +770,7 @@ long NetStack::SoSend(Socket& so, const Bytes& data) {
     // Block while the send buffer is full (sbwait on &so.snd).
     const int s = kernel_.spl().splnet();
     while (so.snd.Space() == 0 && tp->state == Tcpcb::State::kEstablished) {
+      // hwprof-lint: suppress(spl-sleep) Tsleep parks the raised IPL in the proc; it only masks while this process runs
       kernel_.sched().Tsleep(&so.snd, "sbwait");
     }
     if (tp->state != Tcpcb::State::kEstablished) {

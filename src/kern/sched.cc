@@ -165,6 +165,7 @@ void Sched::ExitCurrent(int status) {
   // swtch's *entry* trigger — exit() calls swtch() and never returns, and
   // whoever runs next emits the balancing swtch exit.
   if (f_swtch_->enabled && kernel_.instr().linked()) {
+    // hwprof-lint: suppress(instr-balance) one-way departure: the next process's switch-in emits the balancing exit
     kernel_.machine().TriggerRead(kernel_.instr().profile_base() + f_swtch_->entry_tag);
   }
   kernel_.cpu().Use(kernel_.cost().swtch_body_ns);
@@ -185,6 +186,7 @@ void Sched::FinishSwitchIn() {
   // analyser sees a balanced context-switch event, as a forked child's
   // hand-crafted kernel stack provides on real hardware.
   if (f_swtch_->enabled && kernel_.instr().linked()) {
+    // hwprof-lint: suppress(instr-balance) balances the swtch entry the departing process emitted in ExitCurrent
     kernel_.machine().TriggerRead(kernel_.instr().profile_base() + f_swtch_->exit_tag());
   }
 }

@@ -79,6 +79,7 @@ std::string TtyDevice::ReadLine() {
   kernel_.cpu().Use(15 * kMicrosecond);
   const int s = kernel_.spl().spltty();
   while (lines_.empty()) {
+    // hwprof-lint: suppress(spl-sleep) Tsleep parks the raised IPL in the proc; it only masks while this process runs
     kernel_.sched().Tsleep(&lines_, "ttyin");
   }
   std::string line = std::move(lines_.front());

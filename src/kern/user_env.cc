@@ -103,6 +103,7 @@ std::uint32_t UserEnv::MmapProfiler() {
 
 void UserEnv::UserTrigger(std::uint32_t profile_base, std::uint16_t tag) {
   HWPROF_CHECK_MSG(profile_base != 0, "profiler window not mapped");
+  // hwprof-lint: suppress(instr-raw-tag) user space picks the tag; the decoder classifies it at analysis time
   kernel_.machine().TriggerRead(profile_base + tag);
 }
 

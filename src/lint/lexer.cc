@@ -1,0 +1,179 @@
+#include "src/lint/lexer.h"
+
+#include <cctype>
+
+namespace hwprof::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character operators, longest first so maximal munch works.
+constexpr std::string_view kOperators[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "==", "!=", "<=", ">=", "&&",
+    "||",  "++",  "--",  "+=",  "-=", "*=", "/=", "%=", "|=", "&=", "^=",
+    "<<",  ">>",
+};
+
+}  // namespace
+
+LexedFile Lex(std::string_view text) {
+  LexedFile out;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = text.size();
+
+  auto advance_newlines = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to && k < n; ++k) {
+      if (text[k] == '\n') {
+        ++line;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: swallow through the end of line, honoring
+    // backslash continuations (multi-line macros contribute no tokens).
+    if (c == '#') {
+      std::size_t j = i;
+      while (j < n) {
+        if (text[j] == '\n') {
+          // Continued if the last non-whitespace char before the newline is
+          // a backslash.
+          std::size_t k = j;
+          while (k > i && (text[k - 1] == ' ' || text[k - 1] == '\t' || text[k - 1] == '\r')) {
+            --k;
+          }
+          if (k > i && text[k - 1] == '\\') {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        // A // comment inside a directive still ends the directive logically,
+        // but swallowing to end-of-line covers it either way.
+        ++j;
+      }
+      advance_newlines(i, j);
+      i = j;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && text[j] != '\n') {
+        ++j;
+      }
+      out.comments.push_back(Comment{line, std::string(text.substr(i + 2, j - (i + 2)))});
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        ++j;
+      }
+      const std::size_t end = (j + 1 < n) ? j + 2 : n;
+      out.comments.push_back(Comment{line, std::string(text.substr(i + 2, j - (i + 2)))});
+      advance_newlines(i, end);
+      i = end;
+      continue;
+    }
+    // String literal (raw strings are not used in this tree).
+    if (c == '"') {
+      std::size_t j = i + 1;
+      std::string value;
+      while (j < n && text[j] != '"') {
+        if (text[j] == '\\' && j + 1 < n) {
+          value.push_back(text[j + 1]);
+          j += 2;
+          continue;
+        }
+        if (text[j] == '\n') {
+          ++line;  // unterminated; tolerate
+        }
+        value.push_back(text[j]);
+        ++j;
+      }
+      out.tokens.push_back(Token{TokKind::kString, std::move(value), line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      std::string value;
+      while (j < n && text[j] != '\'') {
+        if (text[j] == '\\' && j + 1 < n) {
+          value.push_back(text[j + 1]);
+          j += 2;
+          continue;
+        }
+        value.push_back(text[j]);
+        ++j;
+      }
+      out.tokens.push_back(Token{TokKind::kChar, std::move(value), line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Number (including 0x..., digit separators, and suffixes; also covers
+    // 1'000'000 and 24-bit style usages like 0xFFFF).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (IsIdentChar(text[j]) || text[j] == '\'' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' || text[j - 1] == 'p' ||
+                         text[j - 1] == 'P')) ||
+                       text[j] == '.')) {
+        ++j;
+      }
+      out.tokens.push_back(Token{TokKind::kNumber, std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && IsIdentChar(text[j])) {
+        ++j;
+      }
+      out.tokens.push_back(Token{TokKind::kIdent, std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Punctuation: maximal munch for multi-char operators.
+    bool matched = false;
+    for (std::string_view op : kOperators) {
+      if (text.substr(i, op.size()) == op) {
+        out.tokens.push_back(Token{TokKind::kPunct, std::string(op), line});
+        i += op.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back(Token{TokKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace hwprof::lint

@@ -1,0 +1,44 @@
+// Lightweight C++ tokenizer for the lint analyzer. Not a real front end:
+// it only needs identifiers, literals, punctuation (with maximal munch for
+// multi-character operators so '=' is unambiguous), line numbers, and the
+// comment stream (where suppressions live). Preprocessor directives are
+// consumed whole — macro bodies must not leak tokens into the scan.
+
+#ifndef HWPROF_SRC_LINT_LEXER_H_
+#define HWPROF_SRC_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hwprof::lint {
+
+enum class TokKind : unsigned char {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literal (including suffixes and ' separators)
+  kString,  // "..." (text excludes the quotes, escapes undone for \" \\ only)
+  kChar,    // '...'
+  kPunct,   // operators and punctuation, multi-char ops as one token
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+struct Comment {
+  int line = 0;       // line the comment starts on
+  std::string text;   // without the // or /* */ markers
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+LexedFile Lex(std::string_view text);
+
+}  // namespace hwprof::lint
+
+#endif  // HWPROF_SRC_LINT_LEXER_H_

@@ -1,0 +1,114 @@
+#include "src/lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/strings.h"
+#include "src/lint/rules.h"
+
+namespace hwprof::lint {
+
+namespace {
+
+bool IsSourceExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+bool ReadWholeFile(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = StrFormat("cannot open '%s'", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+LintResult Analyze(std::vector<SourceFile> sources, std::string_view tag_text,
+                   std::string_view tag_path, std::vector<std::string> errors) {
+  LintResult result;
+  result.sources = std::move(sources);
+  result.errors = std::move(errors);
+  for (const SourceFile& file : result.sources) {
+    CheckSourceFile(file, &result.findings);
+  }
+  CheckRegistrations(result.sources, &result.findings);
+  if (!tag_text.empty() || tag_path != "<tags>") {
+    CheckTagFile(tag_path, tag_text, &result.sources, &result.findings);
+  }
+  result.model = BuildModel(result.sources);
+  ApplySuppressions(result.sources, &result.findings);
+  SortFindings(&result.findings);
+  return result;
+}
+
+}  // namespace
+
+LintResult RunLint(const LintConfig& config) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::vector<std::string> errors;
+  for (const std::string& path : config.paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) {
+          errors.push_back(StrFormat("error walking '%s': %s", path.c_str(),
+                                     ec.message().c_str()));
+          break;
+        }
+        if (it->is_regular_file(ec) && IsSourceExtension(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::exists(path, ec)) {
+      files.push_back(path);
+    } else {
+      errors.push_back(StrFormat("no such file or directory: '%s'", path.c_str()));
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const std::string& file : files) {
+    std::string text;
+    std::string error;
+    if (!ReadWholeFile(file, &text, &error)) {
+      errors.push_back(std::move(error));
+      continue;
+    }
+    sources.push_back(AnalyzeSource(file, text));
+  }
+
+  std::string tag_text;
+  std::string tag_path = "<tags>";
+  if (!config.tag_file.empty()) {
+    std::string error;
+    if (ReadWholeFile(config.tag_file, &tag_text, &error)) {
+      tag_path = config.tag_file;
+    } else {
+      errors.push_back(std::move(error));
+    }
+  }
+  return Analyze(std::move(sources), tag_text, tag_path, std::move(errors));
+}
+
+LintResult LintText(const std::vector<std::pair<std::string, std::string>>& sources,
+                    std::string_view tag_file_text, std::string_view tag_file_path) {
+  std::vector<SourceFile> analyzed;
+  analyzed.reserve(sources.size());
+  for (const auto& [path, text] : sources) {
+    analyzed.push_back(AnalyzeSource(path, text));
+  }
+  return Analyze(std::move(analyzed), tag_file_text, tag_file_path, {});
+}
+
+}  // namespace hwprof::lint

@@ -1,0 +1,44 @@
+// The hwprof_lint driver: walks source trees, runs every analysis pass, and
+// returns the sorted, suppression-applied finding list plus the static
+// call-structure model.
+
+#ifndef HWPROF_SRC_LINT_LINT_H_
+#define HWPROF_SRC_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lint/diagnostics.h"
+#include "src/lint/source_model.h"
+#include "src/lint/trace_check.h"
+
+namespace hwprof::lint {
+
+struct LintConfig {
+  // Files or directories (recursed for .cc/.cpp/.h/.hpp) to analyze.
+  std::vector<std::string> paths;
+  // Optional tag file to validate against the sources.
+  std::string tag_file;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;  // sorted; suppressions already applied
+  std::vector<SourceFile> sources;
+  CallStructureModel model;
+  std::vector<std::string> errors;  // unreadable paths etc.
+
+  std::size_t unsuppressed() const { return UnsuppressedCount(findings); }
+};
+
+// Runs the full pipeline over the configured paths.
+LintResult RunLint(const LintConfig& config);
+
+// Analyzes in-memory sources (path/text pairs) — the test entry point; the
+// same passes RunLint applies, minus the filesystem.
+LintResult LintText(const std::vector<std::pair<std::string, std::string>>& sources,
+                    std::string_view tag_file_text = {},
+                    std::string_view tag_file_path = "<tags>");
+
+}  // namespace hwprof::lint
+
+#endif  // HWPROF_SRC_LINT_LINT_H_

@@ -1,0 +1,571 @@
+#include "src/lint/rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/base/strings.h"
+
+namespace hwprof::lint {
+
+namespace {
+
+// One open obligation on a path: a raise awaiting its restore, or an entry
+// emit awaiting its exit emit.
+struct Open {
+  std::string var;   // variable the saved level lives in (may be empty)
+  std::string what;  // the call that opened it (splnet, RawRaise, ...)
+  int line = 0;
+};
+
+// The abstract machine state along one control-flow path. Each vector is a
+// stack; balanced code leaves all three empty at every return.
+struct PathState {
+  std::vector<Open> spl;    // splnet()-family raises not yet splx'd
+  std::vector<Open> raw;    // RawRaise not yet RawRestore'd
+  std::vector<Open> emits;  // raw entry emits not yet closed by an exit emit
+};
+
+std::string StateKey(const PathState& st) {
+  std::string key;
+  auto add = [&key](const std::vector<Open>& stack) {
+    for (const Open& o : stack) {
+      key += StrFormat("%s@%d;", o.var.c_str(), o.line);
+    }
+    key.push_back('|');
+  };
+  add(st.spl);
+  add(st.raw);
+  add(st.emits);
+  return key;
+}
+
+// Paths multiply at every branch; identical states are merged and the
+// population is capped so pathological nesting stays linear. Dropping states
+// past the cap loses recall, never soundness of the states kept.
+constexpr std::size_t kMaxStates = 64;
+
+std::vector<PathState> DedupAndCap(std::vector<PathState> states) {
+  std::vector<PathState> out;
+  std::set<std::string> seen;
+  for (PathState& st : states) {
+    if (out.size() >= kMaxStates) {
+      break;
+    }
+    if (seen.insert(StateKey(st)).second) {
+      out.push_back(std::move(st));
+    }
+  }
+  return out;
+}
+
+// Pops the innermost entry whose var matches; when nothing matches (the
+// level travelled through a rename or a struct member we do not track), pops
+// the innermost entry anyway — leniency here trades recall for a near-zero
+// false-positive rate.
+void PopMatching(std::vector<Open>* stack, const std::string& var) {
+  if (stack->empty()) {
+    return;
+  }
+  if (!var.empty()) {
+    for (auto it = stack->rbegin(); it != stack->rend(); ++it) {
+      if (it->var == var) {
+        stack->erase(std::next(it).base());
+        return;
+      }
+    }
+  }
+  stack->pop_back();
+}
+
+class FunctionChecker {
+ public:
+  FunctionChecker(const SourceFile& file, const FunctionModel& fn,
+                  std::vector<Finding>* findings)
+      : file_(file), fn_(fn), findings_(findings) {}
+
+  void Run(std::vector<Open>* entry_unclosed, std::vector<Open>* exit_orphans) {
+    entry_unclosed_ = entry_unclosed;
+    exit_orphans_ = exit_orphans;
+    if (fn_.body == nullptr) {
+      return;
+    }
+    std::vector<PathState> states = Eval(*fn_.body, {PathState{}});
+    const int end_line = EndLine(*fn_.body);
+    for (const PathState& st : states) {
+      EndOfPath(st, end_line);
+    }
+  }
+
+ private:
+  static int EndLine(const Stmt& s) {
+    int line = s.line;
+    for (const auto& child : s.children) {
+      line = std::max(line, EndLine(*child));
+    }
+    return line;
+  }
+
+  void Report(const char* rule, int line, std::string message, std::string note = "") {
+    if (!reported_.insert({rule, line}).second) {
+      return;
+    }
+    Finding f;
+    f.rule = rule;
+    f.file = file_.path;
+    f.line = line;
+    f.message = std::move(message);
+    f.note = std::move(note);
+    findings_->push_back(std::move(f));
+  }
+
+  void AddCandidate(std::vector<Open>* list, const Open& open) {
+    for (const Open& o : *list) {
+      if (o.line == open.line) {
+        return;
+      }
+    }
+    list->push_back(open);
+  }
+
+  void EndOfPath(const PathState& st, int line) {
+    for (const Open& o : st.spl) {
+      Report("spl-balance", o.line,
+             StrFormat("saved level from %s() is not restored by splx() on the "
+                       "return path ending at line %d",
+                       o.what.c_str(), line),
+             StrFormat("in %s", fn_.name.c_str()));
+    }
+    for (const Open& o : st.raw) {
+      Report("spl-raw-balance", o.line,
+             StrFormat("RawRaise() is not matched by RawRestore() on the return "
+                       "path ending at line %d",
+                       line),
+             StrFormat("in %s", fn_.name.c_str()));
+    }
+    for (const Open& o : st.emits) {
+      AddCandidate(entry_unclosed_, o);
+    }
+  }
+
+  void ApplyEvent(const Stmt& s, PathState* st) {
+    switch (s.event) {
+      case EventKind::kSplRaise:
+        if (s.var.empty()) {
+          Report("spl-balance", s.line,
+                 StrFormat("result of %s() is discarded; the previous level can "
+                           "never be restored",
+                           s.what.c_str()),
+                 StrFormat("in %s", fn_.name.c_str()));
+        } else {
+          st->spl.push_back(Open{s.var, s.what, s.line});
+        }
+        break;
+      case EventKind::kSplRestore:
+        PopMatching(&st->spl, s.var);
+        break;
+      case EventKind::kSpl0:
+        st->spl.clear();  // spl0 unconditionally drops to the base level
+        break;
+      case EventKind::kRawRaise:
+        if (s.var.empty()) {
+          Report("spl-raw-balance", s.line,
+                 "result of RawRaise() is discarded; the previous level can "
+                 "never be restored",
+                 StrFormat("in %s", fn_.name.c_str()));
+        } else {
+          st->raw.push_back(Open{s.var, s.what, s.line});
+        }
+        break;
+      case EventKind::kRawRestore:
+        PopMatching(&st->raw, s.var);
+        break;
+      case EventKind::kSleep:
+        if (!st->spl.empty()) {
+          const Open& o = st->spl.back();
+          Report("spl-sleep", s.line,
+                 StrFormat("%s() may yield the CPU while %s() (line %d) holds "
+                           "the interrupt level raised",
+                           s.what.c_str(), o.what.c_str(), o.line),
+                 StrFormat("in %s", fn_.name.c_str()));
+        }
+        if (!st->raw.empty()) {
+          const Open& o = st->raw.back();
+          Report("spl-sleep", s.line,
+                 StrFormat("%s() may yield the CPU inside a RawRaise() region "
+                           "(line %d)",
+                           s.what.c_str(), o.line),
+                 StrFormat("in %s", fn_.name.c_str()));
+        }
+        break;
+      case EventKind::kEntryEmit:
+        st->emits.push_back(Open{"", s.what, s.line});
+        break;
+      case EventKind::kExitEmit:
+        if (!st->emits.empty()) {
+          st->emits.pop_back();
+        } else {
+          AddCandidate(exit_orphans_, Open{"", s.what, s.line});
+        }
+        break;
+      case EventKind::kUnknownEmit:
+        Report("instr-raw-tag", s.line,
+               "raw TriggerRead() whose tag cannot be statically classified as "
+               "an entry or exit trigger",
+               StrFormat("in %s", fn_.name.c_str()));
+        break;
+    }
+  }
+
+  std::vector<PathState> Eval(const Stmt& s, std::vector<PathState> states) {
+    if (states.empty()) {
+      return states;  // dead code after a return on every path
+    }
+    switch (s.kind) {
+      case Stmt::Kind::kBlock: {
+        for (const auto& child : s.children) {
+          states = Eval(*child, std::move(states));
+        }
+        return states;
+      }
+      case Stmt::Kind::kIf: {
+        std::vector<PathState> taken = Eval(*s.children[0], states);
+        std::vector<PathState> other =
+            s.children.size() > 1 ? Eval(*s.children[1], states) : states;
+        taken.insert(taken.end(), std::make_move_iterator(other.begin()),
+                     std::make_move_iterator(other.end()));
+        return DedupAndCap(std::move(taken));
+      }
+      case Stmt::Kind::kLoop: {
+        // Zero-or-one executions: one pass through the body surfaces any
+        // per-iteration imbalance, and the zero case keeps skip paths live.
+        std::vector<PathState> once = Eval(*s.children[0], states);
+        once.insert(once.end(), std::make_move_iterator(states.begin()),
+                    std::make_move_iterator(states.end()));
+        return DedupAndCap(std::move(once));
+      }
+      case Stmt::Kind::kSwitch: {
+        // Case labels are not modeled, so the body is walked linearly with the
+        // entry states revived whenever every path has returned — a later case
+        // starts fresh from the switch head. The entry states are unioned back
+        // in at the end for the no-case-matched paths.
+        const std::vector<PathState> entry = states;
+        std::vector<PathState> cur = states;
+        for (const auto& child : s.children[0]->children) {
+          cur = Eval(*child, std::move(cur));
+          if (cur.empty()) {
+            cur = entry;
+          }
+        }
+        cur.insert(cur.end(), entry.begin(), entry.end());
+        return DedupAndCap(std::move(cur));
+      }
+      case Stmt::Kind::kEvent: {
+        for (PathState& st : states) {
+          ApplyEvent(s, &st);
+        }
+        return DedupAndCap(std::move(states));
+      }
+      case Stmt::Kind::kReturn: {
+        for (const PathState& st : states) {
+          EndOfPath(st, s.line);
+        }
+        return {};
+      }
+    }
+    return states;
+  }
+
+  const SourceFile& file_;
+  const FunctionModel& fn_;
+  std::vector<Finding>* findings_;
+  std::vector<Open>* entry_unclosed_ = nullptr;
+  std::vector<Open>* exit_orphans_ = nullptr;
+  std::set<std::pair<std::string, int>> reported_;
+};
+
+// Splits "A::B::C" into {"A::B", "C"}; qualifier empty for unqualified names.
+std::pair<std::string, std::string> SplitLastComponent(const std::string& name) {
+  const std::size_t pos = name.rfind("::");
+  if (pos == std::string::npos) {
+    return {"", name};
+  }
+  return {name.substr(0, pos), name.substr(pos + 2)};
+}
+
+std::string ClassOf(const std::string& qualifier) {
+  return SplitLastComponent(qualifier).second;
+}
+
+bool IsConstructorName(const std::string& name) {
+  auto [qual, last] = SplitLastComponent(name);
+  return !qual.empty() && ClassOf(qual) == last;
+}
+
+bool IsDestructorName(const std::string& name) {
+  auto [qual, last] = SplitLastComponent(name);
+  return !qual.empty() && last == "~" + ClassOf(qual);
+}
+
+const char* TagKindName(TagKind kind) {
+  switch (kind) {
+    case TagKind::kFunction:
+      return "function";
+    case TagKind::kContextSwitch:
+      return "context-switch";
+    case TagKind::kInline:
+      return "inline";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void CheckSourceFile(const SourceFile& file, std::vector<Finding>* findings) {
+  struct Candidates {
+    const FunctionModel* fn = nullptr;
+    std::vector<Open> entry_unclosed;
+    std::vector<Open> exit_orphans;
+  };
+  std::vector<Candidates> cands;
+  cands.reserve(file.functions.size());
+  for (const FunctionModel& fn : file.functions) {
+    FunctionChecker checker(file, fn, findings);
+    Candidates c;
+    c.fn = &fn;
+    checker.Run(&c.entry_unclosed, &c.exit_orphans);
+    cands.push_back(std::move(c));
+  }
+
+  // A constructor that leaves an entry emit open pairs with a destructor of
+  // the same class that emits a bare exit: together they are the RAII scope
+  // idiom (ProfileScope), balanced across the object's lifetime. Waive both
+  // sides; everything unpaired becomes a finding.
+  for (Candidates& ctor : cands) {
+    if (ctor.entry_unclosed.empty() || !IsConstructorName(ctor.fn->name)) {
+      continue;
+    }
+    const std::string qual = SplitLastComponent(ctor.fn->name).first;
+    for (Candidates& dtor : cands) {
+      if (dtor.exit_orphans.empty() || !IsDestructorName(dtor.fn->name)) {
+        continue;
+      }
+      if (SplitLastComponent(dtor.fn->name).first == qual) {
+        ctor.entry_unclosed.clear();
+        dtor.exit_orphans.clear();
+        break;
+      }
+    }
+  }
+
+  for (const Candidates& c : cands) {
+    for (const Open& o : c.entry_unclosed) {
+      Finding f;
+      f.rule = "instr-balance";
+      f.file = file.path;
+      f.line = o.line;
+      f.message = StrFormat(
+          "raw entry trigger emit in '%s' is not closed by an exit emit on "
+          "every return path",
+          c.fn->name.c_str());
+      findings->push_back(std::move(f));
+    }
+    for (const Open& o : c.exit_orphans) {
+      Finding f;
+      f.rule = "instr-balance";
+      f.file = file.path;
+      f.line = o.line;
+      f.message = StrFormat(
+          "raw exit trigger emit in '%s' has no preceding entry emit on this "
+          "path",
+          c.fn->name.c_str());
+      findings->push_back(std::move(f));
+    }
+  }
+
+  findings->insert(findings->end(), file.notes.begin(), file.notes.end());
+}
+
+void CheckRegistrations(const std::vector<SourceFile>& files,
+                        std::vector<Finding>* findings) {
+  struct Site {
+    const SourceFile* file;
+    const Registration* reg;
+  };
+  std::map<std::string, std::vector<Site>> by_name;
+  for (const SourceFile& file : files) {
+    for (const Registration& reg : file.registrations) {
+      by_name[reg.name].push_back(Site{&file, &reg});
+      if (reg.kind == TagKind::kContextSwitch && !file.has_fiber_switch) {
+        Finding f;
+        f.rule = "tag-ctx";
+        f.file = file.path;
+        f.line = reg.line;
+        f.message = StrFormat(
+            "'%s' is registered as a context-switch function but this file "
+            "never performs Fiber::Switch",
+            reg.name.c_str());
+        findings->push_back(std::move(f));
+      }
+    }
+  }
+  for (const auto& [name, sites] : by_name) {
+    for (std::size_t k = 1; k < sites.size(); ++k) {
+      if (sites[k].reg->kind != sites[0].reg->kind) {
+        Finding f;
+        f.rule = "reg-conflict";
+        f.file = sites[k].file->path;
+        f.line = sites[k].reg->line;
+        f.message = StrFormat("'%s' re-registered as %s", name.c_str(),
+                              TagKindName(sites[k].reg->kind));
+        f.note = StrFormat("first registered as %s at %s:%d",
+                           TagKindName(sites[0].reg->kind),
+                           sites[0].file->path.c_str(), sites[0].reg->line);
+        findings->push_back(std::move(f));
+      }
+    }
+  }
+}
+
+void CheckTagFile(std::string_view path, std::string_view text,
+                  const std::vector<SourceFile>* files,
+                  std::vector<Finding>* findings) {
+  TagFile tags;
+  std::vector<TagDiag> diags;
+  const bool ok = TagFile::Parse(text, &tags, &diags);
+  for (const TagDiag& d : diags) {
+    Finding f;
+    f.rule = "tag-parse";
+    f.file = std::string(path);
+    f.line = d.line;
+    f.message = d.message;
+    findings->push_back(std::move(f));
+  }
+  if (!ok || files == nullptr) {
+    return;
+  }
+
+  // Name -> 1-based line in the tag file, for attributing model findings.
+  std::map<std::string, int, std::less<>> name_lines;
+  {
+    int line_no = 0;
+    for (std::string_view raw : SplitLines(text)) {
+      ++line_no;
+      std::string_view line = StripWhitespace(raw);
+      if (line.empty() || line.front() == '#') {
+        continue;
+      }
+      const std::size_t slash = line.find('/');
+      if (slash == std::string_view::npos) {
+        continue;
+      }
+      name_lines.emplace(StripWhitespace(line.substr(0, slash)), line_no);
+    }
+  }
+  auto line_of = [&name_lines](const std::string& name) {
+    const auto it = name_lines.find(name);
+    return it == name_lines.end() ? 0 : it->second;
+  };
+
+  struct Site {
+    const SourceFile* file;
+    const Registration* reg;
+  };
+  std::map<std::string, Site> regs;
+  for (const SourceFile& file : *files) {
+    for (const Registration& reg : file.registrations) {
+      regs.emplace(reg.name, Site{&file, &reg});
+    }
+  }
+
+  for (const TagEntry& e : tags.entries()) {
+    const auto it = regs.find(e.name);
+    if (e.kind == TagKind::kContextSwitch &&
+        (it == regs.end() || it->second.reg->kind != TagKind::kContextSwitch)) {
+      Finding f;
+      f.rule = "tag-ctx";
+      f.file = std::string(path);
+      f.line = line_of(e.name);
+      f.message = StrFormat(
+          "'%s' carries the '!' context-switch marker but no analyzed source "
+          "registers it as a context-switch function",
+          e.name.c_str());
+      if (it != regs.end()) {
+        f.note = StrFormat("registered as %s at %s:%d",
+                           TagKindName(it->second.reg->kind),
+                           it->second.file->path.c_str(), it->second.reg->line);
+      }
+      findings->push_back(std::move(f));
+      continue;
+    }
+    if (it == regs.end()) {
+      continue;  // plenty of tagged functions never use raw registration
+    }
+    const Registration& reg = *it->second.reg;
+    if (e.kind != TagKind::kContextSwitch &&
+        reg.kind == TagKind::kContextSwitch) {
+      Finding f;
+      f.rule = "tag-ctx";
+      f.file = std::string(path);
+      f.line = line_of(e.name);
+      f.message = StrFormat(
+          "'%s' is registered as a context-switch function but its tag entry "
+          "lacks the '!' marker",
+          e.name.c_str());
+      f.note = StrFormat("registered at %s:%d", it->second.file->path.c_str(),
+                         reg.line);
+      findings->push_back(std::move(f));
+      continue;
+    }
+    if ((e.kind == TagKind::kInline) != (reg.kind == TagKind::kInline)) {
+      Finding f;
+      f.rule = "tag-model";
+      f.file = std::string(path);
+      f.line = line_of(e.name);
+      f.message = StrFormat(
+          "'%s' is %s '=' inline tag in the tag file but the source registers "
+          "it as %s",
+          e.name.c_str(), e.kind == TagKind::kInline ? "an" : "not an",
+          e.kind == TagKind::kInline ? "an entry/exit pair" : "an inline tag");
+      f.note = StrFormat("registered at %s:%d", it->second.file->path.c_str(),
+                         reg.line);
+      findings->push_back(std::move(f));
+    }
+  }
+}
+
+std::size_t ApplySuppressions(const std::vector<SourceFile>& files,
+                              std::vector<Finding>* findings) {
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& file : files) {
+    by_path.emplace(file.path, &file);
+  }
+  std::size_t suppressed = 0;
+  for (Finding& f : *findings) {
+    if (f.suppressed) {
+      continue;
+    }
+    const auto it = by_path.find(f.file);
+    if (it == by_path.end()) {
+      continue;
+    }
+    for (const Suppression& sup : it->second->suppressions) {
+      // A suppression covers its own line (trailing comment) and the line
+      // directly below it (comment above the offending statement).
+      if (sup.line != f.line && sup.line + 1 != f.line) {
+        continue;
+      }
+      if (std::find(sup.rules.begin(), sup.rules.end(), f.rule) == sup.rules.end()) {
+        continue;
+      }
+      f.suppressed = true;
+      f.suppress_reason = sup.reason;
+      ++suppressed;
+      break;
+    }
+  }
+  return suppressed;
+}
+
+}  // namespace hwprof::lint

@@ -1,0 +1,45 @@
+// The lint rules: path-sensitive evaluation of a FunctionModel's control-flow
+// skeleton (spl discipline, instrumentation balance), cross-file registration
+// checks, and tag-file model validation.
+
+#ifndef HWPROF_SRC_LINT_RULES_H_
+#define HWPROF_SRC_LINT_RULES_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/instr/tag_file.h"
+#include "src/lint/diagnostics.h"
+#include "src/lint/source_model.h"
+
+namespace hwprof::lint {
+
+// Evaluates every function in `file` against the spl and instrumentation
+// rules, appending findings. Carries over the bad-suppression notes the
+// source-model pass recorded.
+void CheckSourceFile(const SourceFile& file, std::vector<Finding>* findings);
+
+// Cross-file checks over all analyzed sources: conflicting registrations of
+// the same name (reg-conflict) and context-switch registrations in files that
+// never perform a fiber switch (tag-ctx, source side).
+void CheckRegistrations(const std::vector<SourceFile>& files,
+                        std::vector<Finding>* findings);
+
+// Validates `text` as a tag file named `path`: parse problems become
+// tag-parse findings, and — when `files` is non-null — entries are
+// cross-referenced against the registrations collected from the sources
+// (kind mismatches -> tag-model, '!' markers vs. switch-capable files ->
+// tag-ctx).
+void CheckTagFile(std::string_view path, std::string_view text,
+                  const std::vector<SourceFile>* files,
+                  std::vector<Finding>* findings);
+
+// Applies the inline suppressions collected per file: a finding is suppressed
+// when a matching suppress() comment sits on the finding's line or the line
+// directly above it. Returns the number of findings suppressed.
+std::size_t ApplySuppressions(const std::vector<SourceFile>& files,
+                              std::vector<Finding>* findings);
+
+}  // namespace hwprof::lint
+
+#endif  // HWPROF_SRC_LINT_RULES_H_

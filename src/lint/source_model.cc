@@ -1,0 +1,699 @@
+#include "src/lint/source_model.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+#include "src/lint/lexer.h"
+
+namespace hwprof::lint {
+
+namespace {
+
+bool IsSplRaiseName(const std::string& s) {
+  return s == "splnet" || s == "splbio" || s == "splimp" || s == "spltty" ||
+         s == "splclock" || s == "splhigh" || s == "splsoftclock";
+}
+
+bool IsSleepName(const std::string& s) {
+  return s == "Tsleep" || s == "Swtch" || s == "Preempt" || s == "IdleWait";
+}
+
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "while" || s == "for" || s == "switch" || s == "return" ||
+         s == "catch" || s == "sizeof" || s == "new" || s == "delete" ||
+         s == "static_cast" || s == "reinterpret_cast" || s == "const_cast" ||
+         s == "dynamic_cast" || s == "alignof" || s == "decltype";
+}
+
+// The recursive-descent scanner over the token stream. It never throws and
+// never rejects: anything it cannot classify is skipped as a balanced token
+// region, costing recall only.
+class Parser {
+ public:
+  Parser(const LexedFile& lexed, SourceFile* out) : t_(lexed.tokens), out_(out) {}
+
+  void Run() {
+    ScanWholeFile();
+    ScanTop();
+  }
+
+ private:
+  // --- cursor helpers --------------------------------------------------------
+
+  bool AtEnd() const { return i_ >= t_.size(); }
+  const Token& Cur() const { return t_[i_]; }
+  bool Is(std::string_view text) const { return !AtEnd() && Cur().text == text; }
+  bool IsIdent(std::string_view text) const {
+    return !AtEnd() && Cur().kind == TokKind::kIdent && Cur().text == text;
+  }
+  const Token* Peek(std::size_t ahead) const {
+    return i_ + ahead < t_.size() ? &t_[i_ + ahead] : nullptr;
+  }
+  int Line() const { return AtEnd() ? (t_.empty() ? 0 : t_.back().line) : Cur().line; }
+
+  // Index of the token matching the opener at `from` (which must be an open
+  // bracket); t_.size() if unbalanced.
+  std::size_t MatchFrom(std::size_t from, const char* open, const char* close) const {
+    int depth = 0;
+    for (std::size_t k = from; k < t_.size(); ++k) {
+      if (t_[k].kind == TokKind::kPunct) {
+        if (t_[k].text == open) {
+          ++depth;
+        } else if (t_[k].text == close) {
+          if (--depth == 0) {
+            return k;
+          }
+        }
+      }
+    }
+    return t_.size();
+  }
+
+  // --- whole-file scans (registrations, Fiber::Switch) -----------------------
+
+  void ScanWholeFile() {
+    for (std::size_t k = 0; k < t_.size(); ++k) {
+      const Token& tok = t_[k];
+      if (tok.kind != TokKind::kIdent) {
+        continue;
+      }
+      if (tok.text == "Fiber" && k + 2 < t_.size() && t_[k + 1].text == "::" &&
+          t_[k + 2].text == "Switch") {
+        out_->has_fiber_switch = true;
+        continue;
+      }
+      const bool is_fn_reg = tok.text == "RegFn" || tok.text == "RegisterFunction";
+      const bool is_inline_reg = tok.text == "RegInline" || tok.text == "RegisterInline";
+      if (!is_fn_reg && !is_inline_reg) {
+        continue;
+      }
+      if (k + 2 >= t_.size() || t_[k + 1].text != "(" ||
+          t_[k + 2].kind != TokKind::kString) {
+        continue;  // the definition, not a call with a literal name
+      }
+      Registration reg;
+      reg.name = t_[k + 2].text;
+      reg.line = t_[k + 2].line;
+      reg.kind = is_inline_reg ? TagKind::kInline : TagKind::kFunction;
+      if (is_fn_reg) {
+        const std::size_t close = MatchFrom(k + 1, "(", ")");
+        for (std::size_t a = k + 3; a < close; ++a) {
+          if (t_[a].kind == TokKind::kIdent && t_[a].text == "true") {
+            reg.kind = TagKind::kContextSwitch;
+            break;
+          }
+        }
+      }
+      out_->registrations.push_back(std::move(reg));
+    }
+  }
+
+  // --- top level: find function bodies ---------------------------------------
+
+  void ScanTop() {
+    while (!AtEnd()) {
+      if (IsIdent("namespace")) {
+        ++i_;
+        while (!AtEnd() && (Cur().kind == TokKind::kIdent || Is("::"))) {
+          ++i_;
+        }
+        if (Is("{")) {
+          ++i_;
+          scopes_.push_back("");  // transparent, unnamed for qualification
+        } else if (Is("=")) {
+          SkipToSemicolon();
+        }
+        continue;
+      }
+      if (IsIdent("class") || IsIdent("struct") || IsIdent("union")) {
+        ScanClassHead();
+        continue;
+      }
+      if (IsIdent("enum")) {
+        // Opaque: enumerator lists are not code.
+        std::size_t k = i_ + 1;
+        while (k < t_.size() && t_[k].text != "{" && t_[k].text != ";") {
+          ++k;
+        }
+        if (k < t_.size() && t_[k].text == "{") {
+          i_ = MatchFrom(k, "{", "}") + 1;
+        } else {
+          i_ = k + 1;
+        }
+        continue;
+      }
+      if (Is("{")) {
+        // Unrecognized brace at scope level (array initializer without '=',
+        // attribute block, ...): skip it whole.
+        i_ = MatchFrom(i_, "{", "}") + 1;
+        continue;
+      }
+      if (Is("}")) {
+        if (!scopes_.empty()) {
+          scopes_.pop_back();
+        }
+        ++i_;
+        continue;
+      }
+      if (!AtEnd() && Cur().kind == TokKind::kIdent && Peek(1) != nullptr &&
+          Peek(1)->text == "(" && TryFunction()) {
+        continue;
+      }
+      ++i_;
+    }
+  }
+
+  void SkipToSemicolon() {
+    int depth = 0;
+    while (!AtEnd()) {
+      const std::string& s = Cur().text;
+      if (s == "(" || s == "{" || s == "[") {
+        ++depth;
+      } else if (s == ")" || s == "}" || s == "]") {
+        --depth;
+      } else if (s == ";" && depth <= 0) {
+        ++i_;
+        return;
+      }
+      ++i_;
+    }
+  }
+
+  void ScanClassHead() {
+    ++i_;  // class/struct/union keyword
+    std::string name;
+    std::size_t k = i_;
+    while (k < t_.size() && t_[k].text != "{" && t_[k].text != ";") {
+      if (name.empty() && t_[k].kind == TokKind::kIdent && t_[k].text != "final" &&
+          t_[k].text != "alignas") {
+        name = t_[k].text;
+      }
+      ++k;
+    }
+    if (k < t_.size() && t_[k].text == "{") {
+      i_ = k + 1;
+      scopes_.push_back(name);  // transparent: member functions get scanned
+    } else {
+      i_ = (k < t_.size()) ? k + 1 : k;  // forward declaration or type use
+    }
+  }
+
+  // Innermost named enclosing class, if any.
+  std::string EnclosingClass() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (!it->empty()) {
+        return *it;
+      }
+    }
+    return "";
+  }
+
+  // Called with Cur() = identifier and the next token '('. Returns true (and
+  // advances past the body) if this was a function definition.
+  bool TryFunction() {
+    const std::size_t name_index = i_;
+    // Gather the qualified name backwards: [Class ::]* [~] Name.
+    std::size_t chain_begin = name_index;
+    std::string name = t_[name_index].text;
+    if (IsControlKeyword(name)) {
+      return false;
+    }
+    if (chain_begin > 0 && t_[chain_begin - 1].text == "~") {
+      name = "~" + name;
+      --chain_begin;
+    }
+    while (chain_begin >= 2 && t_[chain_begin - 1].text == "::" &&
+           t_[chain_begin - 2].kind == TokKind::kIdent) {
+      name = t_[chain_begin - 2].text + "::" + name;
+      chain_begin -= 2;
+    }
+    // The token before the name chain must look like the tail of a return
+    // type (or the start of a declaration), not an expression context.
+    if (chain_begin > 0) {
+      const Token& prev = t_[chain_begin - 1];
+      if (prev.kind == TokKind::kPunct && prev.text != ">" && prev.text != "*" &&
+          prev.text != "&" && prev.text != ";" && prev.text != "}" && prev.text != "{" &&
+          prev.text != ":") {
+        return false;
+      }
+      if (prev.kind == TokKind::kString || prev.kind == TokKind::kNumber ||
+          prev.kind == TokKind::kChar) {
+        return false;
+      }
+    }
+    // Parameter list.
+    const std::size_t params_close = MatchFrom(name_index + 1, "(", ")");
+    if (params_close >= t_.size()) {
+      return false;
+    }
+    std::size_t k = params_close + 1;
+    while (k < t_.size() && t_[k].kind == TokKind::kIdent &&
+           (t_[k].text == "const" || t_[k].text == "noexcept" || t_[k].text == "override" ||
+            t_[k].text == "final" || t_[k].text == "mutable")) {
+      ++k;
+    }
+    if (k < t_.size() && t_[k].text == "->") {
+      // Trailing return type: scan to '{' or ';' at bracket depth 0.
+      ++k;
+      int depth = 0;
+      while (k < t_.size()) {
+        const std::string& s = t_[k].text;
+        if (s == "(" || s == "[") {
+          ++depth;
+        } else if (s == ")" || s == "]") {
+          --depth;
+        } else if (depth == 0 && (s == "{" || s == ";")) {
+          break;
+        }
+        ++k;
+      }
+    }
+    if (k < t_.size() && t_[k].text == ":") {
+      // Constructor initializer list: members use parentheses in this tree;
+      // scan to the '{' at paren depth 0.
+      ++k;
+      int depth = 0;
+      while (k < t_.size()) {
+        const std::string& s = t_[k].text;
+        if (s == "(") {
+          ++depth;
+        } else if (s == ")") {
+          --depth;
+        } else if (depth == 0 && s == "{") {
+          break;
+        } else if (depth == 0 && s == ";") {
+          return false;  // not an initializer list after all
+        }
+        ++k;
+      }
+    }
+    if (k >= t_.size() || t_[k].text != "{") {
+      return false;
+    }
+    // Qualify in-class definitions with the enclosing class name.
+    if (name.find("::") == std::string::npos) {
+      const std::string enclosing = EnclosingClass();
+      if (!enclosing.empty()) {
+        name = enclosing + "::" + name;
+      }
+    }
+    FunctionModel fn;
+    fn.name = std::move(name);
+    fn.line = t_[k].line;
+    i_ = k;
+    fn.body = ParseBlock();
+    out_->functions.push_back(std::move(fn));
+    return true;
+  }
+
+  // --- statement / control-flow parsing --------------------------------------
+
+  std::unique_ptr<Stmt> MakeBlock() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::kBlock;
+    s->line = Line();
+    return s;
+  }
+
+  std::unique_ptr<Stmt> ParseBlock() {
+    auto block = MakeBlock();
+    if (!Is("{")) {
+      return block;
+    }
+    ++i_;
+    while (!AtEnd() && !Is("}")) {
+      ParseStmt(block.get());
+    }
+    if (Is("}")) {
+      ++i_;
+    }
+    return block;
+  }
+
+  void ParseStmt(Stmt* parent) {
+    if (AtEnd()) {
+      return;
+    }
+    if (Is("{")) {
+      parent->children.push_back(ParseBlock());
+      return;
+    }
+    if (Is(";")) {
+      ++i_;
+      return;
+    }
+    if (IsIdent("if")) {
+      ++i_;
+      if (IsIdent("constexpr")) {
+        ++i_;
+      }
+      if (Is("(")) {
+        ScanParen(parent);
+      }
+      auto node = std::make_unique<Stmt>();
+      node->kind = Stmt::Kind::kIf;
+      node->line = Line();
+      auto then_block = MakeBlock();
+      ParseStmt(then_block.get());
+      node->children.push_back(std::move(then_block));
+      if (IsIdent("else")) {
+        ++i_;
+        auto else_block = MakeBlock();
+        ParseStmt(else_block.get());
+        node->children.push_back(std::move(else_block));
+      }
+      parent->children.push_back(std::move(node));
+      return;
+    }
+    if (IsIdent("while") || IsIdent("for")) {
+      ++i_;
+      if (Is("(")) {
+        ScanParen(parent);
+      }
+      auto node = std::make_unique<Stmt>();
+      node->kind = Stmt::Kind::kLoop;
+      node->line = Line();
+      auto body = MakeBlock();
+      ParseStmt(body.get());
+      node->children.push_back(std::move(body));
+      parent->children.push_back(std::move(node));
+      return;
+    }
+    if (IsIdent("do")) {
+      ++i_;
+      auto node = std::make_unique<Stmt>();
+      node->kind = Stmt::Kind::kLoop;
+      node->line = Line();
+      auto body = MakeBlock();
+      ParseStmt(body.get());
+      node->children.push_back(std::move(body));
+      parent->children.push_back(std::move(node));
+      if (IsIdent("while")) {
+        ++i_;
+        if (Is("(")) {
+          ScanParen(parent);
+        }
+        if (Is(";")) {
+          ++i_;
+        }
+      }
+      return;
+    }
+    if (IsIdent("switch")) {
+      ++i_;
+      if (Is("(")) {
+        ScanParen(parent);
+      }
+      auto node = std::make_unique<Stmt>();
+      node->kind = Stmt::Kind::kSwitch;
+      node->line = Line();
+      node->children.push_back(ParseBlock());
+      parent->children.push_back(std::move(node));
+      return;
+    }
+    if (IsIdent("case")) {
+      ++i_;
+      while (!AtEnd() && !Is(":") && !Is("}")) {
+        ++i_;
+      }
+      if (Is(":")) {
+        ++i_;
+      }
+      return;
+    }
+    if (IsIdent("default") && Peek(1) != nullptr && Peek(1)->text == ":") {
+      i_ += 2;
+      return;
+    }
+    if (IsIdent("return")) {
+      const int line = Line();
+      ++i_;
+      ScanExprStatement(parent);
+      auto node = std::make_unique<Stmt>();
+      node->kind = Stmt::Kind::kReturn;
+      node->line = line;
+      parent->children.push_back(std::move(node));
+      return;
+    }
+    if (IsIdent("break") || IsIdent("continue")) {
+      ++i_;
+      if (Is(";")) {
+        ++i_;
+      }
+      return;
+    }
+    ScanExprStatement(parent);
+  }
+
+  void ScanParen(Stmt* parent) {
+    // Cur() == "(": scan the parenthesized region, collecting events.
+    ++i_;
+    ScanTokens(parent, /*paren_mode=*/true);
+  }
+
+  void ScanExprStatement(Stmt* parent) { ScanTokens(parent, /*paren_mode=*/false); }
+
+  // The shared expression scanner. In paren mode it starts just inside an
+  // already-consumed '(' and returns after consuming the matching ')'. In
+  // statement mode it consumes up to and including the ';' at depth 0 (or
+  // stops before an unmatched '}').
+  void ScanTokens(Stmt* parent, bool paren_mode) {
+    int depth = paren_mode ? 1 : 0;
+    std::string pending_assign;  // identifier to the left of the last '=' seen
+    while (!AtEnd()) {
+      const Token& tok = Cur();
+      if (tok.kind == TokKind::kPunct) {
+        const std::string& s = tok.text;
+        if (s == "(" || s == "{") {
+          ++depth;
+          ++i_;
+          continue;
+        }
+        if (s == ")" || s == "}") {
+          if (paren_mode && s == ")" && depth == 1) {
+            ++i_;
+            return;
+          }
+          if (!paren_mode && s == "}" && depth == 0) {
+            return;  // missing ';' before block end; leave the brace alone
+          }
+          --depth;
+          ++i_;
+          continue;
+        }
+        if (s == "[") {
+          if (TryLambda()) {
+            continue;
+          }
+          ++depth;
+          ++i_;
+          continue;
+        }
+        if (s == "]") {
+          --depth;
+          ++i_;
+          continue;
+        }
+        if (s == ";" && !paren_mode && depth == 0) {
+          ++i_;
+          return;
+        }
+        if (s == "=" && i_ > 0 && t_[i_ - 1].kind == TokKind::kIdent) {
+          pending_assign = t_[i_ - 1].text;
+        }
+        ++i_;
+        continue;
+      }
+      if (tok.kind == TokKind::kIdent && MaybeEvent(parent, pending_assign)) {
+        continue;
+      }
+      ++i_;
+    }
+  }
+
+  // Cur() is '['. If this starts a lambda, parse its body as a separate
+  // FunctionModel and return true with the cursor after the body.
+  bool TryLambda() {
+    const std::size_t close = MatchFrom(i_, "[", "]");
+    if (close >= t_.size()) {
+      return false;
+    }
+    std::size_t k = close + 1;
+    if (k < t_.size() && t_[k].text == "(") {
+      k = MatchFrom(k, "(", ")") + 1;
+      while (k < t_.size() && t_[k].kind == TokKind::kIdent &&
+             (t_[k].text == "mutable" || t_[k].text == "noexcept" || t_[k].text == "constexpr")) {
+        ++k;
+      }
+      if (k < t_.size() && t_[k].text == "->") {
+        ++k;
+        while (k < t_.size() && t_[k].text != "{" && t_[k].text != ";") {
+          ++k;
+        }
+      }
+    }
+    if (k >= t_.size() || t_[k].text != "{") {
+      return false;  // array subscript or attribute, not a lambda
+    }
+    FunctionModel fn;
+    fn.name = StrFormat("<lambda:%d>", t_[i_].line);
+    fn.line = t_[k].line;
+    fn.is_lambda = true;
+    i_ = k;
+    fn.body = ParseBlock();
+    out_->functions.push_back(std::move(fn));
+    return true;
+  }
+
+  void PushEvent(Stmt* parent, EventKind kind, std::string var, std::string what, int line) {
+    auto node = std::make_unique<Stmt>();
+    node->kind = Stmt::Kind::kEvent;
+    node->event = kind;
+    node->var = std::move(var);
+    node->what = std::move(what);
+    node->line = line;
+    parent->children.push_back(std::move(node));
+  }
+
+  // Cur() is an identifier inside an expression. Recognize the flow-relevant
+  // calls; returns true if the cursor advanced.
+  bool MaybeEvent(Stmt* parent, const std::string& pending_assign) {
+    const std::string& name = Cur().text;
+    const int line = Cur().line;
+    const Token* next = Peek(1);
+    if (next == nullptr || next->text != "(") {
+      return false;
+    }
+    if (IsSplRaiseName(name)) {
+      PushEvent(parent, EventKind::kSplRaise, pending_assign, name, line);
+      ++i_;  // the '(' stays for the caller's depth tracking
+      return true;
+    }
+    if (name == "splx" || name == "RawRestore") {
+      const std::size_t close = MatchFrom(i_ + 1, "(", ")");
+      std::string var;
+      if (close == i_ + 3 && t_[i_ + 2].kind == TokKind::kIdent) {
+        var = t_[i_ + 2].text;
+      }
+      PushEvent(parent,
+                name == "splx" ? EventKind::kSplRestore : EventKind::kRawRestore,
+                std::move(var), name, line);
+      ++i_;
+      return true;
+    }
+    if (name == "spl0") {
+      PushEvent(parent, EventKind::kSpl0, "", name, line);
+      ++i_;
+      return true;
+    }
+    if (name == "RawRaise") {
+      PushEvent(parent, EventKind::kRawRaise, pending_assign, name, line);
+      ++i_;
+      return true;
+    }
+    if (IsSleepName(name)) {
+      PushEvent(parent, EventKind::kSleep, "", name, line);
+      ++i_;
+      return true;
+    }
+    if (name == "Switch" && i_ >= 2 && t_[i_ - 1].text == "::" &&
+        t_[i_ - 2].text == "Fiber") {
+      PushEvent(parent, EventKind::kSleep, "", "Fiber::Switch", line);
+      ++i_;
+      return true;
+    }
+    if (name == "TriggerRead") {
+      const std::size_t close = MatchFrom(i_ + 1, "(", ")");
+      EventKind kind = EventKind::kUnknownEmit;
+      for (std::size_t a = i_ + 2; a < close && a < t_.size(); ++a) {
+        if (t_[a].kind != TokKind::kIdent) {
+          continue;
+        }
+        if (t_[a].text == "entry_tag") {
+          kind = EventKind::kEntryEmit;
+          break;
+        }
+        if (t_[a].text == "exit_tag") {
+          kind = EventKind::kExitEmit;
+          break;
+        }
+      }
+      PushEvent(parent, kind, "", name, line);
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::vector<Token>& t_;
+  SourceFile* out_;
+  std::size_t i_ = 0;
+  std::vector<std::string> scopes_;  // "" = namespace, otherwise class name
+};
+
+// --- suppression comments ------------------------------------------------------
+
+void ParseSuppressions(const std::vector<Comment>& comments, SourceFile* out) {
+  for (const Comment& c : comments) {
+    const std::size_t anchor = c.text.find("hwprof-lint:");
+    if (anchor == std::string::npos) {
+      continue;
+    }
+    auto bad = [&](std::string message) {
+      Finding f;
+      f.rule = "bad-suppression";
+      f.file = out->path;
+      f.line = c.line;
+      f.message = std::move(message);
+      out->notes.push_back(std::move(f));
+    };
+    std::string_view rest = std::string_view(c.text).substr(anchor + 12);
+    rest = StripWhitespace(rest);
+    if (!StartsWith(rest, "suppress(")) {
+      bad("hwprof-lint comment must be 'hwprof-lint: suppress(<rule>[,<rule>]) <reason>'");
+      continue;
+    }
+    rest.remove_prefix(9);
+    const std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      bad("unterminated suppress(...) rule list");
+      continue;
+    }
+    Suppression sup;
+    sup.line = c.line;
+    bool rules_ok = true;
+    for (std::string_view rule : Split(rest.substr(0, close), ',')) {
+      rule = StripWhitespace(rule);
+      if (rule.empty() || !IsKnownRule(rule)) {
+        bad(StrFormat("suppress() names unknown rule '%.*s'",
+                      static_cast<int>(rule.size()), rule.data()));
+        rules_ok = false;
+        break;
+      }
+      sup.rules.emplace_back(rule);
+    }
+    if (!rules_ok) {
+      continue;
+    }
+    sup.reason = std::string(StripWhitespace(rest.substr(close + 1)));
+    if (sup.reason.empty()) {
+      bad("suppression requires a justification after suppress(...)");
+      continue;
+    }
+    out->suppressions.push_back(std::move(sup));
+  }
+}
+
+}  // namespace
+
+SourceFile AnalyzeSource(std::string path, std::string_view text) {
+  SourceFile out;
+  out.path = std::move(path);
+  const LexedFile lexed = Lex(text);
+  Parser parser(lexed, &out);
+  parser.Run();
+  ParseSuppressions(lexed.comments, &out);
+  return out;
+}
+
+}  // namespace hwprof::lint

@@ -1,0 +1,90 @@
+// Statically-derived model of an instrumented source file: the function
+// bodies reduced to the control-flow skeleton the lint rules need (brace /
+// return-path tracking, not a full AST), the FuncInfo registrations the file
+// performs, and the inline suppression comments it carries.
+//
+// The parser is deliberately lenient: it understands the disciplined subset
+// of C++ this tree is written in (Google style, no macros that open scopes,
+// ctor-init lists with parentheses) and degrades to skipping balanced token
+// regions when it sees anything else. It must never reject or crash on a
+// file; missed constructs cost recall, not correctness of the build.
+
+#ifndef HWPROF_SRC_LINT_SOURCE_MODEL_H_
+#define HWPROF_SRC_LINT_SOURCE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/instr/tag_file.h"
+#include "src/lint/diagnostics.h"
+
+namespace hwprof::lint {
+
+// Flow-relevant atoms recognized inside function bodies.
+enum class EventKind : unsigned char {
+  kSplRaise,    // s = splnet()/splbio()/... (var may be empty: discarded)
+  kSplRestore,  // splx(s)
+  kSpl0,        // spl0(): drops to base, restores everything
+  kRawRaise,    // prev = RawRaise(...)
+  kRawRestore,  // RawRestore(prev)
+  kSleep,       // Tsleep / Swtch / Preempt / Fiber::Switch — yields the CPU
+  kEntryEmit,   // raw TriggerRead(... entry_tag ...)
+  kExitEmit,    // raw TriggerRead(... exit_tag() ...)
+  kUnknownEmit, // raw TriggerRead with a tag we cannot classify
+};
+
+struct Stmt {
+  enum class Kind : unsigned char {
+    kBlock,   // children in sequence
+    kIf,      // children[0] = then, children[1] (optional) = else
+    kLoop,    // children[0] = body, executed zero or more times
+    kSwitch,  // children[0] = body; any case-prefix of it may run
+    kEvent,   // one EventKind, no children
+    kReturn,  // terminates the path
+  };
+
+  Kind kind = Stmt::Kind::kBlock;
+  EventKind event = EventKind::kSplRaise;  // valid when kind == kEvent
+  std::string var;   // raise result variable / splx argument variable
+  std::string what;  // the call spelled in the source (splnet, Tsleep, ...)
+  int line = 0;
+  std::vector<std::unique_ptr<Stmt>> children;
+};
+
+struct FunctionModel {
+  std::string name;  // qualified: "Fs::GetBlk", "ProfileScope::ProfileScope"
+  int line = 0;      // line of the body's opening brace
+  bool is_lambda = false;
+  std::unique_ptr<Stmt> body;  // kBlock
+};
+
+// One RegFn / RegisterFunction / RegInline / RegisterInline call site.
+struct Registration {
+  std::string name;  // the registered tag name (string literal argument)
+  int line = 0;
+  TagKind kind = TagKind::kFunction;  // kContextSwitch when flagged true
+};
+
+// One "// hwprof-lint: suppress(rule[,rule]) reason" comment.
+struct Suppression {
+  int line = 0;
+  std::vector<std::string> rules;
+  std::string reason;
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<FunctionModel> functions;  // lambdas appended with is_lambda set
+  std::vector<Registration> registrations;
+  std::vector<Suppression> suppressions;
+  bool has_fiber_switch = false;  // file performs Fiber::Switch context switches
+  std::vector<Finding> notes;     // bad-suppression findings from comment parsing
+};
+
+SourceFile AnalyzeSource(std::string path, std::string_view text);
+
+}  // namespace hwprof::lint
+
+#endif  // HWPROF_SRC_LINT_SOURCE_MODEL_H_

@@ -1,0 +1,50 @@
+// The exported static call-structure model and the trace cross-check: the
+// decoder's anomaly counts (unknown tags, orphan exits, unclosed entries)
+// are attributed back to the registration sites the lint pass discovered,
+// turning silent drops into file:line findings.
+
+#ifndef HWPROF_SRC_LINT_TRACE_CHECK_H_
+#define HWPROF_SRC_LINT_TRACE_CHECK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/decoder.h"
+#include "src/instr/tag_file.h"
+#include "src/lint/diagnostics.h"
+#include "src/lint/source_model.h"
+
+namespace hwprof::lint {
+
+// What the static analysis knows about one instrumented function.
+struct ModelEntry {
+  TagKind kind = TagKind::kFunction;
+  std::string file;  // source file carrying the registration; may be empty
+  int line = 0;
+};
+
+// The static call-structure model: every name the analyzed sources register,
+// with where and how. Decoder output can be checked against it.
+struct CallStructureModel {
+  std::map<std::string, ModelEntry> by_name;
+};
+
+CallStructureModel BuildModel(const std::vector<SourceFile>& files);
+
+// JSON object {"functions": [{"name":..., "kind":..., "file":..., "line":N}]}
+// — the exported form other tools (and tests) consume.
+std::string ModelToJson(const CallStructureModel& model);
+
+// Cross-checks a decoded trace against the names file and the static model:
+//  * trace-unknown-tag — tags the decoder could not resolve, attributed to
+//    the model entry owning the nearest neighboring tag when one exists,
+//  * trace-orphan-exit / trace-unclosed-entry — attributed to the
+//    registration site of the function involved.
+void CrossCheckTrace(const DecodedTrace& trace, const TagFile& names,
+                     const CallStructureModel& model,
+                     std::vector<Finding>* findings);
+
+}  // namespace hwprof::lint
+
+#endif  // HWPROF_SRC_LINT_TRACE_CHECK_H_

@@ -87,6 +87,40 @@ TEST(TagFile, RejectsMalformedLines) {
   EXPECT_FALSE(TagFile::Parse("foo/70000\n", &file));
 }
 
+TEST(TagFile, ParseReportsLineAndReasonForEveryProblem) {
+  const char* text =
+      "main/500\n"
+      "main/502\n"    // duplicate name
+      "odd/503\n"     // odd function tag
+      "clash/500\n"   // collides with main's entry tag
+      "bad/zzz\n"     // non-numeric value
+      "noslash\n";
+  TagFile file;
+  std::vector<TagDiag> diags;
+  EXPECT_FALSE(TagFile::Parse(text, &file, &diags));
+  ASSERT_EQ(diags.size(), 5u);
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("duplicate name 'main'"), std::string::npos);
+  EXPECT_EQ(diags[1].line, 3);
+  EXPECT_NE(diags[1].message.find("odd"), std::string::npos);
+  EXPECT_EQ(diags[2].line, 4);
+  EXPECT_NE(diags[2].message.find("already covered"), std::string::npos);
+  EXPECT_EQ(diags[3].line, 5);
+  EXPECT_NE(diags[3].message.find("not a non-negative integer"), std::string::npos);
+  EXPECT_EQ(diags[4].line, 6);
+  EXPECT_NE(diags[4].message.find("missing '/'"), std::string::npos);
+}
+
+TEST(TagFile, ParseWithDiagsLeavesOutputUntouchedOnFailure) {
+  TagFile file;
+  ASSERT_TRUE(TagFile::Parse("keep/100\n", &file));
+  std::vector<TagDiag> diags;
+  EXPECT_FALSE(TagFile::Parse("bad/101\n", &file, &diags));
+  ASSERT_EQ(diags.size(), 1u);
+  // The earlier successful parse survives the failed one.
+  EXPECT_NE(file.FindByName("keep"), nullptr);
+}
+
 TEST(TagFile, FormatParsesBackIdentically) {
   TagFile file;
   ASSERT_TRUE(TagFile::Parse("main/502\nswtch/600!\nMGET/1002=\n", &file));

@@ -1,0 +1,37 @@
+// Lint fixture: instrumentation-balance violations. Not compiled — parsed by
+// lint_test.
+
+#include "instr/profile_scope.h"
+
+void EarlyReturnSkipsExit(Machine& m, Instr& instr, FuncInfo* f, bool fail) {
+  m.TriggerRead(instr.profile_base() + f->entry_tag);
+  if (fail) {
+    return;  // the exit emit below is skipped
+  }
+  m.TriggerRead(instr.profile_base() + f->exit_tag());
+}
+
+void OrphanExit(Machine& m, Instr& instr, FuncInfo* f) {
+  m.TriggerRead(instr.profile_base() + f->exit_tag());
+}
+
+void UnknownTag(Machine& m, unsigned base, unsigned tag) {
+  m.TriggerRead(base + tag);
+}
+
+// The RAII pair: entry in the constructor, exit in the destructor. The
+// analyzer must pair these across the object's lifetime, not flag them.
+class Scope {
+ public:
+  Scope(Machine& m, Instr& i, FuncInfo* f) : m_(m), i_(i), f_(f) {
+    m_.TriggerRead(i_.profile_base() + f_->entry_tag);
+  }
+  ~Scope() {
+    m_.TriggerRead(i_.profile_base() + f_->exit_tag());
+  }
+
+ private:
+  Machine& m_;
+  Instr& i_;
+  FuncInfo* f_;
+};

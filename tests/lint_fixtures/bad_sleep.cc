@@ -1,0 +1,21 @@
+// Lint fixture: spl-sleep violation. Not compiled — parsed by lint_test.
+
+#include "kern/kernel.h"
+
+void SleepUnderSpl(Kernel& k) {
+  const int s = k.spl().splbio();
+  k.sched().Tsleep(&k, 0);
+  k.spl().splx(s);
+}
+
+void SleepAfterRestore(Kernel& k) {
+  const int s = k.spl().splbio();
+  k.spl().splx(s);
+  k.sched().Tsleep(&k, 0);
+}
+
+void RawRegionYield(Kernel& k) {
+  const auto prev = k.spl().RawRaise(3);
+  k.sched().Preempt();
+  k.spl().RawRestore(prev);
+}

@@ -1,0 +1,29 @@
+// Lint fixture: spl-balance violations. Not compiled — parsed by lint_test.
+
+#include "kern/spl.h"
+
+int MissingSplxOnEarlyReturn(Spl& spl, bool fast) {
+  const int s = spl.splnet();
+  if (fast) {
+    return -1;  // leaks the raised level
+  }
+  spl.splx(s);
+  return 0;
+}
+
+void DiscardedRaise(Spl& spl) {
+  spl.splbio();
+}
+
+int Balanced(Spl& spl, int mode) {
+  const int s = spl.splimp();
+  switch (mode) {
+    case 0:
+      spl.splx(s);
+      return 0;
+    default:
+      break;
+  }
+  spl.splx(s);
+  return 1;
+}

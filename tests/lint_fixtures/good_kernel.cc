@@ -1,0 +1,55 @@
+// Lint fixture: disciplined code the analyzer must pass clean. Not compiled —
+// parsed by lint_test.
+
+#include "kern/kernel.h"
+
+int BalancedRaise(Kernel& k, bool slow) {
+  const int s = k.spl().splnet();
+  int rc = 0;
+  if (slow) {
+    rc = -1;
+  }
+  k.spl().splx(s);
+  return rc;
+}
+
+void BalancedLoop(Kernel& k, int n) {
+  for (int i = 0; i < n; ++i) {
+    const int s = k.spl().splbio();
+    k.spl().splx(s);
+  }
+}
+
+void NestedRaises(Kernel& k) {
+  const int s = k.spl().splnet();
+  const int t = k.spl().splimp();
+  k.spl().splx(t);
+  k.spl().splx(s);
+}
+
+void RawDispatch(Kernel& k) {
+  const auto prev = k.spl().RawRaise(7);
+  k.ServiceIrq(0);
+  k.spl().RawRestore(prev);
+}
+
+void SleepAtBase(Kernel& k) {
+  k.sched().Tsleep(&k, 0);
+}
+
+void Spl0Resets(Kernel& k) {
+  k.spl().splhigh();  // hwprof-lint: suppress(spl-balance) fixture: spl0 below resets the level
+  k.spl().spl0();
+}
+
+void EmitPair(Machine& m, Instr& instr, FuncInfo* f) {
+  m.TriggerRead(instr.profile_base() + f->entry_tag);
+  m.TriggerRead(instr.profile_base() + f->exit_tag());
+}
+
+void Register(Kernel& k) {
+  k.RegFn("plainfn", Subsys::kLib);
+  k.RegInline("inlfn", Subsys::kLib);
+  k.RegFn("ctxfn", Subsys::kSched, true);
+  Fiber::Switch(nullptr, nullptr);
+}

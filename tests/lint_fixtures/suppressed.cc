@@ -1,0 +1,24 @@
+// Lint fixture: suppression handling. Not compiled — parsed by lint_test.
+
+#include "kern/kernel.h"
+
+void SuppressedDiscard(Kernel& k) {
+  // hwprof-lint: suppress(spl-balance) fixture: level intentionally pinned
+  k.spl().splbio();
+}
+
+void SuppressedSleep(Kernel& k) {
+  const int s = k.spl().splbio();
+  k.sched().Tsleep(&k, 0);  // hwprof-lint: suppress(spl-sleep) fixture: wakeup path restores the level
+  k.spl().splx(s);
+}
+
+void ReasonlessSuppression(Kernel& k) {
+  // hwprof-lint: suppress(spl-balance)
+  k.spl().splbio();
+}
+
+void UnknownRuleSuppression(Kernel& k) {
+  // hwprof-lint: suppress(not-a-rule) this rule does not exist
+  k.spl().spl0();
+}

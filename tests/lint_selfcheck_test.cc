@@ -1,0 +1,64 @@
+// Runs hwprof_lint over the real source tree — the same invocation CI's lint
+// job performs — and requires a zero-unsuppressed baseline. Every waiver in
+// src/ carries an inline justification; anything new must be fixed or
+// explicitly suppressed, or this test (and CI) goes red.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/lint/diagnostics.h"
+#include "src/lint/lint.h"
+
+namespace hwprof::lint {
+namespace {
+
+LintResult LintTree() {
+  LintConfig config;
+  const std::string root = HWPROF_SOURCE_ROOT;
+  config.paths = {root + "/src/kern", root + "/src/profhw", root + "/src/instr"};
+  return RunLint(config);
+}
+
+TEST(LintSelfCheck, SourceTreeHasZeroUnsuppressedFindings) {
+  const LintResult result = LintTree();
+  for (const std::string& error : result.errors) {
+    ADD_FAILURE() << error;
+  }
+  for (const Finding& f : result.findings) {
+    if (!f.suppressed) {
+      ADD_FAILURE() << FormatFinding(f);
+    }
+  }
+  EXPECT_EQ(result.unsuppressed(), 0u);
+}
+
+TEST(LintSelfCheck, AnalyzerActuallySawTheTree) {
+  const LintResult result = LintTree();
+  // A parser regression that silently skipped everything would also produce
+  // zero findings; pin the analysis depth instead of just the verdict.
+  std::size_t functions = 0;
+  for (const SourceFile& file : result.sources) {
+    functions += file.functions.size();
+  }
+  EXPECT_GT(result.sources.size(), 20u);
+  EXPECT_GT(functions, 200u);
+  // The scheduler's context-switch instrumentation and the spl entry points
+  // must be in the exported call-structure model.
+  EXPECT_TRUE(result.model.by_name.count("swtch"));
+  EXPECT_TRUE(result.model.by_name.count("splnet"));
+  EXPECT_TRUE(result.model.by_name.count("hardclock"));
+  // The known-safe waivers (tsleep under spl, the scheduler's one-way switch
+  // emits) are present and justified.
+  std::size_t suppressed = 0;
+  for (const Finding& f : result.findings) {
+    if (f.suppressed) {
+      EXPECT_FALSE(f.suppress_reason.empty()) << FormatFinding(f);
+      ++suppressed;
+    }
+  }
+  EXPECT_GT(suppressed, 5u);
+}
+
+}  // namespace
+}  // namespace hwprof::lint

@@ -1,0 +1,371 @@
+// hwprof_lint: lexer, source model, rule, tag-model, suppression, JSON
+// round-trip, and trace cross-check tests, driven by the fixtures under
+// tests/lint_fixtures/ (known-good and known-bad functions the analyzer must
+// classify correctly).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/decoder.h"
+#include "src/instr/tag_file.h"
+#include "src/lint/diagnostics.h"
+#include "src/lint/lexer.h"
+#include "src/lint/lint.h"
+#include "src/lint/rules.h"
+#include "src/lint/source_model.h"
+#include "src/lint/trace_check.h"
+
+namespace hwprof::lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(HWPROF_TEST_DIR) + "/lint_fixtures/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+LintResult LintFixture(const std::string& name) {
+  LintConfig config;
+  config.paths.push_back(FixturePath(name));
+  return RunLint(config);
+}
+
+std::vector<const Finding*> ByRule(const LintResult& result, const std::string& rule) {
+  std::vector<const Finding*> out;
+  for (const Finding& f : result.findings) {
+    if (f.rule == rule) {
+      out.push_back(&f);
+    }
+  }
+  return out;
+}
+
+// --- lexer -------------------------------------------------------------------
+
+TEST(LintLexer, TokensCommentsAndDirectives) {
+  const LexedFile lexed = Lex(
+      "#include <x.h>\n"
+      "#define M(a) \\\n  (a + 1)\n"
+      "int f(int a) { return a <<= 2; }  // trailing\n"
+      "/* block\n comment */ int g;\n");
+  // Macro bodies must not leak tokens into the stream.
+  for (const Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "M");
+    EXPECT_NE(t.text, "include");
+  }
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_EQ(lexed.comments[0].line, 4);
+  EXPECT_EQ(lexed.comments[0].text, " trailing");
+  // Maximal munch: "<<=" is one token, not three.
+  const auto it = std::find_if(lexed.tokens.begin(), lexed.tokens.end(),
+                               [](const Token& t) { return t.text == "<<="; });
+  EXPECT_NE(it, lexed.tokens.end());
+  // Line numbers survive the multi-line directive.
+  const auto g = std::find_if(lexed.tokens.begin(), lexed.tokens.end(),
+                              [](const Token& t) { return t.text == "g"; });
+  ASSERT_NE(g, lexed.tokens.end());
+  EXPECT_EQ(g->line, 6);
+}
+
+TEST(LintLexer, StringsAndChars) {
+  const LexedFile lexed = Lex("auto s = \"a\\\"b\"; char c = '\\n';");
+  ASSERT_GE(lexed.tokens.size(), 2u);
+  const auto str = std::find_if(lexed.tokens.begin(), lexed.tokens.end(),
+                                [](const Token& t) { return t.kind == TokKind::kString; });
+  ASSERT_NE(str, lexed.tokens.end());
+  EXPECT_EQ(str->text, "a\"b");
+}
+
+// --- source model ------------------------------------------------------------
+
+TEST(LintModel, FunctionsRegistrationsSuppressions) {
+  const SourceFile file = AnalyzeSource("mem.cc", ReadFixture("good_kernel.cc"));
+  std::vector<std::string> names;
+  for (const FunctionModel& fn : file.functions) {
+    names.push_back(fn.name);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "BalancedRaise"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "NestedRaises"), names.end());
+  ASSERT_EQ(file.registrations.size(), 3u);
+  EXPECT_EQ(file.registrations[0].name, "plainfn");
+  EXPECT_EQ(file.registrations[0].kind, TagKind::kFunction);
+  EXPECT_EQ(file.registrations[1].name, "inlfn");
+  EXPECT_EQ(file.registrations[1].kind, TagKind::kInline);
+  EXPECT_EQ(file.registrations[2].name, "ctxfn");
+  EXPECT_EQ(file.registrations[2].kind, TagKind::kContextSwitch);
+  EXPECT_TRUE(file.has_fiber_switch);
+  ASSERT_EQ(file.suppressions.size(), 1u);
+  EXPECT_EQ(file.suppressions[0].rules, std::vector<std::string>{"spl-balance"});
+}
+
+TEST(LintModel, CtorDtorQualifiedNames) {
+  const SourceFile file = AnalyzeSource("scope.cc", ReadFixture("bad_instr.cc"));
+  std::vector<std::string> names;
+  for (const FunctionModel& fn : file.functions) {
+    names.push_back(fn.name);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "Scope::Scope"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Scope::~Scope"), names.end());
+}
+
+// --- spl rules ---------------------------------------------------------------
+
+TEST(LintRules, SplBalanceFixture) {
+  const LintResult result = LintFixture("bad_spl.cc");
+  const auto findings = ByRule(result, "spl-balance");
+  ASSERT_EQ(findings.size(), 2u);
+  // The leak is attributed to the raise, not the return.
+  EXPECT_EQ(findings[0]->line, 6);
+  EXPECT_NE(findings[0]->message.find("splnet"), std::string::npos);
+  EXPECT_EQ(findings[1]->line, 15);
+  EXPECT_NE(findings[1]->message.find("discarded"), std::string::npos);
+  // Balanced() — including the switch with a returning case — stays clean.
+  EXPECT_EQ(result.unsuppressed(), 2u);
+}
+
+TEST(LintRules, SplSleepFixture) {
+  const LintResult result = LintFixture("bad_sleep.cc");
+  const auto findings = ByRule(result, "spl-sleep");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0]->line, 7);   // Tsleep under splbio
+  EXPECT_EQ(findings[1]->line, 19);  // Preempt inside a RawRaise region
+  EXPECT_EQ(result.unsuppressed(), 2u);  // SleepAfterRestore is clean
+}
+
+// --- instrumentation rules ---------------------------------------------------
+
+TEST(LintRules, InstrBalanceFixture) {
+  const LintResult result = LintFixture("bad_instr.cc");
+  const auto balance = ByRule(result, "instr-balance");
+  ASSERT_EQ(balance.size(), 2u);
+  EXPECT_EQ(balance[0]->line, 7);  // entry emit with a skipping early return
+  EXPECT_NE(balance[0]->message.find("EarlyReturnSkipsExit"), std::string::npos);
+  EXPECT_EQ(balance[1]->line, 15);  // bare exit emit
+  EXPECT_NE(balance[1]->message.find("OrphanExit"), std::string::npos);
+  const auto raw = ByRule(result, "instr-raw-tag");
+  ASSERT_EQ(raw.size(), 1u);
+  EXPECT_EQ(raw[0]->line, 19);
+  // Scope's ctor/dtor pair must NOT be flagged.
+  for (const Finding* f : balance) {
+    EXPECT_EQ(f->message.find("Scope"), std::string::npos) << f->message;
+  }
+}
+
+// --- suppressions ------------------------------------------------------------
+
+TEST(LintRules, SuppressionFixture) {
+  const LintResult result = LintFixture("suppressed.cc");
+  std::size_t suppressed = 0;
+  for (const Finding& f : result.findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      EXPECT_FALSE(f.suppress_reason.empty());
+    }
+  }
+  EXPECT_EQ(suppressed, 2u);  // the discard and the trailing-comment sleep
+  // A reason-less suppression is rejected: it reports bad-suppression AND
+  // leaves its target finding live.
+  const auto bad = ByRule(result, "bad-suppression");
+  ASSERT_EQ(bad.size(), 2u);
+  EXPECT_EQ(bad[0]->line, 17);
+  EXPECT_EQ(bad[1]->line, 22);
+  const auto live = ByRule(result, "spl-balance");
+  bool found_live = false;
+  for (const Finding* f : live) {
+    if (!f->suppressed) {
+      EXPECT_EQ(f->line, 18);
+      found_live = true;
+    }
+  }
+  EXPECT_TRUE(found_live);
+}
+
+TEST(LintRules, GoodFixtureIsClean) {
+  const LintResult result = LintFixture("good_kernel.cc");
+  for (const Finding& f : result.findings) {
+    EXPECT_TRUE(f.suppressed) << FormatFinding(f);
+  }
+  EXPECT_EQ(result.unsuppressed(), 0u);
+}
+
+// --- registrations across files ----------------------------------------------
+
+TEST(LintRules, RegConflictAcrossFiles) {
+  const LintResult result = LintText({
+      {"a.cc", "void A(Kernel& k) { k.RegFn(\"dup\", Subsys::kLib); }\n"},
+      {"b.cc", "void B(Kernel& k) { k.RegInline(\"dup\", Subsys::kLib); }\n"},
+  });
+  const auto findings = ByRule(result, "reg-conflict");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->file, "b.cc");
+  EXPECT_NE(findings[0]->note.find("a.cc"), std::string::npos);
+}
+
+TEST(LintRules, ContextSwitchRegistrationNeedsFiberSwitch) {
+  const LintResult result = LintText({
+      {"noswtch.cc", "void R(Kernel& k) { k.RegFn(\"sw\", Subsys::kSched, true); }\n"},
+  });
+  const auto findings = ByRule(result, "tag-ctx");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0]->message.find("Fiber::Switch"), std::string::npos);
+}
+
+// --- tag-file checks ---------------------------------------------------------
+
+TEST(LintTags, ParseFindingsCarryLines) {
+  const LintResult result = LintText({}, ReadFixture("bad_tags.tags"), "bad_tags.tags");
+  const auto findings = ByRule(result, "tag-parse");
+  std::vector<int> lines;
+  for (const Finding* f : findings) {
+    EXPECT_EQ(f->file, "bad_tags.tags");
+    lines.push_back(f->line);
+  }
+  // duplicate name, odd tag, duplicate tag, inline collision, bad number,
+  // missing slash — each attributed to its own line.
+  EXPECT_EQ(lines, (std::vector<int>{3, 4, 5, 7, 8, 9}));
+}
+
+TEST(LintTags, ModelCrossChecks) {
+  const LintResult result = LintText(
+      {{"reg.cc", ReadFixture("good_kernel.cc")}},
+      ReadFixture("bad_ctx.tags"), "bad_ctx.tags");
+  const auto ctx = ByRule(result, "tag-ctx");
+  ASSERT_EQ(ctx.size(), 3u);
+  EXPECT_EQ(ctx[0]->line, 2);  // plainfn/600! — not a context-switch function
+  EXPECT_EQ(ctx[1]->line, 4);  // ctxfn registered '!' but entry lacks marker
+  EXPECT_EQ(ctx[2]->line, 5);  // bogus/700! — registered nowhere
+  const auto model = ByRule(result, "tag-model");
+  ASSERT_EQ(model.size(), 1u);
+  EXPECT_EQ(model[0]->line, 3);  // inlfn registered inline, tagged as a pair
+}
+
+// --- JSON round trip ---------------------------------------------------------
+
+TEST(LintJson, FindingsRoundTrip) {
+  const LintResult result = LintFixture("bad_spl.cc");
+  ASSERT_FALSE(result.findings.empty());
+  const std::string json = FindingsToJson(result.findings);
+  std::vector<Finding> parsed;
+  std::string error;
+  ASSERT_TRUE(FindingsFromJson(json, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), result.findings.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].rule, result.findings[i].rule);
+    EXPECT_EQ(parsed[i].file, result.findings[i].file);
+    EXPECT_EQ(parsed[i].line, result.findings[i].line);
+    EXPECT_EQ(parsed[i].message, result.findings[i].message);
+    EXPECT_EQ(parsed[i].suppressed, result.findings[i].suppressed);
+  }
+}
+
+TEST(LintJson, EscapesSurviveRoundTrip) {
+  std::vector<Finding> in(1);
+  in[0].rule = "tag-parse";
+  in[0].file = "a\\b.cc";
+  in[0].line = 3;
+  in[0].message = "quote \" tab \t newline \n ctl \x01 done";
+  const std::string json = FindingsToJson(in);
+  std::vector<Finding> out;
+  std::string error;
+  ASSERT_TRUE(FindingsFromJson(json, &out, &error)) << error;
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].file, in[0].file);
+  EXPECT_EQ(out[0].message, in[0].message);
+}
+
+TEST(LintJson, MalformedInputRejected) {
+  std::vector<Finding> out;
+  std::string error;
+  EXPECT_FALSE(FindingsFromJson("{\"findings\": [", &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --- call-structure model and trace cross-check ------------------------------
+
+TEST(LintTrace, ModelExport) {
+  const LintResult result = LintText({{"reg.cc", ReadFixture("good_kernel.cc")}});
+  ASSERT_EQ(result.model.by_name.size(), 3u);
+  EXPECT_EQ(result.model.by_name.at("ctxfn").kind, TagKind::kContextSwitch);
+  const std::string json = ModelToJson(result.model);
+  EXPECT_NE(json.find("\"name\": \"plainfn\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"inline\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"reg.cc\""), std::string::npos);
+}
+
+TEST(LintTrace, CrossCheckAttributesAnomalies) {
+  const LintResult lint = LintText({{"reg.cc", ReadFixture("good_kernel.cc")}});
+  TagFile names;
+  ASSERT_TRUE(names.AddFunction("plainfn", 600));
+  ASSERT_TRUE(names.AddFunction("ctxfn", 604, /*context_switch=*/true));
+
+  ASSERT_TRUE(names.AddFunction("inlfn", 606));
+
+  RawTrace raw;
+  raw.events.push_back(RawEvent{600, 10});  // plainfn entry
+  raw.events.push_back(RawEvent{602, 20});  // unknown tag (neighbor of 601/603)
+  raw.events.push_back(RawEvent{606, 25});  // inlfn entry, nested in plainfn
+  raw.events.push_back(RawEvent{601, 30});  // plainfn exit: force-closes inlfn
+  raw.events.push_back(RawEvent{601, 40});  // orphan exit
+  const DecodedTrace trace = Decoder::Decode(raw, names);
+  EXPECT_EQ(trace.unknown_tags, 1u);
+  EXPECT_EQ(trace.orphan_exits, 1u);
+  EXPECT_GE(trace.unclosed_entries, 1u);
+
+  std::vector<Finding> findings;
+  CrossCheckTrace(trace, names, lint.model, &findings);
+  bool unknown = false, orphan = false, unclosed = false;
+  for (const Finding& f : findings) {
+    if (f.rule == "trace-unknown-tag") {
+      unknown = true;
+      // Attributed to plainfn's registration site via the neighboring tag.
+      EXPECT_EQ(f.file, "reg.cc");
+      EXPECT_NE(f.note.find("plainfn"), std::string::npos);
+    } else if (f.rule == "trace-orphan-exit") {
+      orphan = true;
+      EXPECT_EQ(f.file, "reg.cc");
+      EXPECT_NE(f.message.find("plainfn"), std::string::npos);
+    } else if (f.rule == "trace-unclosed-entry") {
+      unclosed = true;
+      // The mid-trace force-close of inlfn, attributed to its registration.
+      EXPECT_EQ(f.file, "reg.cc");
+      EXPECT_NE(f.message.find("inlfn"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(unknown);
+  EXPECT_TRUE(orphan);
+  EXPECT_TRUE(unclosed);
+}
+
+TEST(LintTrace, TruncatedFinalStackIsNotAnAnomaly) {
+  const LintResult lint = LintText({{"reg.cc", ReadFixture("good_kernel.cc")}});
+  TagFile names;
+  ASSERT_TRUE(names.AddFunction("plainfn", 600));
+
+  // A capture stopped mid-run: the in-flight stack is truncated, which is
+  // how every real capture ends — the cross-check must not report it.
+  RawTrace raw;
+  raw.events.push_back(RawEvent{600, 10});  // entry, capture stops here
+  const DecodedTrace trace = Decoder::Decode(raw, names);
+  EXPECT_GE(trace.unclosed_entries, 1u);
+  EXPECT_EQ(trace.truncated_entry_counts.count("plainfn"), 1u);
+
+  std::vector<Finding> findings;
+  CrossCheckTrace(trace, names, lint.model, &findings);
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.rule, "trace-unclosed-entry") << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace hwprof::lint

@@ -122,13 +122,21 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
 
   std::string names_text;
   TagFile names;
-  const bool have_names =
-      ReadFileToString(argv[2], &names_text) && TagFile::Parse(names_text, &names);
+  std::vector<TagDiag> names_diags;
+  const bool have_names = ReadFileToString(argv[2], &names_text) &&
+                          TagFile::Parse(names_text, &names, &names_diags);
+  auto names_error = [&] {
+    std::string message = StrFormat("cannot parse names file '%s'", argv[2]);
+    for (const TagDiag& d : names_diags) {
+      message += StrFormat("\n%s:%d: %s", argv[2], d.line, d.message.c_str());
+    }
+    return message;
+  };
 
   for (int i = 3; i < argc; ++i) {
     if (std::string(argv[i]) == "--follow") {
       if (!have_names) {
-        *error = StrFormat("cannot parse names file '%s'", argv[2]);
+        *error = names_error();
         return 1;
       }
       return FollowMain(argv[1], names, argc, argv, error);
@@ -141,7 +149,7 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
     return 1;
   }
   if (!have_names) {
-    *error = StrFormat("cannot parse names file '%s'", argv[2]);
+    *error = names_error();
     return 1;
   }
 
