@@ -43,7 +43,9 @@ std::vector<const CallEdge*> CallGraph::CallersOf(const std::string& name) const
     }
   }
   std::sort(out.begin(), out.end(), [](const CallEdge* a, const CallEdge* b) {
-    return a->callee_elapsed > b->callee_elapsed;
+    return a->callee_elapsed != b->callee_elapsed
+               ? a->callee_elapsed > b->callee_elapsed
+               : a->caller < b->caller;
   });
   return out;
 }
@@ -56,7 +58,9 @@ std::vector<const CallEdge*> CallGraph::CalleesOf(const std::string& name) const
     }
   }
   std::sort(out.begin(), out.end(), [](const CallEdge* a, const CallEdge* b) {
-    return a->callee_elapsed > b->callee_elapsed;
+    return a->callee_elapsed != b->callee_elapsed
+               ? a->callee_elapsed > b->callee_elapsed
+               : a->callee < b->callee;
   });
   return out;
 }
@@ -67,8 +71,10 @@ std::string CallGraph::Format(const DecodedTrace& trace, std::size_t top_n) cons
   for (const auto& [name, stats] : trace.per_function) {
     order.emplace_back(name, &stats);
   }
-  std::sort(order.begin(), order.end(),
-            [](const auto& a, const auto& b) { return a.second->net > b.second->net; });
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.second->net != b.second->net ? a.second->net > b.second->net
+                                          : a.first < b.first;
+  });
 
   std::string out;
   std::size_t emitted = 0;

@@ -1,6 +1,7 @@
 #include "src/analysis/decoder.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include <cstdio>
 #include <cstdlib>
@@ -99,6 +100,7 @@ class StreamingDecoder::Impl {
     snap.unclosed_entries = out_.unclosed_entries;
     snap.unknown_tag_counts = out_.unknown_tag_counts;
     snap.orphan_exit_counts = out_.orphan_exit_counts;
+    snap.preopen_exit_counts = out_.preopen_exit_counts;
     snap.unclosed_entry_counts = out_.unclosed_entry_counts;
     snap.truncated_entry_counts = out_.truncated_entry_counts;
     snap.dropped_events = out_.dropped_events;
@@ -203,6 +205,7 @@ class StreamingDecoder::Impl {
     }
 
     if (!ev.is_exit) {
+      entered_.insert(fn);
       OpenNode(current_, fn, ev.t, /*inline_marker=*/false);
       if (fn->kind == TagKind::kContextSwitch) {
         // The outgoing process is now suspended inside swtch. Idle-window
@@ -424,8 +427,7 @@ class StreamingDecoder::Impl {
               current_->top->fn ? current_->top->fn->name.c_str() : "<root>",
               pending_swtch_ != nullptr);
     }
-    ++out_.orphan_exits;
-    ++out_.orphan_exit_counts[ev.entry->name];
+    NoteOrphanExit(ev.entry);
     current_ = ResolveResumed(index);
   }
 
@@ -477,8 +479,18 @@ class StreamingDecoder::Impl {
               (unsigned long long)ev.t,
               current_->top->fn ? current_->top->fn->name.c_str() : "<root>");
     }
+    NoteOrphanExit(ev.entry);
+  }
+
+  // An orphan exit of a function never entered earlier in the trace is the
+  // signature of a capture that begins mid-call; record it in the tolerated
+  // preopen subset as well as the general orphan counters.
+  void NoteOrphanExit(const TagEntry* fn) {
     ++out_.orphan_exits;
-    ++out_.orphan_exit_counts[ev.entry->name];
+    ++out_.orphan_exit_counts[fn->name];
+    if (entered_.count(fn) == 0) {
+      ++out_.preopen_exit_counts[fn->name];
+    }
   }
 
   // --- Accounting ------------------------------------------------------------
@@ -562,6 +574,10 @@ class StreamingDecoder::Impl {
   ActivityStack* current_ = nullptr;
   ActivityStack* pending_swtch_ = nullptr;
   std::vector<ActivityStack*> suspend_order_;
+  // Functions seen entering at least once; orphan exits of anything else are
+  // preopen (the capture began inside the call). TagFile entries are unique
+  // per name, so pointer identity suffices.
+  std::unordered_set<const TagEntry*> entered_;
   bool finished_ = false;
 };
 

@@ -114,6 +114,15 @@ struct DecodedTrace {
   std::map<std::string, std::uint64_t> orphan_exit_counts;
   std::map<std::string, std::uint64_t> unclosed_entry_counts;
 
+  // The subset of orphan_exit_counts whose function had no prior entry
+  // anywhere in the trace: exits of calls opened *before* the first captured
+  // event. That is the signature of a capture that begins mid-call — a board
+  // armed mid-run, or a shard/bank cut at a context-switch boundary — the
+  // front-of-capture mirror of truncated_entry_counts. Consumers judging
+  // trace health (hwprof_lint's cross-check) tolerate these the same way
+  // they tolerate end-of-capture truncation.
+  std::map<std::string, std::uint64_t> preopen_exit_counts;
+
   // The subset of unclosed_entry_counts closed by end-of-capture truncation
   // (the call stack in flight when the board stopped) rather than by a
   // mid-trace anomaly. Stopping a capture mid-run is normal, so consumers

@@ -28,8 +28,9 @@ Grouping::Grouping(const DecodedTrace& trace,
                    : 0.0;
     rows_.push_back(row);
   }
-  std::sort(rows_.begin(), rows_.end(),
-            [](const GroupRow& a, const GroupRow& b) { return a.net_us > b.net_us; });
+  std::sort(rows_.begin(), rows_.end(), [](const GroupRow& a, const GroupRow& b) {
+    return a.net_us != b.net_us ? a.net_us > b.net_us : a.group < b.group;
+  });
 }
 
 const GroupRow* Grouping::Row(const std::string& group) const {

@@ -45,8 +45,9 @@ ProcessReport::ProcessReport(const DecodedTrace& trace) {
       rows_.push_back(std::move(row));
     }
   }
-  std::sort(rows_.begin(), rows_.end(),
-            [](const ProcessRow& a, const ProcessRow& b) { return a.busy > b.busy; });
+  std::sort(rows_.begin(), rows_.end(), [](const ProcessRow& a, const ProcessRow& b) {
+    return a.busy != b.busy ? a.busy > b.busy : a.stack_id < b.stack_id;
+  });
 }
 
 Nanoseconds ProcessReport::TotalBusy() const {

@@ -108,12 +108,25 @@ void CrossCheckTrace(const DecodedTrace& trace, const TagFile& names,
     findings->push_back(std::move(f));
   }
   for (const auto& [name, count] : trace.orphan_exit_counts) {
+    // Exits of calls opened before the first captured event are the
+    // front-of-capture mirror of truncation: a board armed mid-run, or a
+    // shard/bank cut at a context-switch boundary. Only the excess over the
+    // preopen count is a genuine mid-trace imbalance.
+    std::uint64_t preopen = 0;
+    const auto it = trace.preopen_exit_counts.find(name);
+    if (it != trace.preopen_exit_counts.end()) {
+      preopen = it->second;
+    }
+    if (count <= preopen) {
+      continue;
+    }
+    const std::uint64_t excess = count - preopen;
     findings->push_back(AttributedFinding(
         model, "trace-orphan-exit", name,
         StrFormat("'%s' emitted %llu exit%s with no matching entry in the "
                   "trace",
-                  name.c_str(), static_cast<unsigned long long>(count),
-                  count == 1 ? "" : "s")));
+                  name.c_str(), static_cast<unsigned long long>(excess),
+                  excess == 1 ? "" : "s")));
   }
   for (const auto& [name, count] : trace.unclosed_entry_counts) {
     // The call stack in flight when the capture stopped is truncated, not

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "src/analysis/decoder.h"
+#include "src/analysis/parallel.h"
 #include "src/analysis/summary.h"
 #include "src/analysis/trace_report.h"
 #include "src/workloads/testbed.h"
@@ -76,6 +77,60 @@ TEST(Golden, Figure4CodePathTraceOfTheNetworkReceive) {
   TraceReportOptions opts;
   opts.max_lines = 120;
   CheckGolden("net_receive_trace.txt", TraceReport::Format(ReferenceDecode(), opts));
+}
+
+// Captures for the Table 1 and Figure 5 goldens, each decoded through BOTH
+// the serial decoder and the parallel sharded engine: the golden file pins
+// the report, and the second decode pins the serial/parallel equivalence on
+// a real workload (small shards force actual stitching).
+struct DualDecode {
+  Testbed tb;
+  DecodedTrace serial;
+  DecodedTrace parallel;
+};
+
+const DualDecode& MixedDecode() {
+  static const DualDecode* decoded = [] {
+    auto* d = new DualDecode();
+    d->tb.Arm();
+    RunMixed(d->tb, Msec(300));
+    const RawTrace raw = d->tb.StopAndUpload();
+    d->serial = Decoder::Decode(raw, d->tb.tags());
+    d->parallel = DecodeParallel(raw, d->tb.tags(),
+                                 ParallelOptions{.jobs = 4, .shard_target_ops = 512});
+    return d;
+  }();
+  return *decoded;
+}
+
+const DualDecode& ForkExecDecode() {
+  static const DualDecode* decoded = [] {
+    auto* d = new DualDecode();
+    d->tb.Arm();
+    RunForkExec(d->tb, 3, Sec(2));
+    const RawTrace raw = d->tb.StopAndUpload();
+    d->serial = Decoder::Decode(raw, d->tb.tags());
+    d->parallel = DecodeParallel(raw, d->tb.tags(),
+                                 ParallelOptions{.jobs = 4, .shard_target_ops = 512});
+    return d;
+  }();
+  return *decoded;
+}
+
+TEST(Golden, Table1PerFunctionTimingsOfTheMixedWorkload) {
+  const std::string report = Summary(MixedDecode().serial).Format(30);
+  EXPECT_EQ(Summary(MixedDecode().parallel).Format(30), report)
+      << "parallel decode diverged from serial on the mixed capture";
+  CheckGolden("mixed_summary.txt", report);
+}
+
+TEST(Golden, Figure5ForkExecCodePath) {
+  TraceReportOptions opts;
+  opts.max_lines = 160;
+  const std::string report = TraceReport::Format(ForkExecDecode().serial, opts);
+  EXPECT_EQ(TraceReport::Format(ForkExecDecode().parallel, opts), report)
+      << "parallel decode diverged from serial on the fork/exec capture";
+  CheckGolden("fork_exec_trace.txt", report);
 }
 
 }  // namespace

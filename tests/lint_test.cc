@@ -347,6 +347,48 @@ TEST(LintTrace, CrossCheckAttributesAnomalies) {
   EXPECT_TRUE(unclosed);
 }
 
+TEST(LintTrace, ShardBoundaryCutIsNotAnAnomaly) {
+  const LintResult lint = LintText({{"reg.cc", ReadFixture("good_kernel.cc")}});
+  TagFile names;
+  ASSERT_TRUE(names.AddFunction("plainfn", 600));
+
+  // A capture (or analysis shard) that begins mid-call: the first event is
+  // the exit of a call opened before the cut. Like end-of-capture
+  // truncation, that is how every shard after the first starts — the
+  // cross-check must not report it. A later orphan exit of the *same*
+  // function after balanced activity is still a genuine anomaly.
+  RawTrace raw;
+  raw.events.push_back(RawEvent{601, 10});  // exit of a pre-cut call
+  raw.events.push_back(RawEvent{600, 20});  // balanced pair
+  raw.events.push_back(RawEvent{601, 30});
+  const DecodedTrace trace = Decoder::Decode(raw, names);
+  EXPECT_EQ(trace.orphan_exits, 1u);
+  EXPECT_EQ(trace.preopen_exit_counts.count("plainfn"), 1u);
+
+  std::vector<Finding> findings;
+  CrossCheckTrace(trace, names, lint.model, &findings);
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.rule, "trace-orphan-exit") << f.message;
+  }
+
+  // The same exit arriving after plainfn has already been seen entering is
+  // not a cut artefact and must still be reported.
+  RawTrace bad;
+  bad.events.push_back(RawEvent{600, 10});
+  bad.events.push_back(RawEvent{601, 20});
+  bad.events.push_back(RawEvent{601, 30});  // orphan after balanced activity
+  const DecodedTrace bad_trace = Decoder::Decode(bad, names);
+  EXPECT_EQ(bad_trace.orphan_exits, 1u);
+  EXPECT_EQ(bad_trace.preopen_exit_counts.count("plainfn"), 0u);
+  findings.clear();
+  CrossCheckTrace(bad_trace, names, lint.model, &findings);
+  bool orphan = false;
+  for (const Finding& f : findings) {
+    orphan = orphan || f.rule == "trace-orphan-exit";
+  }
+  EXPECT_TRUE(orphan);
+}
+
 TEST(LintTrace, TruncatedFinalStackIsNotAnAnomaly) {
   const LintResult lint = LintText({{"reg.cc", ReadFixture("good_kernel.cc")}});
   TagFile names;

@@ -1,0 +1,341 @@
+// Differential-equivalence harness for the parallel sharded analysis
+// engine: for ANY capture — hand-built context-switch traces, fuzzed
+// adversarial traces with anomaly injection, chunked streaming feeds with
+// capture gaps, and a real workload capture — DecodeParallel must be
+// byte-identical to the serial Decoder across every worker count and shard
+// size. "Byte-identical" means every rendered report (summary, callgraph,
+// process report, code-path trace) and every anomaly/truncation counter,
+// not just the headline numbers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/analysis/callgraph.h"
+#include "src/analysis/decoder.h"
+#include "src/analysis/parallel.h"
+#include "src/analysis/process_report.h"
+#include "src/analysis/summary.h"
+#include "src/analysis/trace_report.h"
+#include "src/base/rng.h"
+#include "src/base/thread_pool.h"
+#include "src/instr/tag_file.h"
+#include "src/profhw/raw_trace.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+namespace {
+
+const TagFile& MakeNames() {
+  static const TagFile* names = [] {
+    auto* file = new TagFile();
+    HWPROF_CHECK(TagFile::Parse(
+        "a/100\n"
+        "b/102\n"
+        "c/104\n"
+        "d/106\n"
+        "swtch/200!\n"
+        "idle_swtch/202!\n"
+        "MARK/300=\n"
+        "POINT/302=\n",
+        file));
+    return file;
+  }();
+  return *names;
+}
+
+template <typename Map>
+std::string DumpMap(const Map& m) {
+  std::string out;
+  for (const auto& [k, v] : m) {
+    out += "{";
+    if constexpr (std::is_same_v<std::decay_t<decltype(k)>, std::string>) {
+      out += k;
+    } else {
+      out += std::to_string(k);
+    }
+    out += ":";
+    out += std::to_string(v);
+    out += "}";
+  }
+  return out;
+}
+
+// Every observable of a decoded trace, rendered to one comparable string:
+// all four reports plus every counter and attribution map.
+std::string Fingerprint(const DecodedTrace& d) {
+  std::string out = Summary(d).Format(0);
+  out += "\n--callgraph--\n" + CallGraph(d).Format(d);
+  out += "\n--processes--\n" + ProcessReport(d).Format(d);
+  out += "\n--trace--\n" + TraceReport::Format(d);
+  out += "\n|events=" + std::to_string(d.event_count);
+  out += "|truncated=" + std::to_string(d.truncated);
+  out += "|start=" + std::to_string(d.start_time);
+  out += "|end=" + std::to_string(d.end_time);
+  out += "|idle=" + std::to_string(d.idle_time);
+  out += "|stacks=" + std::to_string(d.stacks.size());
+  out += "|steps=" + std::to_string(d.steps.size());
+  out += "|unknown=" + std::to_string(d.unknown_tags) + DumpMap(d.unknown_tag_counts);
+  out += "|orphan=" + std::to_string(d.orphan_exits) + DumpMap(d.orphan_exit_counts);
+  out += "|preopen=" + DumpMap(d.preopen_exit_counts);
+  out += "|unclosed=" + std::to_string(d.unclosed_entries) + DumpMap(d.unclosed_entry_counts);
+  out += "|trunc_entries=" + DumpMap(d.truncated_entry_counts);
+  out += "|dropped=" + std::to_string(d.dropped_events);
+  out += "|gaps=" + std::to_string(d.capture_gaps);
+  return out;
+}
+
+RawTrace Trace(std::initializer_list<RawEvent> events) {
+  RawTrace raw;
+  raw.events = events;
+  return raw;
+}
+
+// Context-switch-heavy reference traces: suspended stacks, lookahead
+// resolution, orphans, unknown tags, truncation — the cases where shard
+// stitching has to reproduce cross-cut state exactly.
+std::vector<RawTrace> ReferenceTraces() {
+  std::vector<RawTrace> traces;
+  traces.push_back(Trace({{100, 10}, {101, 60}}));
+  traces.push_back(Trace({{100, 0}, {300, 40}, {101, 100}}));
+  traces.push_back(Trace({{100, 0}, {200, 20}, {201, 100}, {102, 110}, {103, 150},
+                          {200, 160}, {201, 220}, {101, 230}}));
+  traces.push_back(Trace({{100, 0}, {200, 10}, {102, 30}, {103, 60}, {201, 100},
+                          {101, 120}}));
+  traces.push_back(Trace({{100, 0}, {102, 10}, {200, 20}, {201, 30}, {104, 40},
+                          {105, 1030}, {200, 1040}, {201, 1100}, {103, 1110},
+                          {101, 1120}}));
+  traces.push_back(Trace({{103, 10}}));                       // orphan exit
+  traces.push_back(Trace({{100, 0}, {999, 10}, {101, 20}}));  // unknown tag
+  RawTrace truncated = Trace({{100, 0}, {102, 10}});
+  truncated.overflowed = true;
+  traces.push_back(truncated);
+  // Two processes ping-ponging: many activity blocks to shard.
+  {
+    RawTrace t;
+    std::uint32_t now = 0;
+    for (int i = 0; i < 12; ++i) {
+      t.events.push_back({100, now});
+      t.events.push_back({200, now += 5});
+      t.events.push_back({201, now += 50});
+      t.events.push_back({101, now += 7});
+      now += 3;
+    }
+    traces.push_back(t);
+  }
+  return traces;
+}
+
+// Adversarial random trace with anomaly injection: unbalanced nesting,
+// context switches (two distinct switch functions), inline markers, unknown
+// tags, spurious exits, near-wrap gaps.
+RawTrace FuzzTrace(std::uint64_t seed, int length) {
+  Rng rng(seed);
+  RawTrace raw;
+  std::uint32_t now = 0;
+  std::vector<std::uint16_t> stack;
+  for (int i = 0; i < length; ++i) {
+    now += rng.NextBool(0.02)
+               ? (1u << 24) - 5 + static_cast<std::uint32_t>(rng.NextBelow(10))
+               : static_cast<std::uint32_t>(1 + rng.NextBelow(200));
+    const double roll = static_cast<double>(rng.NextBelow(1000)) / 1000.0;
+    if (roll < 0.04) {
+      raw.events.push_back(
+          {static_cast<std::uint16_t>(300 + 2 * rng.NextBelow(2)), now});
+    } else if (roll < 0.07) {
+      raw.events.push_back({999, now});  // unknown tag
+    } else if (roll < 0.11) {
+      // Spurious exit for a function that may not be open (orphan).
+      raw.events.push_back(
+          {static_cast<std::uint16_t>(101 + 2 * rng.NextBelow(4)), now});
+    } else if (roll < 0.22) {
+      // Context switch entry/exit pair with an idle gap.
+      const auto sw = static_cast<std::uint16_t>(200 + 2 * rng.NextBelow(2));
+      raw.events.push_back({sw, now});
+      now += static_cast<std::uint32_t>(1 + rng.NextBelow(500));
+      raw.events.push_back({static_cast<std::uint16_t>(sw + 1), now});
+    } else if (roll < 0.24) {
+      // Bare switch exit: orphan swtch resolution / fresh-context path.
+      raw.events.push_back({201, now});
+    } else if (stack.size() < 8 && (stack.empty() || rng.NextBool(0.55))) {
+      const auto tag = static_cast<std::uint16_t>(100 + 2 * rng.NextBelow(4));
+      stack.push_back(tag);
+      raw.events.push_back({tag, now});
+    } else {
+      const std::uint16_t tag = stack.back();
+      stack.pop_back();
+      raw.events.push_back({static_cast<std::uint16_t>(tag + 1), now});
+    }
+  }
+  for (auto& e : raw.events) {
+    e.timestamp &= (1u << 24) - 1;
+  }
+  raw.overflowed = (seed % 3 == 0);  // exercise the truncation flag too
+  return raw;
+}
+
+void ExpectParallelMatchesSerial(const RawTrace& raw, const TagFile& names,
+                                 const std::string& what) {
+  const std::string serial = Fingerprint(Decoder::Decode(raw, names));
+  for (unsigned jobs : {1u, 2u, 3u, 8u}) {
+    for (std::size_t target : {std::size_t{1}, std::size_t{64}}) {
+      ParallelOptions opts;
+      opts.jobs = jobs;
+      opts.shard_target_ops = target;
+      const std::string par = Fingerprint(DecodeParallel(raw, names, opts));
+      ASSERT_EQ(par, serial)
+          << what << " jobs=" << jobs << " shard_target_ops=" << target;
+    }
+  }
+}
+
+TEST(ParallelAnalysis, ReferenceTracesMatchSerialExactly) {
+  const TagFile& names = MakeNames();
+  int i = 0;
+  for (const RawTrace& raw : ReferenceTraces()) {
+    ExpectParallelMatchesSerial(raw, names, "reference trace " + std::to_string(i++));
+  }
+}
+
+class ParallelFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelFuzzTest, FuzzedTraceMatchesSerialAcrossJobsAndShardSizes) {
+  const TagFile& names = MakeNames();
+  const RawTrace raw = FuzzTrace(GetParam(), 800);
+  ExpectParallelMatchesSerial(raw, names, "seed " + std::to_string(GetParam()));
+}
+
+TEST_P(ParallelFuzzTest, ChunkedFeedWithDropsMatchesStreamingDecoder) {
+  const TagFile& names = MakeNames();
+  Rng rng(GetParam() * 6151 + 3);
+  const RawTrace raw = FuzzTrace(GetParam() + 500, 500);
+
+  // Random chunking with occasional capture gaps, fed identically to the
+  // serial streaming decoder (retaining structure) and the parallel
+  // analyzer.
+  std::vector<TraceChunk> chunks;
+  std::size_t at = 0;
+  while (at < raw.events.size()) {
+    TraceChunk chunk;
+    chunk.dropped_before = rng.NextBool(0.15) ? 1 + rng.NextBelow(9) : 0;
+    const std::size_t n =
+        std::min(raw.events.size() - at, std::size_t{1} + rng.NextBelow(120));
+    chunk.events.assign(raw.events.begin() + at, raw.events.begin() + at + n);
+    at += n;
+    chunks.push_back(std::move(chunk));
+  }
+
+  StreamingOptions sopts;
+  sopts.retain_structure = true;
+  StreamingDecoder serial(names, raw.timer_bits, raw.timer_clock_hz, sopts);
+  ParallelOptions popts;
+  popts.jobs = 3;
+  popts.shard_target_ops = 32;
+  ParallelAnalyzer par(names, raw.timer_bits, raw.timer_clock_hz, popts);
+  for (const TraceChunk& chunk : chunks) {
+    serial.FeedChunk(chunk);
+    par.FeedChunk(chunk);
+  }
+  EXPECT_EQ(par.events_seen(), serial.events_seen());
+  EXPECT_EQ(par.dropped_events(), serial.dropped_events());
+  EXPECT_EQ(Fingerprint(par.Finish(raw.overflowed)),
+            Fingerprint(serial.Finish(raw.overflowed)))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u,
+                                           11u, 12u, 13u, 21u, 34u, 42u, 55u, 89u,
+                                           144u, 233u, 1993u, 4096u));
+
+TEST(ParallelAnalysis, WorkloadCaptureMatchesSerial) {
+  Testbed tb;
+  tb.Arm();
+  RunNetworkReceive(tb, Msec(200), 32 * 1024, false);
+  const RawTrace raw = tb.StopAndUpload();
+  ASSERT_GT(raw.events.size(), 100u);
+  const std::string serial = Fingerprint(Decoder::Decode(raw, tb.tags()));
+  for (unsigned jobs : {1u, 8u}) {
+    ParallelOptions opts;
+    opts.jobs = jobs;
+    opts.shard_target_ops = 256;
+    EXPECT_EQ(Fingerprint(DecodeParallel(raw, tb.tags(), opts)), serial)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelAnalysis, ManyShardsAreActuallyPlanned) {
+  // Sanity that the equivalence above is not vacuous: small shard targets on
+  // a switch-heavy trace must produce several shards.
+  const TagFile& names = MakeNames();
+  const RawTrace raw = FuzzTrace(7, 800);
+  ParallelOptions opts;
+  opts.jobs = 2;
+  opts.shard_target_ops = 16;
+  ParallelAnalyzer par(names, raw.timer_bits, raw.timer_clock_hz, opts);
+  par.Feed(raw.events);
+  const std::size_t planned = par.shards_planned();
+  EXPECT_GE(planned, 4u);
+  (void)par.Finish(raw.overflowed);
+}
+
+TEST(ParallelAnalysis, EmptyFeedIsHarmless) {
+  const TagFile& names = MakeNames();
+  ParallelAnalyzer par(names);
+  par.Feed(nullptr, 0);
+  par.FeedChunk(TraceChunk{});
+  const DecodedTrace d = par.Finish();
+  EXPECT_EQ(d.event_count, 0u);
+  EXPECT_TRUE(d.per_function.empty());
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  for (unsigned workers : {0u, 1u, 4u}) {
+    ThreadPool pool(workers);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i) {
+      pool.Submit([&sum, i] { sum.fetch_add(i); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(sum.load(), 5050) << "workers=" << workers;
+  }
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.WaitIdle();  // idle pool: returns immediately
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(count.load(), 20 * (round + 1));
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversTheRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(200);
+  ParallelFor(pool, hits.size(), [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, InlineModeHasNoThreads) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 0u);
+  bool ran = false;
+  pool.Submit([&ran] { ran = true; });
+  EXPECT_TRUE(ran);  // ran synchronously on this thread
+  EXPECT_GE(ThreadPool::DefaultJobs(), 1u);
+}
+
+}  // namespace
+}  // namespace hwprof

@@ -9,6 +9,7 @@
 #include "src/analysis/callgraph.h"
 #include "src/analysis/decoder.h"
 #include "src/analysis/grouping.h"
+#include "src/analysis/parallel.h"
 #include "src/analysis/histogram.h"
 #include "src/analysis/process_report.h"
 #include "src/analysis/summary.h"
@@ -40,6 +41,10 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
                std::string* error) {
   std::size_t rows = 20;
   int polls = 1;
+  // Default 1: live per-chunk summaries need the serial decoder's stats
+  // snapshot. `--jobs 0` (or >1) hands decided chunks to the worker pool
+  // instead and prints the summary once, from the merged final trace.
+  unsigned jobs = 1;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_number = [&](std::size_t fallback) -> std::size_t {
@@ -58,6 +63,8 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
       rows = next_number(20);
     } else if (arg == "--poll") {
       polls = static_cast<int>(next_number(1));
+    } else if (arg == "--jobs") {
+      jobs = static_cast<unsigned>(next_number(0));
     } else {
       *error = StrFormat("option '%s' is not available with --follow", arg.c_str());
       return 2;
@@ -68,6 +75,49 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
   if (!LoadStream(path, &capture)) {
     *error = StrFormat("cannot load stream file '%s'", path);
     return 1;
+  }
+
+  if (jobs != 1) {
+    ParallelOptions popts;
+    popts.jobs = jobs;
+    ParallelAnalyzer analyzer(names, capture.timer_bits, capture.timer_clock_hz, popts);
+    std::size_t fed = 0;
+    for (int pass = 0; pass < polls; ++pass) {
+      if (pass > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        if (!LoadStream(path, &capture)) {
+          *error = StrFormat("cannot re-read stream file '%s'", path);
+          return 1;
+        }
+      }
+      const std::size_t complete = capture.chunks.size() - (capture.truncated_tail ? 1 : 0);
+      for (; fed < complete; ++fed) {
+        const TraceChunk& chunk = capture.chunks[fed];
+        analyzer.FeedChunk(chunk);
+        std::printf(
+            "chunk %zu: %zu events (%llu dropped before) | stream so far: %llu events, "
+            "%llu dropped, %zu shards in flight\n",
+            fed, chunk.events.size(),
+            static_cast<unsigned long long>(chunk.dropped_before),
+            static_cast<unsigned long long>(analyzer.events_seen()),
+            static_cast<unsigned long long>(analyzer.dropped_events()),
+            analyzer.shards_planned());
+      }
+    }
+    bool truncated = false;
+    if (capture.truncated_tail && fed < capture.chunks.size()) {
+      analyzer.FeedChunk(capture.chunks[fed]);
+      ++fed;
+      truncated = true;
+    }
+    const DecodedTrace decoded = analyzer.Finish(truncated);
+    std::printf("end of stream: %zu chunks, %llu events, %llu dropped in %llu gaps%s\n",
+                fed, static_cast<unsigned long long>(decoded.event_count),
+                static_cast<unsigned long long>(decoded.dropped_events),
+                static_cast<unsigned long long>(decoded.capture_gaps),
+                truncated ? " (truncated tail)" : "");
+    std::printf("%s\n", Summary(decoded).Format(rows).c_str());
+    return 0;
   }
   StreamingDecoder decoder(names, capture.timer_bits, capture.timer_clock_hz);
   std::size_t fed = 0;
@@ -115,8 +165,8 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
   if (argc < 3) {
     *error =
         "usage: hwprof_analyze <capture> <names> [--summary N] [--trace N] "
-        "[--callgraph N] [--histogram FN] [--spl] | <stream> <names> --follow "
-        "[--summary N] [--poll N]";
+        "[--callgraph N] [--histogram FN] [--spl] [--jobs N] | <stream> <names> "
+        "--follow [--summary N] [--poll N] [--jobs N]";
     return 2;
   }
 
@@ -153,7 +203,25 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
     return 1;
   }
 
-  const DecodedTrace decoded = Decoder::Decode(raw, names);
+  // `--jobs` is resolved before decoding; the remaining options are consumed
+  // by the report loop below. 1 selects the serial decoder outright; any
+  // other value shards the decode across a worker pool (0 = hardware
+  // concurrency) with byte-identical output.
+  unsigned jobs = 0;
+  bool serial = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
+      std::uint64_t value = 0;
+      if (ParseUint(argv[i + 1], &value)) {
+        jobs = static_cast<unsigned>(value);
+        serial = (jobs == 1);
+      }
+    }
+  }
+
+  const DecodedTrace decoded =
+      serial ? Decoder::Decode(raw, names)
+             : DecodeParallel(raw, names, ParallelOptions{.jobs = jobs});
   if (decoded.unknown_tags > 0) {
     std::printf("warning: %llu events carried tags missing from the names file\n",
                 static_cast<unsigned long long>(decoded.unknown_tags));
@@ -199,6 +267,8 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
       Grouping grouping(decoded, Grouping::SplGroup(decoded));
       std::printf("%s\n", grouping.Format().c_str());
       did_something = true;
+    } else if (arg == "--jobs") {
+      next_number(0);  // already consumed before the decode
     } else {
       *error = StrFormat("unknown option '%s'", arg.c_str());
       return 2;

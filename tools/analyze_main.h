@@ -17,6 +17,9 @@ namespace hwprof {
 //   --histogram FN   per-call net-time histogram of function FN
 //   --processes      per-process (activity-context) CPU accounting
 //   --spl            spl* subsystem grouping
+//   --jobs N         decode with N worker threads (0 or omitted: hardware
+//                    concurrency; 1: serial). Output is byte-identical at
+//                    every N.
 // Returns 0 on success; prints to stdout, errors to `*error`.
 int AnalyzeMain(int argc, const char* const* argv, std::string* error);
 
