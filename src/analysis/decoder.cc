@@ -44,7 +44,14 @@ class StreamingDecoder::Impl {
   void Feed(const RawEvent* events, std::size_t count) {
     HWPROF_CHECK_MSG(!finished_, "StreamingDecoder: Feed after Finish");
     for (std::size_t k = 0; k < count; ++k) {
-      const RawEvent& e = events[k];
+      RawEvent e = events[k];
+      // A stored timestamp above the counter mask cannot have come from the
+      // timer (a flipped high bit, or an upload-path fault). The delta it
+      // implies is impossible; salvage by masking and count the anomaly.
+      if (e.timestamp > timer_.Mask()) {
+        e.timestamp &= timer_.Mask();
+        ++out_.impossible_deltas;
+      }
       // Absolute-time reconstruction: the timer value is only an interval
       // counter; consecutive events are less than one wrap apart by hardware
       // contract, so each delta is (later - earlier) mod 2^bits. Unknown
@@ -85,6 +92,16 @@ class StreamingDecoder::Impl {
     ++out_.capture_gaps;
   }
 
+  void NoteCorruptWords(std::uint64_t count) {
+    HWPROF_CHECK_MSG(!finished_, "StreamingDecoder: NoteCorruptWords after Finish");
+    out_.corrupt_words += count;
+  }
+
+  void SetClockEnvelope(Nanoseconds capture_elapsed) {
+    HWPROF_CHECK_MSG(!finished_, "StreamingDecoder: SetClockEnvelope after Finish");
+    envelope_ = capture_elapsed;
+  }
+
   std::uint64_t events_seen() const { return known_events_; }
   std::uint64_t dropped_events() const { return out_.dropped_events; }
   std::size_t pending() const { return events_.size() - head_; }
@@ -105,6 +122,10 @@ class StreamingDecoder::Impl {
     snap.truncated_entry_counts = out_.truncated_entry_counts;
     snap.dropped_events = out_.dropped_events;
     snap.capture_gaps = out_.capture_gaps;
+    snap.corrupt_words = out_.corrupt_words;
+    snap.impossible_deltas = out_.impossible_deltas;
+    snap.wrap_ambiguous_gaps = out_.wrap_ambiguous_gaps;
+    snap.unaccounted_time = out_.unaccounted_time;
     snap.idle_time = out_.idle_time;
     snap.per_function = out_.per_function;  // calls already pruned, if any
     for (const auto& stack : out_.stacks) {
@@ -123,6 +144,23 @@ class StreamingDecoder::Impl {
     }
     out_.truncated = truncated;
     out_.event_count = known_events_;
+    // Wrap-ambiguity check against the host wall-clock envelope: a quiet gap
+    // longer than WrapPeriod decodes as a short delta (the "at most one wrap"
+    // contract cannot be verified from deltas alone), so the reconstructed
+    // span comes up short of the measured capture duration by whole wraps.
+    if (envelope_ > 0 && known_events_ > 0) {
+      const Nanoseconds span = out_.end_time - out_.start_time;
+      if (envelope_ > span) {
+        const Nanoseconds missing = envelope_ - span;
+        const Nanoseconds wrap = timer_.WrapPeriod();
+        const std::uint64_t missed =
+            wrap > 0 ? static_cast<std::uint64_t>(missing / wrap) : 0;
+        if (missed > 0) {
+          out_.wrap_ambiguous_gaps += missed;
+          out_.unaccounted_time = missing;
+        }
+      }
+    }
     return std::move(out_);
   }
 
@@ -578,6 +616,7 @@ class StreamingDecoder::Impl {
   // preopen (the capture began inside the call). TagFile entries are unique
   // per name, so pointer identity suffices.
   std::unordered_set<const TagEntry*> entered_;
+  Nanoseconds envelope_ = 0;  // host wall-clock capture duration; 0 = none
   bool finished_ = false;
 };
 
@@ -602,6 +641,14 @@ void StreamingDecoder::FeedChunk(const TraceChunk& chunk) {
 
 void StreamingDecoder::NoteDropped(std::uint64_t count) { impl_->NoteDropped(count); }
 
+void StreamingDecoder::NoteCorruptWords(std::uint64_t count) {
+  impl_->NoteCorruptWords(count);
+}
+
+void StreamingDecoder::SetClockEnvelope(Nanoseconds capture_elapsed) {
+  impl_->SetClockEnvelope(capture_elapsed);
+}
+
 std::uint64_t StreamingDecoder::events_seen() const { return impl_->events_seen(); }
 
 std::uint64_t StreamingDecoder::dropped_events() const { return impl_->dropped_events(); }
@@ -615,6 +662,10 @@ DecodedTrace StreamingDecoder::Finish(bool truncated) { return impl_->Finish(tru
 DecodedTrace Decoder::Decode(const RawTrace& raw, const TagFile& names) {
   StreamingDecoder decoder(names, raw.timer_bits, raw.timer_clock_hz,
                            StreamingOptions{.retain_structure = true});
+  // Board-side accounting travels with the capture: drain-race drops and the
+  // host wall-clock envelope (both 0 on traces that never recorded them).
+  decoder.NoteDropped(raw.dropped_events);
+  decoder.SetClockEnvelope(raw.capture_elapsed_ns);
   decoder.Feed(raw.events);
   return decoder.Finish(raw.overflowed);
 }

@@ -135,6 +135,25 @@ struct DecodedTrace {
   std::uint64_t dropped_events = 0;
   std::uint64_t capture_gaps = 0;
 
+  // --- Salvage accounting (typed anomaly report) -----------------------------
+  // Words the parse layer could not read at all (corrupt lines in a
+  // salvage-mode load; injected via NoteCorruptWords so every decode path
+  // reports the same totals).
+  std::uint64_t corrupt_words = 0;
+  // Events whose stored timestamp exceeded the timer mask — the counter
+  // cannot have produced the word, so the delta it implies is impossible.
+  // The decoder masks the timestamp (best-effort) and keeps going.
+  std::uint64_t impossible_deltas = 0;
+  // Whole timer wraps hidden inside quiet gaps: detected against the host
+  // wall-clock envelope (SetClockEnvelope / RawTrace::capture_elapsed_ns)
+  // when one is available. Each counts one violation of the "at most one
+  // wrap between events" contract; the affected intervals decoded as short
+  // deltas and the capture's reconstructed span is missing that time.
+  std::uint64_t wrap_ambiguous_gaps = 0;
+  // Wall-clock time the envelope says happened but the reconstruction
+  // cannot account for (0 when no envelope, or when within one wrap).
+  Nanoseconds unaccounted_time = 0;
+
   Nanoseconds ElapsedTotal() const { return end_time - start_time; }
   Nanoseconds RunTime() const {
     return ElapsedTotal() > idle_time ? ElapsedTotal() - idle_time : 0;
@@ -142,6 +161,30 @@ struct DecodedTrace {
   const FuncStats* Stats(const std::string& name) const {
     auto it = per_function.find(name);
     return it == per_function.end() ? nullptr : &it->second;
+  }
+
+  // Entries closed by end-of-capture truncation (the tolerated subset of
+  // unclosed_entries).
+  std::uint64_t TruncationClosedEntries() const {
+    std::uint64_t n = 0;
+    for (const auto& [name, count] : truncated_entry_counts) {
+      n += count;
+    }
+    return n;
+  }
+  // Entries force-closed by mid-trace mismatch recovery — unlike truncation
+  // closes, these indicate real damage or tag imbalance.
+  std::uint64_t MidTraceUnclosedEntries() const {
+    const std::uint64_t tolerated = TruncationClosedEntries();
+    return unclosed_entries > tolerated ? unclosed_entries - tolerated : 0;
+  }
+  // Anything a health-conscious consumer should hear about. Deliberately
+  // excludes plain truncation (stopping a capture mid-run is normal) and
+  // the truncation-closed entries it implies.
+  bool HasAnomalies() const {
+    return corrupt_words > 0 || impossible_deltas > 0 || wrap_ambiguous_gaps > 0 ||
+           unknown_tags > 0 || orphan_exits > 0 || dropped_events > 0 ||
+           MidTraceUnclosedEntries() > 0;
   }
 };
 
@@ -194,6 +237,16 @@ class StreamingDecoder {
   // usual); note that a gap longer than the timer wrap period makes the
   // interval across it ambiguous, as on the real hardware.
   void NoteDropped(std::uint64_t count);
+  // Records `count` stored words the parse layer could not read at all
+  // (salvage-mode loads skip them and report here, so every decode path
+  // charges identical corrupt-word totals).
+  void NoteCorruptWords(std::uint64_t count);
+  // Gives the decoder a host wall-clock measurement of the capture's real
+  // duration. Timer wraps hidden inside quiet gaps (> WrapPeriod with no
+  // stored event) are undetectable from deltas alone; with an envelope the
+  // decoder compares the reconstructed span against it at Finish and counts
+  // each whole missing wrap as a wrap-ambiguous gap.
+  void SetClockEnvelope(Nanoseconds capture_elapsed);
 
   // Known-tag events accepted so far.
   std::uint64_t events_seen() const;

@@ -331,7 +331,13 @@ class ParallelAnalyzer::Impl {
   void Feed(const RawEvent* events, std::size_t count) {
     HWPROF_CHECK_MSG(!finished_, "ParallelAnalyzer: Feed after Finish");
     for (std::size_t k = 0; k < count; ++k) {
-      const RawEvent& e = events[k];
+      RawEvent e = events[k];
+      // Mirrors the StreamingDecoder's impossible-delta salvage: a stored
+      // timestamp above the counter mask is masked and counted.
+      if (e.timestamp > timer_.Mask()) {
+        e.timestamp &= timer_.Mask();
+        ++out_.impossible_deltas;
+      }
       if (!have_prev_) {
         prev_ = e.timestamp;
         have_prev_ = true;
@@ -368,6 +374,16 @@ class ParallelAnalyzer::Impl {
     ++out_.capture_gaps;
   }
 
+  void NoteCorruptWords(std::uint64_t count) {
+    HWPROF_CHECK_MSG(!finished_, "ParallelAnalyzer: NoteCorruptWords after Finish");
+    out_.corrupt_words += count;
+  }
+
+  void SetClockEnvelope(Nanoseconds capture_elapsed) {
+    HWPROF_CHECK_MSG(!finished_, "ParallelAnalyzer: SetClockEnvelope after Finish");
+    envelope_ = capture_elapsed;
+  }
+
   std::uint64_t events_seen() const { return known_events_; }
   std::uint64_t dropped_events() const { return out_.dropped_events; }
   std::size_t shards_planned() const { return results_.size(); }
@@ -382,6 +398,21 @@ class ParallelAnalyzer::Impl {
     Merge();
     out_.truncated = truncated;
     out_.event_count = known_events_;
+    // Wrap-ambiguity check against the host wall-clock envelope — must make
+    // the same decision, from the same inputs, as the StreamingDecoder.
+    if (envelope_ > 0 && known_events_ > 0) {
+      const Nanoseconds span = out_.end_time - out_.start_time;
+      if (envelope_ > span) {
+        const Nanoseconds missing = envelope_ - span;
+        const Nanoseconds wrap = timer_.WrapPeriod();
+        const std::uint64_t missed =
+            wrap > 0 ? static_cast<std::uint64_t>(missing / wrap) : 0;
+        if (missed > 0) {
+          out_.wrap_ambiguous_gaps += missed;
+          out_.unaccounted_time = missing;
+        }
+      }
+    }
     return std::move(out_);
   }
 
@@ -825,6 +856,7 @@ class ParallelAnalyzer::Impl {
   PlanStack* pending_swtch_ = nullptr;
   std::vector<PlanStack*> suspend_order_;
   std::unordered_set<const TagEntry*> entered_;
+  Nanoseconds envelope_ = 0;  // host wall-clock capture duration; 0 = none
   bool block_boundary_ = false;
   bool finished_ = false;
 
@@ -856,6 +888,14 @@ void ParallelAnalyzer::FeedChunk(const TraceChunk& chunk) {
 
 void ParallelAnalyzer::NoteDropped(std::uint64_t count) { impl_->NoteDropped(count); }
 
+void ParallelAnalyzer::NoteCorruptWords(std::uint64_t count) {
+  impl_->NoteCorruptWords(count);
+}
+
+void ParallelAnalyzer::SetClockEnvelope(Nanoseconds capture_elapsed) {
+  impl_->SetClockEnvelope(capture_elapsed);
+}
+
 std::uint64_t ParallelAnalyzer::events_seen() const { return impl_->events_seen(); }
 
 std::uint64_t ParallelAnalyzer::dropped_events() const {
@@ -873,6 +913,10 @@ DecodedTrace ParallelAnalyzer::Finish(bool truncated) {
 DecodedTrace DecodeParallel(const RawTrace& raw, const TagFile& names,
                             ParallelOptions options) {
   ParallelAnalyzer analyzer(names, raw.timer_bits, raw.timer_clock_hz, options);
+  // Same board-side accounting as Decoder::Decode so both batch wrappers
+  // stay byte-identical.
+  analyzer.NoteDropped(raw.dropped_events);
+  analyzer.SetClockEnvelope(raw.capture_elapsed_ns);
   analyzer.Feed(raw.events);
   return analyzer.Finish(raw.overflowed);
 }

@@ -74,6 +74,10 @@ class ParallelAnalyzer {
   void Feed(const std::vector<RawEvent>& events);
   void FeedChunk(const TraceChunk& chunk);
   void NoteDropped(std::uint64_t count);
+  // Salvage accounting — identical semantics to the StreamingDecoder's
+  // methods of the same names (the differential contract covers them).
+  void NoteCorruptWords(std::uint64_t count);
+  void SetClockEnvelope(Nanoseconds capture_elapsed);
 
   std::uint64_t events_seen() const;
   std::uint64_t dropped_events() const;

@@ -72,6 +72,23 @@ std::string ProcessReport::Format(const DecodedTrace& trace) const {
                      row.top_function.c_str(),
                      static_cast<unsigned long long>(ToWholeUsec(row.top_net)));
   }
+  if (trace.HasAnomalies()) {
+    std::string items;
+    auto item = [&items](const char* label, std::uint64_t n) {
+      if (n > 0) {
+        items += StrFormat("%s%llu %s", items.empty() ? "" : ", ",
+                           static_cast<unsigned long long>(n), label);
+      }
+    };
+    item("corrupt words", trace.corrupt_words);
+    item("impossible deltas", trace.impossible_deltas);
+    item("wrap-ambiguous gaps", trace.wrap_ambiguous_gaps);
+    item("unknown tags", trace.unknown_tags);
+    item("orphan exits", trace.orphan_exits);
+    item("dropped events", trace.dropped_events);
+    item("mid-trace unclosed", trace.MidTraceUnclosedEntries());
+    out += StrFormat("  capture anomalies: %s\n", items.c_str());
+  }
   return out;
 }
 

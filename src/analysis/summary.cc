@@ -12,6 +12,16 @@ Summary::Summary(const DecodedTrace& trace) {
   run_us_ = elapsed_us_ > idle_us_ ? elapsed_us_ - idle_us_ : 0;
   tag_count_ = trace.event_count;
 
+  has_anomalies_ = trace.HasAnomalies();
+  corrupt_words_ = trace.corrupt_words;
+  impossible_deltas_ = trace.impossible_deltas;
+  wrap_ambiguous_gaps_ = trace.wrap_ambiguous_gaps;
+  unaccounted_us_ = ToWholeUsec(trace.unaccounted_time);
+  unknown_tags_ = trace.unknown_tags;
+  orphan_exits_ = trace.orphan_exits;
+  dropped_events_ = trace.dropped_events;
+  mid_trace_unclosed_ = trace.MidTraceUnclosedEntries();
+
   for (const auto& [name, stats] : trace.per_function) {
     if (stats.context_switch) {
       // swtch's net time *is* the idle account in the header; listing it as
@@ -86,6 +96,28 @@ std::string Summary::Format(std::size_t top_n) const {
                          .c_str(),
                      row.pct_real, row.pct_net, row.name.c_str());
     ++emitted;
+  }
+  if (has_anomalies_) {
+    out += "--------------------------------------------------------------------------\n";
+    out += "Capture anomalies (salvaged):\n";
+    auto line = [&out](const char* label, std::uint64_t n) {
+      if (n > 0) {
+        out += StrFormat("  %-21s = %llu\n", label,
+                         static_cast<unsigned long long>(n));
+      }
+    };
+    line("corrupt words", corrupt_words_);
+    line("impossible deltas", impossible_deltas_);
+    if (wrap_ambiguous_gaps_ > 0) {
+      out += StrFormat("  %-21s = %llu (~%llu us unaccounted)\n",
+                       "wrap-ambiguous gaps",
+                       static_cast<unsigned long long>(wrap_ambiguous_gaps_),
+                       static_cast<unsigned long long>(unaccounted_us_));
+    }
+    line("unknown tags", unknown_tags_);
+    line("orphan exits", orphan_exits_);
+    line("dropped events", dropped_events_);
+    line("mid-trace unclosed", mid_trace_unclosed_);
   }
   return out;
 }

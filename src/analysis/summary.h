@@ -46,9 +46,11 @@ class Summary {
   std::uint64_t run_us() const { return run_us_; }
   std::uint64_t idle_us() const { return idle_us_; }
   std::size_t tag_count() const { return tag_count_; }
+  bool has_anomalies() const { return has_anomalies_; }
 
   // Renders the full Figure 3 style report; `top_n` limits the row count
-  // (0 = all).
+  // (0 = all). Traces with salvage anomalies get a footer enumerating them;
+  // clean captures (including plain truncation) render exactly as before.
   std::string Format(std::size_t top_n = 0) const;
 
  private:
@@ -57,6 +59,18 @@ class Summary {
   std::uint64_t run_us_ = 0;
   std::uint64_t idle_us_ = 0;
   std::size_t tag_count_ = 0;
+
+  // Anomaly snapshot for the Format footer (see DecodedTrace::HasAnomalies
+  // for what counts; truncation deliberately does not).
+  bool has_anomalies_ = false;
+  std::uint64_t corrupt_words_ = 0;
+  std::uint64_t impossible_deltas_ = 0;
+  std::uint64_t wrap_ambiguous_gaps_ = 0;
+  std::uint64_t unaccounted_us_ = 0;
+  std::uint64_t unknown_tags_ = 0;
+  std::uint64_t orphan_exits_ = 0;
+  std::uint64_t dropped_events_ = 0;
+  std::uint64_t mid_trace_unclosed_ = 0;
 };
 
 }  // namespace hwprof

@@ -1,0 +1,148 @@
+#include "src/profhw/fault_injection.h"
+
+#include <algorithm>
+
+#include "src/base/rng.h"
+
+namespace hwprof {
+
+FaultPlan FaultPlan::FromSeed(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  // Decorrelate the class-enable draws from the per-event draws InjectFaults
+  // makes with plan.seed itself.
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  if (rng.NextBool(0.55)) {
+    plan.word_bitflip_rate = 0.002 + 0.02 * rng.NextDouble();
+  }
+  plan.upload_path_flips = rng.NextBool(0.5);
+  if (rng.NextBool(0.45)) {
+    plan.drop_rate = 0.002 + 0.03 * rng.NextDouble();
+  }
+  if (rng.NextBool(0.35)) {
+    plan.duplicate_rate = 0.002 + 0.02 * rng.NextDouble();
+  }
+  if (rng.NextBool(0.35)) {
+    plan.stuck_run_rate = 0.002 + 0.008 * rng.NextDouble();
+    plan.stuck_run_max = 2 + rng.NextBelow(8);
+  }
+  if (rng.NextBool(0.4)) {
+    plan.timer_glitch_rate = 0.002 + 0.02 * rng.NextDouble();
+  }
+  plan.truncate_probability = rng.NextBool(0.3) ? 1.0 : 0.0;
+  return plan;
+}
+
+RawTrace InjectFaults(const RawTrace& clean, const FaultPlan& plan, FaultLog* log) {
+  Rng rng(plan.seed);
+  FaultLog local;
+  RawTrace out;
+  out.timer_bits = clean.timer_bits;
+  out.timer_clock_hz = clean.timer_clock_hz;
+  out.overflowed = clean.overflowed;
+  out.dropped_events = clean.dropped_events;
+  out.capture_elapsed_ns = clean.capture_elapsed_ns;
+  out.events.reserve(clean.events.size());
+
+  const std::uint32_t mask = clean.TimerMask();
+  const unsigned flip_span =
+      16 + (plan.upload_path_flips ? 32 : clean.timer_bits);
+
+  std::size_t i = 0;
+  while (i < clean.events.size()) {
+    // A stuck address counter stores every incoming event into the same
+    // cell; the readout then shows the *last* word of the run, repeated.
+    if (plan.stuck_run_rate > 0 && rng.NextBool(plan.stuck_run_rate)) {
+      const std::size_t run = std::min<std::size_t>(
+          2 + rng.NextBelow(std::max<std::size_t>(plan.stuck_run_max, 2) - 1),
+          clean.events.size() - i);
+      const RawEvent last = clean.events[i + run - 1];
+      for (std::size_t k = 0; k < run; ++k) {
+        out.events.push_back(last);
+      }
+      local.stuck_events += run - 1;
+      i += run;
+      continue;
+    }
+    RawEvent e = clean.events[i];
+    ++i;
+    if (plan.drop_rate > 0 && rng.NextBool(plan.drop_rate)) {
+      ++local.dropped;
+      continue;
+    }
+    if (plan.timer_glitch_rate > 0 && rng.NextBool(plan.timer_glitch_rate)) {
+      // The latch races the ripple carry: the low byte is garbage.
+      e.timestamp = (e.timestamp & ~0xFFu & mask) |
+                    static_cast<std::uint32_t>(rng.NextBelow(256));
+      e.timestamp &= mask;
+      ++local.timer_glitches;
+    }
+    if (plan.word_bitflip_rate > 0 && rng.NextBool(plan.word_bitflip_rate)) {
+      const unsigned bit = static_cast<unsigned>(rng.NextBelow(flip_span));
+      if (bit < 16) {
+        e.tag = static_cast<std::uint16_t>(e.tag ^ (1u << bit));
+      } else {
+        e.timestamp ^= 1u << (bit - 16);
+      }
+      ++local.bit_flips;
+    }
+    out.events.push_back(e);
+    if (plan.duplicate_rate > 0 && rng.NextBool(plan.duplicate_rate)) {
+      out.events.push_back(e);
+      ++local.duplicated;
+    }
+  }
+
+  if (plan.truncate_probability > 0 && !out.events.empty() &&
+      rng.NextBool(plan.truncate_probability)) {
+    const std::size_t keep = 1 + rng.NextBelow(out.events.size());
+    if (keep < out.events.size()) {
+      local.truncated_events = out.events.size() - keep;
+      out.events.resize(keep);
+      out.overflowed = true;
+      local.truncated = true;
+    }
+  }
+
+  if (log != nullptr) {
+    *log = local;
+  }
+  return out;
+}
+
+std::string CorruptCaptureText(const std::string& text, std::uint64_t seed,
+                               FaultLog* log) {
+  Rng rng(seed ^ 0xA5A5A5A5DEADBEEFull);
+  FaultLog local;
+  std::string out = text;
+  const std::size_t header_end = out.find('\n');
+  const std::size_t body = header_end == std::string::npos ? out.size() : header_end + 1;
+
+  // Flip a handful of body characters.
+  const std::size_t flips = out.size() > body ? 1 + rng.NextBelow(6) : 0;
+  for (std::size_t k = 0; k < flips; ++k) {
+    const std::size_t at = body + rng.NextBelow(out.size() - body);
+    if (out[at] == '\n') {
+      continue;  // keep the line structure; torn lines are made below
+    }
+    out[at] = static_cast<char>('!' + rng.NextBelow(64));
+    ++local.bit_flips;
+  }
+  // Occasionally splice in a garbage line.
+  if (rng.NextBool(0.5)) {
+    const char* junk[] = {"xx yy\n", "1 2 3\n", "-5 10\n", "???\n"};
+    out.insert(body, junk[rng.NextBelow(4)]);
+  }
+  // Torn write: shear off a suffix, usually mid-line.
+  if (rng.NextBool(0.5) && out.size() > body + 2) {
+    const std::size_t cut = body + 1 + rng.NextBelow(out.size() - body - 1);
+    out.resize(cut);
+    local.truncated = true;
+  }
+  if (log != nullptr) {
+    *log = local;
+  }
+  return out;
+}
+
+}  // namespace hwprof

@@ -1,0 +1,98 @@
+// Fault injection for the capture→decode pipeline.
+//
+// The paper's board fails in characteristic ways: a bit decays in a
+// battery-backed RAM carried between hosts, the address counter sticks and
+// one cell is stored (then read back) repeatedly, the drain loses the race
+// and events vanish, the timer latch glitches, a drain is interrupted
+// half-way and the tail of a bank never reaches the host. A FaultPlan is a
+// deterministic, seedable description of such an accident; InjectFaults
+// applies it to a pristine capture, producing exactly the damaged upload a
+// real session would have handed the analyser. CorruptCaptureText damages
+// the *serialized* form instead (torn writes, flipped characters), for
+// exercising the parse-layer salvage path.
+//
+// Everything here is driven by the repo-wide deterministic Rng, so a seed
+// identifies one reproducible accident — the differential suite leans on
+// that to prove every decode path reads the same wreckage identically.
+
+#ifndef HWPROF_SRC_PROFHW_FAULT_INJECTION_H_
+#define HWPROF_SRC_PROFHW_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/profhw/raw_trace.h"
+
+namespace hwprof {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Per-word probability of one random bit flipping in the stored 40-bit
+  // word (16 tag bits + timer_bits timer bits).
+  double word_bitflip_rate = 0.0;
+  // When true, timestamp flips may land in bits above the timer mask —
+  // corruption on the upload path rather than in the RAM word (the counter
+  // itself can never produce such a value). Exercises the decoder's
+  // impossible-delta defense.
+  bool upload_path_flips = false;
+
+  // Per-event probability the event is silently lost (the board never saw
+  // it stored; unlike drain-race drops, nothing counted the loss).
+  double drop_rate = 0.0;
+  // Per-event probability the event is stored twice (address counter
+  // advanced but the write strobe doubled).
+  double duplicate_rate = 0.0;
+
+  // Per-event probability a stuck-address-counter run begins: the same word
+  // is read back 2..stuck_run_max times in place of the events that followed.
+  double stuck_run_rate = 0.0;
+  std::size_t stuck_run_max = 6;
+
+  // Per-event probability the latched timer value glitches (low bits
+  // re-randomized — the latch raced the ripple carry).
+  double timer_glitch_rate = 0.0;
+
+  // Probability the capture is cut off mid-run (a drain interrupted before
+  // the tail was read out); the trace is marked overflowed.
+  double truncate_probability = 0.0;
+
+  // A randomized mix of the above: each fault class is enabled with
+  // moderate probability so a couple of dozen seeds cover single faults,
+  // stacked faults, and the fault-free control.
+  static FaultPlan FromSeed(std::uint64_t seed);
+};
+
+// What InjectFaults actually did — ground truth for tests asserting that
+// anomaly accounting reacts to real damage.
+struct FaultLog {
+  std::uint64_t bit_flips = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t stuck_events = 0;
+  std::uint64_t timer_glitches = 0;
+  std::uint64_t truncated_events = 0;  // events cut off the tail
+  bool truncated = false;
+
+  std::uint64_t TotalFaults() const {
+    return bit_flips + dropped + duplicated + stuck_events + timer_glitches +
+           truncated_events;
+  }
+};
+
+// Applies `plan` to `clean`, returning the damaged capture. Header fields
+// (timer width, clock, overflowed/dropped counters, envelope) carry over;
+// truncation marks the result overflowed. Deterministic in (clean, plan).
+RawTrace InjectFaults(const RawTrace& clean, const FaultPlan& plan,
+                      FaultLog* log = nullptr);
+
+// Damages serialized capture/stream text: flips characters, mangles random
+// lines, and may tear off a suffix mid-line (a torn write). The header line
+// is left intact — header damage is simply an unreadable file, which the
+// strict parser already reports. Deterministic in (text, seed).
+std::string CorruptCaptureText(const std::string& text, std::uint64_t seed,
+                               FaultLog* log = nullptr);
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_PROFHW_FAULT_INJECTION_H_

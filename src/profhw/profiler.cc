@@ -218,7 +218,12 @@ RawTrace Profiler::Upload() const {
     }
     const auto& live = bank(active_).Contents();
     trace.events.insert(trace.events.end(), live.begin(), live.end());
-    trace.overflowed = dropped_ > 0;
+    // Dropping events (LED 2 in double-buffer mode) is not the same
+    // condition as storing having stopped: capture continued past every
+    // drop, so the trace is gappy, not truncated. Report the two
+    // separately instead of folding both into one bit.
+    trace.overflowed = false;
+    trace.dropped_events = dropped_;
     return trace;
   }
   trace.events = ram_.Contents();

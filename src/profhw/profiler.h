@@ -133,7 +133,10 @@ class Profiler : public EpromTapListener {
   // Models pulling the battery-backed Smart-Socket RAMs and uploading their
   // contents to a host: returns the raw capture (sealed bank first — its
   // events are older). The board keeps its data (reading RAM is
-  // non-destructive).
+  // non-destructive). Single-buffer boards report RAM overflow through
+  // RawTrace::overflowed (storing stopped); double-buffered boards report
+  // drain races through RawTrace::dropped_events (storing continued, events
+  // were lost mid-stream) and never set `overflowed`.
   RawTrace Upload() const;
 
  private:

@@ -7,6 +7,31 @@
 
 namespace hwprof {
 
+namespace {
+
+void NoteDiag(std::vector<TraceDiag>* diags, int line, std::string message) {
+  if (diags != nullptr) {
+    diags->push_back(TraceDiag{line, std::move(message)});
+  }
+}
+
+// Reads the whole file; a missing/unreadable file is a file-level (line 0)
+// diagnostic so tools can print a reason instead of a bare failure.
+bool SlurpFile(const std::string& path, std::string* text,
+               std::vector<TraceDiag>* diags) {
+  std::ifstream in(path);
+  if (!in) {
+    NoteDiag(diags, 0, "cannot open file");
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *text = buffer.str();
+  return true;
+}
+
+}  // namespace
+
 bool SaveCapture(const RawTrace& trace, const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
@@ -16,14 +41,27 @@ bool SaveCapture(const RawTrace& trace, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-bool LoadCapture(const std::string& path, RawTrace* out) {
-  std::ifstream in(path);
-  if (!in) {
+bool LoadCapture(const std::string& path, RawTrace* out,
+                 std::vector<TraceDiag>* diags) {
+  std::string text;
+  if (!SlurpFile(path, &text, diags)) {
     return false;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return RawTrace::Deserialize(buffer.str(), out);
+  return RawTrace::Deserialize(text, out, diags);
+}
+
+bool LoadCapture(const std::string& path, RawTrace* out) {
+  return LoadCapture(path, out, nullptr);
+}
+
+bool LoadCaptureSalvage(const std::string& path, RawTrace* out,
+                        std::vector<TraceDiag>* diags,
+                        std::uint64_t* corrupt_words) {
+  std::string text;
+  if (!SlurpFile(path, &text, diags)) {
+    return false;
+  }
+  return RawTrace::DeserializeSalvage(text, out, diags, corrupt_words);
 }
 
 std::uint64_t StreamCapture::TotalEvents() const {
@@ -78,54 +116,114 @@ bool AppendStreamChunk(const std::string& path, const TraceChunk& chunk) {
   return static_cast<bool>(out);
 }
 
-bool LoadStream(const std::string& path, StreamCapture* out) {
-  std::ifstream in(path);
-  if (!in) {
-    return false;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string text = buffer.str();
+namespace {
 
+bool ParseChunkHeader(std::string_view line, std::uint64_t* count,
+                      std::uint64_t* dropped) {
+  const std::vector<std::string_view> fields = Split(line, ' ');
+  return fields.size() == 3 && fields[0] == "chunk" &&
+         ParseUint(fields[1], count) && ParseUint(fields[2], dropped);
+}
+
+// Shared parser behind the strict and salvage stream loaders. A torn final
+// line — wherever it falls — is tolerated in both modes (the writer may be
+// mid-append; --follow polls the same file the target is still writing):
+// everything parsed so far stands and truncated_tail is set. Mid-file damage
+// is a failure in strict mode; in salvage mode each unreadable line counts
+// one corrupt word and parsing resynchronises at the next chunk boundary.
+bool ParseStream(const std::string& text, StreamCapture* out,
+                 std::vector<TraceDiag>* diags, bool salvage,
+                 std::uint64_t* corrupt_words) {
   const std::vector<std::string_view> lines = SplitLines(text);
   if (lines.empty()) {
+    NoteDiag(diags, 1, "empty file: expected 'hwprof-stream v1 <bits> <hz>' header");
     return false;
   }
   const std::vector<std::string_view> header = Split(lines[0], ' ');
+  if (header.size() != 4 || header[0] != "hwprof-stream" || header[1] != "v1") {
+    NoteDiag(diags, 1, "bad header: expected 'hwprof-stream v1 <bits> <hz>'");
+    return false;
+  }
   std::uint64_t bits = 0;
   std::uint64_t hz = 0;
-  if (header.size() != 4 || header[0] != "hwprof-stream" || header[1] != "v1" ||
-      !ParseUint(header[2], &bits) || !ParseUint(header[3], &hz) || bits < 8 || bits > 32 ||
-      hz == 0) {
+  if (!ParseUint(header[2], &bits) || bits < 8 || bits > 32) {
+    NoteDiag(diags, 1, "timer width must be a number in 8..32");
+    return false;
+  }
+  if (!ParseUint(header[3], &hz) || hz == 0) {
+    NoteDiag(diags, 1, "timer clock rate must be a positive number");
     return false;
   }
   StreamCapture capture;
   capture.timer_bits = static_cast<unsigned>(bits);
   capture.timer_clock_hz = hz;
+  const std::uint32_t mask =
+      bits >= 32 ? 0xFFFFFFFFu : ((1u << bits) - 1u);
 
   std::size_t i = 1;
   while (i < lines.size()) {
-    const std::vector<std::string_view> fields = Split(lines[i], ' ');
     std::uint64_t count = 0;
     std::uint64_t dropped = 0;
-    if (fields.size() != 3 || fields[0] != "chunk" || !ParseUint(fields[1], &count) ||
-        !ParseUint(fields[2], &dropped)) {
-      return false;
+    if (!ParseChunkHeader(lines[i], &count, &dropped)) {
+      if (i + 1 == lines.size()) {
+        capture.truncated_tail = true;  // torn chunk header mid-append
+        break;
+      }
+      NoteDiag(diags, static_cast<int>(i) + 1,
+               "expected 'chunk <count> <dropped>'");
+      if (!salvage) {
+        return false;
+      }
+      if (corrupt_words != nullptr) {
+        ++*corrupt_words;
+      }
+      ++i;
+      continue;
     }
     ++i;
     TraceChunk chunk;
     chunk.dropped_before = dropped;
     chunk.events.reserve(static_cast<std::size_t>(count));
     while (chunk.events.size() < count && i < lines.size()) {
+      const int line_no = static_cast<int>(i) + 1;
       const std::vector<std::string_view> ev = Split(lines[i], ' ');
       std::uint64_t tag = 0;
       std::uint64_t timestamp = 0;
-      if (ev.size() != 2 || !ParseUint(ev[0], &tag) || !ParseUint(ev[1], &timestamp) ||
-          tag > 0xFFFF || timestamp > 0xFFFFFFFFull) {
-        return false;
+      std::string reason;
+      if (ev.size() != 2 || !ParseUint(ev[0], &tag) ||
+          !ParseUint(ev[1], &timestamp)) {
+        reason = StrFormat("expected '<tag> <timestamp>', got %zu fields",
+                           ev.size());
+      } else if (tag > 0xFFFF) {
+        reason = StrFormat("tag %llu exceeds the 16-bit tag section",
+                           static_cast<unsigned long long>(tag));
+      } else if (timestamp > mask) {
+        reason = StrFormat("timestamp %llu exceeds the %u-bit timer mask (%lu)",
+                           static_cast<unsigned long long>(timestamp),
+                           capture.timer_bits, static_cast<unsigned long>(mask));
       }
-      chunk.events.push_back(
-          RawEvent{static_cast<std::uint16_t>(tag), static_cast<std::uint32_t>(timestamp)});
+      if (!reason.empty()) {
+        if (i + 1 == lines.size()) {
+          ++i;  // torn final record: the short count marks the tail below
+          break;
+        }
+        NoteDiag(diags, line_no, std::move(reason));
+        if (!salvage) {
+          return false;
+        }
+        std::uint64_t nc = 0;
+        std::uint64_t nd = 0;
+        if (ParseChunkHeader(lines[i], &nc, &nd)) {
+          break;  // chunk cut short; resynchronise at the bank boundary
+        }
+        if (corrupt_words != nullptr) {
+          ++*corrupt_words;
+        }
+        ++i;
+        continue;
+      }
+      chunk.events.push_back(RawEvent{static_cast<std::uint16_t>(tag),
+                                      static_cast<std::uint32_t>(timestamp)});
       ++i;
     }
     if (chunk.events.size() < count) {
@@ -135,6 +233,31 @@ bool LoadStream(const std::string& path, StreamCapture* out) {
   }
   *out = std::move(capture);
   return true;
+}
+
+}  // namespace
+
+bool LoadStream(const std::string& path, StreamCapture* out,
+                std::vector<TraceDiag>* diags) {
+  std::string text;
+  if (!SlurpFile(path, &text, diags)) {
+    return false;
+  }
+  return ParseStream(text, out, diags, /*salvage=*/false, nullptr);
+}
+
+bool LoadStream(const std::string& path, StreamCapture* out) {
+  return LoadStream(path, out, nullptr);
+}
+
+bool LoadStreamSalvage(const std::string& path, StreamCapture* out,
+                       std::vector<TraceDiag>* diags,
+                       std::uint64_t* corrupt_words) {
+  std::string text;
+  if (!SlurpFile(path, &text, diags)) {
+    return false;
+  }
+  return ParseStream(text, out, diags, /*salvage=*/true, corrupt_words);
 }
 
 }  // namespace hwprof

@@ -29,8 +29,18 @@ namespace hwprof {
 bool SaveCapture(const RawTrace& trace, const std::string& path);
 
 // Reads a capture previously written by SaveCapture. Returns false on I/O
-// failure or malformed contents.
+// failure or malformed contents; when `diags` is non-null every problem is
+// appended with its 1-based line number and reason (line 0 = file-level).
+bool LoadCapture(const std::string& path, RawTrace* out,
+                 std::vector<TraceDiag>* diags);
 bool LoadCapture(const std::string& path, RawTrace* out);
+
+// Salvage load: keeps every parseable event, counts unreadable lines into
+// `*corrupt_words` (reporting each into `diags` when non-null). Fails only
+// on I/O failure or an unusable header.
+bool LoadCaptureSalvage(const std::string& path, RawTrace* out,
+                        std::vector<TraceDiag>* diags,
+                        std::uint64_t* corrupt_words);
 
 // --- Chunked stream files ----------------------------------------------------
 
@@ -57,10 +67,22 @@ bool SaveStreamHeader(const std::string& path, unsigned timer_bits,
 // Appends one drained chunk to an existing stream file.
 bool AppendStreamChunk(const std::string& path, const TraceChunk& chunk);
 
-// Parses a stream file. Tolerates a truncated final chunk (see
-// StreamCapture::truncated_tail); returns false only on I/O failure or a
-// malformed header/body.
+// Parses a stream file. Tolerates a truncated final chunk AND a torn final
+// line (a writer caught mid-append, or a sheared file) — both just set
+// StreamCapture::truncated_tail and keep everything parsed so far. Returns
+// false only on I/O failure or a malformed header/body; `diags` (when
+// non-null) receives line+reason for every problem found.
+bool LoadStream(const std::string& path, StreamCapture* out,
+                std::vector<TraceDiag>* diags);
 bool LoadStream(const std::string& path, StreamCapture* out);
+
+// Salvage load for stream files: unreadable mid-file lines are counted into
+// `*corrupt_words` and skipped, resynchronising at the next chunk boundary;
+// a torn tail is tolerated as in LoadStream. Fails only on I/O failure or
+// an unusable header.
+bool LoadStreamSalvage(const std::string& path, StreamCapture* out,
+                       std::vector<TraceDiag>* diags,
+                       std::uint64_t* corrupt_words);
 
 }  // namespace hwprof
 

@@ -204,19 +204,31 @@ TEST(RawTrace, SerializeDeserializeRoundTrip) {
 
 TEST(RawTrace, RoundTripRandomised) {
   Rng rng(1993);
-  for (int round = 0; round < 20; ++round) {
+  for (int round = 0; round < 40; ++round) {
     RawTrace trace;
     trace.timer_bits = static_cast<unsigned>(rng.NextInRange(8, 32));
     trace.timer_clock_hz = rng.NextInRange(1, 10'000'000);
     trace.overflowed = rng.NextBool(0.5);
+    if (rng.NextBool(0.5)) {
+      trace.dropped_events = rng.NextBelow(100000);
+    }
+    if (rng.NextBool(0.5)) {
+      trace.capture_elapsed_ns = rng.NextBelow(100'000'000'000ull);
+    }
+    const std::uint32_t mask = trace.TimerMask();
     const std::size_t n = rng.NextBelow(200);
     for (std::size_t i = 0; i < n; ++i) {
+      // Stored timestamps never exceed the header's timer width — that is
+      // exactly what Deserialize validates.
       trace.events.push_back(RawEvent{static_cast<std::uint16_t>(rng.NextBelow(65536)),
-                                      static_cast<std::uint32_t>(rng.NextBelow(1u << 24))});
+                                      static_cast<std::uint32_t>(rng.NextBelow(1u << 24)) & mask});
     }
     RawTrace loaded;
     ASSERT_TRUE(RawTrace::Deserialize(trace.Serialize(), &loaded));
     EXPECT_EQ(loaded.events, trace.events);
+    EXPECT_EQ(loaded.dropped_events, trace.dropped_events);
+    EXPECT_EQ(loaded.capture_elapsed_ns, trace.capture_elapsed_ns);
+    EXPECT_EQ(loaded.overflowed, trace.overflowed);
   }
 }
 
@@ -228,6 +240,47 @@ TEST(RawTrace, DeserializeRejectsGarbage) {
   EXPECT_FALSE(RawTrace::Deserialize("hwprof-raw v1 24 1000000 0\n1 2 3\n", &out));
   EXPECT_FALSE(RawTrace::Deserialize("hwprof-raw v1 24 1000000 0\n99999999 1\n", &out));
   EXPECT_FALSE(RawTrace::Deserialize("hwprof-raw v1 99 1000000 0\n", &out));
+  EXPECT_FALSE(RawTrace::Deserialize("hwprof-raw v1 24 1000000 0 bogus=1\n", &out));
+}
+
+TEST(RawTrace, DeserializeRejectsTimestampsBeyondTheTimerMask) {
+  // A 16-bit header cannot carry a 17-bit timestamp: the counter never
+  // produced that word.
+  RawTrace out;
+  std::vector<TraceDiag> diags;
+  EXPECT_FALSE(RawTrace::Deserialize("hwprof-raw v1 16 1000000 0\n100 65536\n",
+                                     &out, &diags));
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("exceeds the 16-bit timer mask"),
+            std::string::npos);
+  // The same value under a wider header is fine.
+  EXPECT_TRUE(RawTrace::Deserialize("hwprof-raw v1 24 1000000 0\n100 65536\n", &out));
+}
+
+TEST(RawTrace, DeserializeReportsEveryBadLineWithItsNumber) {
+  RawTrace out;
+  std::vector<TraceDiag> diags;
+  EXPECT_FALSE(RawTrace::Deserialize(
+      "hwprof-raw v1 24 1000000 0\n100 10\njunk\n100 20\n1 2 3\n", &out, &diags));
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_EQ(diags[1].line, 5);
+  EXPECT_FALSE(diags[0].message.empty());
+}
+
+TEST(RawTrace, SalvageKeepsGoodEventsAndCountsCorruptWords) {
+  RawTrace out;
+  std::vector<TraceDiag> diags;
+  std::uint64_t corrupt = 0;
+  ASSERT_TRUE(RawTrace::DeserializeSalvage(
+      "hwprof-raw v1 24 1000000 0\n100 10\njunk\n100 20\n1 2 3\n", &out, &diags,
+      &corrupt));
+  EXPECT_EQ(corrupt, 2u);
+  EXPECT_EQ(diags.size(), 2u);
+  ASSERT_EQ(out.events.size(), 2u);
+  EXPECT_EQ(out.events[0], (RawEvent{100, 10}));
+  EXPECT_EQ(out.events[1], (RawEvent{100, 20}));
 }
 
 // --- Smart socket file persistence -----------------------------------------------------------

@@ -177,5 +177,126 @@ TEST(AnalyzeCli, FollowReadsAChunkedStreamFile) {
   EXPECT_NE(error.find("cannot load stream"), std::string::npos);
 }
 
+TEST(AnalyzeCli, JsonReportCarriesTheAnomalyCounters) {
+  const CliFiles files = WriteSessionFiles();
+  std::string error;
+  ::testing::internal::CaptureStdout();
+  const int rc = RunCli({files.capture.c_str(), files.names.c_str(), "--json"}, &error);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0) << error;
+  EXPECT_NE(out.find("\"anomalies\": {"), std::string::npos);
+  EXPECT_NE(out.find("\"corrupt_words\": 0"), std::string::npos);
+  EXPECT_NE(out.find("\"wrap_ambiguous_gaps\": 0"), std::string::npos);
+  EXPECT_NE(out.find("\"functions\": ["), std::string::npos);
+  EXPECT_NE(out.find("\"pct_real\":"), std::string::npos);
+
+  // Serial and parallel decodes emit byte-identical JSON.
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(RunCli({files.capture.c_str(), files.names.c_str(), "--json", "--jobs", "8"},
+                   &error),
+            0)
+      << error;
+  EXPECT_EQ(::testing::internal::GetCapturedStdout(), out);
+}
+
+TEST(AnalyzeCli, MalformedCaptureFailsWithLineDiagnostics) {
+  const std::string capture = ::testing::TempDir() + "/cli_bad.hwprof";
+  const std::string names_path = ::testing::TempDir() + "/cli_bad.names";
+  {
+    std::ofstream out(capture);
+    out << "hwprof-raw v1 24 1000000 0\n100 10\ngarbage here\n101 20\n";
+    std::ofstream names_out(names_path);
+    names_out << "a/100\n";
+  }
+  std::string error;
+  EXPECT_NE(RunCli({capture.c_str(), names_path.c_str(), "--summary", "5"}, &error), 0);
+  EXPECT_NE(error.find("cannot load capture"), std::string::npos);
+  EXPECT_NE(error.find(capture + ":3:"), std::string::npos) << error;
+}
+
+TEST(AnalyzeCli, SalvageRecoversACorruptCaptureAndReportsAnomalies) {
+  const std::string capture = ::testing::TempDir() + "/cli_salvage.hwprof";
+  const std::string names_path = ::testing::TempDir() + "/cli_salvage.names";
+  {
+    std::ofstream out(capture);
+    out << "hwprof-raw v1 24 1000000 0\n100 10\ngarbage here\n101 20\n";
+    std::ofstream names_out(names_path);
+    names_out << "a/100\n";
+  }
+  std::string error;
+  ::testing::internal::CaptureStdout();
+  const int rc = RunCli(
+      {capture.c_str(), names_path.c_str(), "--salvage", "--summary", "5"}, &error);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0) << error;
+  EXPECT_NE(out.find("(salvaged)"), std::string::npos) << out;
+  EXPECT_NE(out.find("Capture anomalies (salvaged):"), std::string::npos) << out;
+  EXPECT_NE(out.find("corrupt words"), std::string::npos) << out;
+}
+
+TEST(AnalyzeCli, FollowToleratesAStreamTruncatedMidRecord) {
+  // A writer died mid-record: the chunk header promises two events but the
+  // second line was torn by the crash. --follow must decode what made it to
+  // disk and flag the truncated tail — never crash or spin.
+  const std::string stream = ::testing::TempDir() + "/cli_torn.hwstream";
+  const std::string names_path = ::testing::TempDir() + "/cli_torn.names";
+  {
+    std::ofstream names_out(names_path);
+    names_out << "a/100\nb/102\n";
+  }
+  ASSERT_TRUE(SaveStreamHeader(stream, 24, 1'000'000));
+  TraceChunk first;
+  first.events = {{100, 10}, {102, 20}, {103, 60}, {101, 90}};
+  ASSERT_TRUE(AppendStreamChunk(stream, first));
+  {
+    std::ofstream out(stream, std::ios::app);
+    out << "chunk 2 0\n100 120\n10";  // torn: second event never finished
+  }
+  std::string error;
+  ::testing::internal::CaptureStdout();
+  const int rc = RunCli({stream.c_str(), names_path.c_str(), "--follow", "--summary", "5"},
+                        &error);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0) << error;
+  EXPECT_NE(out.find("(truncated tail)"), std::string::npos) << out;
+}
+
+TEST(AnalyzeCli, FollowReportsMidStreamCorruptionUnlessSalvaging) {
+  const std::string stream = ::testing::TempDir() + "/cli_corrupt.hwstream";
+  const std::string names_path = ::testing::TempDir() + "/cli_corrupt.names";
+  {
+    std::ofstream names_out(names_path);
+    names_out << "a/100\n";
+  }
+  ASSERT_TRUE(SaveStreamHeader(stream, 24, 1'000'000));
+  TraceChunk first;
+  first.events = {{100, 10}, {101, 50}};
+  ASSERT_TRUE(AppendStreamChunk(stream, first));
+  {
+    std::ofstream out(stream, std::ios::app);
+    out << "chunk 2 0\n100 80\nzap!\n";  // corrupt word inside a chunk
+  }
+  TraceChunk last;
+  last.events = {{100, 120}, {101, 150}};
+  ASSERT_TRUE(AppendStreamChunk(stream, last));
+
+  // Strict mode refuses with a file:line diagnostic.
+  std::string error;
+  EXPECT_NE(RunCli({stream.c_str(), names_path.c_str(), "--follow"}, &error), 0);
+  EXPECT_NE(error.find("cannot load stream"), std::string::npos);
+  EXPECT_NE(error.find(stream + ":"), std::string::npos) << error;
+
+  // Salvage mode resynchronizes and reports the corrupt word in the footer.
+  error.clear();
+  ::testing::internal::CaptureStdout();
+  const int rc = RunCli(
+      {stream.c_str(), names_path.c_str(), "--follow", "--salvage", "--summary", "5"},
+      &error);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0) << error;
+  EXPECT_NE(out.find("Capture anomalies (salvaged):"), std::string::npos) << out;
+  EXPECT_NE(out.find("corrupt words"), std::string::npos) << out;
+}
+
 }  // namespace
 }  // namespace hwprof

@@ -31,6 +31,118 @@ bool ReadFileToString(const std::string& path, std::string* out) {
   return true;
 }
 
+// "file:line: reason" for every parse problem, appended to `message` (the
+// same shape TagFile diagnostics are printed in; line 0 is file-level).
+void AppendTraceDiags(const std::string& path, const std::vector<TraceDiag>& diags,
+                      std::string* message) {
+  for (const TraceDiag& d : diags) {
+    if (d.line > 0) {
+      *message += StrFormat("\n%s:%d: %s", path.c_str(), d.line, d.message.c_str());
+    } else {
+      *message += StrFormat("\n%s: %s", path.c_str(), d.message.c_str());
+    }
+  }
+}
+
+// The batch wrappers (Decoder::Decode / DecodeParallel) plus salvage-load
+// corrupt-word accounting, which has to be injected before the feed.
+DecodedTrace DecodeCapture(const RawTrace& raw, const TagFile& names, bool serial,
+                           unsigned jobs, std::uint64_t corrupt_words) {
+  if (serial) {
+    StreamingDecoder decoder(names, raw.timer_bits, raw.timer_clock_hz,
+                             StreamingOptions{.retain_structure = true});
+    decoder.NoteCorruptWords(corrupt_words);
+    decoder.NoteDropped(raw.dropped_events);
+    decoder.SetClockEnvelope(raw.capture_elapsed_ns);
+    decoder.Feed(raw.events);
+    return decoder.Finish(raw.overflowed);
+  }
+  ParallelAnalyzer analyzer(names, raw.timer_bits, raw.timer_clock_hz,
+                            ParallelOptions{.jobs = jobs});
+  analyzer.NoteCorruptWords(corrupt_words);
+  analyzer.NoteDropped(raw.dropped_events);
+  analyzer.SetClockEnvelope(raw.capture_elapsed_ns);
+  analyzer.Feed(raw.events);
+  return analyzer.Finish(raw.overflowed);
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Machine-readable report: capture header, the typed anomaly counters, and
+// every summary row. Built only from the DecodedTrace, so serial and
+// parallel decodes emit byte-identical JSON.
+std::string FormatJson(const DecodedTrace& decoded) {
+  const Summary summary(decoded);
+  auto u64 = [](std::uint64_t v) {
+    return StrFormat("%llu", static_cast<unsigned long long>(v));
+  };
+  std::string out = "{\n";
+  out += "  \"elapsed_us\": " + u64(summary.elapsed_us()) + ",\n";
+  out += "  \"run_us\": " + u64(summary.run_us()) + ",\n";
+  out += "  \"idle_us\": " + u64(summary.idle_us()) + ",\n";
+  out += "  \"events\": " + u64(decoded.event_count) + ",\n";
+  out += StrFormat("  \"truncated\": %s,\n", decoded.truncated ? "true" : "false");
+  out += "  \"anomalies\": {\n";
+  out += "    \"corrupt_words\": " + u64(decoded.corrupt_words) + ",\n";
+  out += "    \"impossible_deltas\": " + u64(decoded.impossible_deltas) + ",\n";
+  out += "    \"wrap_ambiguous_gaps\": " + u64(decoded.wrap_ambiguous_gaps) + ",\n";
+  out += "    \"unaccounted_us\": " + u64(ToWholeUsec(decoded.unaccounted_time)) + ",\n";
+  out += "    \"unknown_tags\": " + u64(decoded.unknown_tags) + ",\n";
+  out += "    \"orphan_exits\": " + u64(decoded.orphan_exits) + ",\n";
+  out += "    \"dropped_events\": " + u64(decoded.dropped_events) + ",\n";
+  out += "    \"capture_gaps\": " + u64(decoded.capture_gaps) + ",\n";
+  out += "    \"unclosed_entries\": " + u64(decoded.unclosed_entries) + ",\n";
+  out += "    \"mid_trace_unclosed\": " + u64(decoded.MidTraceUnclosedEntries()) + "\n";
+  out += "  },\n";
+  out += "  \"functions\": [";
+  bool first = true;
+  for (const SummaryRow& row : summary.rows()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": ";
+    AppendJsonString(row.name, &out);
+    out += ", \"calls\": " + u64(row.calls);
+    out += ", \"elapsed_us\": " + u64(row.elapsed_us);
+    out += ", \"net_us\": " + u64(row.net_us);
+    out += ", \"max_us\": " + u64(row.max_us);
+    out += ", \"avg_us\": " + u64(row.avg_us);
+    out += ", \"min_us\": " + u64(row.min_us);
+    out += StrFormat(", \"pct_real\": %.2f, \"pct_net\": %.2f}", row.pct_real,
+                     row.pct_net);
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
 // Incremental analysis of a chunked stream file: feeds each drained bank to
 // a StreamingDecoder, printing a status line and a running Figure 3 summary
 // as it goes. `--poll N` re-reads the file N times total (with a short real
@@ -41,6 +153,7 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
                std::string* error) {
   std::size_t rows = 20;
   int polls = 1;
+  bool salvage = false;
   // Default 1: live per-chunk summaries need the serial decoder's stats
   // snapshot. `--jobs 0` (or >1) hands decided chunks to the worker pool
   // instead and prints the summary once, from the merged final trace.
@@ -65,15 +178,41 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
       polls = static_cast<int>(next_number(1));
     } else if (arg == "--jobs") {
       jobs = static_cast<unsigned>(next_number(0));
+    } else if (arg == "--salvage") {
+      salvage = true;
     } else {
       *error = StrFormat("option '%s' is not available with --follow", arg.c_str());
       return 2;
     }
   }
 
+  // Each poll re-reads (and re-parses) the whole file, so the salvage
+  // corrupt-word total is cumulative; only the delta since the previous pass
+  // is handed to the decoder.
+  std::uint64_t corrupt_noted = 0;
+  auto load = [&](const char* verb, StreamCapture* capture,
+                  std::uint64_t* corrupt_delta) {
+    std::vector<TraceDiag> diags;
+    std::uint64_t corrupt_total = 0;
+    const bool ok = salvage
+                        ? LoadStreamSalvage(path, capture, &diags, &corrupt_total)
+                        : LoadStream(path, capture, &diags);
+    if (!ok) {
+      *error = StrFormat("cannot %s stream file '%s'", verb, path);
+      AppendTraceDiags(path, diags, error);
+      return false;
+    }
+    if (corrupt_delta != nullptr) {
+      *corrupt_delta =
+          corrupt_total > corrupt_noted ? corrupt_total - corrupt_noted : 0;
+      corrupt_noted = corrupt_total;
+    }
+    return true;
+  };
+
   StreamCapture capture;
-  if (!LoadStream(path, &capture)) {
-    *error = StrFormat("cannot load stream file '%s'", path);
+  std::uint64_t corrupt_delta = 0;
+  if (!load("load", &capture, &corrupt_delta)) {
     return 1;
   }
 
@@ -81,14 +220,15 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
     ParallelOptions popts;
     popts.jobs = jobs;
     ParallelAnalyzer analyzer(names, capture.timer_bits, capture.timer_clock_hz, popts);
+    analyzer.NoteCorruptWords(corrupt_delta);
     std::size_t fed = 0;
     for (int pass = 0; pass < polls; ++pass) {
       if (pass > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(200));
-        if (!LoadStream(path, &capture)) {
-          *error = StrFormat("cannot re-read stream file '%s'", path);
+        if (!load("re-read", &capture, &corrupt_delta)) {
           return 1;
         }
+        analyzer.NoteCorruptWords(corrupt_delta);
       }
       const std::size_t complete = capture.chunks.size() - (capture.truncated_tail ? 1 : 0);
       for (; fed < complete; ++fed) {
@@ -120,14 +260,15 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
     return 0;
   }
   StreamingDecoder decoder(names, capture.timer_bits, capture.timer_clock_hz);
+  decoder.NoteCorruptWords(corrupt_delta);
   std::size_t fed = 0;
   for (int pass = 0; pass < polls; ++pass) {
     if (pass > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
-      if (!LoadStream(path, &capture)) {
-        *error = StrFormat("cannot re-read stream file '%s'", path);
+      if (!load("re-read", &capture, &corrupt_delta)) {
         return 1;
       }
+      decoder.NoteCorruptWords(corrupt_delta);
     }
     const std::size_t complete = capture.chunks.size() - (capture.truncated_tail ? 1 : 0);
     for (; fed < complete; ++fed) {
@@ -165,8 +306,9 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
   if (argc < 3) {
     *error =
         "usage: hwprof_analyze <capture> <names> [--summary N] [--trace N] "
-        "[--callgraph N] [--histogram FN] [--spl] [--jobs N] | <stream> <names> "
-        "--follow [--summary N] [--poll N] [--jobs N]";
+        "[--callgraph N] [--histogram FN] [--spl] [--json] [--salvage] "
+        "[--jobs N] | <stream> <names> --follow [--summary N] [--poll N] "
+        "[--jobs N] [--salvage]";
     return 2;
   }
 
@@ -193,35 +335,47 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
     }
   }
 
+  // `--jobs` and `--salvage` are resolved before decoding; the remaining
+  // options are consumed by the report loop below. `--jobs 1` selects the
+  // serial decoder outright; any other value shards the decode across a
+  // worker pool (0 = hardware concurrency) with byte-identical output.
+  unsigned jobs = 0;
+  bool serial = false;
+  bool salvage = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      std::uint64_t value = 0;
+      if (ParseUint(argv[i + 1], &value)) {
+        jobs = static_cast<unsigned>(value);
+        serial = (jobs == 1);
+      }
+    } else if (arg == "--salvage") {
+      salvage = true;
+    }
+  }
+
   RawTrace raw;
-  if (!LoadCapture(argv[1], &raw)) {
+  std::vector<TraceDiag> capture_diags;
+  std::uint64_t corrupt_words = 0;
+  const bool loaded =
+      salvage ? LoadCaptureSalvage(argv[1], &raw, &capture_diags, &corrupt_words)
+              : LoadCapture(argv[1], &raw, &capture_diags);
+  if (!loaded) {
     *error = StrFormat("cannot load capture '%s'", argv[1]);
+    AppendTraceDiags(argv[1], capture_diags, error);
     return 1;
   }
   if (!have_names) {
     *error = names_error();
     return 1;
   }
-
-  // `--jobs` is resolved before decoding; the remaining options are consumed
-  // by the report loop below. 1 selects the serial decoder outright; any
-  // other value shards the decode across a worker pool (0 = hardware
-  // concurrency) with byte-identical output.
-  unsigned jobs = 0;
-  bool serial = false;
-  for (int i = 3; i < argc; ++i) {
-    if (std::string(argv[i]) == "--jobs" && i + 1 < argc) {
-      std::uint64_t value = 0;
-      if (ParseUint(argv[i + 1], &value)) {
-        jobs = static_cast<unsigned>(value);
-        serial = (jobs == 1);
-      }
-    }
+  for (const TraceDiag& d : capture_diags) {
+    std::printf("warning: %s:%d: %s (salvaged)\n", argv[1], d.line,
+                d.message.c_str());
   }
 
-  const DecodedTrace decoded =
-      serial ? Decoder::Decode(raw, names)
-             : DecodeParallel(raw, names, ParallelOptions{.jobs = jobs});
+  const DecodedTrace decoded = DecodeCapture(raw, names, serial, jobs, corrupt_words);
   if (decoded.unknown_tags > 0) {
     std::printf("warning: %llu events carried tags missing from the names file\n",
                 static_cast<unsigned long long>(decoded.unknown_tags));
@@ -267,8 +421,13 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
       Grouping grouping(decoded, Grouping::SplGroup(decoded));
       std::printf("%s\n", grouping.Format().c_str());
       did_something = true;
+    } else if (arg == "--json") {
+      std::printf("%s", FormatJson(decoded).c_str());
+      did_something = true;
     } else if (arg == "--jobs") {
       next_number(0);  // already consumed before the decode
+    } else if (arg == "--salvage") {
+      // already consumed before the load
     } else {
       *error = StrFormat("unknown option '%s'", arg.c_str());
       return 2;

@@ -17,10 +17,16 @@ namespace hwprof {
 //   --histogram FN   per-call net-time histogram of function FN
 //   --processes      per-process (activity-context) CPU accounting
 //   --spl            spl* subsystem grouping
+//   --json           machine-readable report: header stats, the typed
+//                    anomaly counters, and every summary row
+//   --salvage        tolerate corrupt capture files: unreadable lines are
+//                    warned about, counted as corrupt-word anomalies and
+//                    skipped instead of failing the load
 //   --jobs N         decode with N worker threads (0 or omitted: hardware
 //                    concurrency; 1: serial). Output is byte-identical at
 //                    every N.
-// Returns 0 on success; prints to stdout, errors to `*error`.
+// Returns 0 on success; prints to stdout, errors to `*error` (a malformed
+// capture or names file yields file:line:reason diagnostics and exit 1).
 int AnalyzeMain(int argc, const char* const* argv, std::string* error);
 
 }  // namespace hwprof
