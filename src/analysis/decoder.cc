@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "src/base/assert.h"
+#include "src/obs/telemetry.h"
 #include "src/profhw/usec_timer.h"
 
 namespace hwprof {
@@ -626,17 +627,33 @@ StreamingDecoder::StreamingDecoder(const TagFile& names, unsigned timer_bits,
 
 StreamingDecoder::~StreamingDecoder() = default;
 
+void RecordDecodeTelemetry(const DecodedTrace& decoded) {
+  OBS_COUNT("decode.finishes", 1);
+  OBS_COUNT("decode.anomaly.corrupt_words", decoded.corrupt_words);
+  OBS_COUNT("decode.anomaly.impossible_deltas", decoded.impossible_deltas);
+  OBS_COUNT("decode.anomaly.wrap_ambiguous_gaps", decoded.wrap_ambiguous_gaps);
+  OBS_COUNT("decode.anomaly.unknown_tags", decoded.unknown_tags);
+  OBS_COUNT("decode.anomaly.orphan_exits", decoded.orphan_exits);
+  OBS_COUNT("decode.anomaly.unclosed_entries", decoded.MidTraceUnclosedEntries());
+  OBS_COUNT("decode.anomaly.dropped_events", decoded.dropped_events);
+  OBS_COUNT("decode.anomaly.capture_gaps", decoded.capture_gaps);
+  OBS_COUNT("decode.anomaly.unaccounted_ns", decoded.unaccounted_time);
+}
+
 void StreamingDecoder::Feed(const RawEvent* events, std::size_t count) {
+  OBS_SCOPED_SPAN("decode.chunk");
+  OBS_COUNT("decode.chunks", 1);
+  OBS_COUNT("decode.events", count);
   impl_->Feed(events, count);
 }
 
 void StreamingDecoder::Feed(const std::vector<RawEvent>& events) {
-  impl_->Feed(events.data(), events.size());
+  Feed(events.data(), events.size());
 }
 
 void StreamingDecoder::FeedChunk(const TraceChunk& chunk) {
   impl_->NoteDropped(chunk.dropped_before);
-  impl_->Feed(chunk.events.data(), chunk.events.size());
+  Feed(chunk.events.data(), chunk.events.size());
 }
 
 void StreamingDecoder::NoteDropped(std::uint64_t count) { impl_->NoteDropped(count); }
@@ -657,7 +674,12 @@ std::size_t StreamingDecoder::pending() const { return impl_->pending(); }
 
 DecodedTrace StreamingDecoder::SnapshotStats() const { return impl_->SnapshotStats(); }
 
-DecodedTrace StreamingDecoder::Finish(bool truncated) { return impl_->Finish(truncated); }
+DecodedTrace StreamingDecoder::Finish(bool truncated) {
+  OBS_SCOPED_SPAN("decode.finish");
+  DecodedTrace decoded = impl_->Finish(truncated);
+  RecordDecodeTelemetry(decoded);
+  return decoded;
+}
 
 DecodedTrace Decoder::Decode(const RawTrace& raw, const TagFile& names) {
   StreamingDecoder decoder(names, raw.timer_bits, raw.timer_clock_hz,

@@ -188,6 +188,11 @@ struct DecodedTrace {
   }
 };
 
+// Folds a finished decode's anomaly counters into the pipeline telemetry
+// registry (src/obs) under decode.anomaly.*. Called by both the streaming
+// and parallel engines so --stats reports anomalies whichever path ran.
+void RecordDecodeTelemetry(const DecodedTrace& decoded);
+
 class Decoder {
  public:
   // Decodes `raw` against `names`. Never fails: malformed regions become

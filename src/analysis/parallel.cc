@@ -9,6 +9,7 @@
 
 #include "src/base/assert.h"
 #include "src/base/thread_pool.h"
+#include "src/obs/telemetry.h"
 #include "src/profhw/usec_timer.h"
 
 namespace hwprof {
@@ -148,6 +149,7 @@ struct LocalStack {
 };
 
 void ReplayShard(const ShardTask& task, ShardResult* out) {
+  OBS_SCOPED_SPAN("parallel.shard_replay");
   std::unordered_map<int, LocalStack> stacks;
   auto stack_for = [&](int sid) -> LocalStack& {
     auto it = stacks.find(sid);
@@ -413,6 +415,7 @@ class ParallelAnalyzer::Impl {
         }
       }
     }
+    RecordDecodeTelemetry(out_);
     return std::move(out_);
   }
 
@@ -761,10 +764,17 @@ class ParallelAnalyzer::Impl {
     shard_start_snap_ = CaptureSnapshot();
     results_.push_back(std::make_unique<ShardResult>());
     ShardResult* slot = results_.back().get();
-    pool_.Submit([task, slot] { ReplayShard(*task, slot); });
+    OBS_COUNT("parallel.shards", 1);
+    OBS_COUNT("parallel.shard_ops", task->ops.size());
+    OBS_GAUGE_ADD("parallel.queue_depth", 1);
+    pool_.Submit([task, slot] {
+      ReplayShard(*task, slot);
+      OBS_GAUGE_ADD("parallel.queue_depth", -1);
+    });
   }
 
   void Merge() {
+    OBS_SCOPED_SPAN("parallel.merge");
     for (std::size_t i = 0; i < stacks_.size(); ++i) {
       auto stack = std::make_unique<ActivityStack>();
       stack->id = static_cast<int>(i);
@@ -874,16 +884,18 @@ ParallelAnalyzer::ParallelAnalyzer(const TagFile& names, unsigned timer_bits,
 ParallelAnalyzer::~ParallelAnalyzer() = default;
 
 void ParallelAnalyzer::Feed(const RawEvent* events, std::size_t count) {
+  OBS_SCOPED_SPAN("parallel.feed");
+  OBS_COUNT("parallel.events", count);
   impl_->Feed(events, count);
 }
 
 void ParallelAnalyzer::Feed(const std::vector<RawEvent>& events) {
-  impl_->Feed(events.data(), events.size());
+  Feed(events.data(), events.size());
 }
 
 void ParallelAnalyzer::FeedChunk(const TraceChunk& chunk) {
   impl_->NoteDropped(chunk.dropped_before);
-  impl_->Feed(chunk.events.data(), chunk.events.size());
+  Feed(chunk.events.data(), chunk.events.size());
 }
 
 void ParallelAnalyzer::NoteDropped(std::uint64_t count) { impl_->NoteDropped(count); }
@@ -907,6 +919,7 @@ std::size_t ParallelAnalyzer::shards_planned() const {
 }
 
 DecodedTrace ParallelAnalyzer::Finish(bool truncated) {
+  OBS_SCOPED_SPAN("parallel.finish");
   return impl_->Finish(truncated);
 }
 

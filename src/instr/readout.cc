@@ -2,6 +2,7 @@
 
 #include "src/base/assert.h"
 #include "src/instr/profile_scope.h"
+#include "src/obs/telemetry.h"
 
 namespace hwprof {
 
@@ -69,6 +70,7 @@ bool DrainChunk(Machine& machine, Instrumenter& instr, Profiler& profiler, Trace
   HWPROF_CHECK_MSG(profiler.timer().bits() <= 24, "the drain port carries 24 timer bits");
   out->events.clear();
   out->dropped_before = 0;
+  OBS_SPAN_BEGIN(drain);
 
   FuncInfo* f_profdrain = DumpFunc(instr, "profdrain");
   // Unlike profdump, the drain's own triggers ARE captured (into the active
@@ -86,6 +88,7 @@ bool DrainChunk(Machine& machine, Instrumenter& instr, Profiler& profiler, Trace
   };
 
   if ((read_byte(kDrainStatusPort) & kDrainStatusReady) == 0) {
+    OBS_SPAN_END(drain, "instr.drain_poll_empty");
     return false;
   }
   const std::uint32_t count = read_u32(kDrainCountPort);
@@ -106,6 +109,9 @@ bool DrainChunk(Machine& machine, Instrumenter& instr, Profiler& profiler, Trace
   }
   const std::uint8_t ack = read_byte(kDrainReleasePort);
   HWPROF_CHECK_MSG(ack == kDrainAck, "drain release not acknowledged");
+  OBS_COUNT("instr.drain_chunks", 1);
+  OBS_COUNT("instr.drain_events", count);
+  OBS_SPAN_END(drain, "instr.drain_chunk");
   return true;
 }
 

@@ -13,7 +13,7 @@ const std::vector<std::string>& KnownRules() {
       "instr-balance",     "instr-raw-tag",      "reg-conflict",
       "tag-parse",         "tag-ctx",            "tag-model",
       "trace-unknown-tag", "trace-orphan-exit",  "trace-unclosed-entry",
-      "bad-suppression",
+      "obs-span-balance",  "bad-suppression",
   };
   return kRules;
 }

@@ -24,6 +24,8 @@
 //   trace-unknown-tag    decoded trace carried tags missing from the model
 //   trace-orphan-exit    decoded exits with no matching entry
 //   trace-unclosed-entry decoded entries never closed by an exit
+//   obs-span-balance  OBS_SPAN_BEGIN without a matching OBS_SPAN_END on some
+//                     return path
 //   bad-suppression   suppression comment without a reason or naming an
 //                     unknown rule
 

@@ -20,11 +20,12 @@ struct Open {
 };
 
 // The abstract machine state along one control-flow path. Each vector is a
-// stack; balanced code leaves all three empty at every return.
+// stack; balanced code leaves every stack empty at every return.
 struct PathState {
   std::vector<Open> spl;    // splnet()-family raises not yet splx'd
   std::vector<Open> raw;    // RawRaise not yet RawRestore'd
   std::vector<Open> emits;  // raw entry emits not yet closed by an exit emit
+  std::vector<Open> spans;  // OBS_SPAN_BEGIN not yet OBS_SPAN_END'd
 };
 
 std::string StateKey(const PathState& st) {
@@ -38,6 +39,7 @@ std::string StateKey(const PathState& st) {
   add(st.spl);
   add(st.raw);
   add(st.emits);
+  add(st.spans);
   return key;
 }
 
@@ -147,6 +149,14 @@ class FunctionChecker {
     for (const Open& o : st.emits) {
       AddCandidate(entry_unclosed_, o);
     }
+    for (const Open& o : st.spans) {
+      Report("obs-span-balance", o.line,
+             StrFormat("telemetry span '%s' opened by OBS_SPAN_BEGIN is not "
+                       "closed by OBS_SPAN_END on the return path ending at "
+                       "line %d",
+                       o.var.c_str(), line),
+             StrFormat("in %s", fn_.name.c_str()));
+    }
   }
 
   void ApplyEvent(const Stmt& s, PathState* st) {
@@ -208,6 +218,12 @@ class FunctionChecker {
         } else {
           AddCandidate(exit_orphans_, Open{"", s.what, s.line});
         }
+        break;
+      case EventKind::kObsSpanBegin:
+        st->spans.push_back(Open{s.var, s.what, s.line});
+        break;
+      case EventKind::kObsSpanEnd:
+        PopMatching(&st->spans, s.var);
         break;
       case EventKind::kUnknownEmit:
         Report("instr-raw-tag", s.line,

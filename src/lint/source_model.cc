@@ -602,6 +602,22 @@ class Parser {
       ++i_;
       return true;
     }
+    if (name == "OBS_SPAN_BEGIN" || name == "OBS_SPAN_END") {
+      // The span token is the first macro argument; it names the obligation
+      // the way an spl save variable does.
+      const std::size_t close = MatchFrom(i_ + 1, "(", ")");
+      std::string var;
+      if (close > i_ + 2 && close < t_.size() &&
+          t_[i_ + 2].kind == TokKind::kIdent) {
+        var = t_[i_ + 2].text;
+      }
+      PushEvent(parent,
+                name == "OBS_SPAN_BEGIN" ? EventKind::kObsSpanBegin
+                                         : EventKind::kObsSpanEnd,
+                std::move(var), name, line);
+      ++i_;
+      return true;
+    }
     if (name == "TriggerRead") {
       const std::size_t close = MatchFrom(i_ + 1, "(", ")");
       EventKind kind = EventKind::kUnknownEmit;

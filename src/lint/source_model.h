@@ -33,6 +33,8 @@ enum class EventKind : unsigned char {
   kEntryEmit,   // raw TriggerRead(... entry_tag ...)
   kExitEmit,    // raw TriggerRead(... exit_tag() ...)
   kUnknownEmit, // raw TriggerRead with a tag we cannot classify
+  kObsSpanBegin,  // OBS_SPAN_BEGIN(tok) — telemetry span opened
+  kObsSpanEnd,    // OBS_SPAN_END(tok, metric) — span closed into a histogram
 };
 
 struct Stmt {

@@ -1,0 +1,254 @@
+// Pipeline telemetry: counters, gauges, fixed-bucket latency histograms and
+// scoped spans for observing the capture->decode->analyze toolchain itself.
+//
+// Design constraints (DESIGN.md §10):
+//  - Dependency-free: standard library only, no allocation on the hot path
+//    after a metric's first touch from a given thread.
+//  - Lock-free updates: counter and histogram updates land in per-thread
+//    sinks as relaxed atomics; the registry mutex is taken only on first
+//    touch (cell creation), on snapshot, and on reset.
+//  - Deterministic snapshot/merge: a snapshot sums per-thread cells with
+//    associative, commutative reductions (sum / min / max) and sorts by
+//    metric name, so the rendered output is independent of thread count and
+//    scheduling. Gauges are the one deliberate deviation: a gauge tracks a
+//    *level* (e.g. queue depth), and per-thread deltas cannot reconstruct a
+//    global peak, so each gauge is a single shared atomic cell.
+//  - Compile-out: building with -DHWPROF_NO_TELEMETRY stubs every update to
+//    nothing so the cost can itself be measured (bench_telemetry_overhead).
+//    A runtime kill-switch (SetEnabled(false)) covers in-binary comparisons.
+//
+// Instrumentation macros:
+//   OBS_COUNT(name, n)        bump counter `name` by n
+//   OBS_GAUGE_ADD(name, d)    move gauge `name` by signed delta d (tracks peak)
+//   OBS_HIST_NS(name, ns)     record a latency sample, in nanoseconds
+//   OBS_SCOPED_SPAN(name)     RAII span: records elapsed ns at scope exit
+//   OBS_SPAN_BEGIN(tok)       open a manual span named by token `tok`
+//   OBS_SPAN_END(tok, name)   close it into histogram `name`
+// Manual spans must balance on every path; `hwprof_lint` enforces this with
+// the obs-span-balance rule (prefer OBS_SCOPED_SPAN where control flow is
+// nontrivial).
+
+#ifndef HWPROF_SRC_OBS_TELEMETRY_H_
+#define HWPROF_SRC_OBS_TELEMETRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hwprof {
+namespace obs {
+
+#if defined(HWPROF_NO_TELEMETRY)
+inline constexpr bool kTelemetryCompiledIn = false;
+#else
+inline constexpr bool kTelemetryCompiledIn = true;
+#endif
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindName(MetricKind kind);
+
+// Fixed log-ish bucket ladder, in nanoseconds: 1us .. 1s, then overflow.
+inline constexpr int kHistogramBuckets = 20;
+const std::array<std::uint64_t, kHistogramBuckets - 1>& HistogramBoundsNs();
+
+// One merged metric as rendered by a snapshot. Field use depends on kind:
+//   counter:   count
+//   gauge:     value, peak
+//   histogram: count, sum_ns, min_ns, max_ns, buckets
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;
+  std::int64_t value = 0;
+  std::int64_t peak = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+// A point-in-time view of every registered metric, sorted by name.
+struct Snapshot {
+  std::vector<MetricValue> metrics;
+
+  const MetricValue* Find(const std::string& name) const;
+  std::uint64_t CounterValue(const std::string& name) const;
+
+  // Folds `other` into this snapshot: counters and histograms add, gauge
+  // values add and peaks take the max. Associative and commutative, so any
+  // merge order yields the same result.
+  void Merge(const Snapshot& other);
+
+  // Deterministic human-readable block, each line indented by `indent`.
+  std::string FormatText(int indent) const;
+  // Deterministic JSON array (one object per metric).
+  std::string FormatJson() const;
+};
+
+// Runtime kill-switch. Defaults to enabled (when compiled in).
+bool Enabled();
+void SetEnabled(bool enabled);
+
+// Sums all per-thread sinks into a sorted snapshot.
+Snapshot GlobalSnapshot();
+
+// Zeroes every metric value (registrations survive). Callers must be
+// quiescent: concurrent updates during a reset may survive it.
+void ResetTelemetry();
+
+std::uint64_t MonotonicNowNs();
+
+// Returns MonotonicNowNs() when telemetry is live, 0 when disabled, so
+// disabled spans skip the clock read entirely.
+std::uint64_t SpanClock();
+
+#if !defined(HWPROF_NO_TELEMETRY)
+
+namespace internal {
+
+struct HistCell {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max{0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+};
+
+struct GaugeCell;
+
+// Registers `name` (idempotent) and returns its stable id. Aborts on a
+// kind mismatch or on registry exhaustion — both are programming errors.
+int Intern(const char* name, MetricKind kind);
+
+std::atomic<std::uint64_t>& CounterCell(int id);
+HistCell& HistogramCell(int id);
+GaugeCell* GaugeCellPtr(int id);
+void GaugeAdd(GaugeCell* cell, std::int64_t delta);
+
+}  // namespace internal
+
+class Counter {
+ public:
+  explicit Counter(const char* name)
+      : id_(internal::Intern(name, MetricKind::kCounter)) {}
+  void Add(std::uint64_t n = 1) {
+    if (!Enabled()) return;
+    internal::CounterCell(id_).fetch_add(n, std::memory_order_relaxed);
+  }
+
+ private:
+  int id_;
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const char* name)
+      : cell_(internal::GaugeCellPtr(internal::Intern(name, MetricKind::kGauge))) {}
+  void Add(std::int64_t delta) {
+    if (!Enabled()) return;
+    internal::GaugeAdd(cell_, delta);
+  }
+
+ private:
+  internal::GaugeCell* cell_;
+};
+
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(const char* name)
+      : id_(internal::Intern(name, MetricKind::kHistogram)) {}
+  void RecordNs(std::uint64_t ns);
+
+ private:
+  int id_;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(LatencyHistogram& hist)
+      : hist_(hist), start_(SpanClock()) {}
+  ~ScopedSpan() {
+    if (start_ != 0) hist_.RecordNs(MonotonicNowNs() - start_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  LatencyHistogram& hist_;
+  std::uint64_t start_;
+};
+
+#else  // HWPROF_NO_TELEMETRY: every handle is an empty shell.
+
+class Counter {
+ public:
+  explicit Counter(const char*) {}
+  void Add(std::uint64_t = 1) {}
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const char*) {}
+  void Add(std::int64_t) {}
+};
+
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(const char*) {}
+  void RecordNs(std::uint64_t) {}
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(LatencyHistogram&) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+#endif  // HWPROF_NO_TELEMETRY
+
+}  // namespace obs
+}  // namespace hwprof
+
+// Each macro expands inside its own block, so the function-local static
+// handle resolves the registry id exactly once per site.
+#define OBS_COUNT(name, n)                       \
+  do {                                           \
+    static ::hwprof::obs::Counter obs_c_(name);  \
+    obs_c_.Add(n);                               \
+  } while (0)
+
+#define OBS_GAUGE_ADD(name, delta)             \
+  do {                                         \
+    static ::hwprof::obs::Gauge obs_g_(name);  \
+    obs_g_.Add(delta);                         \
+  } while (0)
+
+#define OBS_HIST_NS(name, ns)                             \
+  do {                                                    \
+    static ::hwprof::obs::LatencyHistogram obs_h_(name);  \
+    obs_h_.RecordNs(ns);                                  \
+  } while (0)
+
+#define OBS_SPAN_NAME2(a, b) a##b
+#define OBS_SPAN_NAME(a, b) OBS_SPAN_NAME2(a, b)
+
+#define OBS_SCOPED_SPAN(name)                                          \
+  static ::hwprof::obs::LatencyHistogram OBS_SPAN_NAME(obs_sh_,        \
+                                                       __LINE__)(name); \
+  ::hwprof::obs::ScopedSpan OBS_SPAN_NAME(obs_ss_, __LINE__)(          \
+      OBS_SPAN_NAME(obs_sh_, __LINE__))
+
+#define OBS_SPAN_BEGIN(tok) \
+  const std::uint64_t obs_span_##tok = ::hwprof::obs::SpanClock()
+
+#define OBS_SPAN_END(tok, name)                                            \
+  do {                                                                     \
+    if (obs_span_##tok != 0)                                               \
+      OBS_HIST_NS(name, ::hwprof::obs::MonotonicNowNs() - obs_span_##tok); \
+  } while (0)
+
+#endif  // HWPROF_SRC_OBS_TELEMETRY_H_

@@ -1,6 +1,7 @@
 #include "src/profhw/profiler.h"
 
 #include "src/base/assert.h"
+#include "src/obs/telemetry.h"
 
 namespace hwprof {
 
@@ -49,6 +50,8 @@ std::size_t Profiler::events_captured() const {
 void Profiler::SealActiveAndSwap() {
   HWPROF_CHECK(sealed_ < 0);
   bank(active_).Seal();
+  OBS_COUNT("profhw.bank_swaps", 1);
+  OBS_COUNT("profhw.sealed_events", bank(active_).used());
   sealed_ = active_;
   active_ = 1 - active_;
   bank(active_).Reset();
@@ -67,6 +70,7 @@ void Profiler::StoreDoubleBuffered(std::uint16_t tag, std::uint32_t timestamp) {
       // Both banks hold data: the drain lost the race. Count the loss.
       ++dropped_;
       ++pending_drops_;
+      OBS_COUNT("profhw.drops", 1);
       return;
     }
     SealActiveAndSwap();

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/base/strings.h"
+#include "src/obs/telemetry.h"
 
 namespace hwprof {
 
@@ -19,26 +20,38 @@ void NoteDiag(std::vector<TraceDiag>* diags, int line, std::string message) {
 // diagnostic so tools can print a reason instead of a bare failure.
 bool SlurpFile(const std::string& path, std::string* text,
                std::vector<TraceDiag>* diags) {
+  OBS_SCOPED_SPAN("socket.load");
   std::ifstream in(path);
   if (!in) {
     NoteDiag(diags, 0, "cannot open file");
+    OBS_COUNT("socket.load_failures", 1);
     return false;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
   *text = buffer.str();
+  OBS_COUNT("socket.download_bytes", text->size());
   return true;
 }
 
 }  // namespace
 
 bool SaveCapture(const RawTrace& trace, const std::string& path) {
+  OBS_SCOPED_SPAN("socket.save");
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
+    OBS_COUNT("socket.save_failures", 1);
     return false;
   }
-  out << trace.Serialize();
-  return static_cast<bool>(out);
+  const std::string text = trace.Serialize();
+  out << text;
+  if (!out) {
+    OBS_COUNT("socket.save_failures", 1);
+    return false;
+  }
+  OBS_COUNT("socket.uploads", 1);
+  OBS_COUNT("socket.upload_bytes", text.size());
+  return true;
 }
 
 bool LoadCapture(const std::string& path, RawTrace* out,
@@ -107,13 +120,20 @@ bool AppendStreamChunk(const std::string& path, const TraceChunk& chunk) {
   if (!out) {
     return false;
   }
+  OBS_SCOPED_SPAN("socket.append_chunk");
   std::string text = StrFormat("chunk %zu %llu\n", chunk.events.size(),
                                static_cast<unsigned long long>(chunk.dropped_before));
   for (const RawEvent& e : chunk.events) {
     text += StrFormat("%u %u\n", e.tag, e.timestamp);
   }
   out << text;
-  return static_cast<bool>(out);
+  if (!out) {
+    OBS_COUNT("socket.save_failures", 1);
+    return false;
+  }
+  OBS_COUNT("socket.stream_chunks", 1);
+  OBS_COUNT("socket.upload_bytes", text.size());
+  return true;
 }
 
 namespace {
@@ -177,10 +197,12 @@ bool ParseStream(const std::string& text, StreamCapture* out,
       if (corrupt_words != nullptr) {
         ++*corrupt_words;
       }
+      OBS_COUNT("socket.corrupt_lines", 1);
       ++i;
       continue;
     }
     ++i;
+    OBS_COUNT("socket.dropped_events", dropped);
     TraceChunk chunk;
     chunk.dropped_before = dropped;
     chunk.events.reserve(static_cast<std::size_t>(count));
@@ -214,11 +236,13 @@ bool ParseStream(const std::string& text, StreamCapture* out,
         std::uint64_t nc = 0;
         std::uint64_t nd = 0;
         if (ParseChunkHeader(lines[i], &nc, &nd)) {
+          OBS_COUNT("socket.salvage_resyncs", 1);
           break;  // chunk cut short; resynchronise at the bank boundary
         }
         if (corrupt_words != nullptr) {
           ++*corrupt_words;
         }
+        OBS_COUNT("socket.corrupt_lines", 1);
         ++i;
         continue;
       }

@@ -1,0 +1,54 @@
+#include "src/snmp/telemetry_mib.h"
+
+#include "src/base/strings.h"
+
+namespace hwprof {
+
+namespace {
+
+Oid Sub(const Oid& base, std::initializer_list<std::uint32_t> arcs) {
+  Oid oid = base;
+  oid.insert(oid.end(), arcs);
+  return oid;
+}
+
+}  // namespace
+
+Oid ProfTelemetryRoot() { return Oid{1, 3, 6, 1, 4, 1, 57005, 1}; }
+
+void PopulateTelemetryMib(const obs::Snapshot& snapshot, MibStore* mib) {
+  const Oid root = ProfTelemetryRoot();
+  mib->Insert(Sub(root, {1, 0}),
+              StrFormat("%zu", snapshot.metrics.size()));
+  std::uint32_t row = 1;
+  for (const obs::MetricValue& m : snapshot.metrics) {
+    std::uint64_t value = 0;
+    std::uint64_t aux = 0;
+    switch (m.kind) {
+      case obs::MetricKind::kCounter:
+        value = m.count;
+        break;
+      case obs::MetricKind::kGauge:
+        value = static_cast<std::uint64_t>(m.value);
+        aux = static_cast<std::uint64_t>(m.peak);
+        break;
+      case obs::MetricKind::kHistogram:
+        value = m.count;
+        aux = m.sum_ns;
+        break;
+    }
+    mib->Insert(Sub(root, {2, row, 1, 0}), m.name);
+    mib->Insert(Sub(root, {2, row, 2, 0}), obs::MetricKindName(m.kind));
+    mib->Insert(Sub(root, {2, row, 3, 0}),
+                StrFormat("%llu", static_cast<unsigned long long>(value)));
+    mib->Insert(Sub(root, {2, row, 4, 0}),
+                StrFormat("%llu", static_cast<unsigned long long>(aux)));
+    ++row;
+  }
+}
+
+void RefreshTelemetryMib(MibStore* mib) {
+  PopulateTelemetryMib(obs::GlobalSnapshot(), mib);
+}
+
+}  // namespace hwprof

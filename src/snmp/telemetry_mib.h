@@ -1,0 +1,44 @@
+// The profTelemetry MIB subtree: publishes the pipeline-telemetry registry
+// (src/obs) through the SNMP agent so a live capture's drain/decode health
+// can be polled mid-run from a management station — the same channel the
+// paper's own SNMP case study used.
+//
+// Layout, under an experimental enterprise arc (1.3.6.1.4.1.57005.1 =
+// profTelemetry):
+//
+//   .1.0          profTelemetryCount   number of metrics in the snapshot
+//   .2.<i>.1.0    profTelemetryName    metric name (row i, 1-based, sorted)
+//   .2.<i>.2.0    profTelemetryKind    "counter" | "gauge" | "histogram"
+//   .2.<i>.3.0    profTelemetryValue   counter count / gauge value /
+//                                      histogram sample count
+//   .2.<i>.4.0    profTelemetryAux     gauge peak / histogram sum_ns (0 for
+//                                      counters)
+//
+// Values are decimal strings (the agent's wire format carries strings).
+// Rows are indexed by the snapshot's name-sorted order, so a GETNEXT walk
+// enumerates metrics deterministically. RefreshTelemetryMib re-publishes
+// the live registry over the same OIDs between polls.
+
+#ifndef HWPROF_SRC_SNMP_TELEMETRY_MIB_H_
+#define HWPROF_SRC_SNMP_TELEMETRY_MIB_H_
+
+#include "src/obs/telemetry.h"
+#include "src/snmp/mib.h"
+
+namespace hwprof {
+
+// 1.3.6.1.4.1.57005.1 (enterprise arc 57005 = 0xDEAD, private test space).
+Oid ProfTelemetryRoot();
+
+// Installs one snapshot into `mib` under ProfTelemetryRoot(). Existing rows
+// with matching OIDs are replaced (MibStore::Insert replaces); a shrinking
+// registry never happens (metrics are only ever added), so stale rows are
+// not a concern in practice.
+void PopulateTelemetryMib(const obs::Snapshot& snapshot, MibStore* mib);
+
+// Convenience: snapshot the live registry and publish it.
+void RefreshTelemetryMib(MibStore* mib);
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_SNMP_TELEMETRY_MIB_H_

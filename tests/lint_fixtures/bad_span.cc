@@ -1,0 +1,42 @@
+// Lint fixture: telemetry-span balance violations. Not compiled — parsed by
+// lint_test.
+
+#include "obs/telemetry.h"
+
+// Clean: one begin, an end on the early-return path and on the fall-through.
+bool BalancedTwoEnds(Queue& q, Out* out) {
+  OBS_SPAN_BEGIN(drain);
+  if (!q.ready()) {
+    OBS_SPAN_END(drain, "fixture.drain_poll_empty");
+    return false;
+  }
+  q.pop(out);
+  OBS_SPAN_END(drain, "fixture.drain_chunk");
+  return true;
+}
+
+// Bad: the early return skips the end.
+bool EarlyReturnSkipsEnd(Queue& q, Out* out) {
+  OBS_SPAN_BEGIN(fetch);
+  if (!q.ready()) {
+    return false;  // span 'fetch' leaks here
+  }
+  q.pop(out);
+  OBS_SPAN_END(fetch, "fixture.fetch");
+  return true;
+}
+
+// Bad: no end on any path.
+void NeverEnded(Queue& q) {
+  OBS_SPAN_BEGIN(work);
+  q.touch();
+}
+
+// Clean: nested spans closed in LIFO order.
+void NestedSpans(Queue& q) {
+  OBS_SPAN_BEGIN(outer);
+  OBS_SPAN_BEGIN(inner);
+  q.touch();
+  OBS_SPAN_END(inner, "fixture.inner");
+  OBS_SPAN_END(outer, "fixture.outer");
+}

@@ -16,7 +16,8 @@ namespace {
 LintResult LintTree() {
   LintConfig config;
   const std::string root = HWPROF_SOURCE_ROOT;
-  config.paths = {root + "/src/kern", root + "/src/profhw", root + "/src/instr"};
+  config.paths = {root + "/src/kern", root + "/src/profhw", root + "/src/instr",
+                  root + "/src/obs"};
   return RunLint(config);
 }
 

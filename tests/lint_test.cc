@@ -162,6 +162,22 @@ TEST(LintRules, InstrBalanceFixture) {
   }
 }
 
+// --- telemetry span rule -----------------------------------------------------
+
+TEST(LintRules, ObsSpanBalanceFixture) {
+  const LintResult result = LintFixture("bad_span.cc");
+  const auto findings = ByRule(result, "obs-span-balance");
+  ASSERT_EQ(findings.size(), 2u);
+  // Attributed to the OBS_SPAN_BEGIN, naming the leaked token.
+  EXPECT_EQ(findings[0]->line, 20);
+  EXPECT_NE(findings[0]->message.find("'fetch'"), std::string::npos);
+  EXPECT_NE(findings[0]->note.find("EarlyReturnSkipsEnd"), std::string::npos);
+  EXPECT_EQ(findings[1]->line, 31);
+  EXPECT_NE(findings[1]->message.find("'work'"), std::string::npos);
+  // BalancedTwoEnds (one begin, an end per path) and NestedSpans stay clean.
+  EXPECT_EQ(result.unsuppressed(), 2u);
+}
+
 // --- suppressions ------------------------------------------------------------
 
 TEST(LintRules, SuppressionFixture) {

@@ -4,13 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 
 #include "src/base/rng.h"
 #include "src/kern/user_env.h"
+#include "src/obs/telemetry.h"
 #include "src/snmp/agent.h"
 #include "src/snmp/mib.h"
+#include "src/snmp/telemetry_mib.h"
 #include "src/workloads/testbed.h"
 
 namespace hwprof {
@@ -153,6 +156,108 @@ TEST(Mib, ComparisonCountsSeparateTheAlgorithms) {
   EXPECT_GT(linear_per, 300.0);  // ~N/2
   EXPECT_LT(btree_per, 40.0);    // ~log2(N) within nodes
   EXPECT_GT(linear_per / btree_per, 10.0) << "expected an order of magnitude";
+}
+
+// The profTelemetry subtree: the obs registry published over the same
+// MibStore the agent serves, rows in name-sorted order so GETNEXT walks
+// are deterministic, and refreshable in place mid-run.
+TEST(TelemetryMib, PublishesSnapshotRowsInSortedOrder) {
+  obs::Snapshot snap;
+  obs::MetricValue counter;
+  counter.name = "decode.events";
+  counter.kind = obs::MetricKind::kCounter;
+  counter.count = 42;
+  obs::MetricValue gauge;
+  gauge.name = "parallel.queue_depth";
+  gauge.kind = obs::MetricKind::kGauge;
+  gauge.value = 2;
+  gauge.peak = 9;
+  snap.metrics = {counter, gauge};  // already name-sorted
+
+  for (const bool btree : {false, true}) {
+    std::unique_ptr<MibStore> mib;
+    if (btree) {
+      mib = std::make_unique<BTreeMib>();
+    } else {
+      mib = std::make_unique<LinearMib>();
+    }
+    PopulateTelemetryMib(snap, mib.get());
+
+    const Oid root = ProfTelemetryRoot();
+    Oid count_oid = root;
+    count_oid.insert(count_oid.end(), {1, 0});
+    const MibEntry* count = mib->Get(count_oid);
+    ASSERT_NE(count, nullptr);
+    EXPECT_EQ(count->value, "2");
+
+    // Row 1 = decode.events (sorted before parallel.queue_depth).
+    auto cell = [&root, &mib](std::uint32_t row, std::uint32_t col) {
+      Oid oid = root;
+      oid.insert(oid.end(), {2, row, col, 0});
+      const MibEntry* e = mib->Get(oid);
+      return e == nullptr ? std::string("<absent>") : e->value;
+    };
+    EXPECT_EQ(cell(1, 1), "decode.events");
+    EXPECT_EQ(cell(1, 2), "counter");
+    EXPECT_EQ(cell(1, 3), "42");
+    EXPECT_EQ(cell(1, 4), "0");
+    EXPECT_EQ(cell(2, 1), "parallel.queue_depth");
+    EXPECT_EQ(cell(2, 2), "gauge");
+    EXPECT_EQ(cell(2, 3), "2");
+    EXPECT_EQ(cell(2, 4), "9");
+
+    // A GETNEXT walk from the root enumerates the whole subtree: the count
+    // scalar plus 4 columns per row, in OID order.
+    std::size_t visited = 0;
+    Oid at = root;
+    while (const MibEntry* e = mib->GetNext(at)) {
+      if (CompareOid(e->oid, root) < 0) {
+        break;
+      }
+      Oid prefix(e->oid.begin(),
+                 e->oid.begin() + static_cast<std::ptrdiff_t>(
+                                      std::min(root.size(), e->oid.size())));
+      if (CompareOid(prefix, root) != 0) {
+        break;  // walked past the subtree
+      }
+      ++visited;
+      at = e->oid;
+    }
+    EXPECT_EQ(visited, 1u + 2u * 4u);
+  }
+}
+
+TEST(TelemetryMib, RefreshRepublishesTheLiveRegistry) {
+  obs::SetEnabled(true);
+  obs::ResetTelemetry();
+  LinearMib mib;
+  OBS_COUNT("snmp_test.polls", 1);
+  RefreshTelemetryMib(&mib);
+
+  const Oid root = ProfTelemetryRoot();
+  // Find the snmp_test.polls row and remember its value OID.
+  Oid value_oid;
+  Oid at = root;
+  while (const MibEntry* e = mib.GetNext(at)) {
+    if (e->oid.size() == root.size() + 4 && e->value == "snmp_test.polls") {
+      value_oid = e->oid;
+      value_oid[root.size() + 2] = 3;  // name column -> value column
+      break;
+    }
+    at = e->oid;
+  }
+  ASSERT_FALSE(value_oid.empty()) << "snmp_test.polls row not published";
+  const MibEntry* v1 = mib.Get(value_oid);
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->value, "1");
+
+  // Mid-run poll: bump the live counter, refresh, same OID reads the new
+  // value (Insert replaces in place).
+  OBS_COUNT("snmp_test.polls", 4);
+  RefreshTelemetryMib(&mib);
+  const MibEntry* v2 = mib.Get(value_oid);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->value, "5");
 }
 
 TEST(SnmpAgent, ServesVerifiedRepliesEndToEnd) {

@@ -298,5 +298,73 @@ TEST(AnalyzeCli, FollowReportsMidStreamCorruptionUnlessSalvaging) {
   EXPECT_NE(out.find("corrupt words"), std::string::npos) << out;
 }
 
+TEST(AnalyzeCli, StatsPrintsThePipelineTelemetrySection) {
+  const CliFiles files = WriteSessionFiles();
+  std::string error;
+  ::testing::internal::CaptureStdout();
+  const int rc = RunCli(
+      {files.capture.c_str(), files.names.c_str(), "--jobs", "1", "--summary",
+       "5", "--stats"},
+      &error);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0) << error;
+  EXPECT_NE(out.find("-- pipeline telemetry --"), std::string::npos) << out;
+  // The decode hot path must have reported in: these metric names are part of
+  // the documented telemetry surface.
+  EXPECT_NE(out.find("decode.events"), std::string::npos) << out;
+  EXPECT_NE(out.find("decode.finish"), std::string::npos) << out;
+}
+
+TEST(AnalyzeCli, StatsJsonEmitsTheTelemetryObject) {
+  const CliFiles files = WriteSessionFiles();
+  std::string error;
+  ::testing::internal::CaptureStdout();
+  const int rc = RunCli(
+      {files.capture.c_str(), files.names.c_str(), "--jobs", "1", "--summary",
+       "5", "--stats-json"},
+      &error);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0) << error;
+  EXPECT_NE(out.find("{\"telemetry\": ["), std::string::npos) << out;
+  EXPECT_NE(out.find("\"name\":\"decode.events\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"kind\":\"counter\""), std::string::npos) << out;
+}
+
+TEST(AnalyzeCli, FollowProgressEmitsAHeartbeatPerChunk) {
+  const std::string stream = ::testing::TempDir() + "/cli_progress.hwstream";
+  const std::string names_path = ::testing::TempDir() + "/cli_progress.names";
+  {
+    std::ofstream names_out(names_path);
+    names_out << "a/100\nb/102\n";
+  }
+  ASSERT_TRUE(SaveStreamHeader(stream, 24, 1'000'000));
+  TraceChunk first;
+  first.events = {{100, 10}, {102, 20}, {103, 60}};
+  TraceChunk second;
+  second.events = {{101, 90}};
+  second.dropped_before = 4;
+  ASSERT_TRUE(AppendStreamChunk(stream, first));
+  ASSERT_TRUE(AppendStreamChunk(stream, second));
+
+  std::string error;
+  ::testing::internal::CaptureStdout();
+  const int rc = RunCli({stream.c_str(), names_path.c_str(), "--follow",
+                         "--progress", "--summary", "5"},
+                        &error);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(rc, 0) << error;
+  // One heartbeat per drained chunk, each carrying the cumulative event and
+  // anomaly counts plus a decode rate.
+  std::size_t beats = 0;
+  for (std::size_t at = out.find("progress: "); at != std::string::npos;
+       at = out.find("progress: ", at + 1)) {
+    ++beats;
+  }
+  EXPECT_EQ(beats, 2u) << out;
+  EXPECT_NE(out.find("events/sec"), std::string::npos) << out;
+  // The second chunk stamped 4 drops, so the final heartbeat counts anomalies.
+  EXPECT_NE(out.find(" 4 anomalies"), std::string::npos) << out;
+}
+
 }  // namespace
 }  // namespace hwprof

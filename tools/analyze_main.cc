@@ -15,6 +15,7 @@
 #include "src/analysis/summary.h"
 #include "src/analysis/trace_report.h"
 #include "src/base/strings.h"
+#include "src/obs/telemetry.h"
 #include "src/profhw/smart_socket.h"
 
 namespace hwprof {
@@ -42,6 +43,31 @@ void AppendTraceDiags(const std::string& path, const std::vector<TraceDiag>& dia
       *message += StrFormat("\n%s: %s", path.c_str(), d.message.c_str());
     }
   }
+}
+
+// Pipeline-telemetry section (--stats / --stats-json): everything src/obs
+// accumulated over this process — load, decode, shard replay, merge.
+void PrintTelemetry(bool text, bool json) {
+  if (!text && !json) {
+    return;
+  }
+  const obs::Snapshot snap = obs::GlobalSnapshot();
+  if (text) {
+    std::printf("-- pipeline telemetry %s--\n%s",
+                obs::kTelemetryCompiledIn ? "" : "(compiled out) ",
+                snap.FormatText(2).c_str());
+  }
+  if (json) {
+    std::printf("{\"telemetry\": %s}\n", snap.FormatJson().c_str());
+  }
+}
+
+// Everything HasAnomalies() counts, as one number for the --progress
+// heartbeat.
+std::uint64_t AnomalyTotal(const DecodedTrace& d) {
+  return d.corrupt_words + d.impossible_deltas + d.wrap_ambiguous_gaps +
+         d.unknown_tags + d.orphan_exits + d.dropped_events +
+         d.MidTraceUnclosedEntries();
 }
 
 // The batch wrappers (Decoder::Decode / DecodeParallel) plus salvage-load
@@ -154,6 +180,9 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
   std::size_t rows = 20;
   int polls = 1;
   bool salvage = false;
+  bool progress = false;
+  bool stats = false;
+  bool stats_json = false;
   // Default 1: live per-chunk summaries need the serial decoder's stats
   // snapshot. `--jobs 0` (or >1) hands decided chunks to the worker pool
   // instead and prints the summary once, from the merged final trace.
@@ -180,6 +209,12 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
       jobs = static_cast<unsigned>(next_number(0));
     } else if (arg == "--salvage") {
       salvage = true;
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--stats-json") {
+      stats_json = true;
     } else {
       *error = StrFormat("option '%s' is not available with --follow", arg.c_str());
       return 2;
@@ -216,6 +251,24 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
     return 1;
   }
 
+  // --progress heartbeat: one line per drained chunk with decode rate
+  // against this process's wall clock (the stream's own timestamps measure
+  // the *target*, not us).
+  const auto follow_start = std::chrono::steady_clock::now();
+  auto heartbeat = [&](std::uint64_t events, std::uint64_t anomalies) {
+    if (!progress) {
+      return;
+    }
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - follow_start)
+            .count();
+    const double rate = secs > 0 ? static_cast<double>(events) / secs : 0.0;
+    std::printf("progress: %llu events, %llu anomalies, %.0f events/sec (%.1fs)\n",
+                static_cast<unsigned long long>(events),
+                static_cast<unsigned long long>(anomalies), rate, secs);
+  };
+
   if (jobs != 1) {
     ParallelOptions popts;
     popts.jobs = jobs;
@@ -242,6 +295,7 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
             static_cast<unsigned long long>(analyzer.events_seen()),
             static_cast<unsigned long long>(analyzer.dropped_events()),
             analyzer.shards_planned());
+        heartbeat(analyzer.events_seen(), analyzer.dropped_events());
       }
     }
     bool truncated = false;
@@ -257,6 +311,7 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
                 static_cast<unsigned long long>(decoded.capture_gaps),
                 truncated ? " (truncated tail)" : "");
     std::printf("%s\n", Summary(decoded).Format(rows).c_str());
+    PrintTelemetry(stats, stats_json);
     return 0;
   }
   StreamingDecoder decoder(names, capture.timer_bits, capture.timer_clock_hz);
@@ -280,6 +335,9 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
           fed, chunk.events.size(), static_cast<unsigned long long>(chunk.dropped_before),
           static_cast<unsigned long long>(decoder.events_seen()),
           static_cast<unsigned long long>(decoder.dropped_events()), decoder.pending());
+      if (progress) {
+        heartbeat(decoder.events_seen(), AnomalyTotal(decoder.SnapshotStats()));
+      }
       std::printf("%s\n", Summary(decoder.SnapshotStats()).Format(rows).c_str());
     }
   }
@@ -297,6 +355,7 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
               static_cast<unsigned long long>(decoded.capture_gaps),
               truncated ? " (truncated tail)" : "");
   std::printf("%s\n", Summary(decoded).Format(rows).c_str());
+  PrintTelemetry(stats, stats_json);
   return 0;
 }
 
@@ -307,8 +366,9 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
     *error =
         "usage: hwprof_analyze <capture> <names> [--summary N] [--trace N] "
         "[--callgraph N] [--histogram FN] [--spl] [--json] [--salvage] "
-        "[--jobs N] | <stream> <names> --follow [--summary N] [--poll N] "
-        "[--jobs N] [--salvage]";
+        "[--jobs N] [--stats] [--stats-json] | <stream> <names> --follow "
+        "[--summary N] [--poll N] [--jobs N] [--salvage] [--progress] "
+        "[--stats] [--stats-json]";
     return 2;
   }
 
@@ -382,6 +442,8 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
   }
 
   bool did_something = false;
+  bool stats = false;
+  bool stats_json = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_number = [&](std::size_t fallback) -> std::size_t {
@@ -424,6 +486,12 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
     } else if (arg == "--json") {
       std::printf("%s", FormatJson(decoded).c_str());
       did_something = true;
+    } else if (arg == "--stats") {
+      stats = true;
+      did_something = true;
+    } else if (arg == "--stats-json") {
+      stats_json = true;
+      did_something = true;
     } else if (arg == "--jobs") {
       next_number(0);  // already consumed before the decode
     } else if (arg == "--salvage") {
@@ -436,6 +504,7 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
   if (!did_something) {
     std::printf("%s\n", Summary(decoded).Format(20).c_str());
   }
+  PrintTelemetry(stats, stats_json);
   return 0;
 }
 

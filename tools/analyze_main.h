@@ -25,6 +25,13 @@ namespace hwprof {
 //   --jobs N         decode with N worker threads (0 or omitted: hardware
 //                    concurrency; 1: serial). Output is byte-identical at
 //                    every N.
+//   --stats          append the pipeline-telemetry section (src/obs
+//                    counters, gauges and latency histograms for the load,
+//                    decode, shard-replay and merge stages of this run)
+//   --stats-json     the same snapshot as a JSON object
+// Streaming (--follow) additionally accepts:
+//   --progress       one heartbeat line per drained chunk: events decoded,
+//                    anomalies so far, decode rate in events/sec
 // Returns 0 on success; prints to stdout, errors to `*error` (a malformed
 // capture or names file yields file:line:reason diagnostics and exit 1).
 int AnalyzeMain(int argc, const char* const* argv, std::string* error);

@@ -1,0 +1,206 @@
+#include "tools/export_main.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/analysis/decoder.h"
+#include "src/analysis/export.h"
+#include "src/analysis/parallel.h"
+#include "src/base/strings.h"
+#include "src/obs/telemetry.h"
+#include "src/profhw/smart_socket.h"
+
+namespace hwprof {
+namespace {
+
+void AppendTraceDiags(const std::string& path,
+                      const std::vector<TraceDiag>& diags,
+                      std::string* message) {
+  for (const TraceDiag& d : diags) {
+    if (d.line > 0) {
+      *message +=
+          StrFormat("\n%s:%d: %s", path.c_str(), d.line, d.message.c_str());
+    } else {
+      *message += StrFormat("\n%s: %s", path.c_str(), d.message.c_str());
+    }
+  }
+}
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// Decodes either capture flavour through either engine; both pairs are
+// byte-identical by contract, so the caller's --jobs choice never shows in
+// the export.
+template <typename Engine>
+DecodedTrace DecodeWith(Engine&& engine, const RawTrace* raw,
+                        const StreamCapture* stream,
+                        std::uint64_t corrupt_words) {
+  engine.NoteCorruptWords(corrupt_words);
+  if (raw != nullptr) {
+    engine.NoteDropped(raw->dropped_events);
+    engine.SetClockEnvelope(raw->capture_elapsed_ns);
+    engine.Feed(raw->events);
+    return engine.Finish(raw->overflowed);
+  }
+  const std::size_t chunks = stream->chunks.size();
+  for (std::size_t i = 0; i < chunks; ++i) {
+    engine.FeedChunk(stream->chunks[i]);
+  }
+  return engine.Finish(stream->truncated_tail);
+}
+
+}  // namespace
+
+int ExportMain(int argc, const char* const* argv, std::string* error) {
+  if (argc < 3) {
+    *error =
+        "usage: hwprof_export <capture> <names> [--format trace-event|folded] "
+        "[--out FILE] [--jobs N] [--salvage] [--stats]";
+    return 2;
+  }
+  const std::string capture_path = argv[1];
+  const std::string names_path = argv[2];
+  std::string format = "trace-event";
+  std::string out_path;
+  unsigned jobs = 0;
+  bool serial = false;
+  bool salvage = false;
+  bool stats = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      std::uint64_t value = 0;
+      if (!ParseUint(argv[i + 1], &value)) {
+        *error = StrFormat("--jobs needs a number, got '%s'", argv[i + 1]);
+        return 2;
+      }
+      ++i;
+      jobs = static_cast<unsigned>(value);
+      serial = (jobs == 1);
+    } else if (arg == "--salvage") {
+      salvage = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      *error = StrFormat("unknown option '%s'", arg.c_str());
+      return 2;
+    }
+  }
+  if (format != "trace-event" && format != "folded") {
+    *error = StrFormat("unknown format '%s' (expected trace-event or folded)",
+                       format.c_str());
+    return 2;
+  }
+
+  std::string names_text;
+  TagFile names;
+  std::vector<TagDiag> names_diags;
+  if (!ReadFileToString(names_path, &names_text) ||
+      !TagFile::Parse(names_text, &names, &names_diags)) {
+    *error = StrFormat("cannot parse names file '%s'", names_path.c_str());
+    for (const TagDiag& d : names_diags) {
+      *error += StrFormat("\n%s:%d: %s", names_path.c_str(), d.line,
+                          d.message.c_str());
+    }
+    return 1;
+  }
+
+  // Auto-detect the capture flavour from the header line.
+  std::string head;
+  {
+    std::ifstream in(capture_path);
+    if (!in) {
+      *error = StrFormat("cannot open capture '%s'", capture_path.c_str());
+      return 1;
+    }
+    std::getline(in, head);
+  }
+  const bool is_stream = head.rfind("hwprof-stream", 0) == 0;
+
+  OBS_SPAN_BEGIN(load);
+  RawTrace raw;
+  StreamCapture stream;
+  std::vector<TraceDiag> diags;
+  std::uint64_t corrupt_words = 0;
+  bool loaded;
+  if (is_stream) {
+    loaded = salvage
+                 ? LoadStreamSalvage(capture_path, &stream, &diags,
+                                     &corrupt_words)
+                 : LoadStream(capture_path, &stream, &diags);
+  } else {
+    loaded = salvage ? LoadCaptureSalvage(capture_path, &raw, &diags,
+                                          &corrupt_words)
+                     : LoadCapture(capture_path, &raw, &diags);
+  }
+  OBS_SPAN_END(load, "export.load");
+  if (!loaded) {
+    *error = StrFormat("cannot load capture '%s'", capture_path.c_str());
+    AppendTraceDiags(capture_path, diags, error);
+    return 1;
+  }
+  for (const TraceDiag& d : diags) {
+    std::fprintf(stderr, "warning: %s:%d: %s (salvaged)\n",
+                 capture_path.c_str(), d.line, d.message.c_str());
+  }
+
+  const RawTrace* raw_in = is_stream ? nullptr : &raw;
+  const StreamCapture* stream_in = is_stream ? &stream : nullptr;
+  const unsigned timer_bits = is_stream ? stream.timer_bits : raw.timer_bits;
+  const std::uint64_t timer_hz =
+      is_stream ? stream.timer_clock_hz : raw.timer_clock_hz;
+  OBS_SPAN_BEGIN(decode);
+  const DecodedTrace decoded =
+      serial ? DecodeWith(
+                   StreamingDecoder(names, timer_bits, timer_hz,
+                                    StreamingOptions{.retain_structure = true}),
+                   raw_in, stream_in, corrupt_words)
+             : DecodeWith(ParallelAnalyzer(names, timer_bits, timer_hz,
+                                           ParallelOptions{.jobs = jobs}),
+                          raw_in, stream_in, corrupt_words);
+  OBS_SPAN_END(decode, "export.decode");
+
+  OBS_SPAN_BEGIN(render);
+  const std::string rendered = format == "trace-event"
+                                   ? ExportTraceEventJson(decoded)
+                                   : ExportFoldedStacks(decoded);
+  OBS_SPAN_END(render, "export.render");
+  OBS_COUNT("export.bytes", rendered.size());
+
+  if (out_path.empty()) {
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      *error = StrFormat("cannot open output file '%s'", out_path.c_str());
+      return 1;
+    }
+    out.write(rendered.data(),
+              static_cast<std::streamsize>(rendered.size()));
+    if (!out) {
+      *error = StrFormat("short write to '%s'", out_path.c_str());
+      return 1;
+    }
+  }
+  if (stats) {
+    std::fprintf(stderr, "-- pipeline telemetry --\n%s",
+                 obs::GlobalSnapshot().FormatText(2).c_str());
+  }
+  return 0;
+}
+
+}  // namespace hwprof

@@ -1,0 +1,21 @@
+// hwprof_export: standalone trace exporter.
+//
+// Convert a capture into Chrome/Perfetto trace-event JSON or folded-stack
+// flamegraph text:
+//
+//   hwprof_export capture.hwprof kernel.names --format trace-event --out t.json
+//   hwprof_export capture.hwprof kernel.names --format folded | flamegraph.pl
+
+#include <cstdio>
+#include <string>
+
+#include "tools/export_main.h"
+
+int main(int argc, char** argv) {
+  std::string error;
+  const int rc = hwprof::ExportMain(argc, argv, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "hwprof_export: %s\n", error.c_str());
+  }
+  return rc;
+}

@@ -1,0 +1,80 @@
+// trace_event_check: minimal schema checker for Chrome/Perfetto trace-event
+// JSON (the CI export-goldens job pipes hwprof_export output through this).
+//
+//   trace_event_check file.json [more.json ...]
+//   hwprof_export capture names | trace_event_check -
+//
+// Checks (see ValidateTraceEventJson): well-formed JSON, a traceEvents
+// array, required fields per phase ("X" needs name/ts/dur>=0, "i" needs
+// name/ts, "C" needs name/ts/args, "M" needs a name), and proper slice
+// nesting per (pid, tid). Exits 0 when every input passes.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/export.h"
+
+namespace {
+
+bool ReadInput(const std::string& path, std::string* out) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    *out = buffer.str();
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string text;
+  char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    text.append(chunk, n);
+  }
+  std::fclose(f);
+  *out = std::move(text);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_event_check <file.json|-> [...]\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::string text;
+    if (!ReadInput(path, &text)) {
+      std::fprintf(stderr, "trace_event_check: cannot read '%s'\n",
+                   path.c_str());
+      rc = 1;
+      continue;
+    }
+    std::string error;
+    if (!hwprof::ValidateTraceEventJson(text, &error)) {
+      std::fprintf(stderr, "trace_event_check: %s: %s\n", path.c_str(),
+                   error.c_str());
+      rc = 1;
+      continue;
+    }
+    hwprof::TraceEventTotals totals;
+    if (!hwprof::SummarizeTraceEventJson(text, &totals, &error)) {
+      std::fprintf(stderr, "trace_event_check: %s: %s\n", path.c_str(),
+                   error.c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("%s: ok (%llu slices, %llu instants, %llu counter samples)\n",
+                path.c_str(), static_cast<unsigned long long>(totals.slices),
+                static_cast<unsigned long long>(totals.instants),
+                static_cast<unsigned long long>(totals.counter_samples));
+  }
+  return rc;
+}
