@@ -7,6 +7,7 @@
 #include "src/analysis/decoder.h"
 #include "src/analysis/summary.h"
 #include "src/analysis/trace_report.h"
+#include "src/profhw/binary_trace.h"
 #include "src/workloads/testbed.h"
 #include "src/workloads/workloads.h"
 
@@ -79,6 +80,90 @@ void BM_SerializeRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(f.raw.events.size()));
 }
 BENCHMARK(BM_SerializeRoundTrip);
+
+// --- Container decode: the text parser vs the binary (hwpb) reader ----------
+//
+// The headline format-matrix ratio: items/s of BM_DecodeBinaryContainer (or
+// the SoA variant, which skips the RawEvent zip) over BM_ParseTextContainer
+// is the binary container's decode speedup. CI puts it in the job summary.
+
+void BM_ParseTextContainer(benchmark::State& state) {
+  CaptureFixture& f = Fixture();
+  const std::string text = f.raw.Serialize();
+  for (auto _ : state) {
+    RawTrace loaded;
+    benchmark::DoNotOptimize(RawTrace::Deserialize(text, &loaded));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(f.raw.events.size()));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseTextContainer);
+
+void BM_DecodeBinaryContainer(benchmark::State& state) {
+  CaptureFixture& f = Fixture();
+  const std::string bin = EncodeCaptureBinary(f.raw);
+  for (auto _ : state) {
+    RawTrace loaded;
+    benchmark::DoNotOptimize(DecodeCaptureBinary(bin, &loaded, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(f.raw.events.size()));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bin.size()));
+}
+BENCHMARK(BM_DecodeBinaryContainer);
+
+void BM_DecodeBinaryContainerSoA(benchmark::State& state) {
+  CaptureFixture& f = Fixture();
+  const std::string bin = EncodeCaptureBinary(f.raw);
+  for (auto _ : state) {
+    BinaryChunkReader reader(bin, /*salvage=*/false);
+    SoaChunk chunk;
+    std::uint64_t total = 0;
+    while (reader.Next(&chunk)) {
+      total += chunk.tags.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(f.raw.events.size()));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bin.size()));
+}
+BENCHMARK(BM_DecodeBinaryContainerSoA);
+
+// End to end, file bytes to DecodedTrace, per format: what `hwprof_analyze`
+// actually does in its batch path.
+
+void BM_AnalyzeFromText(benchmark::State& state) {
+  CaptureFixture& f = Fixture();
+  const std::string text = f.raw.Serialize();
+  for (auto _ : state) {
+    RawTrace loaded;
+    RawTrace::Deserialize(text, &loaded);
+    DecodedTrace d = Decoder::Decode(loaded, f.tb->tags());
+    benchmark::DoNotOptimize(d.per_function.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(f.raw.events.size()));
+}
+BENCHMARK(BM_AnalyzeFromText);
+
+void BM_AnalyzeFromBinary(benchmark::State& state) {
+  CaptureFixture& f = Fixture();
+  const std::string bin = EncodeCaptureBinary(f.raw);
+  for (auto _ : state) {
+    BinaryChunkReader reader(bin, /*salvage=*/false);
+    StreamingDecoder decoder(f.tb->tags(), reader.timer_bits(),
+                             reader.timer_clock_hz(), StreamingOptions{});
+    decoder.NoteDropped(reader.dropped_events());
+    decoder.SetClockEnvelope(reader.capture_elapsed_ns());
+    SoaChunk chunk;
+    while (reader.Next(&chunk)) {
+      decoder.FeedSoA(chunk.tags.data(), chunk.timestamps.data(),
+                      chunk.tags.size());
+    }
+    DecodedTrace d = decoder.Finish(reader.overflowed());
+    benchmark::DoNotOptimize(d.per_function.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(f.raw.events.size()));
+}
+BENCHMARK(BM_AnalyzeFromBinary);
 
 }  // namespace
 }  // namespace hwprof

@@ -43,9 +43,24 @@ class StreamingDecoder::Impl {
   }
 
   void Feed(const RawEvent* events, std::size_t count) {
+    FeedWith(count, [events](std::size_t k) { return events[k]; });
+  }
+
+  // Structure-of-arrays entry point for the binary container's decode loop:
+  // the chunk reader hands flat tag/timestamp columns and nothing is ever
+  // zipped into RawEvents on the hot path.
+  void FeedSoA(const std::uint16_t* tags, const std::uint32_t* timestamps,
+               std::size_t count) {
+    FeedWith(count, [tags, timestamps](std::size_t k) {
+      return RawEvent{tags[k], timestamps[k]};
+    });
+  }
+
+  template <typename GetEvent>
+  void FeedWith(std::size_t count, GetEvent get) {
     HWPROF_CHECK_MSG(!finished_, "StreamingDecoder: Feed after Finish");
     for (std::size_t k = 0; k < count; ++k) {
-      RawEvent e = events[k];
+      RawEvent e = get(k);
       // A stored timestamp above the counter mask cannot have come from the
       // timer (a flipped high bit, or an upload-path fault). The delta it
       // implies is impossible; salvage by masking and count the anomaly.
@@ -649,6 +664,15 @@ void StreamingDecoder::Feed(const RawEvent* events, std::size_t count) {
 
 void StreamingDecoder::Feed(const std::vector<RawEvent>& events) {
   Feed(events.data(), events.size());
+}
+
+void StreamingDecoder::FeedSoA(const std::uint16_t* tags,
+                               const std::uint32_t* timestamps,
+                               std::size_t count) {
+  OBS_SCOPED_SPAN("decode.chunk");
+  OBS_COUNT("decode.chunks", 1);
+  OBS_COUNT("decode.events", count);
+  impl_->FeedSoA(tags, timestamps, count);
 }
 
 void StreamingDecoder::FeedChunk(const TraceChunk& chunk) {

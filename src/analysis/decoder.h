@@ -235,6 +235,11 @@ class StreamingDecoder {
   // Feeds the next events of the capture, in order.
   void Feed(const RawEvent* events, std::size_t count);
   void Feed(const std::vector<RawEvent>& events);
+  // Structure-of-arrays variant: the same events as parallel tag/timestamp
+  // columns (what the binary container's chunk reader produces), decoded
+  // without ever materialising RawEvents.
+  void FeedSoA(const std::uint16_t* tags, const std::uint32_t* timestamps,
+               std::size_t count);
   // Feeds one drained bank: accounts its dropped_before, then its events.
   void FeedChunk(const TraceChunk& chunk);
   // Records a capture gap of `count` dropped events at the current position.

@@ -331,9 +331,23 @@ class ParallelAnalyzer::Impl {
   }
 
   void Feed(const RawEvent* events, std::size_t count) {
+    FeedWith(count, [events](std::size_t k) { return events[k]; });
+  }
+
+  // SoA twin of Feed for the binary container's chunk reader (identical
+  // semantics; the differential contract covers both entry points).
+  void FeedSoA(const std::uint16_t* tags, const std::uint32_t* timestamps,
+               std::size_t count) {
+    FeedWith(count, [tags, timestamps](std::size_t k) {
+      return RawEvent{tags[k], timestamps[k]};
+    });
+  }
+
+  template <typename GetEvent>
+  void FeedWith(std::size_t count, GetEvent get) {
     HWPROF_CHECK_MSG(!finished_, "ParallelAnalyzer: Feed after Finish");
     for (std::size_t k = 0; k < count; ++k) {
-      RawEvent e = events[k];
+      RawEvent e = get(k);
       // Mirrors the StreamingDecoder's impossible-delta salvage: a stored
       // timestamp above the counter mask is masked and counted.
       if (e.timestamp > timer_.Mask()) {
@@ -891,6 +905,14 @@ void ParallelAnalyzer::Feed(const RawEvent* events, std::size_t count) {
 
 void ParallelAnalyzer::Feed(const std::vector<RawEvent>& events) {
   Feed(events.data(), events.size());
+}
+
+void ParallelAnalyzer::FeedSoA(const std::uint16_t* tags,
+                               const std::uint32_t* timestamps,
+                               std::size_t count) {
+  OBS_SCOPED_SPAN("parallel.feed");
+  OBS_COUNT("parallel.events", count);
+  impl_->FeedSoA(tags, timestamps, count);
 }
 
 void ParallelAnalyzer::FeedChunk(const TraceChunk& chunk) {

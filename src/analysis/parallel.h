@@ -72,6 +72,10 @@ class ParallelAnalyzer {
 
   void Feed(const RawEvent* events, std::size_t count);
   void Feed(const std::vector<RawEvent>& events);
+  // Structure-of-arrays variant: parallel tag/timestamp columns straight
+  // from the binary container's chunk reader.
+  void FeedSoA(const std::uint16_t* tags, const std::uint32_t* timestamps,
+               std::size_t count);
   void FeedChunk(const TraceChunk& chunk);
   void NoteDropped(std::uint64_t count);
   // Salvage accounting — identical semantics to the StreamingDecoder's

@@ -1,0 +1,70 @@
+#include "src/base/crc32.h"
+
+#include <array>
+
+namespace hwprof {
+
+namespace {
+
+// Slicing-by-8: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte's contribution k more positions, so eight lookups fold
+// eight input bytes per iteration. Container decode CRC-checks every
+// payload byte, so this sits on the hot path of binary loads.
+using CrcTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+CrcTables MakeTables() {
+  CrcTables t{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[0][n] = c;
+  }
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    for (int k = 1; k < 8; ++k) {
+      t[k][n] = (t[k - 1][n] >> 8) ^ t[0][t[k - 1][n] & 0xFFu];
+    }
+  }
+  return t;
+}
+
+const CrcTables& Tables() {
+  static const CrcTables tables = MakeTables();
+  return tables;
+}
+
+// Endian-neutral little-endian load; compiles to a plain 4-byte load on
+// the usual targets.
+inline std::uint32_t LoadLe32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t state, const void* data, std::size_t size) {
+  const CrcTables& t = Tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (size >= 8) {
+    const std::uint32_t lo = LoadLe32(p) ^ state;
+    const std::uint32_t hi = LoadLe32(p + 4);
+    state = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+            t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+            t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  for (std::size_t i = 0; i < size; ++i) {
+    state = t[0][(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  return Crc32Final(Crc32Update(kCrc32Init, data, size));
+}
+
+}  // namespace hwprof

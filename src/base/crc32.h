@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG variant) for the
+// binary capture container's chunk integrity checks.
+
+#ifndef HWPROF_SRC_BASE_CRC32_H_
+#define HWPROF_SRC_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hwprof {
+
+// One-shot CRC of a byte range.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+inline std::uint32_t Crc32(std::string_view bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+// Incremental form: start from kCrc32Init, fold ranges in order with
+// Crc32Update, finish with Crc32Final. Equivalent to the one-shot CRC of the
+// concatenation.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+std::uint32_t Crc32Update(std::uint32_t state, const void* data, std::size_t size);
+inline std::uint32_t Crc32Final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_BASE_CRC32_H_

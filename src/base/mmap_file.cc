@@ -1,0 +1,89 @@
+#include "src/base/mmap_file.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HWPROF_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define HWPROF_HAVE_MMAP 0
+#endif
+
+#include <fstream>
+#include <sstream>
+
+namespace hwprof {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    mapped_ = other.mapped_;
+    opened_ = other.opened_;
+    size_ = other.size_;
+    fallback_ = std::move(other.fallback_);
+    data_ = mapped_ ? other.data_ : (fallback_.empty() ? nullptr : fallback_.data());
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+    other.opened_ = false;
+  }
+  return *this;
+}
+
+void MappedFile::Reset() {
+#if HWPROF_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  opened_ = false;
+  fallback_.clear();
+}
+
+bool MappedFile::Open(const std::string& path) {
+  Reset();
+#if HWPROF_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      if (st.st_size == 0) {
+        ::close(fd);
+        opened_ = true;
+        return true;
+      }
+      void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                         MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        data_ = static_cast<const char*>(map);
+        size_ = static_cast<std::size_t>(st.st_size);
+        mapped_ = true;
+        opened_ = true;
+        return true;
+      }
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  fallback_ = buffer.str();
+  data_ = fallback_.empty() ? nullptr : fallback_.data();
+  size_ = fallback_.size();
+  opened_ = true;
+  return true;
+}
+
+}  // namespace hwprof

@@ -1,0 +1,47 @@
+// Read-only memory-mapped file access for the zero-copy binary capture
+// loader. On platforms (or filesystems) where mmap fails the file is read
+// into an owned buffer instead, so callers always get a contiguous
+// byte view either way.
+
+#ifndef HWPROF_SRC_BASE_MMAP_FILE_H_
+#define HWPROF_SRC_BASE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace hwprof {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  // Maps `path` read-only (falling back to a plain read on mmap failure).
+  // Returns false if the file cannot be opened or read at all.
+  bool Open(const std::string& path);
+
+  bool ok() const { return data_ != nullptr || (size_ == 0 && opened_); }
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::string_view view() const { return std::string_view(data_, size_); }
+  // True when the bytes come from an mmap rather than the fallback buffer.
+  bool mapped() const { return mapped_; }
+
+ private:
+  void Reset();
+
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  bool opened_ = false;
+  std::string fallback_;
+};
+
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_BASE_MMAP_FILE_H_

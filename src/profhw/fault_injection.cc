@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/base/crc32.h"
 #include "src/base/rng.h"
+#include "src/profhw/binary_trace.h"
 
 namespace hwprof {
 
@@ -134,6 +136,125 @@ std::string CorruptCaptureText(const std::string& text, std::uint64_t seed,
     out.insert(body, junk[rng.NextBelow(4)]);
   }
   // Torn write: shear off a suffix, usually mid-line.
+  if (rng.NextBool(0.5) && out.size() > body + 2) {
+    const std::size_t cut = body + 1 + rng.NextBelow(out.size() - body - 1);
+    out.resize(cut);
+    local.truncated = true;
+  }
+  if (log != nullptr) {
+    *log = local;
+  }
+  return out;
+}
+
+namespace {
+
+std::uint32_t ReadLe32At(const std::string& bytes, std::size_t at) {
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data() + at);
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void WriteLe32At(std::string* bytes, std::size_t at, std::uint32_t v) {
+  (*bytes)[at] = static_cast<char>(v & 0xFF);
+  (*bytes)[at + 1] = static_cast<char>((v >> 8) & 0xFF);
+  (*bytes)[at + 2] = static_cast<char>((v >> 16) & 0xFF);
+  (*bytes)[at + 3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+// Walks a pristine container's chunk list via the payload length fields.
+std::vector<std::size_t> ChunkOffsets(const std::string& bytes) {
+  std::vector<std::size_t> offsets;
+  std::size_t pos = kBinaryFileHeaderSize;
+  while (pos + kBinaryChunkHeaderSize <= bytes.size() &&
+         ReadLe32At(bytes, pos) == kBinaryChunkMagic) {
+    offsets.push_back(pos);
+    pos += kBinaryChunkHeaderSize + ReadLe32At(bytes, pos + 8);
+  }
+  return offsets;
+}
+
+// Recomputes a chunk's CRC after a helper rewrote its header or payload.
+void RefreshChunkCrc(std::string* bytes, std::size_t off) {
+  const std::uint32_t payload_bytes = ReadLe32At(*bytes, off + 8);
+  std::uint32_t crc = Crc32Update(kCrc32Init, bytes->data() + off + 4, 16);
+  crc = Crc32Update(crc, bytes->data() + off + kBinaryChunkHeaderSize,
+                    payload_bytes);
+  WriteLe32At(bytes, off + 20, Crc32Final(crc));
+}
+
+}  // namespace
+
+std::string FlipChunkCrcByte(const std::string& bytes, std::size_t chunk_index) {
+  const std::vector<std::size_t> offsets = ChunkOffsets(bytes);
+  if (chunk_index >= offsets.size()) {
+    return bytes;
+  }
+  std::string out = bytes;
+  out[offsets[chunk_index] + 20] =
+      static_cast<char>(out[offsets[chunk_index] + 20] ^ 0xFF);
+  return out;
+}
+
+std::string TruncateChunkPayload(const std::string& bytes,
+                                 std::size_t chunk_index,
+                                 std::size_t keep_payload_bytes) {
+  const std::vector<std::size_t> offsets = ChunkOffsets(bytes);
+  if (chunk_index >= offsets.size()) {
+    return bytes;
+  }
+  const std::size_t off = offsets[chunk_index];
+  const std::size_t payload_bytes = ReadLe32At(bytes, off + 8);
+  std::string out = bytes;
+  out.resize(off + kBinaryChunkHeaderSize +
+             std::min(keep_payload_bytes, payload_bytes));
+  return out;
+}
+
+std::string BreakVarintInChunk(const std::string& bytes, std::size_t chunk_index) {
+  const std::vector<std::size_t> offsets = ChunkOffsets(bytes);
+  if (chunk_index >= offsets.size()) {
+    return bytes;
+  }
+  const std::size_t off = offsets[chunk_index];
+  const std::size_t payload_bytes = ReadLe32At(bytes, off + 8);
+  std::string out = bytes;
+  const std::size_t stomp = std::min<std::size_t>(payload_bytes, 4);
+  for (std::size_t i = 0; i < stomp; ++i) {
+    out[off + kBinaryChunkHeaderSize + i] = static_cast<char>(0xFF);
+  }
+  RefreshChunkCrc(&out, off);
+  return out;
+}
+
+std::string OversizeRecordCount(const std::string& bytes, std::size_t chunk_index) {
+  const std::vector<std::size_t> offsets = ChunkOffsets(bytes);
+  if (chunk_index >= offsets.size()) {
+    return bytes;
+  }
+  const std::size_t off = offsets[chunk_index];
+  const std::uint32_t payload_bytes = ReadLe32At(bytes, off + 8);
+  std::string out = bytes;
+  WriteLe32At(&out, off + 4, payload_bytes == 0 ? 1 : payload_bytes);
+  RefreshChunkCrc(&out, off);
+  return out;
+}
+
+std::string CorruptCaptureBinary(const std::string& bytes, std::uint64_t seed,
+                                 FaultLog* log) {
+  Rng rng(seed ^ 0xC3A5C85C97CB3127ull);
+  FaultLog local;
+  std::string out = bytes;
+  const std::size_t body = std::min(kBinaryFileHeaderSize, out.size());
+
+  const std::size_t flips = out.size() > body ? 1 + rng.NextBelow(6) : 0;
+  for (std::size_t k = 0; k < flips; ++k) {
+    const std::size_t at = body + rng.NextBelow(out.size() - body);
+    out[at] = static_cast<char>(out[at] ^ (1u << rng.NextBelow(8)));
+    ++local.bit_flips;
+  }
+  // Torn write: shear off a suffix.
   if (rng.NextBool(0.5) && out.size() > body + 2) {
     const std::size_t cut = body + 1 + rng.NextBelow(out.size() - body - 1);
     out.resize(cut);

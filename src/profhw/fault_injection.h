@@ -93,6 +93,44 @@ RawTrace InjectFaults(const RawTrace& clean, const FaultPlan& plan,
 std::string CorruptCaptureText(const std::string& text, std::uint64_t seed,
                                FaultLog* log = nullptr);
 
+// --- Binary container damage -------------------------------------------------
+//
+// Surgical wounds for encoded hwpb containers (src/profhw/binary_trace.h),
+// one damage class each at a deterministic location, so the
+// corruption-matrix tests can pin exact typed-anomaly counts. All helpers
+// take a pristine encode (they walk the chunk list via the length fields)
+// and return the whole damaged file; an out-of-range chunk_index returns
+// the input unchanged.
+
+// Flips one byte of chunk `chunk_index`'s stored CRC (a decayed bit on the
+// transfer path): salvage must bill that chunk's record_count words and
+// resynchronise at the next chunk header.
+std::string FlipChunkCrcByte(const std::string& bytes, std::size_t chunk_index);
+
+// Shears the file off `keep_payload_bytes` into chunk `chunk_index`'s
+// payload (a torn write / interrupted download); everything after is gone.
+std::string TruncateChunkPayload(const std::string& bytes,
+                                 std::size_t chunk_index,
+                                 std::size_t keep_payload_bytes);
+
+// Overwrites the first bytes of the chunk's payload with 0xFF continuation
+// bytes and refreshes the chunk CRC: the first record's tag varint runs
+// past its 3-byte limit inside an otherwise *trusted* payload, so salvage
+// bills the records lost and continues at the payload end (no rescan).
+std::string BreakVarintInChunk(const std::string& bytes, std::size_t chunk_index);
+
+// Writes an impossible record_count (payload_bytes, so count*2 > bytes)
+// into the chunk header and refreshes the CRC — the insane-header defense,
+// not the CRC check, must catch it (one corrupt word, then a rescan).
+std::string OversizeRecordCount(const std::string& bytes, std::size_t chunk_index);
+
+// Randomized binary damage, the hwpb twin of CorruptCaptureText: flips a
+// handful of bytes past the 40-byte file header (which stays intact — a
+// damaged file header is simply an unreadable file) and may shear off a
+// suffix. Deterministic in (bytes, seed).
+std::string CorruptCaptureBinary(const std::string& bytes, std::uint64_t seed,
+                                 FaultLog* log = nullptr);
+
 }  // namespace hwprof
 
 #endif  // HWPROF_SRC_PROFHW_FAULT_INJECTION_H_

@@ -2,9 +2,12 @@
 
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
+#include "src/base/mmap_file.h"
 #include "src/base/strings.h"
 #include "src/obs/telemetry.h"
+#include "src/profhw/binary_trace.h"
 
 namespace hwprof {
 
@@ -16,51 +19,87 @@ void NoteDiag(std::vector<TraceDiag>* diags, int line, std::string message) {
   }
 }
 
-// Reads the whole file; a missing/unreadable file is a file-level (line 0)
-// diagnostic so tools can print a reason instead of a bare failure.
-bool SlurpFile(const std::string& path, std::string* text,
-               std::vector<TraceDiag>* diags) {
+// Maps (or reads) the whole file; a missing/unreadable file is a file-level
+// (line 0) diagnostic so tools can print a reason instead of a bare failure.
+bool MapFile(const std::string& path, MappedFile* file,
+             std::vector<TraceDiag>* diags) {
   OBS_SCOPED_SPAN("socket.load");
-  std::ifstream in(path);
-  if (!in) {
+  if (!file->Open(path)) {
     NoteDiag(diags, 0, "cannot open file");
     OBS_COUNT("socket.load_failures", 1);
     return false;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  *text = buffer.str();
-  OBS_COUNT("socket.download_bytes", text->size());
+  OBS_COUNT("socket.download_bytes", file->size());
   return true;
 }
 
-}  // namespace
-
-bool SaveCapture(const RawTrace& trace, const std::string& path) {
+bool WriteFile(const std::string& path, std::string_view bytes) {
   OBS_SCOPED_SPAN("socket.save");
-  std::ofstream out(path, std::ios::trunc);
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
   if (!out) {
     OBS_COUNT("socket.save_failures", 1);
     return false;
   }
-  const std::string text = trace.Serialize();
-  out << text;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   if (!out) {
     OBS_COUNT("socket.save_failures", 1);
     return false;
   }
   OBS_COUNT("socket.uploads", 1);
-  OBS_COUNT("socket.upload_bytes", text.size());
+  OBS_COUNT("socket.upload_bytes", bytes.size());
   return true;
+}
+
+}  // namespace
+
+bool DetectCaptureFile(const std::string& path, CaptureFileInfo* info) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  char head[16] = {};
+  in.read(head, sizeof(head));
+  const std::string_view bytes(head, static_cast<std::size_t>(in.gcount()));
+  BinaryKind kind;
+  if (BinaryKindOf(bytes, &kind)) {
+    info->format = CaptureFormat::kBinary;
+    info->is_stream = kind == BinaryKind::kStream;
+    return true;
+  }
+  if (bytes.rfind("hwprof-raw ", 0) == 0) {
+    info->format = CaptureFormat::kText;
+    info->is_stream = false;
+    return true;
+  }
+  if (bytes.rfind("hwprof-stream", 0) == 0) {
+    info->format = CaptureFormat::kText;
+    info->is_stream = true;
+    return true;
+  }
+  return false;
+}
+
+bool SaveCapture(const RawTrace& trace, const std::string& path,
+                 CaptureFormat format) {
+  return WriteFile(path, format == CaptureFormat::kBinary
+                             ? EncodeCaptureBinary(trace)
+                             : trace.Serialize());
+}
+
+bool SaveCapture(const RawTrace& trace, const std::string& path) {
+  return SaveCapture(trace, path, CaptureFormat::kText);
 }
 
 bool LoadCapture(const std::string& path, RawTrace* out,
                  std::vector<TraceDiag>* diags) {
-  std::string text;
-  if (!SlurpFile(path, &text, diags)) {
+  MappedFile file;
+  if (!MapFile(path, &file, diags)) {
     return false;
   }
-  return RawTrace::Deserialize(text, out, diags);
+  if (LooksBinaryContainer(file.view())) {
+    return DecodeCaptureBinary(file.view(), out, diags);
+  }
+  return RawTrace::Deserialize(std::string(file.view()), out, diags);
 }
 
 bool LoadCapture(const std::string& path, RawTrace* out) {
@@ -70,11 +109,15 @@ bool LoadCapture(const std::string& path, RawTrace* out) {
 bool LoadCaptureSalvage(const std::string& path, RawTrace* out,
                         std::vector<TraceDiag>* diags,
                         std::uint64_t* corrupt_words) {
-  std::string text;
-  if (!SlurpFile(path, &text, diags)) {
+  MappedFile file;
+  if (!MapFile(path, &file, diags)) {
     return false;
   }
-  return RawTrace::DeserializeSalvage(text, out, diags, corrupt_words);
+  if (LooksBinaryContainer(file.view())) {
+    return DecodeCaptureBinarySalvage(file.view(), out, diags, corrupt_words);
+  }
+  return RawTrace::DeserializeSalvage(std::string(file.view()), out, diags,
+                                      corrupt_words);
 }
 
 std::uint64_t StreamCapture::TotalEvents() const {
@@ -104,35 +147,81 @@ RawTrace StreamCapture::Flatten() const {
   return raw;
 }
 
+namespace {
+
+std::string StreamHeaderText(unsigned timer_bits, std::uint64_t timer_clock_hz) {
+  return StrFormat("hwprof-stream v1 %u %llu\n", timer_bits,
+                   static_cast<unsigned long long>(timer_clock_hz));
+}
+
+std::string StreamChunkText(const TraceChunk& chunk) {
+  std::string text =
+      StrFormat("chunk %zu %llu\n", chunk.events.size(),
+                static_cast<unsigned long long>(chunk.dropped_before));
+  for (const RawEvent& e : chunk.events) {
+    text += StrFormat("%u %u\n", e.tag, e.timestamp);
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string SerializeStreamText(const StreamCapture& stream) {
+  std::string text = StreamHeaderText(stream.timer_bits, stream.timer_clock_hz);
+  for (const TraceChunk& chunk : stream.chunks) {
+    text += StreamChunkText(chunk);
+  }
+  return text;
+}
+
 bool SaveStreamHeader(const std::string& path, unsigned timer_bits,
-                      std::uint64_t timer_clock_hz) {
-  std::ofstream out(path, std::ios::trunc);
+                      std::uint64_t timer_clock_hz, CaptureFormat format) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
   if (!out) {
     return false;
   }
-  out << StrFormat("hwprof-stream v1 %u %llu\n", timer_bits,
-                   static_cast<unsigned long long>(timer_clock_hz));
+  const std::string header =
+      format == CaptureFormat::kBinary
+          ? EncodeStreamHeaderBinary(timer_bits, timer_clock_hz)
+          : StreamHeaderText(timer_bits, timer_clock_hz);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
   return static_cast<bool>(out);
 }
 
+bool SaveStreamHeader(const std::string& path, unsigned timer_bits,
+                      std::uint64_t timer_clock_hz) {
+  return SaveStreamHeader(path, timer_bits, timer_clock_hz,
+                          CaptureFormat::kText);
+}
+
 bool AppendStreamChunk(const std::string& path, const TraceChunk& chunk) {
-  std::ofstream out(path, std::ios::app);
+  // Stream files are self-describing: match whatever format the header was
+  // started in, so writers never carry format state between drains.
+  bool binary = false;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return false;
+    }
+    char head[8] = {};
+    in.read(head, sizeof(head));
+    binary = LooksBinaryContainer(
+        std::string_view(head, static_cast<std::size_t>(in.gcount())));
+  }
+  std::ofstream out(path, std::ios::app | std::ios::binary);
   if (!out) {
     return false;
   }
   OBS_SCOPED_SPAN("socket.append_chunk");
-  std::string text = StrFormat("chunk %zu %llu\n", chunk.events.size(),
-                               static_cast<unsigned long long>(chunk.dropped_before));
-  for (const RawEvent& e : chunk.events) {
-    text += StrFormat("%u %u\n", e.tag, e.timestamp);
-  }
-  out << text;
+  const std::string block =
+      binary ? EncodeStreamChunkBinary(chunk) : StreamChunkText(chunk);
+  out.write(block.data(), static_cast<std::streamsize>(block.size()));
   if (!out) {
     OBS_COUNT("socket.save_failures", 1);
     return false;
   }
   OBS_COUNT("socket.stream_chunks", 1);
-  OBS_COUNT("socket.upload_bytes", text.size());
+  OBS_COUNT("socket.upload_bytes", block.size());
   return true;
 }
 
@@ -145,13 +234,44 @@ bool ParseChunkHeader(std::string_view line, std::uint64_t* count,
          ParseUint(fields[1], count) && ParseUint(fields[2], dropped);
 }
 
-// Shared parser behind the strict and salvage stream loaders. A torn final
-// line — wherever it falls — is tolerated in both modes (the writer may be
-// mid-append; --follow polls the same file the target is still writing):
+// Parses one '<tag> <timestamp>' event line against the header's timer mask;
+// on failure fills `reason` and returns false.
+bool ParseEventLine(std::string_view line, std::uint32_t mask,
+                    unsigned timer_bits, RawEvent* out, std::string* reason) {
+  const std::vector<std::string_view> ev = Split(line, ' ');
+  std::uint64_t tag = 0;
+  std::uint64_t timestamp = 0;
+  if (ev.size() != 2 || !ParseUint(ev[0], &tag) ||
+      !ParseUint(ev[1], &timestamp)) {
+    *reason =
+        StrFormat("expected '<tag> <timestamp>', got %zu fields", ev.size());
+    return false;
+  }
+  if (tag > 0xFFFF) {
+    *reason = StrFormat("tag %llu exceeds the 16-bit tag section",
+                        static_cast<unsigned long long>(tag));
+    return false;
+  }
+  if (timestamp > mask) {
+    *reason = StrFormat("timestamp %llu exceeds the %u-bit timer mask (%lu)",
+                        static_cast<unsigned long long>(timestamp), timer_bits,
+                        static_cast<unsigned long>(mask));
+    return false;
+  }
+  out->tag = static_cast<std::uint16_t>(tag);
+  out->timestamp = static_cast<std::uint32_t>(timestamp);
+  return true;
+}
+
+// Shared parser behind the strict and salvage text stream loaders. A torn
+// final line — wherever it falls — is tolerated in both modes (the writer may
+// be mid-append; --follow polls the same file the target is still writing):
 // everything parsed so far stands and truncated_tail is set. Mid-file damage
-// is a failure in strict mode; in salvage mode each unreadable line counts
-// one corrupt word and parsing resynchronises at the next chunk boundary.
-bool ParseStream(const std::string& text, StreamCapture* out,
+// is a failure in strict mode; in salvage mode unreadable lines count one
+// corrupt word each and parsing resynchronises at the next chunk boundary —
+// or at the next run of intact event lines, which are kept as a recovery
+// chunk (a destroyed chunk header must not bill the events behind it).
+bool ParseStream(std::string_view text, StreamCapture* out,
                  std::vector<TraceDiag>* diags, bool salvage,
                  std::uint64_t* corrupt_words) {
   const std::vector<std::string_view> lines = SplitLines(text);
@@ -199,6 +319,28 @@ bool ParseStream(const std::string& text, StreamCapture* out,
       }
       OBS_COUNT("socket.corrupt_lines", 1);
       ++i;
+      // A destroyed chunk header orphans the intact event lines behind it.
+      // Salvage them into a recovery chunk (the bank boundary is gone, so
+      // its drop count is too) instead of billing each as a corrupt word.
+      TraceChunk recovered;
+      std::string reason;
+      RawEvent event;
+      std::uint64_t nc = 0;
+      std::uint64_t nd = 0;
+      while (i < lines.size() && !ParseChunkHeader(lines[i], &nc, &nd) &&
+             ParseEventLine(lines[i], mask, capture.timer_bits, &event,
+                            &reason)) {
+        recovered.events.push_back(event);
+        ++i;
+      }
+      if (!recovered.events.empty()) {
+        NoteDiag(diags, static_cast<int>(i),
+                 StrFormat("recovered %zu orphaned event lines after the "
+                           "unreadable chunk header",
+                           recovered.events.size()));
+        OBS_COUNT("socket.salvage_resyncs", 1);
+        capture.chunks.push_back(std::move(recovered));
+      }
       continue;
     }
     ++i;
@@ -208,23 +350,10 @@ bool ParseStream(const std::string& text, StreamCapture* out,
     chunk.events.reserve(static_cast<std::size_t>(count));
     while (chunk.events.size() < count && i < lines.size()) {
       const int line_no = static_cast<int>(i) + 1;
-      const std::vector<std::string_view> ev = Split(lines[i], ' ');
-      std::uint64_t tag = 0;
-      std::uint64_t timestamp = 0;
+      RawEvent event;
       std::string reason;
-      if (ev.size() != 2 || !ParseUint(ev[0], &tag) ||
-          !ParseUint(ev[1], &timestamp)) {
-        reason = StrFormat("expected '<tag> <timestamp>', got %zu fields",
-                           ev.size());
-      } else if (tag > 0xFFFF) {
-        reason = StrFormat("tag %llu exceeds the 16-bit tag section",
-                           static_cast<unsigned long long>(tag));
-      } else if (timestamp > mask) {
-        reason = StrFormat("timestamp %llu exceeds the %u-bit timer mask (%lu)",
-                           static_cast<unsigned long long>(timestamp),
-                           capture.timer_bits, static_cast<unsigned long>(mask));
-      }
-      if (!reason.empty()) {
+      if (!ParseEventLine(lines[i], mask, capture.timer_bits, &event,
+                          &reason)) {
         if (i + 1 == lines.size()) {
           ++i;  // torn final record: the short count marks the tail below
           break;
@@ -246,12 +375,14 @@ bool ParseStream(const std::string& text, StreamCapture* out,
         ++i;
         continue;
       }
-      chunk.events.push_back(RawEvent{static_cast<std::uint16_t>(tag),
-                                      static_cast<std::uint32_t>(timestamp)});
+      chunk.events.push_back(event);
       ++i;
     }
-    if (chunk.events.size() < count) {
-      capture.truncated_tail = true;  // writer still appending this chunk
+    // Short only counts as a torn tail when the line supply actually ran
+    // out; a mid-file salvage resync at the next bank boundary is damage,
+    // not a writer still appending.
+    if (chunk.events.size() < count && i >= lines.size()) {
+      capture.truncated_tail = true;
     }
     capture.chunks.push_back(std::move(chunk));
   }
@@ -263,11 +394,14 @@ bool ParseStream(const std::string& text, StreamCapture* out,
 
 bool LoadStream(const std::string& path, StreamCapture* out,
                 std::vector<TraceDiag>* diags) {
-  std::string text;
-  if (!SlurpFile(path, &text, diags)) {
+  MappedFile file;
+  if (!MapFile(path, &file, diags)) {
     return false;
   }
-  return ParseStream(text, out, diags, /*salvage=*/false, nullptr);
+  if (LooksBinaryContainer(file.view())) {
+    return DecodeStreamBinary(file.view(), out, diags);
+  }
+  return ParseStream(file.view(), out, diags, /*salvage=*/false, nullptr);
 }
 
 bool LoadStream(const std::string& path, StreamCapture* out) {
@@ -277,11 +411,14 @@ bool LoadStream(const std::string& path, StreamCapture* out) {
 bool LoadStreamSalvage(const std::string& path, StreamCapture* out,
                        std::vector<TraceDiag>* diags,
                        std::uint64_t* corrupt_words) {
-  std::string text;
-  if (!SlurpFile(path, &text, diags)) {
+  MappedFile file;
+  if (!MapFile(path, &file, diags)) {
     return false;
   }
-  return ParseStream(text, out, diags, /*salvage=*/true, corrupt_words);
+  if (LooksBinaryContainer(file.view())) {
+    return DecodeStreamBinarySalvage(file.view(), out, diags, corrupt_words);
+  }
+  return ParseStream(file.view(), out, diags, /*salvage=*/true, corrupt_words);
 }
 
 }  // namespace hwprof

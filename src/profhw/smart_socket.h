@@ -2,13 +2,23 @@
 //
 // In the paper the data RAMs sit in battery-backed Smart-Sockets and are
 // physically carried to a networked host, then copied to a UNIX machine for
-// processing. Here that journey is a round-trip through a file in the
-// RawTrace upload format.
+// processing. Here that journey is a round-trip through a file in either of
+// two interchanges:
 //
-// Streaming captures use a second, append-friendly format — a header line
-// followed by one block per drained bank — so a long-running target can keep
-// appending chunks while `hwprof_analyze --follow` digests the same file
-// incrementally:
+//   * kText — the original line-oriented upload format (the debug
+//     interchange; human-readable, greppable);
+//   * kBinary — the compact chunked "hwpb" container (src/profhw/
+//     binary_trace.h): varint delta records behind CRC-carrying chunk
+//     headers, decoded zero-copy from an mmap.
+//
+// Every loader auto-detects the format from the first bytes of the file, so
+// tools never need to be told which one they were handed; hwprof_convert
+// translates losslessly in both directions.
+//
+// Streaming captures use an append-friendly layout — a header followed by
+// one block per drained bank — so a long-running target can keep appending
+// chunks while `hwprof_analyze --follow` digests the same file
+// incrementally. In text:
 //
 //   hwprof-stream v1 <timer_bits> <clock_hz>
 //   chunk <event_count> <dropped_before>
@@ -25,12 +35,28 @@
 
 namespace hwprof {
 
-// Writes `trace` to `path`. Returns false on I/O failure.
+enum class CaptureFormat { kText, kBinary };
+
+// What a capture file on disk actually is, sniffed from its first bytes.
+struct CaptureFileInfo {
+  CaptureFormat format = CaptureFormat::kText;
+  bool is_stream = false;
+};
+
+// Identifies `path` by magic: the binary container magic, the
+// "hwprof-raw"/"hwprof-stream" text headers. Returns false when the file
+// cannot be opened or matches none of them.
+bool DetectCaptureFile(const std::string& path, CaptureFileInfo* info);
+
+// Writes `trace` to `path` in the given format. Returns false on I/O failure.
+bool SaveCapture(const RawTrace& trace, const std::string& path,
+                 CaptureFormat format);
 bool SaveCapture(const RawTrace& trace, const std::string& path);
 
-// Reads a capture previously written by SaveCapture. Returns false on I/O
-// failure or malformed contents; when `diags` is non-null every problem is
-// appended with its 1-based line number and reason (line 0 = file-level).
+// Reads a capture previously written by SaveCapture, auto-detecting the
+// format. Returns false on I/O failure or malformed contents; when `diags`
+// is non-null every problem is appended with its 1-based line number (text)
+// or byte offset (binary) and reason (0 = file-level).
 bool LoadCapture(const std::string& path, RawTrace* out,
                  std::vector<TraceDiag>* diags);
 bool LoadCapture(const std::string& path, RawTrace* out);
@@ -60,26 +86,36 @@ struct StreamCapture {
   RawTrace Flatten() const;
 };
 
-// Starts (truncates) a stream file with the header line only.
+// Renders a parsed stream back to the canonical text layout (what
+// SaveStreamHeader + AppendStreamChunk would have written).
+std::string SerializeStreamText(const StreamCapture& stream);
+
+// Starts (truncates) a stream file with the header only.
+bool SaveStreamHeader(const std::string& path, unsigned timer_bits,
+                      std::uint64_t timer_clock_hz, CaptureFormat format);
 bool SaveStreamHeader(const std::string& path, unsigned timer_bits,
                       std::uint64_t timer_clock_hz);
 
-// Appends one drained chunk to an existing stream file.
+// Appends one drained chunk to an existing stream file, matching the format
+// the file was started in (sniffed from its header — stream files are
+// self-describing).
 bool AppendStreamChunk(const std::string& path, const TraceChunk& chunk);
 
-// Parses a stream file. Tolerates a truncated final chunk AND a torn final
-// line (a writer caught mid-append, or a sheared file) — both just set
+// Parses a stream file (either format, auto-detected). Tolerates a
+// truncated final chunk AND a torn final record (a writer caught
+// mid-append, or a sheared file) — both just set
 // StreamCapture::truncated_tail and keep everything parsed so far. Returns
 // false only on I/O failure or a malformed header/body; `diags` (when
-// non-null) receives line+reason for every problem found.
+// non-null) receives line/offset + reason for every problem found.
 bool LoadStream(const std::string& path, StreamCapture* out,
                 std::vector<TraceDiag>* diags);
 bool LoadStream(const std::string& path, StreamCapture* out);
 
-// Salvage load for stream files: unreadable mid-file lines are counted into
-// `*corrupt_words` and skipped, resynchronising at the next chunk boundary;
-// a torn tail is tolerated as in LoadStream. Fails only on I/O failure or
-// an unusable header.
+// Salvage load for stream files: unreadable mid-file regions are counted
+// into `*corrupt_words` and skipped, resynchronising at the next chunk
+// boundary (text: the next 'chunk' line or a run of intact event lines;
+// binary: the next CRC-valid chunk header); a torn tail is tolerated as in
+// LoadStream. Fails only on I/O failure or an unusable header.
 bool LoadStreamSalvage(const std::string& path, StreamCapture* out,
                        std::vector<TraceDiag>* diags,
                        std::uint64_t* corrupt_words);

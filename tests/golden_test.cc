@@ -18,8 +18,10 @@
 #include "src/analysis/parallel.h"
 #include "src/analysis/summary.h"
 #include "src/analysis/trace_report.h"
+#include "src/profhw/binary_trace.h"
 #include "src/workloads/testbed.h"
 #include "src/workloads/workloads.h"
+#include "tools/convert_main.h"
 
 namespace hwprof {
 namespace {
@@ -131,6 +133,45 @@ TEST(Golden, Figure5ForkExecCodePath) {
   EXPECT_EQ(TraceReport::Format(ForkExecDecode().parallel, opts), report)
       << "parallel decode diverged from serial on the fork/exec capture";
   CheckGolden("fork_exec_trace.txt", report);
+}
+
+// The binary (hwpb) twin of the committed net_receive capture. The text
+// golden is the source of truth (export_test regenerates it from the live
+// workload); this test pins that the committed .bin is its exact canonical
+// encode, that the .bin decodes back to the text golden byte-for-byte, and
+// that the hwprof_convert entry point translates one committed golden into
+// the other bit-identically — which is what CI's format-matrix job runs
+// against the real binaries.
+TEST(Golden, BinaryNetReceiveCaptureIsTheTextGoldensTwin) {
+  const std::string text_path = GoldenPath("net_receive.capture");
+  std::string text;
+  ASSERT_TRUE(ReadFile(text_path, &text))
+      << text_path << " is missing; regenerate via export_test with "
+      << "HWPROF_REGEN_GOLDEN=1 first";
+  RawTrace raw;
+  ASSERT_TRUE(RawTrace::Deserialize(text, &raw));
+  CheckGolden("net_receive.capture.bin", EncodeCaptureBinary(raw));
+
+  std::string bin;
+  ASSERT_TRUE(ReadFile(GoldenPath("net_receive.capture.bin"), &bin));
+  RawTrace back;
+  std::vector<TraceDiag> diags;
+  ASSERT_TRUE(DecodeCaptureBinary(bin, &back, &diags))
+      << (diags.empty() ? "" : diags[0].message);
+  EXPECT_EQ(back.Serialize(), text)
+      << "the committed binary golden no longer decodes to the text golden";
+
+  const std::string converted =
+      ::testing::TempDir() + "/net_receive_converted.hwpb";
+  const char* argv[] = {"hwprof_convert", text_path.c_str(), converted.c_str()};
+  std::string error;
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(ConvertMain(3, argv, &error), 0) << error;
+  ::testing::internal::GetCapturedStdout();
+  std::string converted_bytes;
+  ASSERT_TRUE(ReadFile(converted, &converted_bytes));
+  EXPECT_EQ(converted_bytes, bin)
+      << "hwprof_convert of the text golden drifted from the binary golden";
 }
 
 }  // namespace

@@ -14,8 +14,10 @@
 #include "src/analysis/process_report.h"
 #include "src/analysis/summary.h"
 #include "src/analysis/trace_report.h"
+#include "src/base/mmap_file.h"
 #include "src/base/strings.h"
 #include "src/obs/telemetry.h"
+#include "src/profhw/binary_trace.h"
 #include "src/profhw/smart_socket.h"
 
 namespace hwprof {
@@ -90,6 +92,71 @@ DecodedTrace DecodeCapture(const RawTrace& raw, const TagFile& names, bool seria
   analyzer.SetClockEnvelope(raw.capture_elapsed_ns);
   analyzer.Feed(raw.events);
   return analyzer.Finish(raw.overflowed);
+}
+
+// Zero-copy fast path for binary capture containers: the chunk reader
+// decodes straight out of the mmap into reused SoA scratch and the columns
+// are fed to the decoder without ever materialising a RawTrace. Anomaly
+// accounting matches the load-then-decode path exactly (the format-matrix
+// tests pin this). Returns false with `error` set on a load/parse failure.
+bool DecodeBinaryCaptureFile(const std::string& path, const TagFile& names,
+                             bool serial, unsigned jobs, bool salvage,
+                             DecodedTrace* decoded, std::string* error) {
+  MappedFile file;
+  if (!file.Open(path)) {
+    *error = StrFormat("cannot load capture '%s'\n%s: cannot open file",
+                       path.c_str(), path.c_str());
+    return false;
+  }
+  BinaryChunkReader reader(file.view(), salvage);
+  auto fail = [&] {
+    *error = StrFormat("cannot load capture '%s'", path.c_str());
+    AppendTraceDiags(path, reader.diags(), error);
+    return false;
+  };
+  if (!reader.header_ok() || reader.kind() != BinaryKind::kCapture) {
+    if (reader.header_ok()) {
+      *error = StrFormat(
+          "cannot load capture '%s'\n%s: stream container where a capture "
+          "was expected (use --follow)",
+          path.c_str(), path.c_str());
+      return false;
+    }
+    return fail();
+  }
+  auto run = [&](auto& engine) {
+    engine.NoteDropped(reader.dropped_events());
+    engine.SetClockEnvelope(reader.capture_elapsed_ns());
+    SoaChunk chunk;
+    while (reader.Next(&chunk)) {
+      if (chunk.dropped_before > 0) {
+        engine.NoteDropped(chunk.dropped_before);
+      }
+      engine.FeedSoA(chunk.tags.data(), chunk.timestamps.data(),
+                     chunk.tags.size());
+    }
+    engine.NoteCorruptWords(reader.corrupt_words());
+    *decoded = engine.Finish(reader.overflowed());
+  };
+  if (serial) {
+    StreamingDecoder decoder(names, reader.timer_bits(),
+                             reader.timer_clock_hz(),
+                             StreamingOptions{.retain_structure = true});
+    run(decoder);
+  } else {
+    ParallelAnalyzer analyzer(names, reader.timer_bits(),
+                              reader.timer_clock_hz(),
+                              ParallelOptions{.jobs = jobs});
+    run(analyzer);
+  }
+  if (!salvage && reader.failed()) {
+    return fail();
+  }
+  for (const TraceDiag& d : reader.diags()) {
+    std::printf("warning: %s @%d: %s (salvaged)\n", path.c_str(), d.line,
+                d.message.c_str());
+  }
+  return true;
 }
 
 void AppendJsonString(const std::string& s, std::string* out) {
@@ -415,27 +482,42 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
     }
   }
 
-  RawTrace raw;
-  std::vector<TraceDiag> capture_diags;
-  std::uint64_t corrupt_words = 0;
-  const bool loaded =
-      salvage ? LoadCaptureSalvage(argv[1], &raw, &capture_diags, &corrupt_words)
-              : LoadCapture(argv[1], &raw, &capture_diags);
-  if (!loaded) {
-    *error = StrFormat("cannot load capture '%s'", argv[1]);
-    AppendTraceDiags(argv[1], capture_diags, error);
-    return 1;
+  DecodedTrace decoded;
+  CaptureFileInfo finfo;
+  const bool binary_capture = DetectCaptureFile(argv[1], &finfo) &&
+                              finfo.format == CaptureFormat::kBinary &&
+                              !finfo.is_stream;
+  if (binary_capture) {
+    if (!have_names) {
+      *error = names_error();
+      return 1;
+    }
+    if (!DecodeBinaryCaptureFile(argv[1], names, serial, jobs, salvage,
+                                 &decoded, error)) {
+      return 1;
+    }
+  } else {
+    RawTrace raw;
+    std::vector<TraceDiag> capture_diags;
+    std::uint64_t corrupt_words = 0;
+    const bool loaded =
+        salvage ? LoadCaptureSalvage(argv[1], &raw, &capture_diags, &corrupt_words)
+                : LoadCapture(argv[1], &raw, &capture_diags);
+    if (!loaded) {
+      *error = StrFormat("cannot load capture '%s'", argv[1]);
+      AppendTraceDiags(argv[1], capture_diags, error);
+      return 1;
+    }
+    if (!have_names) {
+      *error = names_error();
+      return 1;
+    }
+    for (const TraceDiag& d : capture_diags) {
+      std::printf("warning: %s:%d: %s (salvaged)\n", argv[1], d.line,
+                  d.message.c_str());
+    }
+    decoded = DecodeCapture(raw, names, serial, jobs, corrupt_words);
   }
-  if (!have_names) {
-    *error = names_error();
-    return 1;
-  }
-  for (const TraceDiag& d : capture_diags) {
-    std::printf("warning: %s:%d: %s (salvaged)\n", argv[1], d.line,
-                d.message.c_str());
-  }
-
-  const DecodedTrace decoded = DecodeCapture(raw, names, serial, jobs, corrupt_words);
   if (decoded.unknown_tags > 0) {
     std::printf("warning: %llu events carried tags missing from the names file\n",
                 static_cast<unsigned long long>(decoded.unknown_tags));

@@ -1,0 +1,123 @@
+#include "tools/convert_main.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/base/strings.h"
+#include "src/profhw/binary_trace.h"
+#include "src/profhw/smart_socket.h"
+
+namespace hwprof {
+namespace {
+
+void AppendTraceDiags(const std::string& path, const std::vector<TraceDiag>& diags,
+                      std::string* message) {
+  for (const TraceDiag& d : diags) {
+    if (d.line > 0) {
+      *message += StrFormat("\n%s:%d: %s", path.c_str(), d.line, d.message.c_str());
+    } else {
+      *message += StrFormat("\n%s: %s", path.c_str(), d.message.c_str());
+    }
+  }
+}
+
+bool WriteWholeFile(const std::string& path, const std::string& bytes,
+                    std::string* error) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    *error = StrFormat("cannot open output file '%s'", path.c_str());
+    return false;
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    *error = StrFormat("cannot write output file '%s'", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int ConvertMain(int argc, const char* const* argv, std::string* error) {
+  if (argc < 3) {
+    *error = "usage: hwprof_convert <input> <output> [--to text|binary]";
+    return 2;
+  }
+  const std::string in_path = argv[1];
+  const std::string out_path = argv[2];
+  std::string to;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--to" && i + 1 < argc) {
+      to = argv[++i];
+      if (to != "text" && to != "binary") {
+        *error = StrFormat("--to wants 'text' or 'binary', got '%s'", to.c_str());
+        return 2;
+      }
+    } else {
+      *error = StrFormat("unknown option '%s'", arg.c_str());
+      return 2;
+    }
+  }
+
+  CaptureFileInfo info;
+  if (!DetectCaptureFile(in_path, &info)) {
+    *error = StrFormat(
+        "cannot identify '%s': expected the binary container magic or an "
+        "'hwprof-raw'/'hwprof-stream' text header",
+        in_path.c_str());
+    return 1;
+  }
+  const CaptureFormat target =
+      to.empty() ? (info.format == CaptureFormat::kText ? CaptureFormat::kBinary
+                                                        : CaptureFormat::kText)
+      : to == "binary" ? CaptureFormat::kBinary
+                       : CaptureFormat::kText;
+
+  std::string bytes;
+  std::uint64_t events = 0;
+  std::vector<TraceDiag> diags;
+  if (info.is_stream) {
+    StreamCapture stream;
+    if (!LoadStream(in_path, &stream, &diags)) {
+      *error = StrFormat("cannot load stream '%s'", in_path.c_str());
+      AppendTraceDiags(in_path, diags, error);
+      return 1;
+    }
+    if (stream.truncated_tail) {
+      // A torn tail cannot survive a round trip (the partial record or
+      // chunk is not representable); converting it would silently lose the
+      // "writer was still appending" marker.
+      *error = StrFormat(
+          "stream '%s' has a torn tail (writer still appending?); refusing "
+          "a lossy conversion",
+          in_path.c_str());
+      return 1;
+    }
+    events = stream.TotalEvents();
+    bytes = target == CaptureFormat::kBinary ? EncodeStreamBinary(stream)
+                                             : SerializeStreamText(stream);
+  } else {
+    RawTrace raw;
+    if (!LoadCapture(in_path, &raw, &diags)) {
+      *error = StrFormat("cannot load capture '%s'", in_path.c_str());
+      AppendTraceDiags(in_path, diags, error);
+      return 1;
+    }
+    events = raw.events.size();
+    bytes = target == CaptureFormat::kBinary ? EncodeCaptureBinary(raw)
+                                             : raw.Serialize();
+  }
+  if (!WriteWholeFile(out_path, bytes, error)) {
+    return 1;
+  }
+  std::printf("%s: %s %s -> %s %s (%llu events, %zu bytes)\n", in_path.c_str(),
+              info.format == CaptureFormat::kBinary ? "binary" : "text",
+              info.is_stream ? "stream" : "capture",
+              target == CaptureFormat::kBinary ? "binary" : "text",
+              out_path.c_str(), static_cast<unsigned long long>(events),
+              bytes.size());
+  return 0;
+}
+
+}  // namespace hwprof

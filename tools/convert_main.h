@@ -1,0 +1,26 @@
+// Lossless capture/stream format translation, as a reusable entry point
+// (the hwprof_convert binary's main() calls this; tests call it directly
+// with temp files).
+
+#ifndef HWPROF_TOOLS_CONVERT_MAIN_H_
+#define HWPROF_TOOLS_CONVERT_MAIN_H_
+
+#include <string>
+
+namespace hwprof {
+
+// Runs the converter:
+//   hwprof_convert <input> <output> [--to text|binary]
+// The input's format and flavour (one-shot capture vs chunked stream) are
+// auto-detected from its magic; without --to the format is flipped (text
+// becomes binary and vice versa). Conversion is lossless in both
+// directions: converting back yields a bit-identical file (stream chunk
+// structure and drop counts are preserved exactly; canonical-form inputs —
+// anything these tools wrote — round-trip byte-for-byte).
+// Returns 0 on success; prints a one-line summary to stdout, errors to
+// `*error`.
+int ConvertMain(int argc, const char* const* argv, std::string* error);
+
+}  // namespace hwprof
+
+#endif  // HWPROF_TOOLS_CONVERT_MAIN_H_

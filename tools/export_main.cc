@@ -119,17 +119,14 @@ int ExportMain(int argc, const char* const* argv, std::string* error) {
     return 1;
   }
 
-  // Auto-detect the capture flavour from the header line.
-  std::string head;
-  {
-    std::ifstream in(capture_path);
-    if (!in) {
-      *error = StrFormat("cannot open capture '%s'", capture_path.c_str());
-      return 1;
-    }
-    std::getline(in, head);
+  // Auto-detect the capture flavour (and format) from the file's magic.
+  CaptureFileInfo finfo;
+  if (!DetectCaptureFile(capture_path, &finfo)) {
+    // Unrecognisable header: fall through to the capture loader for its
+    // detailed diagnostics (a missing file reports there too).
+    finfo = CaptureFileInfo{};
   }
-  const bool is_stream = head.rfind("hwprof-stream", 0) == 0;
+  const bool is_stream = finfo.is_stream;
 
   OBS_SPAN_BEGIN(load);
   RawTrace raw;

@@ -1,0 +1,19 @@
+// hwprof_convert: lossless translation between the text and binary capture
+// interchanges (both one-shot captures and chunked streams):
+//
+//   hwprof_convert capture.hwprof capture.hwpb              # flips format
+//   hwprof_convert capture.hwpb capture.txt --to text
+
+#include <cstdio>
+#include <string>
+
+#include "tools/convert_main.h"
+
+int main(int argc, char** argv) {
+  std::string error;
+  const int rc = hwprof::ConvertMain(argc, argv, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "hwprof_convert: %s\n", error.c_str());
+  }
+  return rc;
+}
