@@ -118,6 +118,7 @@ Buf* Fs::GetBlk(std::uint32_t blkno) {
       victim->async = false;
       victim->dirty = false;
       disk_->Strategy(victim);
+      // hwprof-lint: suppress(spl-sleep-transitive) Biowait's Tsleep parks the raised IPL in the proc; it only masks while this process runs
       Biowait(victim);
       if (FindCached(blkno) != nullptr) {
         // Someone instantiated the block while we slept; retry from the top.

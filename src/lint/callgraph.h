@@ -1,0 +1,136 @@
+// Whole-program call graph and per-function summaries for hwprof_lint.
+//
+// Every analyzed source contributes its function models; call sites recorded
+// as kCall events become edges. A fixed-point (Jacobi) pass computes, per
+// function, the net effect intervals a call can have on the caller's
+// abstract machine — spl depth, RawRaise depth, raw trigger emits, telemetry
+// spans — plus whether the function can reach a sleep primitive at any depth
+// (with one representative call chain retained for diagnostics).
+//
+// Resolution is name-based and deliberately conservative:
+//   1. a qualified spelling must match a node exactly (or be a suffix-
+//      compatible match on the last components),
+//   2. an unqualified spelling first tries the caller's own class,
+//   3. then a unique last-component match anywhere in the program,
+//   4. several candidates widen into one merged summary (union of effects),
+//   5. no candidate at all — an external or library callee — yields a
+//      neutral summary: unresolved calls cost recall, never false positives.
+//
+// The solver iterates over function names in sorted order and recomputes all
+// summaries from the previous round's map, so the result is independent of
+// the order files were analyzed in.
+
+#ifndef HWPROF_SRC_LINT_CALLGRAPH_H_
+#define HWPROF_SRC_LINT_CALLGRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/lint/diagnostics.h"
+#include "src/lint/source_model.h"
+
+namespace hwprof::lint {
+
+// One hop of a representative sleeping call chain. The first hop is located
+// inside the summarized function itself (a direct sleep primitive or the
+// call site of a sleeping callee); later hops descend into callees.
+struct SleepHop {
+  std::string what;  // callee name, or the sleep primitive for the last hop
+  std::string file;
+  int line = 0;
+};
+
+// Effects are intervals clamped to [-8, 8]: the minimum and maximum net
+// change over all return paths. A balanced function is [0, 0] everywhere.
+struct FuncSummary {
+  int spl_lo = 0, spl_hi = 0;    // splnet()-family depth delta
+  int raw_lo = 0, raw_hi = 0;    // RawRaise depth delta
+  int emit_lo = 0, emit_hi = 0;  // raw entry-trigger emits left open
+  int span_lo = 0, span_hi = 0;  // OBS_SPAN obligations left open
+  bool may_sleep = false;
+  std::vector<SleepHop> sleep_path;  // empty unless may_sleep
+  bool in_cycle = false;             // member of a recursion cycle
+  bool has_annotation = false;       // declared via hwprof-lint: spl-effect(n)
+  int annotation = 0;
+
+  bool SameAs(const FuncSummary& o) const;
+};
+
+// One call site inside a function body, with its resolved targets (node
+// names). Empty targets = external / unresolved; more than one = ambiguous
+// by last-component.
+struct CallSite {
+  std::string spelling;
+  int line = 0;
+  std::vector<std::string> targets;
+};
+
+// One named function in the program. Functions sharing a qualified name
+// (overloads, same-named file-local helpers) share a node; their effects are
+// widened together and the lexicographically first definition site is used
+// for attribution.
+struct FuncNode {
+  std::string name;
+  std::string file;  // first definition site (sorted by file, then line)
+  int line = 0;
+  bool has_annotation = false;
+  int annotation = 0;
+  std::vector<CallSite> calls;  // union over all definitions
+  std::vector<const FunctionModel*> defs;
+  std::vector<const SourceFile*> def_files;  // parallel to defs
+};
+
+class CallGraph {
+ public:
+  // Builds nodes and edges and runs the summary solver to fixed point.
+  static CallGraph Build(const std::vector<SourceFile>& files);
+
+  // The summary a call with this spelling (from this caller) should be
+  // charged with: a single node's summary, a merged summary when the
+  // spelling is ambiguous, or nullptr when the callee is external.
+  const FuncSummary* EffectiveSummary(const std::string& spelling,
+                                      const std::string& caller) const;
+
+  // The resolved target set for a spelling (empty = external).
+  std::vector<std::string> Resolve(const std::string& spelling,
+                                   const std::string& caller) const;
+
+  const std::map<std::string, FuncNode>& nodes() const { return nodes_; }
+  const std::map<std::string, FuncSummary>& summaries() const { return summaries_; }
+  // Recursion cycles (SCCs of size > 1 and self-loops), members sorted.
+  const std::vector<std::vector<std::string>>& cycles() const { return cycles_; }
+  int solver_rounds() const { return rounds_; }
+
+ private:
+  void ComputeSummaries();
+  void FindCycles();
+
+  std::map<std::string, FuncNode> nodes_;
+  std::map<std::string, FuncSummary> summaries_;
+  // last name component -> node names carrying it (sorted by map order)
+  std::map<std::string, std::vector<std::string>> by_last_;
+  // merged summaries for ambiguous last components (size > 1 groups)
+  std::map<std::string, FuncSummary> merged_;
+  std::vector<std::vector<std::string>> cycles_;
+  int rounds_ = 0;
+};
+
+// Whole-program rules over the finished graph:
+//   intr-blocking             an interrupt-service root can reach a sleep
+//   spl-imbalance-transitive  a helper whose net spl effect disagrees with
+//                             its annotation, or an unannotated helper that
+//                             restores the caller's level
+//   call-cycle                a recursion cycle carrying a non-zero level
+//                             effect the solver had to widen
+void CheckCallGraph(const CallGraph& graph, std::vector<Finding>* findings);
+
+// "A -> B (file:line) -> Tsleep (file:line)" for diagnostics.
+std::string FormatSleepChain(const std::string& callee, const FuncSummary& summary);
+
+// {"nodes": [...], "cycles": [...]} — appended to --model-out output.
+std::string CallGraphToJson(const CallGraph& graph);
+
+}  // namespace hwprof::lint
+
+#endif  // HWPROF_SRC_LINT_CALLGRAPH_H_

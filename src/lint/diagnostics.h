@@ -28,6 +28,16 @@
 //                     return path
 //   bad-suppression   suppression comment without a reason or naming an
 //                     unknown rule
+//   spl-sleep-transitive     a raised-IPL path calls a function that can
+//                            block at any depth (whole-program summaries)
+//   intr-blocking            a function reachable from an interrupt-service
+//                            root can reach a blocking call
+//   spl-imbalance-transitive a helper's net spl effect disagrees with its
+//                            '// hwprof-lint: spl-effect(n)' annotation, or a
+//                            restoring helper lacks one
+//   call-cycle               a recursion cycle carries a non-zero
+//                            interrupt-level effect
+//   bad-annotation           malformed or misattached spl-effect annotation
 
 #ifndef HWPROF_SRC_LINT_DIAGNOSTICS_H_
 #define HWPROF_SRC_LINT_DIAGNOSTICS_H_
@@ -53,6 +63,9 @@ struct Finding {
 const std::vector<std::string>& KnownRules();
 bool IsKnownRule(std::string_view rule);
 
+// One-line description of a rule (used by the SARIF rules catalog).
+std::string_view RuleDescription(std::string_view rule);
+
 // "file:line: [rule] message (note)" — the human-readable form.
 std::string FormatFinding(const Finding& f);
 
@@ -67,6 +80,11 @@ std::string FindingsToJson(const std::vector<Finding>& findings);
 // Parses the exact shape FindingsToJson writes (plus arbitrary whitespace).
 // Returns false and sets `*error` on malformed input.
 bool FindingsFromJson(std::string_view json, std::vector<Finding>* out, std::string* error);
+
+// SARIF 2.1.0 log: one run, the full rules catalog, one result per finding.
+// Suppressed findings are carried with an inSource suppression object so
+// SARIF viewers show (rather than lose) the justified baseline.
+std::string FindingsToSarif(const std::vector<Finding>& findings);
 
 }  // namespace hwprof::lint
 

@@ -74,13 +74,31 @@ LexedFile Lex(std::string_view text) {
       i = j;
       continue;
     }
-    // Line comment.
+    // Line comment. A backslash immediately before the newline splices the
+    // next physical line into the comment — without this, the spliced line
+    // would be lexed as code and could fabricate phantom call sites.
     if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const int start_line = line;
       std::size_t j = i + 2;
-      while (j < n && text[j] != '\n') {
+      std::string body;
+      while (j < n) {
+        if (text[j] == '\n') {
+          std::size_t k = j;
+          while (k > i + 2 &&
+                 (text[k - 1] == ' ' || text[k - 1] == '\t' || text[k - 1] == '\r')) {
+            --k;
+          }
+          if (k > i + 2 && text[k - 1] == '\\') {
+            ++line;  // the comment continues on the spliced line
+            ++j;
+            continue;
+          }
+          break;
+        }
+        body.push_back(text[j]);
         ++j;
       }
-      out.comments.push_back(Comment{line, std::string(text.substr(i + 2, j - (i + 2)))});
+      out.comments.push_back(Comment{start_line, std::move(body)});
       i = j;
       continue;
     }
@@ -96,7 +114,7 @@ LexedFile Lex(std::string_view text) {
       i = end;
       continue;
     }
-    // String literal (raw strings are not used in this tree).
+    // String literal.
     if (c == '"') {
       std::size_t j = i + 1;
       std::string value;
@@ -148,13 +166,46 @@ LexedFile Lex(std::string_view text) {
       i = j;
       continue;
     }
-    // Identifier / keyword.
+    // Identifier / keyword — or a raw string literal, whose R/u8R/uR/UR/LR
+    // prefix lexes as an identifier. Raw strings must be consumed as one
+    // string token: their contents can contain code-like text (e.g. in
+    // golden fixtures) that would otherwise fabricate phantom call sites.
     if (IsIdentStart(c)) {
       std::size_t j = i;
       while (j < n && IsIdentChar(text[j])) {
         ++j;
       }
-      out.tokens.push_back(Token{TokKind::kIdent, std::string(text.substr(i, j - i)), line});
+      std::string ident(text.substr(i, j - i));
+      if (j < n && text[j] == '"' &&
+          (ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+           ident == "LR")) {
+        // R"delim( ... )delim"
+        std::size_t k = j + 1;
+        std::string delim;
+        while (k < n && text[k] != '(' && delim.size() < 16) {
+          delim.push_back(text[k]);
+          ++k;
+        }
+        if (k < n && text[k] == '(') {
+          const std::string closer = ")" + delim + "\"";
+          const std::size_t body_start = k + 1;
+          const std::size_t close = text.find(closer, body_start);
+          const std::size_t body_end = (close == std::string_view::npos) ? n : close;
+          const int start_line = line;
+          const std::size_t end = (close == std::string_view::npos)
+                                      ? n
+                                      : close + closer.size();
+          advance_newlines(i, end);
+          out.tokens.push_back(Token{
+              TokKind::kString,
+              std::string(text.substr(body_start, body_end - body_start)),
+              start_line});
+          i = end;
+          continue;
+        }
+        // Malformed prefix (no open paren): fall through as an identifier.
+      }
+      out.tokens.push_back(Token{TokKind::kIdent, std::move(ident), line});
       i = j;
       continue;
     }

@@ -34,9 +34,11 @@ LintResult Analyze(std::vector<SourceFile> sources, std::string_view tag_text,
   LintResult result;
   result.sources = std::move(sources);
   result.errors = std::move(errors);
+  result.graph = CallGraph::Build(result.sources);
   for (const SourceFile& file : result.sources) {
-    CheckSourceFile(file, &result.findings);
+    CheckSourceFile(file, &result.graph, &result.findings);
   }
+  CheckCallGraph(result.graph, &result.findings);
   CheckRegistrations(result.sources, &result.findings);
   if (!tag_text.empty() || tag_path != "<tags>") {
     CheckTagFile(tag_path, tag_text, &result.sources, &result.findings);

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/lint/callgraph.h"
 #include "src/lint/diagnostics.h"
 #include "src/lint/source_model.h"
 #include "src/lint/trace_check.h"
@@ -25,6 +26,9 @@ struct LintResult {
   std::vector<Finding> findings;  // sorted; suppressions already applied
   std::vector<SourceFile> sources;
   CallStructureModel model;
+  // Whole-program call graph + summaries. Holds pointers into `sources`;
+  // LintResult is move-only in practice, which keeps them stable.
+  CallGraph graph;
   std::vector<std::string> errors;  // unreadable paths etc.
 
   std::size_t unsuppressed() const { return UnsuppressedCount(findings); }

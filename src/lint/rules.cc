@@ -84,8 +84,8 @@ void PopMatching(std::vector<Open>* stack, const std::string& var) {
 class FunctionChecker {
  public:
   FunctionChecker(const SourceFile& file, const FunctionModel& fn,
-                  std::vector<Finding>* findings)
-      : file_(file), fn_(fn), findings_(findings) {}
+                  const CallGraph* graph, std::vector<Finding>* findings)
+      : file_(file), fn_(fn), graph_(graph), findings_(findings) {}
 
   void Run(std::vector<Open>* entry_unclosed, std::vector<Open>* exit_orphans) {
     entry_unclosed_ = entry_unclosed;
@@ -132,12 +132,17 @@ class FunctionChecker {
   }
 
   void EndOfPath(const PathState& st, int line) {
-    for (const Open& o : st.spl) {
-      Report("spl-balance", o.line,
-             StrFormat("saved level from %s() is not restored by splx() on the "
-                       "return path ending at line %d",
-                       o.what.c_str(), line),
-             StrFormat("in %s", fn_.name.c_str()));
+    // A declared spl-effect waives the per-path balance report: the function
+    // intentionally leaves (or consumes) levels, and the whole-program pass
+    // validates the declared count against the computed interval instead.
+    if (!fn_.has_spl_effect) {
+      for (const Open& o : st.spl) {
+        Report("spl-balance", o.line,
+               StrFormat("saved level from %s() is not restored by splx() on the "
+                         "return path ending at line %d",
+                         o.what.c_str(), line),
+               StrFormat("in %s", fn_.name.c_str()));
+      }
     }
     for (const Open& o : st.raw) {
       Report("spl-raw-balance", o.line,
@@ -163,11 +168,17 @@ class FunctionChecker {
     switch (s.event) {
       case EventKind::kSplRaise:
         if (s.var.empty()) {
-          Report("spl-balance", s.line,
-                 StrFormat("result of %s() is discarded; the previous level can "
-                           "never be restored",
-                           s.what.c_str()),
-                 StrFormat("in %s", fn_.name.c_str()));
+          if (fn_.has_spl_effect && fn_.spl_effect > 0) {
+            // `return spl.splnet();` in an annotated raising helper: the
+            // level is handed to the caller, not discarded.
+            st->spl.push_back(Open{"", s.what, s.line});
+          } else {
+            Report("spl-balance", s.line,
+                   StrFormat("result of %s() is discarded; the previous level "
+                             "can never be restored",
+                             s.what.c_str()),
+                   StrFormat("in %s", fn_.name.c_str()));
+          }
         } else {
           st->spl.push_back(Open{s.var, s.what, s.line});
         }
@@ -231,6 +242,49 @@ class FunctionChecker {
                "an entry or exit trigger",
                StrFormat("in %s", fn_.name.c_str()));
         break;
+      case EventKind::kCall: {
+        if (graph_ == nullptr) {
+          break;
+        }
+        const FuncSummary* callee = graph_->EffectiveSummary(s.what, fn_.name);
+        if (callee == nullptr) {
+          break;  // external callee: neutral by policy
+        }
+        if (callee->may_sleep) {
+          if (!st->spl.empty()) {
+            const Open& o = st->spl.back();
+            Report("spl-sleep-transitive", s.line,
+                   StrFormat("call to %s() can reach a blocking call while "
+                             "%s() (line %d) holds the interrupt level raised",
+                             s.what.c_str(), o.what.c_str(), o.line),
+                   StrFormat("in %s; call chain: %s", fn_.name.c_str(),
+                             FormatSleepChain(s.what, *callee).c_str()));
+          } else if (!st->raw.empty()) {
+            const Open& o = st->raw.back();
+            Report("spl-sleep-transitive", s.line,
+                   StrFormat("call to %s() can reach a blocking call inside a "
+                             "RawRaise() region (line %d)",
+                             s.what.c_str(), o.line),
+                   StrFormat("in %s; call chain: %s", fn_.name.c_str(),
+                             FormatSleepChain(s.what, *callee).c_str()));
+          }
+        }
+        if (callee->has_annotation) {
+          // The declared contract plays out on the caller's abstract stack:
+          // a +n helper leaves n raises bound to the assigned variable, a -n
+          // helper consumes n of the caller's open raises.
+          if (callee->annotation > 0) {
+            for (int k = 0; k < callee->annotation; ++k) {
+              st->spl.push_back(Open{s.var, s.what, s.line});
+            }
+          } else {
+            for (int k = 0; k < -callee->annotation; ++k) {
+              PopMatching(&st->spl, s.var);
+            }
+          }
+        }
+        break;
+      }
     }
   }
 
@@ -295,6 +349,7 @@ class FunctionChecker {
 
   const SourceFile& file_;
   const FunctionModel& fn_;
+  const CallGraph* graph_;
   std::vector<Finding>* findings_;
   std::vector<Open>* entry_unclosed_ = nullptr;
   std::vector<Open>* exit_orphans_ = nullptr;
@@ -338,7 +393,8 @@ const char* TagKindName(TagKind kind) {
 
 }  // namespace
 
-void CheckSourceFile(const SourceFile& file, std::vector<Finding>* findings) {
+void CheckSourceFile(const SourceFile& file, const CallGraph* graph,
+                     std::vector<Finding>* findings) {
   struct Candidates {
     const FunctionModel* fn = nullptr;
     std::vector<Open> entry_unclosed;
@@ -347,7 +403,7 @@ void CheckSourceFile(const SourceFile& file, std::vector<Finding>* findings) {
   std::vector<Candidates> cands;
   cands.reserve(file.functions.size());
   for (const FunctionModel& fn : file.functions) {
-    FunctionChecker checker(file, fn, findings);
+    FunctionChecker checker(file, fn, graph, findings);
     Candidates c;
     c.fn = &fn;
     checker.Run(&c.entry_unclosed, &c.exit_orphans);

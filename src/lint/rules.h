@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/instr/tag_file.h"
+#include "src/lint/callgraph.h"
 #include "src/lint/diagnostics.h"
 #include "src/lint/source_model.h"
 
@@ -16,8 +17,12 @@ namespace hwprof::lint {
 
 // Evaluates every function in `file` against the spl and instrumentation
 // rules, appending findings. Carries over the bad-suppression notes the
-// source-model pass recorded.
-void CheckSourceFile(const SourceFile& file, std::vector<Finding>* findings);
+// source-model pass recorded. When `graph` is non-null, call sites are
+// charged with their callees' whole-program summaries: sleeping callees
+// under a raise become spl-sleep-transitive, and annotated spl-effect
+// helpers push/pop the declared levels onto the caller's abstract stack.
+void CheckSourceFile(const SourceFile& file, const CallGraph* graph,
+                     std::vector<Finding>* findings);
 
 // Cross-file checks over all analyzed sources: conflicting registrations of
 // the same name (reg-conflict) and context-switch registrations in files that

@@ -1,6 +1,8 @@
 #include "src/lint/source_model.h"
 
 #include <algorithm>
+#include <cctype>
+#include <functional>
 
 #include "src/base/strings.h"
 #include "src/lint/lexer.h"
@@ -23,6 +25,21 @@ bool IsControlKeyword(const std::string& s) {
          s == "catch" || s == "sizeof" || s == "new" || s == "delete" ||
          s == "static_cast" || s == "reinterpret_cast" || s == "const_cast" ||
          s == "dynamic_cast" || s == "alignof" || s == "decltype";
+}
+
+// SHOUTY_CASE identifiers followed by '(' are macro invocations (HWPROF_CHECK,
+// KPROF, ...), not functions the call graph can resolve; recording them would
+// only add noise edges.
+bool IsMacroLikeName(const std::string& s) {
+  if (s.size() < 2) {
+    return false;
+  }
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 // The recursive-descent scanner over the token stream. It never throws and
@@ -638,6 +655,32 @@ class Parser {
       ++i_;
       return true;
     }
+    // Anything else spelled `Ident(` or `Qual::Ident(` is a plain call site
+    // for the whole-program pass. Heuristics keep declarations and macros
+    // out; the call graph tolerates whatever noise slips through (unresolved
+    // callees get a neutral summary).
+    if (!IsControlKeyword(name) && !IsMacroLikeName(name) && name != "operator") {
+      std::size_t chain_begin = i_;
+      std::string full = name;
+      while (chain_begin >= 2 && t_[chain_begin - 1].text == "::" &&
+             t_[chain_begin - 2].kind == TokKind::kIdent) {
+        full = t_[chain_begin - 2].text + "::" + full;
+        chain_begin -= 2;
+      }
+      if (chain_begin > 0) {
+        const Token& prev = t_[chain_begin - 1];
+        // `Type name(...)` / `new Type(...)`: an identifier directly before
+        // the callee chain means a declaration or constructor-new, except for
+        // the few statement keywords an expression can legally follow.
+        if (prev.kind == TokKind::kIdent && prev.text != "return" &&
+            prev.text != "else" && prev.text != "do" && prev.text != "co_return") {
+          return false;
+        }
+      }
+      PushEvent(parent, EventKind::kCall, pending_assign, std::move(full), line);
+      ++i_;
+      return true;
+    }
     return false;
   }
 
@@ -647,26 +690,84 @@ class Parser {
   std::vector<std::string> scopes_;  // "" = namespace, otherwise class name
 };
 
-// --- suppression comments ------------------------------------------------------
+// --- hwprof-lint comments ------------------------------------------------------
 
-void ParseSuppressions(const std::vector<Comment>& comments, SourceFile* out) {
+// "hwprof-lint: spl-effect(<signed n>) <reason>" — a declared net spl effect
+// for the function definition that follows the comment.
+void ParseSplEffect(std::string_view rest, const Comment& c, SourceFile* out,
+                    const std::function<void(std::string)>& bad) {
+  rest.remove_prefix(11);  // "spl-effect("
+  const std::size_t close = rest.find(')');
+  if (close == std::string_view::npos) {
+    bad("unterminated spl-effect(...) annotation");
+    return;
+  }
+  std::string_view num = StripWhitespace(rest.substr(0, close));
+  int sign = 1;
+  if (StartsWith(num, "+")) {
+    num.remove_prefix(1);
+  } else if (StartsWith(num, "-")) {
+    sign = -1;
+    num.remove_prefix(1);
+  }
+  int value = 0;
+  bool digits = !num.empty();
+  for (char ch : num) {
+    if (!std::isdigit(static_cast<unsigned char>(ch))) {
+      digits = false;
+      break;
+    }
+    value = value * 10 + (ch - '0');
+    if (value > 8) {
+      break;
+    }
+  }
+  if (!digits || value == 0 || value > 8) {
+    bad("spl-effect(n) requires a signed non-zero level count in [-8, 8]");
+    return;
+  }
+  SplEffectAnnotation ann;
+  ann.line = c.line;
+  ann.effect = sign * value;
+  ann.reason = std::string(StripWhitespace(rest.substr(close + 1)));
+  if (ann.reason.empty()) {
+    bad("spl-effect annotation requires a justification after spl-effect(...)");
+    return;
+  }
+  out->spl_effects.push_back(std::move(ann));
+}
+
+void ParseLintComments(const std::vector<Comment>& comments, SourceFile* out) {
   for (const Comment& c : comments) {
-    const std::size_t anchor = c.text.find("hwprof-lint:");
-    if (anchor == std::string::npos) {
+    // The directive must START the comment ("// hwprof-lint: ..."): prose
+    // that merely quotes the grammar mid-sentence (the linter's own docs do)
+    // is not a directive.
+    const std::string_view text = StripWhitespace(c.text);
+    if (!StartsWith(text, "hwprof-lint:")) {
       continue;
     }
-    auto bad = [&](std::string message) {
+    auto bad_rule = [&](const char* rule, std::string message) {
       Finding f;
-      f.rule = "bad-suppression";
+      f.rule = rule;
       f.file = out->path;
       f.line = c.line;
       f.message = std::move(message);
       out->notes.push_back(std::move(f));
     };
-    std::string_view rest = std::string_view(c.text).substr(anchor + 12);
-    rest = StripWhitespace(rest);
+    auto bad = [&](std::string message) {
+      bad_rule("bad-suppression", std::move(message));
+    };
+    std::string_view rest = StripWhitespace(text.substr(12));
+    if (StartsWith(rest, "spl-effect(")) {
+      ParseSplEffect(rest, c, out, [&](std::string message) {
+        bad_rule("bad-annotation", std::move(message));
+      });
+      continue;
+    }
     if (!StartsWith(rest, "suppress(")) {
-      bad("hwprof-lint comment must be 'hwprof-lint: suppress(<rule>[,<rule>]) <reason>'");
+      bad(
+          "hwprof-lint comment must be 'hwprof-lint: suppress(<rule>[,<rule>]) "
+          "<reason>' or 'hwprof-lint: spl-effect(<+/-n>) <reason>'");
       continue;
     }
     rest.remove_prefix(9);
@@ -702,13 +803,52 @@ void ParseSuppressions(const std::vector<Comment>& comments, SourceFile* out) {
 
 }  // namespace
 
+namespace {
+
+// Bind each spl-effect annotation to the function definition that opens
+// within a few lines below it; annotations that attach to nothing are
+// configuration errors worth surfacing.
+void AttachSplEffects(SourceFile* out) {
+  for (const SplEffectAnnotation& ann : out->spl_effects) {
+    FunctionModel* best = nullptr;
+    for (FunctionModel& fn : out->functions) {
+      if (fn.is_lambda || fn.line < ann.line || fn.line > ann.line + 4) {
+        continue;
+      }
+      if (best == nullptr || fn.line < best->line) {
+        best = &fn;
+      }
+    }
+    Finding f;
+    f.rule = "bad-annotation";
+    f.file = out->path;
+    f.line = ann.line;
+    if (best == nullptr) {
+      f.message = "spl-effect annotation does not precede a function definition";
+      out->notes.push_back(std::move(f));
+      continue;
+    }
+    if (best->has_spl_effect) {
+      f.message = StrFormat("function '%s' carries more than one spl-effect annotation",
+                            best->name.c_str());
+      out->notes.push_back(std::move(f));
+      continue;
+    }
+    best->has_spl_effect = true;
+    best->spl_effect = ann.effect;
+  }
+}
+
+}  // namespace
+
 SourceFile AnalyzeSource(std::string path, std::string_view text) {
   SourceFile out;
   out.path = std::move(path);
   const LexedFile lexed = Lex(text);
   Parser parser(lexed, &out);
   parser.Run();
-  ParseSuppressions(lexed.comments, &out);
+  ParseLintComments(lexed.comments, &out);
+  AttachSplEffects(&out);
   return out;
 }
 

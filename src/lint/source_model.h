@@ -35,6 +35,7 @@ enum class EventKind : unsigned char {
   kUnknownEmit, // raw TriggerRead with a tag we cannot classify
   kObsSpanBegin,  // OBS_SPAN_BEGIN(tok) — telemetry span opened
   kObsSpanEnd,    // OBS_SPAN_END(tok, metric) — span closed into a histogram
+  kCall,          // any other call site: `what` holds the callee spelling
 };
 
 struct Stmt {
@@ -59,6 +60,12 @@ struct FunctionModel {
   std::string name;  // qualified: "Fs::GetBlk", "ProfileScope::ProfileScope"
   int line = 0;      // line of the body's opening brace
   bool is_lambda = false;
+  // From a "// hwprof-lint: spl-effect(+n) reason" annotation directly above
+  // the definition: the function's declared net spl effect (raises it leaves
+  // open for the caller to restore, or restores it performs on the caller's
+  // behalf when negative).
+  bool has_spl_effect = false;
+  int spl_effect = 0;
   std::unique_ptr<Stmt> body;  // kBlock
 };
 
@@ -76,13 +83,22 @@ struct Suppression {
   std::string reason;
 };
 
+// One "// hwprof-lint: spl-effect(+n) reason" comment, before attachment to
+// the function definition that follows it.
+struct SplEffectAnnotation {
+  int line = 0;
+  int effect = 0;
+  std::string reason;
+};
+
 struct SourceFile {
   std::string path;
   std::vector<FunctionModel> functions;  // lambdas appended with is_lambda set
   std::vector<Registration> registrations;
   std::vector<Suppression> suppressions;
+  std::vector<SplEffectAnnotation> spl_effects;  // attached to functions too
   bool has_fiber_switch = false;  // file performs Fiber::Switch context switches
-  std::vector<Finding> notes;     // bad-suppression findings from comment parsing
+  std::vector<Finding> notes;     // bad-suppression/bad-annotation findings
 };
 
 SourceFile AnalyzeSource(std::string path, std::string_view text);

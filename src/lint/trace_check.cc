@@ -60,7 +60,9 @@ CallStructureModel BuildModel(const std::vector<SourceFile>& files) {
   return model;
 }
 
-std::string ModelToJson(const CallStructureModel& model) {
+namespace {
+
+std::string ModelFunctionsJson(const CallStructureModel& model) {
   std::string out = "{\n  \"functions\": [";
   bool first = true;
   for (const auto& [name, entry] : model.by_name) {
@@ -74,8 +76,20 @@ std::string ModelToJson(const CallStructureModel& model) {
     AppendJsonString(entry.file, &out);
     out += StrFormat(", \"line\": %d}", entry.line);
   }
-  out += "\n  ]\n}\n";
+  out += "\n  ]";
   return out;
+}
+
+}  // namespace
+
+std::string ModelToJson(const CallStructureModel& model) {
+  return ModelFunctionsJson(model) + "\n}\n";
+}
+
+std::string ModelToJson(const CallStructureModel& model,
+                        const std::string& call_graph_json) {
+  return ModelFunctionsJson(model) + ",\n  \"call_graph\": " + call_graph_json +
+         "\n}\n";
 }
 
 void CrossCheckTrace(const DecodedTrace& trace, const TagFile& names,

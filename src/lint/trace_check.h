@@ -33,8 +33,13 @@ struct CallStructureModel {
 CallStructureModel BuildModel(const std::vector<SourceFile>& files);
 
 // JSON object {"functions": [{"name":..., "kind":..., "file":..., "line":N}]}
-// — the exported form other tools (and tests) consume.
+// — the exported form other tools (and tests) consume. The second form
+// embeds a pre-rendered call-graph object (CallGraphToJson) under the
+// "call_graph" key so --model-out carries the resolved whole-program graph
+// and summaries alongside the registrations.
 std::string ModelToJson(const CallStructureModel& model);
+std::string ModelToJson(const CallStructureModel& model,
+                        const std::string& call_graph_json);
 
 // Cross-checks a decoded trace against the names file and the static model:
 //  * trace-unknown-tag — tags the decoder could not resolve, attributed to

@@ -1,0 +1,39 @@
+// Lint fixture: spl-effect annotations — a declared raising helper, callers
+// that balance or leak it, a stale annotation, and an undeclared restorer.
+// Not compiled — parsed by lint_test.
+
+#include "kern/kernel.h"
+
+// hwprof-lint: spl-effect(+1) parks one raised level in the returned token
+int RaiseNet(Kernel& k) {
+  return k.spl().splnet();
+}
+
+// hwprof-lint: spl-effect(-1) pops the level RaiseNet() parked
+void ReleaseNet(Kernel& k, int s) {
+  k.spl().splx(s);
+}
+
+void BalancedCaller(Kernel& k) {
+  const int s = RaiseNet(k);
+  k.spl().splx(s);
+}
+
+void PairedCaller(Kernel& k) {
+  const int s = RaiseNet(k);
+  ReleaseNet(k, s);
+}
+
+void LeakyCaller(Kernel& k) {
+  RaiseNet(k);
+}
+
+// hwprof-lint: spl-effect(+1) stale: the body below is balanced
+void StaleAnnotation(Kernel& k) {
+  const int s = k.spl().splnet();
+  k.spl().splx(s);
+}
+
+void UndeclaredRestore(Kernel& k, int s) {
+  k.spl().splx(s);
+}

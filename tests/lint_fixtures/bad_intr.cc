@@ -1,0 +1,16 @@
+// Lint fixture: an interrupt-service routine that can reach a blocking
+// call through a helper. Not compiled — parsed by lint_test.
+
+#include "kern/kernel.h"
+
+void DrainQueue(Kernel& k) {
+  k.sched().Tsleep(&k, 0);
+}
+
+void DiskIntr(Kernel& k) {
+  DrainQueue(k);
+}
+
+void NetIntr(Kernel& k) {
+  k.sched().Wakeup(&k);
+}

@@ -1,0 +1,29 @@
+// Lint fixture: transitive spl-sleep violations through the call graph —
+// the sleep is two calls away from the raise. Not compiled — parsed by
+// lint_test.
+
+#include "kern/kernel.h"
+
+void SleepsDeep(Kernel& k) {
+  k.sched().Tsleep(&k, 0);
+}
+
+void MiddleHelper(Kernel& k) {
+  SleepsDeep(k);
+}
+
+void RaisedCaller(Kernel& k) {
+  const int s = k.spl().splbio();
+  MiddleHelper(k);
+  k.spl().splx(s);
+}
+
+void RawRegionCaller(Kernel& k) {
+  const auto prev = k.spl().RawRaise(3);
+  MiddleHelper(k);
+  k.spl().RawRestore(prev);
+}
+
+void BaseLevelCaller(Kernel& k) {
+  MiddleHelper(k);
+}

@@ -1,0 +1,30 @@
+// Lint fixture: recursion cycles. An annotated raising recursion carries a
+// level effect and must be reported; a balanced mutual recursion must not.
+// Not compiled — parsed by lint_test.
+
+#include "kern/kernel.h"
+
+// hwprof-lint: spl-effect(+1) parks one raised level per invocation
+int RecursiveRaise(Kernel& k, int n) {
+  const int s = k.spl().splnet();
+  if (n > 1) {
+    RecursiveRaise(k, n - 1);
+  }
+  return s;
+}
+
+int PongPing(Kernel& k, int n);
+
+int PingPong(Kernel& k, int n) {
+  if (n <= 0) {
+    return 0;
+  }
+  return PongPing(k, n - 1);
+}
+
+int PongPing(Kernel& k, int n) {
+  if (n <= 0) {
+    return 0;
+  }
+  return PingPong(k, n - 1);
+}

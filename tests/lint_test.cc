@@ -87,6 +87,56 @@ TEST(LintLexer, StringsAndChars) {
   EXPECT_EQ(str->text, "a\"b");
 }
 
+TEST(LintLexer, RawStringsAreOneToken) {
+  const LexedFile lexed = Lex(
+      "auto s = R\"(k.spl().splbio();)\";\n"
+      "auto d = R\"xy(a)\" still inside )xy\";\n"
+      "auto m = R\"(line one\nline two)\"; int after = 0;\n");
+  std::vector<std::string> strings;
+  for (const Token& t : lexed.tokens) {
+    // Code-like text inside the raw bodies must not leak identifier tokens.
+    EXPECT_NE(t.text, "splbio");
+    EXPECT_NE(t.text, "still");
+    if (t.kind == TokKind::kString) {
+      strings.push_back(t.text);
+    }
+  }
+  ASSERT_EQ(strings.size(), 3u);
+  EXPECT_EQ(strings[0], "k.spl().splbio();");
+  // The )" inside a delimited raw string does not close it.
+  EXPECT_EQ(strings[1], "a)\" still inside ");
+  EXPECT_EQ(strings[2], "line one\nline two");
+  // Newlines inside the raw body still advance the line counter.
+  const auto after = std::find_if(lexed.tokens.begin(), lexed.tokens.end(),
+                                  [](const Token& t) { return t.text == "after"; });
+  ASSERT_NE(after, lexed.tokens.end());
+  EXPECT_EQ(after->line, 4);
+}
+
+TEST(LintLexer, SplicedLineCommentStaysAComment) {
+  const LexedFile lexed = Lex(
+      "// first \\\nk.spl().splbio(); still comment\nint y;\n");
+  ASSERT_EQ(lexed.comments.size(), 1u);
+  EXPECT_EQ(lexed.comments[0].line, 1);
+  EXPECT_NE(lexed.comments[0].text.find("still comment"), std::string::npos);
+  // The spliced line must not be lexed as code.
+  for (const Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "splbio");
+  }
+  const auto y = std::find_if(lexed.tokens.begin(), lexed.tokens.end(),
+                              [](const Token& t) { return t.text == "y"; });
+  ASSERT_NE(y, lexed.tokens.end());
+  EXPECT_EQ(y->line, 3);
+}
+
+TEST(LintLexer, RawStringInFunctionFabricatesNoFindings) {
+  const LintResult result = LintText({{"raw.cc",
+      "const char* Banner() {\n"
+      "  return R\"(const int s = k.spl().splbio();)\";\n"
+      "}\n"}});
+  EXPECT_TRUE(result.findings.empty());
+}
+
 // --- source model ------------------------------------------------------------
 
 TEST(LintModel, FunctionsRegistrationsSuppressions) {
@@ -141,6 +191,144 @@ TEST(LintRules, SplSleepFixture) {
   EXPECT_EQ(findings[0]->line, 7);   // Tsleep under splbio
   EXPECT_EQ(findings[1]->line, 19);  // Preempt inside a RawRaise region
   EXPECT_EQ(result.unsuppressed(), 2u);  // SleepAfterRestore is clean
+}
+
+// --- whole-program rules -----------------------------------------------------
+
+TEST(LintGraph, TransitiveSleepDepthThree) {
+  const LintResult result = LintFixture("bad_transitive.cc");
+  const auto findings = ByRule(result, "spl-sleep-transitive");
+  ASSERT_EQ(findings.size(), 2u);
+  // The raise-holding caller, attributed to the call site two hops above
+  // the sleep, with the full chain in the note.
+  EXPECT_EQ(findings[0]->line, 17);
+  EXPECT_NE(findings[0]->message.find("MiddleHelper"), std::string::npos);
+  EXPECT_NE(findings[0]->message.find("splbio"), std::string::npos);
+  EXPECT_NE(findings[0]->note.find("call chain: MiddleHelper -> SleepsDeep ("),
+            std::string::npos);
+  EXPECT_NE(findings[0]->note.find(":12) -> Tsleep ("), std::string::npos);
+  EXPECT_NE(findings[0]->note.find(":8)"), std::string::npos);
+  // The RawRaise-region variant.
+  EXPECT_EQ(findings[1]->line, 23);
+  EXPECT_NE(findings[1]->message.find("RawRaise"), std::string::npos);
+  // BaseLevelCaller reaches the same sleep with nothing raised: clean.
+  EXPECT_EQ(result.unsuppressed(), 2u);
+  // The summaries behind the findings.
+  const FuncSummary& middle = result.graph.summaries().at("MiddleHelper");
+  EXPECT_TRUE(middle.may_sleep);
+  ASSERT_EQ(middle.sleep_path.size(), 2u);
+  EXPECT_EQ(middle.sleep_path[0].what, "SleepsDeep");
+  EXPECT_EQ(middle.sleep_path[1].what, "Tsleep");
+  const FuncSummary& raised = result.graph.summaries().at("RaisedCaller");
+  EXPECT_TRUE(raised.may_sleep);
+  EXPECT_EQ(raised.spl_lo, 0);  // balanced despite the raise
+  EXPECT_EQ(raised.spl_hi, 0);
+}
+
+TEST(LintGraph, InterruptReachableSleeper) {
+  const LintResult result = LintFixture("bad_intr.cc");
+  const auto findings = ByRule(result, "intr-blocking");
+  ASSERT_EQ(findings.size(), 1u);
+  // Attributed to the first hop of the chain inside the handler.
+  EXPECT_EQ(findings[0]->line, 11);
+  EXPECT_NE(findings[0]->message.find("DiskIntr"), std::string::npos);
+  EXPECT_NE(findings[0]->note.find("call chain: DiskIntr -> DrainQueue ("),
+            std::string::npos);
+  EXPECT_NE(findings[0]->note.find("-> Tsleep ("), std::string::npos);
+  // NetIntr only wakes; it must not be flagged.
+  EXPECT_EQ(findings[0]->message.find("NetIntr"), std::string::npos);
+  EXPECT_EQ(result.unsuppressed(), 1u);
+}
+
+TEST(LintGraph, AnnotatedHelperContracts) {
+  const LintResult result = LintFixture("annotated_helper.cc");
+  // A caller that forgets the level the annotated helper parked.
+  const auto balance = ByRule(result, "spl-balance");
+  ASSERT_EQ(balance.size(), 1u);
+  EXPECT_EQ(balance[0]->line, 28);
+  EXPECT_NE(balance[0]->message.find("RaiseNet"), std::string::npos);
+  EXPECT_NE(balance[0]->note.find("LeakyCaller"), std::string::npos);
+  // A stale annotation and an undeclared restorer.
+  const auto transitive = ByRule(result, "spl-imbalance-transitive");
+  ASSERT_EQ(transitive.size(), 2u);
+  EXPECT_EQ(transitive[0]->line, 32);
+  EXPECT_NE(transitive[0]->message.find("spl-effect(+1)"), std::string::npos);
+  EXPECT_NE(transitive[0]->message.find("[0, 0]"), std::string::npos);
+  EXPECT_EQ(transitive[1]->line, 37);
+  EXPECT_NE(transitive[1]->message.find("without declaring"), std::string::npos);
+  EXPECT_NE(transitive[1]->message.find("spl-effect(-1)"), std::string::npos);
+  // BalancedCaller and PairedCaller honor the contracts: nothing else fires.
+  EXPECT_EQ(result.unsuppressed(), 3u);
+  // The helpers' computed summaries match their declarations.
+  const FuncSummary& raise = result.graph.summaries().at("RaiseNet");
+  EXPECT_EQ(raise.spl_lo, 1);
+  EXPECT_EQ(raise.spl_hi, 1);
+  EXPECT_TRUE(raise.has_annotation);
+  const FuncSummary& release = result.graph.summaries().at("ReleaseNet");
+  EXPECT_EQ(release.spl_lo, -1);
+  EXPECT_EQ(release.spl_hi, -1);
+}
+
+TEST(LintGraph, RecursionCycles) {
+  const LintResult result = LintFixture("recursion.cc");
+  // The annotated self-recursion carries a level effect: reported once.
+  const auto cycles = ByRule(result, "call-cycle");
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_NE(cycles[0]->note.find("RecursiveRaise -> RecursiveRaise"),
+            std::string::npos);
+  EXPECT_EQ(cycles[0]->note.find("PingPong"), std::string::npos);
+  // Its fixed +1 annotation cannot hold across iterations: the solver
+  // widens the interval and the contract check reports the disagreement.
+  const auto transitive = ByRule(result, "spl-imbalance-transitive");
+  ASSERT_EQ(transitive.size(), 1u);
+  EXPECT_EQ(transitive[0]->line, 8);
+  EXPECT_NE(transitive[0]->message.find("[1, 2]"), std::string::npos);
+  // The balanced mutual recursion is detected as a cycle but not reported.
+  bool pingpong_cycle = false;
+  for (const auto& cycle : result.graph.cycles()) {
+    if (cycle == std::vector<std::string>{"PingPong", "PongPing"}) {
+      pingpong_cycle = true;
+    }
+  }
+  EXPECT_TRUE(pingpong_cycle);
+  EXPECT_TRUE(result.graph.summaries().at("PingPong").in_cycle);
+  EXPECT_EQ(result.unsuppressed(), 2u);
+}
+
+TEST(LintGraph, SummariesAreFileOrderIndependent) {
+  // The same program split across two files, analyzed in both orders: the
+  // Jacobi solver and sorted node iteration must make results identical.
+  const std::pair<std::string, std::string> a{
+      "a.cc", "void SleepsDeep(Kernel& k) { k.sched().Tsleep(&k, 0); }\n"};
+  const std::pair<std::string, std::string> b{
+      "b.cc",
+      "void MiddleHelper(Kernel& k) { SleepsDeep(k); }\n"
+      "void RaisedCaller(Kernel& k) {\n"
+      "  const int s = k.spl().splbio();\n"
+      "  MiddleHelper(k);\n"
+      "  k.spl().splx(s);\n"
+      "}\n"};
+  const LintResult ab = LintText({a, b});
+  const LintResult ba = LintText({b, a});
+  EXPECT_EQ(FindingsToJson(ab.findings), FindingsToJson(ba.findings));
+  EXPECT_EQ(CallGraphToJson(ab.graph), CallGraphToJson(ba.graph));
+  // And the cross-file chain is found either way.
+  ASSERT_EQ(ByRule(ab, "spl-sleep-transitive").size(), 1u);
+  ASSERT_EQ(ByRule(ba, "spl-sleep-transitive").size(), 1u);
+  EXPECT_EQ(ByRule(ab, "spl-sleep-transitive")[0]->line, 4);
+}
+
+TEST(LintGraph, ExternalCalleesAreNeutral) {
+  // An unresolved callee must not fabricate sleep or level effects.
+  const LintResult result = LintText({{"ext.cc",
+      "void CallsLibrary(Kernel& k) {\n"
+      "  const int s = k.spl().splbio();\n"
+      "  SomeLibraryRoutine(&k);\n"
+      "  k.spl().splx(s);\n"
+      "}\n"}});
+  EXPECT_EQ(result.unsuppressed(), 0u);
+  EXPECT_EQ(result.graph.EffectiveSummary("SomeLibraryRoutine", "CallsLibrary"),
+            nullptr);
 }
 
 // --- instrumentation rules ---------------------------------------------------
@@ -298,6 +486,20 @@ TEST(LintJson, EscapesSurviveRoundTrip) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].file, in[0].file);
   EXPECT_EQ(out[0].message, in[0].message);
+}
+
+TEST(LintJson, SarifCarriesRulesAndSuppressions) {
+  const LintResult result = LintFixture("suppressed.cc");
+  const std::string sarif = FindingsToSarif(result.findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  // The full rule catalog rides along, including the whole-program rules.
+  EXPECT_NE(sarif.find("{\"id\": \"spl-sleep-transitive\""), std::string::npos);
+  EXPECT_NE(sarif.find("{\"id\": \"intr-blocking\""), std::string::npos);
+  EXPECT_NE(sarif.find("{\"id\": \"call-cycle\""), std::string::npos);
+  // Suppressed findings are carried as inSource suppressions, not dropped.
+  EXPECT_NE(sarif.find("\"suppressions\": [{\"kind\": \"inSource\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": "), std::string::npos);
 }
 
 TEST(LintJson, MalformedInputRejected) {

@@ -2,13 +2,15 @@
 //
 //   hwprof_lint [options] [paths...]
 //
-//   paths                 files or directories to analyze (default:
-//                         src/kern src/profhw src/instr)
+//   paths                 files or directories to analyze (default: the
+//                         whole src tree)
 //   --json                machine-readable findings on stdout
+//   --sarif               SARIF 2.1.0 findings on stdout (for CI annotation)
 //   --tags FILE           validate FILE as a tag file against the sources
 //   --trace FILE          cross-check a saved capture (needs --tags) against
 //                         the static call-structure model
-//   --model-out FILE      write the call-structure model as JSON
+//   --model-out FILE      write the call-structure model, resolved call
+//                         graph, and per-function summaries as JSON
 //   --all                 print suppressed findings too
 //   --root DIR            chdir-free prefix applied to the default paths
 //
@@ -31,7 +33,7 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json] [--tags FILE] [--trace FILE] "
+               "usage: %s [--json] [--sarif] [--tags FILE] [--trace FILE] "
                "[--model-out FILE] [--all] [--root DIR] [paths...]\n",
                argv0);
   return 2;
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
   using hwprof::lint::Finding;
 
   bool json = false;
+  bool sarif = false;
   bool show_all = false;
   std::string tags_path;
   std::string trace_path;
@@ -70,6 +73,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--all") {
       show_all = true;
     } else if (arg == "--tags") {
@@ -91,12 +96,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (json && sarif) {
+    std::fprintf(stderr, "hwprof_lint: --json and --sarif are exclusive\n");
+    return Usage(argv[0]);
+  }
+
   hwprof::lint::LintConfig config;
   if (paths.empty()) {
     const std::filesystem::path base = root.empty() ? "." : root;
-    for (const char* sub : {"src/kern", "src/profhw", "src/instr"}) {
-      config.paths.push_back((base / sub).generic_string());
-    }
+    config.paths.push_back((base / "src").generic_string());
   } else {
     config.paths = std::move(paths);
   }
@@ -141,17 +149,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "hwprof_lint: cannot write '%s'\n", model_out.c_str());
       return 2;
     }
-    out << hwprof::lint::ModelToJson(result.model);
+    out << hwprof::lint::ModelToJson(result.model,
+                                     hwprof::lint::CallGraphToJson(result.graph));
   }
 
-  if (json) {
+  if (json || sarif) {
     std::vector<Finding> shown;
     for (const Finding& f : result.findings) {
-      if (show_all || !f.suppressed) {
+      // SARIF carries suppressed findings as inSource suppressions; plain
+      // JSON keeps the historical behavior of hiding them without --all.
+      if (sarif || show_all || !f.suppressed) {
         shown.push_back(f);
       }
     }
-    std::fputs(hwprof::lint::FindingsToJson(shown).c_str(), stdout);
+    std::fputs(sarif ? hwprof::lint::FindingsToSarif(shown).c_str()
+                     : hwprof::lint::FindingsToJson(shown).c_str(),
+               stdout);
   } else {
     std::size_t suppressed = 0;
     for (const Finding& f : result.findings) {
