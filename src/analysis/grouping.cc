@@ -12,6 +12,13 @@ Grouping::Grouping(const DecodedTrace& trace,
   const std::uint64_t run_us = ToWholeUsec(trace.RunTime());
   std::map<std::string, GroupRow> acc;
   for (const auto& [name, stats] : trace.per_function) {
+    if (stats.context_switch) {
+      // A '!'-tagged function's net time is the idle account; charging it to
+      // an abstraction would drown the group it happens to live in (and make
+      // idle shifts look like subsystem regressions). Summary omits these
+      // rows for the same reason.
+      continue;
+    }
     auto it = group_of.find(name);
     const std::string group = it == group_of.end() ? "other" : it->second;
     GroupRow& row = acc[group];

@@ -55,8 +55,13 @@ FuncInfo* Instrumenter::RegisterImpl(std::string_view name, Subsys subsys, TagKi
   if (const TagEntry* existing = tags_->FindByName(name); existing != nullptr) {
     HWPROF_CHECK_MSG(existing->kind == kind, "tag-file entry kind mismatch on recompilation");
     tag = existing->tag;
+    if (existing->group.empty()) {
+      // Pre-seeded file from before group annotations: backfill the
+      // abstraction label so recompilation upgrades old names files.
+      HWPROF_CHECK(tags_->SetGroup(name, SubsysName(subsys)));
+    }
   } else {
-    tag = tags_->Assign(name, kind);
+    tag = tags_->Assign(name, kind, SubsysName(subsys));
   }
   funcs_.emplace_back();
   FuncInfo* info = &funcs_.back();

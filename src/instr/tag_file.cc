@@ -17,8 +17,66 @@ bool TagFile::Parse(std::string_view text, TagFile* out, std::vector<TagDiag>* d
   };
   for (std::string_view raw_line : SplitLines(text)) {
     ++line_no;
-    const std::string_view line = StripWhitespace(raw_line);
-    if (line.empty() || line[0] == '#') {
+    const std::string_view full_line = StripWhitespace(raw_line);
+    if (full_line.empty() || full_line[0] == '#') {
+      continue;
+    }
+    // The first whitespace-separated token is the name/tag entry; anything
+    // after it is an annotation (`group=LABEL`).
+    std::string_view line = full_line;
+    std::string_view annotations;
+    const std::size_t ws = full_line.find_first_of(" \t");
+    if (ws != std::string_view::npos) {
+      line = full_line.substr(0, ws);
+      annotations = StripWhitespace(full_line.substr(ws));
+    }
+    std::string group;
+    bool annotations_ok = true;
+    std::vector<std::string_view> tokens;
+    while (!annotations.empty()) {
+      const std::size_t sep = annotations.find_first_of(" \t");
+      tokens.push_back(annotations.substr(0, sep));
+      annotations = sep == std::string_view::npos
+                        ? std::string_view{}
+                        : StripWhitespace(annotations.substr(sep));
+    }
+    for (std::string_view token : tokens) {
+      const std::size_t eq = token.find('=');
+      const std::string_view key =
+          eq == std::string_view::npos ? token : token.substr(0, eq);
+      if (key != "group") {
+        fail(StrFormat("unknown annotation '%.*s' (only 'group=' is recognised)",
+                       static_cast<int>(token.size()), token.data()));
+        annotations_ok = false;
+        continue;
+      }
+      if (eq == std::string_view::npos) {
+        fail("annotation 'group' is missing '=LABEL'");
+        annotations_ok = false;
+        continue;
+      }
+      const std::string_view label = token.substr(eq + 1);
+      if (label.empty()) {
+        fail("empty group label after 'group='");
+        annotations_ok = false;
+        continue;
+      }
+      if (label.find_first_of("=/#!") != std::string_view::npos) {
+        fail(StrFormat("malformed group label '%.*s' ('=', '/', '#' and '!' "
+                       "are not allowed)",
+                       static_cast<int>(label.size()), label.data()));
+        annotations_ok = false;
+        continue;
+      }
+      if (!group.empty()) {
+        fail(StrFormat("duplicate group annotation (already 'group=%s')",
+                       group.c_str()));
+        annotations_ok = false;
+        continue;
+      }
+      group = std::string(label);
+    }
+    if (!annotations_ok) {
       continue;
     }
     const std::size_t slash = line.rfind('/');
@@ -56,6 +114,7 @@ bool TagFile::Parse(std::string_view text, TagFile* out, std::vector<TagDiag>* d
     entry.name = std::string(name);
     entry.tag = static_cast<std::uint16_t>(tag);
     entry.kind = kind;
+    entry.group = std::move(group);
     // Function tags must be even so that tag+1 (the exit tag) pairs with
     // them; evenness also guarantees the exit tag fits in 16 bits.
     if (entry.IsFunctionLike() && entry.tag % 2 != 0) {
@@ -85,7 +144,12 @@ std::string TagFile::Format() const {
     } else if (e.kind == TagKind::kInline) {
       modifier = "=";
     }
-    out += StrFormat("%s/%u%s\n", e.name.c_str(), e.tag, modifier);
+    if (e.group.empty()) {
+      out += StrFormat("%s/%u%s\n", e.name.c_str(), e.tag, modifier);
+    } else {
+      out += StrFormat("%s/%u%s group=%s\n", e.name.c_str(), e.tag, modifier,
+                       e.group.c_str());
+    }
   }
   return out;
 }
@@ -124,7 +188,8 @@ bool TagFile::AddInline(std::string_view name, std::uint16_t tag) {
   return Insert(std::move(entry));
 }
 
-std::uint16_t TagFile::Assign(std::string_view name, TagKind kind) {
+std::uint16_t TagFile::Assign(std::string_view name, TagKind kind,
+                              std::string_view group) {
   HWPROF_CHECK_MSG(by_name_.count(std::string(name)) == 0,
                    "function already has an assigned tag");
   std::uint32_t candidate = HighestTag() + 1u;
@@ -137,8 +202,28 @@ std::uint16_t TagFile::Assign(std::string_view name, TagKind kind) {
   entry.name = std::string(name);
   entry.tag = static_cast<std::uint16_t>(candidate);
   entry.kind = kind;
+  entry.group = std::string(group);
   HWPROF_CHECK(Insert(std::move(entry)));
   return static_cast<std::uint16_t>(candidate);
+}
+
+bool TagFile::SetGroup(std::string_view name, std::string_view label) {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return false;
+  }
+  entries_[it->second].group = std::string(label);
+  return true;
+}
+
+std::map<std::string, std::string> TagFile::GroupsByName() const {
+  std::map<std::string, std::string> out;
+  for (const TagEntry& e : entries_) {
+    if (!e.group.empty()) {
+      out.emplace(e.name, e.group);
+    }
+  }
+  return out;
 }
 
 const TagEntry* TagFile::FindByName(std::string_view name) const {

@@ -6,11 +6,18 @@
 //   hardclock/510
 //   swtch/600!
 //   MGET/1002=
+//   vm_fault/700 group=vm
 //
 // A plain entry names a function: the value is the *entry* tag (always even)
 // and value+1 is the *exit* tag. The '!' modifier marks a function that
 // causes a processor context switch (the analyser treats it specially); the
 // '=' modifier marks an inline tag (a single event, not an entry/exit pair).
+//
+// A `group=LABEL` annotation after the tag value assigns the function to a
+// named abstraction (VM, FFS, mbuf, spl, ...). The analyser's per-abstraction
+// reports (Grouping, hwprof_analyze --diff) read these instead of ad-hoc
+// name→group maps; the Instrumenter stamps each newly assigned function with
+// its registering subsystem's label.
 //
 // The compiler auto-extends the file: a function not yet present is appended
 // with the next available value above the current highest. A file can be
@@ -21,6 +28,7 @@
 #define HWPROF_SRC_INSTR_TAG_FILE_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -39,6 +47,7 @@ struct TagEntry {
   std::string name;
   std::uint16_t tag = 0;
   TagKind kind = TagKind::kFunction;
+  std::string group;  // abstraction label from `group=`; empty = ungrouped
 
   bool IsFunctionLike() const { return kind != TagKind::kInline; }
   std::uint16_t entry_tag() const { return tag; }
@@ -83,8 +92,19 @@ class TagFile {
 
   // Auto-assignment used by the compiler: appends `name` with the next
   // available value above the current highest (rounded up to even for
-  // function kinds). Returns the assigned entry tag.
-  std::uint16_t Assign(std::string_view name, TagKind kind);
+  // function kinds), carrying the abstraction `group` when non-empty.
+  // Returns the assigned entry tag.
+  std::uint16_t Assign(std::string_view name, TagKind kind,
+                       std::string_view group = "");
+
+  // Sets (or replaces) the abstraction label of an existing entry. Returns
+  // false when `name` is unknown. The Instrumenter uses this to backfill
+  // groups on pre-seeded files whose entries predate the annotation.
+  bool SetGroup(std::string_view name, std::string_view label);
+
+  // name -> group for every annotated entry (the map Grouping consumes;
+  // unannotated functions land in its "other" bucket).
+  std::map<std::string, std::string> GroupsByName() const;
 
   const TagEntry* FindByName(std::string_view name) const;
 

@@ -130,6 +130,62 @@ TEST(TagFile, FormatParsesBackIdentically) {
   EXPECT_EQ(again.size(), file.size());
 }
 
+TEST(TagFile, GroupAnnotationParsesAndRoundTrips) {
+  TagFile file;
+  ASSERT_TRUE(TagFile::Parse(
+      "vm_fault/700 group=vm\nswtch/800! group=sched\nplain/900\nMGET/1002= group=kmem\n",
+      &file));
+  ASSERT_NE(file.FindByName("vm_fault"), nullptr);
+  EXPECT_EQ(file.FindByName("vm_fault")->group, "vm");
+  EXPECT_EQ(file.FindByName("swtch")->group, "sched");
+  EXPECT_EQ(file.FindByName("MGET")->group, "kmem");
+  EXPECT_TRUE(file.FindByName("plain")->group.empty());
+
+  const auto groups = file.GroupsByName();
+  EXPECT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups.at("vm_fault"), "vm");
+  EXPECT_EQ(groups.count("plain"), 0u);
+
+  // Format renders the annotation back and the result re-parses identically.
+  EXPECT_NE(file.Format().find("vm_fault/700 group=vm"), std::string::npos);
+  TagFile again;
+  ASSERT_TRUE(TagFile::Parse(file.Format(), &again));
+  EXPECT_EQ(again.Format(), file.Format());
+}
+
+TEST(TagFile, GroupAnnotationErrorsCarryLineAndReason) {
+  const char* text =
+      "ok/500 group=net\n"
+      "a/502 group\n"               // missing '=LABEL'
+      "b/504 group=\n"              // empty label
+      "c/506 group=v=m\n"           // '=' inside the label
+      "d/508 color=red\n"           // unknown annotation
+      "e/510 group=vm group=fs\n";  // duplicate annotation
+  TagFile file;
+  std::vector<TagDiag> diags;
+  EXPECT_FALSE(TagFile::Parse(text, &file, &diags));
+  ASSERT_EQ(diags.size(), 5u);
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("missing '=LABEL'"), std::string::npos);
+  EXPECT_EQ(diags[1].line, 3);
+  EXPECT_NE(diags[1].message.find("empty group label"), std::string::npos);
+  EXPECT_EQ(diags[2].line, 4);
+  EXPECT_NE(diags[2].message.find("malformed group label 'v=m'"), std::string::npos);
+  EXPECT_EQ(diags[3].line, 5);
+  EXPECT_NE(diags[3].message.find("unknown annotation 'color=red'"), std::string::npos);
+  EXPECT_EQ(diags[4].line, 6);
+  EXPECT_NE(diags[4].message.find("duplicate group annotation"), std::string::npos);
+}
+
+TEST(TagFile, SetGroupBackfillsExistingEntries) {
+  TagFile file;
+  ASSERT_TRUE(TagFile::Parse("f/600\n", &file));
+  EXPECT_FALSE(file.SetGroup("nosuch", "vm"));
+  EXPECT_TRUE(file.SetGroup("f", "vm"));
+  EXPECT_EQ(file.FindByName("f")->group, "vm");
+  EXPECT_EQ(file.GroupsByName().at("f"), "vm");
+}
+
 TEST(TagFile, AssignTakesNextValueAboveHighest) {
   TagFile file;
   ASSERT_TRUE(TagFile::Parse("base/500\n", &file));
@@ -180,6 +236,16 @@ TEST(Instrumenter, ReusesTagsOnRecompilation) {
   Instrumenter instr(&tags);
   FuncInfo* a = instr.RegisterFunction("alpha", Subsys::kNet);
   EXPECT_EQ(a->entry_tag, 700);  // stable across recompiles
+}
+
+TEST(Instrumenter, StampsSubsystemGroupsOnTheTagFile) {
+  TagFile tags;
+  ASSERT_TRUE(TagFile::Parse("seeded/600\n", &tags));
+  Instrumenter instr(&tags);
+  instr.RegisterFunction("tcp_x", Subsys::kNet);
+  instr.RegisterFunction("seeded", Subsys::kVm);  // pre-seeded entry, no group yet
+  EXPECT_EQ(tags.FindByName("tcp_x")->group, "net");
+  EXPECT_EQ(tags.FindByName("seeded")->group, "vm");  // backfilled
 }
 
 TEST(Instrumenter, SelectiveProfilingBySubsystem) {

@@ -159,11 +159,24 @@ TEST(Grouping, SplGroupAggregation) {
 
 TEST(Grouping, FormatContainsRows) {
   DecodedTrace d = MakeDecoded();
-  std::map<std::string, std::string> groups{{"alpha", "hot"}, {"beta", "hot"}};
+  std::map<std::string, std::string> groups{{"alpha", "hot"}};
   Grouping g(d, groups);
   const std::string text = g.Format();
   EXPECT_NE(text.find("hot"), std::string::npos);
-  EXPECT_NE(text.find("other"), std::string::npos);
+  EXPECT_NE(text.find("other"), std::string::npos);  // beta is unmapped
+}
+
+TEST(Grouping, ContextSwitchNetNeverJoinsAGroup) {
+  // swtch's net is the idle account; neither the "other" bucket nor an
+  // explicit mapping may absorb it (idle shifts would read as subsystem
+  // regressions in the differential report).
+  DecodedTrace d = MakeDecoded();
+  Grouping g(d, {{"alpha", "hot"}, {"beta", "hot"}, {"swtch", "sched"}});
+  EXPECT_EQ(g.Row("sched"), nullptr);
+  EXPECT_EQ(g.Row("other"), nullptr);
+  const GroupRow* hot = g.Row("hot");
+  ASSERT_NE(hot, nullptr);
+  EXPECT_EQ(hot->net_us, 190u);  // alpha 100 + beta 90, none of the idle
 }
 
 TEST(Histogram, BucketsAreLog2) {

@@ -2,12 +2,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "src/analysis/callgraph.h"
 #include "src/analysis/decoder.h"
+#include "src/analysis/diff.h"
 #include "src/analysis/grouping.h"
 #include "src/analysis/parallel.h"
 #include "src/analysis/histogram.h"
@@ -156,6 +158,38 @@ bool DecodeBinaryCaptureFile(const std::string& path, const TagFile& names,
     std::printf("warning: %s @%d: %s (salvaged)\n", path.c_str(), d.line,
                 d.message.c_str());
   }
+  return true;
+}
+
+// One capture file of either format to a DecodedTrace: binary containers go
+// through the zero-copy chunk reader, text through the load-then-decode
+// path, both honouring --jobs/--salvage. Shared by the single-capture
+// reports and both sides of --diff.
+bool DecodeAnyCaptureFile(const std::string& path, const TagFile& names,
+                          bool serial, unsigned jobs, bool salvage,
+                          DecodedTrace* decoded, std::string* error) {
+  CaptureFileInfo finfo;
+  if (DetectCaptureFile(path, &finfo) && finfo.format == CaptureFormat::kBinary &&
+      !finfo.is_stream) {
+    return DecodeBinaryCaptureFile(path, names, serial, jobs, salvage, decoded,
+                                   error);
+  }
+  RawTrace raw;
+  std::vector<TraceDiag> capture_diags;
+  std::uint64_t corrupt_words = 0;
+  const bool loaded =
+      salvage ? LoadCaptureSalvage(path, &raw, &capture_diags, &corrupt_words)
+              : LoadCapture(path, &raw, &capture_diags);
+  if (!loaded) {
+    *error = StrFormat("cannot load capture '%s'", path.c_str());
+    AppendTraceDiags(path, capture_diags, error);
+    return false;
+  }
+  for (const TraceDiag& d : capture_diags) {
+    std::printf("warning: %s:%d: %s (salvaged)\n", path.c_str(), d.line,
+                d.message.c_str());
+  }
+  *decoded = DecodeCapture(raw, names, serial, jobs, corrupt_words);
   return true;
 }
 
@@ -426,16 +460,93 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
   return 0;
 }
 
+// `hwprof_analyze --diff A B <names>`: decode both captures (any format,
+// any --jobs) against the shared names file and print the three-granularity
+// regression report. Exit codes: 0 no regression, 3 at least one row
+// regressed beyond --noise-pct, 1 load failure, 2 usage.
+int DiffMain(int argc, const char* const* argv, std::string* error) {
+  if (argc < 5) {
+    *error =
+        "usage: hwprof_analyze --diff <baseline> <candidate> <names> "
+        "[--noise-pct P] [--json] [--jobs N] [--salvage]";
+    return 2;
+  }
+  const std::string path_a = argv[2];
+  const std::string path_b = argv[3];
+  const std::string names_path = argv[4];
+
+  double noise_pct = 0.0;
+  bool json = false;
+  unsigned jobs = 0;
+  bool serial = false;
+  bool salvage = false;
+  for (int i = 5; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--noise-pct" && i + 1 < argc) {
+      const char* text = argv[++i];
+      char* end = nullptr;
+      noise_pct = std::strtod(text, &end);
+      if (end == text || *end != '\0' || noise_pct < 0.0) {
+        *error = StrFormat("--noise-pct needs a non-negative percentage, got '%s'", text);
+        return 2;
+      }
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      std::uint64_t value = 0;
+      if (!ParseUint(argv[++i], &value)) {
+        *error = StrFormat("--jobs needs a number, got '%s'", argv[i]);
+        return 2;
+      }
+      jobs = static_cast<unsigned>(value);
+      serial = (jobs == 1);
+    } else if (arg == "--salvage") {
+      salvage = true;
+    } else {
+      *error = StrFormat("unknown option '%s' for --diff", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::string names_text;
+  TagFile names;
+  std::vector<TagDiag> names_diags;
+  if (!ReadFileToString(names_path, &names_text) ||
+      !TagFile::Parse(names_text, &names, &names_diags)) {
+    *error = StrFormat("cannot parse names file '%s'", names_path.c_str());
+    for (const TagDiag& d : names_diags) {
+      *error += StrFormat("\n%s:%d: %s", names_path.c_str(), d.line, d.message.c_str());
+    }
+    return 1;
+  }
+
+  DecodedTrace baseline;
+  DecodedTrace candidate;
+  if (!DecodeAnyCaptureFile(path_a, names, serial, jobs, salvage, &baseline, error) ||
+      !DecodeAnyCaptureFile(path_b, names, serial, jobs, salvage, &candidate, error)) {
+    return 1;
+  }
+
+  const TraceDiff diff(baseline, candidate, names.GroupsByName(),
+                       DiffOptions{.noise_pct = noise_pct});
+  std::printf("%s", json ? diff.FormatJson().c_str() : diff.FormatText().c_str());
+  return diff.HasRegression() ? 3 : 0;
+}
+
 }  // namespace
 
 int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
+  if (argc >= 2 && std::string(argv[1]) == "--diff") {
+    return DiffMain(argc, argv, error);
+  }
   if (argc < 3) {
     *error =
         "usage: hwprof_analyze <capture> <names> [--summary N] [--trace N] "
-        "[--callgraph N] [--histogram FN] [--spl] [--json] [--salvage] "
-        "[--jobs N] [--stats] [--stats-json] | <stream> <names> --follow "
-        "[--summary N] [--poll N] [--jobs N] [--salvage] [--progress] "
-        "[--stats] [--stats-json]";
+        "[--callgraph N] [--histogram FN] [--groups] [--spl] [--json] "
+        "[--salvage] [--jobs N] [--stats] [--stats-json] | <stream> <names> "
+        "--follow [--summary N] [--poll N] [--jobs N] [--salvage] "
+        "[--progress] [--stats] [--stats-json] | --diff <baseline> "
+        "<candidate> <names> [--noise-pct P] [--json] [--jobs N] [--salvage]";
     return 2;
   }
 
@@ -482,41 +593,23 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
     }
   }
 
-  DecodedTrace decoded;
-  CaptureFileInfo finfo;
-  const bool binary_capture = DetectCaptureFile(argv[1], &finfo) &&
-                              finfo.format == CaptureFormat::kBinary &&
-                              !finfo.is_stream;
-  if (binary_capture) {
-    if (!have_names) {
-      *error = names_error();
-      return 1;
-    }
-    if (!DecodeBinaryCaptureFile(argv[1], names, serial, jobs, salvage,
-                                 &decoded, error)) {
-      return 1;
-    }
-  } else {
-    RawTrace raw;
-    std::vector<TraceDiag> capture_diags;
-    std::uint64_t corrupt_words = 0;
-    const bool loaded =
-        salvage ? LoadCaptureSalvage(argv[1], &raw, &capture_diags, &corrupt_words)
-                : LoadCapture(argv[1], &raw, &capture_diags);
-    if (!loaded) {
+  {
+    // Report an unreadable capture before any names-file problem, as the
+    // decode itself would.
+    std::ifstream probe(argv[1], std::ios::binary);
+    if (!probe.good()) {
       *error = StrFormat("cannot load capture '%s'", argv[1]);
-      AppendTraceDiags(argv[1], capture_diags, error);
       return 1;
     }
-    if (!have_names) {
-      *error = names_error();
-      return 1;
-    }
-    for (const TraceDiag& d : capture_diags) {
-      std::printf("warning: %s:%d: %s (salvaged)\n", argv[1], d.line,
-                  d.message.c_str());
-    }
-    decoded = DecodeCapture(raw, names, serial, jobs, corrupt_words);
+  }
+  if (!have_names) {
+    *error = names_error();
+    return 1;
+  }
+  DecodedTrace decoded;
+  if (!DecodeAnyCaptureFile(argv[1], names, serial, jobs, salvage, &decoded,
+                            error)) {
+    return 1;
   }
   if (decoded.unknown_tags > 0) {
     std::printf("warning: %llu events carried tags missing from the names file\n",
@@ -563,6 +656,11 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
       did_something = true;
     } else if (arg == "--spl") {
       Grouping grouping(decoded, Grouping::SplGroup(decoded));
+      std::printf("%s\n", grouping.Format().c_str());
+      did_something = true;
+    } else if (arg == "--groups") {
+      // Per-abstraction profile from the names file's group= annotations.
+      Grouping grouping(decoded, names.GroupsByName());
       std::printf("%s\n", grouping.Format().c_str());
       did_something = true;
     } else if (arg == "--json") {

@@ -1,0 +1,109 @@
+#include "tools/capture_main.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/base/strings.h"
+#include "src/base/units.h"
+#include "src/profhw/smart_socket.h"
+#include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
+
+namespace hwprof {
+
+int CaptureMain(int argc, const char* const* argv, std::string* error) {
+  if (argc < 3) {
+    *error =
+        "usage: hwprof_capture <net_receive|mixed|fork_exec> <capture-out> "
+        "[<names-out>] [--format text|binary] [--msec N] [--bytes N] "
+        "[--iters N]";
+    return 2;
+  }
+  const std::string workload = argv[1];
+  const std::string capture_path = argv[2];
+  std::string names_path;
+  int first_option = 3;
+  if (argc > 3 && argv[3][0] != '-') {
+    names_path = argv[3];
+    first_option = 4;
+  }
+
+  // Defaults per workload match the committed goldens (tests/golden/ and
+  // the golden_test fixtures), so an unmodified tree replays bit-identical
+  // captures.
+  std::uint64_t msec = workload == "mixed" ? 300 : 2000;
+  std::uint64_t bytes = 128 * 1024;
+  std::uint64_t iters = 3;
+  CaptureFormat format = CaptureFormat::kText;
+  for (int i = first_option; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_uint = [&](std::uint64_t* out) {
+      if (i + 1 >= argc || !ParseUint(argv[i + 1], out)) {
+        *error = StrFormat("%s needs a number", arg.c_str());
+        return false;
+      }
+      ++i;
+      return true;
+    };
+    if (arg == "--msec") {
+      if (!next_uint(&msec)) {
+        return 2;
+      }
+    } else if (arg == "--bytes") {
+      if (!next_uint(&bytes)) {
+        return 2;
+      }
+    } else if (arg == "--iters") {
+      if (!next_uint(&iters)) {
+        return 2;
+      }
+    } else if (arg == "--format" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value == "text") {
+        format = CaptureFormat::kText;
+      } else if (value == "binary") {
+        format = CaptureFormat::kBinary;
+      } else {
+        *error = StrFormat("--format must be text or binary, got '%s'", value.c_str());
+        return 2;
+      }
+    } else {
+      *error = StrFormat("unknown option '%s'", arg.c_str());
+      return 2;
+    }
+  }
+
+  Testbed tb;
+  tb.Arm();
+  if (workload == "net_receive") {
+    RunNetworkReceive(tb, Msec(msec), bytes, false);
+  } else if (workload == "mixed") {
+    RunMixed(tb, Msec(msec));
+  } else if (workload == "fork_exec") {
+    RunForkExec(tb, static_cast<int>(iters), Msec(msec));
+  } else {
+    *error = StrFormat("unknown workload '%s' (net_receive, mixed, fork_exec)",
+                       workload.c_str());
+    return 2;
+  }
+  const RawTrace raw = tb.StopAndUpload();
+  if (!SaveCapture(raw, capture_path, format)) {
+    *error = StrFormat("cannot write capture '%s'", capture_path.c_str());
+    return 1;
+  }
+  if (!names_path.empty()) {
+    std::ofstream names_out(names_path, std::ios::binary | std::ios::trunc);
+    names_out << tb.tags().Format();
+    if (!names_out.good()) {
+      *error = StrFormat("cannot write names file '%s'", names_path.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s: %zu events%s -> %s%s%s\n", workload.c_str(),
+              raw.events.size(), raw.overflowed ? " (RAM overflowed)" : "",
+              capture_path.c_str(), names_path.empty() ? "" : " + ",
+              names_path.c_str());
+  return 0;
+}
+
+}  // namespace hwprof

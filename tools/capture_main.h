@@ -1,0 +1,28 @@
+// Deterministic workload replay, as a reusable entry point (the
+// hwprof_capture binary's main() calls this; tests call it directly with
+// temp files). Runs one of the paper's golden workloads on a fresh Testbed
+// — the simulator is bit-exact across runs — and writes the capture and
+// names file, exactly as the committed baselines under tests/golden/ were
+// produced. CI's perf-regression gate replays a workload with this tool
+// and hands the fresh capture to `hwprof_analyze --diff` against the
+// committed baseline.
+
+#ifndef HWPROF_TOOLS_CAPTURE_MAIN_H_
+#define HWPROF_TOOLS_CAPTURE_MAIN_H_
+
+#include <string>
+
+namespace hwprof {
+
+// Runs the replay:
+//   hwprof_capture <workload> <capture-out> [<names-out>]
+//       [--format text|binary] [--msec N] [--bytes N] [--iters N]
+// Workloads: net_receive (default: 2000 msec, 131072 bytes — the committed
+// golden's parameters), mixed (default 300 msec), fork_exec (default 3
+// iterations, 2000 msec cap). Returns 0 on success; prints a one-line
+// summary to stdout, errors to `*error`.
+int CaptureMain(int argc, const char* const* argv, std::string* error);
+
+}  // namespace hwprof
+
+#endif  // HWPROF_TOOLS_CAPTURE_MAIN_H_

@@ -1,0 +1,19 @@
+// hwprof_capture: deterministic replay of the paper's golden workloads to a
+// capture file (the CI perf-gate's "fresh run" side):
+//
+//   hwprof_capture net_receive fresh.capture fresh.names
+//   hwprof_capture net_receive slow.capture --msec 3000     # perturbed run
+
+#include <cstdio>
+#include <string>
+
+#include "tools/capture_main.h"
+
+int main(int argc, char** argv) {
+  std::string error;
+  const int rc = hwprof::CaptureMain(argc, argv, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "hwprof_capture: %s\n", error.c_str());
+  }
+  return rc;
+}
