@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Assert that an hwprof_analyze --diff --json report improves a group.
+
+Usage: check_group_improves.py <diff.json> <group-name>
+
+The perf-gate optimization legs use this after the exit-0 check: exit 0
+only proves nothing *regressed* — this proves the knob's target
+abstraction (net / vm / fs) got strictly cheaper. A group absent from
+the report means its delta was suppressed as noise, which also fails:
+an optimization that cannot beat the noise floor is not an optimization.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    report_path, group = sys.argv[1], sys.argv[2]
+    with open(report_path) as f:
+        report = json.load(f)
+    rows = {row["name"]: row for row in report.get("groups", [])}
+    row = rows.get(group)
+    if row is None:
+        print(f"FAIL: group '{group}' not in report (suppressed as noise?); "
+              f"groups present: {sorted(rows)}", file=sys.stderr)
+        return 1
+    if row["delta_us"] >= 0:
+        print(f"FAIL: group '{group}' did not improve: "
+              f"{row['a_us']} us -> {row['b_us']} us "
+              f"(delta {row['delta_us']:+} us)", file=sys.stderr)
+        return 1
+    print(f"OK: group '{group}' improved {row['a_us']} us -> {row['b_us']} us "
+          f"(delta {row['delta_us']:+} us, {row['rel_pct']:+.2f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,8 @@ struct Side {
 using SideMap = std::map<std::string, Side>;
 
 std::vector<DiffRow> BuildRows(const SideMap& a, const SideMap& b,
-                               double noise_pct, std::size_t* regressions,
+                               const DiffOptions& options, bool gated,
+                               std::size_t* regressions,
                                std::size_t* suppressed) {
   std::vector<DiffRow> rows;
   auto ait = a.begin();
@@ -57,15 +58,23 @@ std::vector<DiffRow> BuildRows(const SideMap& a, const SideMap& b,
       row.suppressed = true;
     } else if (row.a_us == 0) {
       // New time where the baseline had none: no finite relative delta.
-      // Never suppressed, always a regression.
+      // Never suppressed, a regression whenever the section gates.
       row.rel_pct = 0.0;
-      row.regressed = true;
+      row.regressed = gated;
     } else {
       row.rel_pct = 100.0 * static_cast<double>(row.delta_us) /
                     static_cast<double>(row.a_us);
       // The threshold itself is still noise; strictly above it is real.
-      row.suppressed = std::fabs(row.rel_pct) <= noise_pct;
-      row.regressed = !row.suppressed && row.delta_us > 0;
+      // A delta within the timestamp quantum per call (rows measured on
+      // both sides only) is below resolution regardless of percentage.
+      const double quantum_floor =
+          options.quantum_us *
+          static_cast<double>(std::max(row.a_calls, row.b_calls));
+      row.suppressed =
+          std::fabs(row.rel_pct) <= options.noise_pct ||
+          (!row.only_a && !row.only_b &&
+           std::fabs(static_cast<double>(row.delta_us)) <= quantum_floor);
+      row.regressed = gated && !row.suppressed && row.delta_us > 0;
     }
     *regressions += row.regressed ? 1 : 0;
     *suppressed += row.suppressed ? 1 : 0;
@@ -164,7 +173,9 @@ const char* SectionJsonKey(int i) {
 TraceDiff::TraceDiff(const DecodedTrace& a, const DecodedTrace& b,
                      const std::map<std::string, std::string>& group_of,
                      DiffOptions options)
-    : noise_pct_(options.noise_pct) {
+    : noise_pct_(options.noise_pct),
+      quantum_us_(options.quantum_us),
+      gate_edges_(options.gate_edges) {
   totals_.a_elapsed_us = ToWholeUsec(a.ElapsedTotal());
   totals_.b_elapsed_us = ToWholeUsec(b.ElapsedTotal());
   totals_.a_idle_us = ToWholeUsec(a.idle_time);
@@ -178,12 +189,12 @@ TraceDiff::TraceDiff(const DecodedTrace& a, const DecodedTrace& b,
   totals_.a_events = a.event_count;
   totals_.b_events = b.event_count;
 
-  functions_ = BuildRows(FunctionSide(a), FunctionSide(b), noise_pct_,
-                         &regressions_, &suppressed_);
-  edges_ = BuildRows(EdgeSide(a), EdgeSide(b), noise_pct_, &regressions_,
-                     &suppressed_);
-  groups_ = BuildRows(GroupSide(a, group_of), GroupSide(b, group_of),
-                      noise_pct_, &regressions_, &suppressed_);
+  functions_ = BuildRows(FunctionSide(a), FunctionSide(b), options,
+                         /*gated=*/true, &regressions_, &suppressed_);
+  edges_ = BuildRows(EdgeSide(a), EdgeSide(b), options, gate_edges_,
+                     &regressions_, &suppressed_);
+  groups_ = BuildRows(GroupSide(a, group_of), GroupSide(b, group_of), options,
+                      /*gated=*/true, &regressions_, &suppressed_);
 }
 
 namespace {
@@ -223,9 +234,13 @@ std::string TraceDiff::FormatText() const {
                    u64(totals_.b_idle_us), u64(totals_.b_events));
   out += StrFormat("noise threshold: %.2f%% (%zu sub-noise rows suppressed)\n",
                    noise_pct_, suppressed_);
+  if (quantum_us_ > 0.0) {
+    out += StrFormat("quantum floor: %.2f us/call\n", quantum_us_);
+  }
   const std::vector<DiffRow>* sections[3] = {&functions_, &edges_, &groups_};
   for (int i = 0; i < 3; ++i) {
-    out += StrFormat("\n-- %s --\n", SectionTitle(i));
+    const char* advisory = (i == 1 && !gate_edges_) ? " (advisory)" : "";
+    out += StrFormat("\n-- %s%s --\n", SectionTitle(i), advisory);
     out += "      A us     B us     delta        rel  A calls  B calls   name\n";
     bool any = false;
     for (const DiffRow& row : *sections[i]) {
@@ -266,6 +281,12 @@ std::string TraceDiff::FormatJson() const {
   };
   std::string out = "{\n";
   out += StrFormat("  \"noise_pct\": %.2f,\n", noise_pct_);
+  if (quantum_us_ > 0.0) {
+    out += StrFormat("  \"quantum_us\": %.2f,\n", quantum_us_);
+  }
+  if (!gate_edges_) {
+    out += "  \"gated_sections\": [\"functions\", \"groups\"],\n";
+  }
   out += "  \"a\": " + totals(totals_.a_elapsed_us, totals_.a_run_us,
                               totals_.a_idle_us, totals_.a_events) + ",\n";
   out += "  \"b\": " + totals(totals_.b_elapsed_us, totals_.b_run_us,

@@ -18,6 +18,24 @@
 // always a regression; one that disappeared is an improvement. Context
 // switch ('!') functions are excluded from rows — their net time is the
 // idle account, reported in the totals header instead.
+//
+// Two further options serve before/after comparisons of *different* kernel
+// variants (the profile-guided-optimization loop), where the candidate
+// legitimately shifts the machine's timeline:
+//
+//  * `quantum_us` — the capture board timestamps at 1 MHz, so every
+//    measured interval quantizes to a microsecond. Between two runs whose
+//    timelines are phase-shifted, a function called N times can drift by
+//    roughly the quantum per call without its cost having changed. Rows
+//    present on both sides whose |delta| is within `quantum_us *
+//    max(calls)` are below measurement resolution and suppressed.
+//  * `gate_edges` — the per-call-edge section reports *inclusive* callee
+//    elapsed, which absorbs whatever interrupts land inside the callee.
+//    A variant that changes timing relocates interrupt arrivals, churning
+//    edge attribution even when every function's net time is stable. With
+//    `gate_edges = false` the edge section still prints (it is the best
+//    view of *where* time moved) but its rows are advisory: they never
+//    count as regressions or affect the exit code.
 
 #ifndef HWPROF_SRC_ANALYSIS_DIFF_H_
 #define HWPROF_SRC_ANALYSIS_DIFF_H_
@@ -35,6 +53,14 @@ struct DiffOptions {
   // Suppress rows with |relative delta| <= noise_pct (percent). 0 keeps
   // every row whose value changed at all.
   double noise_pct = 0.0;
+  // Timestamp-quantization floor, in us per call: a row present in both
+  // captures with |delta_us| <= quantum_us * max(a_calls, b_calls) is
+  // below the board's measurement resolution and suppressed. 0 disables.
+  // New/gone rows are unaffected (their calls existed on one side only).
+  double quantum_us = 0.0;
+  // When false, per-call-edge rows are advisory: still reported, never
+  // regressions. Net-time sections (functions, groups) always gate.
+  bool gate_edges = true;
 };
 
 struct DiffRow {
@@ -94,6 +120,8 @@ class TraceDiff {
   std::string FormatJson() const;
 
   double noise_pct() const { return noise_pct_; }
+  double quantum_us() const { return quantum_us_; }
+  bool gate_edges() const { return gate_edges_; }
 
  private:
   std::vector<DiffRow> functions_;
@@ -101,6 +129,8 @@ class TraceDiff {
   std::vector<DiffRow> groups_;
   DiffTotals totals_;
   double noise_pct_ = 0.0;
+  double quantum_us_ = 0.0;
+  bool gate_edges_ = true;
   std::size_t regressions_ = 0;
   std::size_t suppressed_ = 0;
 };

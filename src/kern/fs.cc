@@ -7,6 +7,7 @@
 #include "src/base/strings.h"
 #include "src/kern/kernel.h"
 #include "src/kern/sched.h"
+#include "src/obs/telemetry.h"
 
 namespace hwprof {
 namespace {
@@ -319,8 +320,46 @@ int Fs::AllocInode(bool is_dir) {
   return -1;
 }
 
+int Fs::NameCacheLookup(int dir_ino, const std::string& name) {
+  auto it = name_cache_.find({dir_ino, name});
+  if (it == name_cache_.end()) {
+    return -1;
+  }
+  it->second.stamp = ++name_cache_clock_;
+  return it->second.ino;
+}
+
+void Fs::NameCacheEnter(int dir_ino, const std::string& name, int ino) {
+  if (name_cache_.size() >= kNameCacheEntries &&
+      name_cache_.find({dir_ino, name}) == name_cache_.end()) {
+    auto victim = name_cache_.begin();
+    for (auto it = name_cache_.begin(); it != name_cache_.end(); ++it) {
+      if (it->second.stamp < victim->second.stamp) {
+        victim = it;
+      }
+    }
+    name_cache_.erase(victim);
+  }
+  name_cache_[{dir_ino, name}] = NameCacheEntry{ino, ++name_cache_clock_};
+}
+
+void Fs::NameCacheInvalidate(int dir_ino, const std::string& name) {
+  name_cache_.erase({dir_ino, name});
+}
+
 int Fs::DirLookup(int dir_ino, const std::string& name) {
   KPROF(kernel_, f_ufs_lookup_);
+  if (kernel_.knobs().namei_cache) {
+    kernel_.cpu().Use(kernel_.cost().namei_cache_probe_ns);
+    const int cached = NameCacheLookup(dir_ino, name);
+    if (cached >= 0) {
+      ++namei_cache_hits_;
+      OBS_COUNT("kern.fs.namei_cache_hits", 1);
+      return cached;
+    }
+    ++namei_cache_misses_;
+    OBS_COUNT("kern.fs.namei_cache_misses", 1);
+  }
   kernel_.cpu().Use(18 * kMicrosecond);
   Bytes data;
   if (ReadFile(dir_ino, 0, static_cast<std::size_t>(FileSize(dir_ino)), &data) < 0) {
@@ -341,6 +380,9 @@ int Fs::DirLookup(int dir_ino, const std::string& name) {
     // Per-entry compare cost: the linear scan the era's UFS actually did.
     kernel_.cpu().Use(2 * kMicrosecond);
     if (entry == name) {
+      if (kernel_.knobs().namei_cache) {
+        NameCacheEnter(dir_ino, name, static_cast<int>(ino));
+      }
       return static_cast<int>(ino);
     }
     i += 1 + len + 4;
@@ -349,6 +391,7 @@ int Fs::DirLookup(int dir_ino, const std::string& name) {
 }
 
 bool Fs::DirAdd(int dir_ino, const std::string& name, int ino) {
+  NameCacheInvalidate(dir_ino, name);
   Bytes record;
   AppendDirRecord(&record, name, ino);
   return WriteFile(dir_ino, FileSize(dir_ino), record) ==
@@ -384,7 +427,17 @@ int Fs::WalkParent(const std::string& path, std::string* leaf) {
 
 int Fs::Namei(const std::string& path) {
   KPROF(kernel_, f_namei_);
-  kernel_.cpu().Use(30 * kMicrosecond);
+  // Bookkeeping is proportional to path depth: slash scanning and the
+  // nameidata update repeat per component (the per-component Copyinstr is
+  // charged in WalkParent). A flat charge would underbill deep paths.
+  std::size_t components = 0;
+  for (std::string_view p : Split(std::string_view(path), '/')) {
+    if (!p.empty()) {
+      ++components;
+    }
+  }
+  kernel_.cpu().Use(kernel_.cost().namei_fixed_ns +
+                    components * kernel_.cost().namei_per_component_ns);
   if (path == "/") {
     return 0;
   }
@@ -522,6 +575,7 @@ bool Fs::IsDirectory(int ino) const {
 }
 
 void Fs::InstallAppend(int dir_ino, const std::string& name, int ino) {
+  NameCacheInvalidate(dir_ino, name);
   Bytes record;
   AppendDirRecord(&record, name, ino);
   Inode& dnode = inodes_[static_cast<std::size_t>(dir_ino)];

@@ -12,8 +12,10 @@
 #define HWPROF_SRC_KERN_FS_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/instr/instrumenter.h"
@@ -84,6 +86,10 @@ class Fs {
   WdDisk& disk() { return *disk_; }
   std::uint64_t cache_hits() const { return cache_hits_; }
   std::uint64_t cache_misses() const { return cache_misses_; }
+  // Name-cache statistics (KernConfig namei_cache; also telemetry counters
+  // kern.fs.namei_cache_{hits,misses} on the SNMP profTelemetry subtree).
+  std::uint64_t namei_cache_hits() const { return namei_cache_hits_; }
+  std::uint64_t namei_cache_misses() const { return namei_cache_misses_; }
 
  private:
   struct Inode {
@@ -111,6 +117,14 @@ class Fs {
   int WalkParent(const std::string& path, std::string* leaf);
   Buf* FindCached(std::uint32_t blkno);
 
+  // --- Name cache (KernConfig namei_cache) -----------------------------------
+  // Bounded LRU of positive (dir inode, name) -> inode translations probed
+  // by DirLookup before its linear scan. Entries are invalidated whenever
+  // the directory gains a record so the cache can never serve a stale ino.
+  int NameCacheLookup(int dir_ino, const std::string& name);  // -1 on miss
+  void NameCacheEnter(int dir_ino, const std::string& name, int ino);
+  void NameCacheInvalidate(int dir_ino, const std::string& name);
+
   Kernel& kernel_;
   std::unique_ptr<WdDisk> disk_;
   bool mounted_ = false;
@@ -124,6 +138,16 @@ class Fs {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   bool read_ahead_ = true;
+
+  static constexpr std::size_t kNameCacheEntries = 64;
+  struct NameCacheEntry {
+    int ino = -1;
+    std::uint64_t stamp = 0;  // LRU clock value at last touch
+  };
+  std::map<std::pair<int, std::string>, NameCacheEntry> name_cache_;
+  std::uint64_t name_cache_clock_ = 0;
+  std::uint64_t namei_cache_hits_ = 0;
+  std::uint64_t namei_cache_misses_ = 0;
 
   FuncInfo* f_namei_;
   FuncInfo* f_ufs_lookup_;

@@ -40,6 +40,21 @@ class TtyDevice;
 class UserEnv;
 class Vm;
 
+// Profile-guided optimization knobs (DESIGN.md §13). Each fixes one of the
+// bottlenecks the paper's profiles expose; all default off so the baseline
+// captures replay bit-identical. `hwprof_capture --config` flips them for
+// the before/after --diff reports.
+struct KernConfig {
+  // Word-at-a-time in_cksum recode: the C byte loop (640 ns/B) becomes a
+  // 32-bit unrolled loop (cksum_unrolled_ns_per_byte).
+  bool cksum_unrolled = false;
+  // Contiguous-PTE fast path: pmap_pte remembers the page-table page of the
+  // previous walk; hits within the same PT page skip the directory walk.
+  bool pmap_batch_pte = false;
+  // LRU name cache in front of ufs_lookup's linear directory scan.
+  bool namei_cache = false;
+};
+
 struct KernelConfig {
   // Size of the unprofiled kernel image (drives the Fig 2 remap).
   std::uint32_t base_image_bytes = 600 * 1024;
@@ -54,6 +69,8 @@ struct KernelConfig {
   // Start the classic update daemon (sync every 30 s)? Off by default so
   // calibrated captures stay undisturbed.
   bool start_update_daemon = false;
+  // Optimization knobs (all off = the paper's stock 386BSD).
+  KernConfig knobs;
 };
 
 class Kernel {
@@ -95,6 +112,7 @@ class Kernel {
   const CostModel& cost() const { return machine_.cost(); }
   Nanoseconds Now() const { return machine_.Now(); }
   const KernelConfig& config() const { return config_; }
+  const KernConfig& knobs() const { return config_.knobs; }
   Rng& rng() { return rng_; }
 
   Spl& spl() { return *spl_; }

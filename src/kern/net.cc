@@ -9,6 +9,7 @@
 #include "src/kern/kernel.h"
 #include "src/kern/kmem.h"
 #include "src/kern/sched.h"
+#include "src/obs/telemetry.h"
 
 namespace hwprof {
 
@@ -189,6 +190,11 @@ NetStack::~NetStack() {
 
 void NetStack::EtherInput(Mbuf* ip_chain) {
   if (!ipintrq_.Enqueue(ip_chain)) {
+    // A full protocol queue loses the packet as silently as the wire does;
+    // saturation studies need the drop on a counter, not inferred from
+    // missing ACKs.
+    ++ipintrq_drops_;
+    OBS_GAUGE_ADD("kern.net.ipintrq_drops", 1);
     kernel_.mbufs().MFreem(ip_chain);
     return;
   }
@@ -198,15 +204,26 @@ void NetStack::EtherInput(Mbuf* ip_chain) {
 std::uint16_t NetStack::InCksumChain(const Mbuf* m, std::size_t len) {
   KPROF(kernel_, f_in_cksum_);
   bool in_isa = false;
+  std::size_t chain_bytes = 0;
   for (const Mbuf* it = m; it != nullptr; it = it->next) {
     in_isa |= it->in_isa_memory;
+    chain_bytes += it->data.size();
   }
-  kernel_.cpu().Use(kernel_.cost().Checksum(len, in_isa));
+  // A chain shorter than the requested length is a malformed packet from
+  // upstream: sum (and charge for) only the bytes that exist, and count the
+  // event — the old code billed `len` bytes it never touched.
+  const std::size_t summed = std::min(len, chain_bytes);
+  if (summed < len) {
+    ++cksum_short_chains_;
+    OBS_COUNT("kern.net.cksum_short_chains", 1);
+  }
+  const bool unrolled = kernel_.knobs().cksum_unrolled;
+  kernel_.cpu().Use(kernel_.cost().Checksum(summed, in_isa, unrolled));
   Bytes flat = MbufPool::ToBytes(m);
-  if (flat.size() > len) {
-    flat.resize(len);
+  if (flat.size() > summed) {
+    flat.resize(summed);
   }
-  return InetSum(flat);
+  return unrolled ? InetSumWords(flat) : InetSum(flat);
 }
 
 void NetStack::IpIntr() {
@@ -524,7 +541,7 @@ void NetStack::TcpRespond(Tcpcb& tp, std::uint8_t flags) {
   // Checksum of the outgoing header.
   {
     KPROF(kernel_, f_in_cksum_);
-    kernel_.cpu().Use(kernel_.cost().Checksum(segment.size(), false));
+    kernel_.cpu().Use(kernel_.cost().Checksum(segment.size(), false, kernel_.knobs().cksum_unrolled));
   }
   IpOutput(kIpProtoTcp, tp.faddr, segment);
 }
@@ -578,7 +595,8 @@ void NetStack::UdpOutput(Socket& so, std::uint32_t dst, std::uint16_t dport,
   uh.has_checksum = kernel_.config().udp_checksums;
   if (uh.has_checksum) {
     KPROF(kernel_, f_in_cksum_);
-    kernel_.cpu().Use(kernel_.cost().Checksum(UdpHeader::kBytes + payload.size(), false));
+    kernel_.cpu().Use(kernel_.cost().Checksum(UdpHeader::kBytes + payload.size(), false,
+                                          kernel_.knobs().cksum_unrolled));
   }
   const Bytes datagram = BuildUdpDatagram(ih, uh, payload);
   IpOutput(kIpProtoUdp, dst, datagram);
@@ -595,7 +613,7 @@ void NetStack::IpOutput(std::uint8_t proto, std::uint32_t dst, const Bytes& tran
   // The IP header checksum is an in_cksum over 20 bytes.
   {
     KPROF(kernel_, f_in_cksum_);
-    kernel_.cpu().Use(kernel_.cost().Checksum(IpHeader::kBytes, false));
+    kernel_.cpu().Use(kernel_.cost().Checksum(IpHeader::kBytes, false, kernel_.knobs().cksum_unrolled));
   }
   EtherHeader eh;
   eh.src = kPcNodeId;
@@ -855,7 +873,7 @@ void NetStack::TcpOutputData(Tcpcb& tp) {
     const Bytes segment = BuildTcpSegment(ih, th, payload);
     {
       KPROF(kernel_, f_in_cksum_);
-      kernel_.cpu().Use(kernel_.cost().Checksum(segment.size(), false));
+      kernel_.cpu().Use(kernel_.cost().Checksum(segment.size(), false, kernel_.knobs().cksum_unrolled));
     }
     IpOutput(kIpProtoTcp, tp.faddr, segment);
     tp.snd_off_sent += len;
@@ -881,7 +899,7 @@ void NetStack::TcpOutputData(Tcpcb& tp) {
     const Bytes segment = BuildTcpSegment(ih, th, Bytes{});
     {
       KPROF(kernel_, f_in_cksum_);
-      kernel_.cpu().Use(kernel_.cost().Checksum(segment.size(), false));
+      kernel_.cpu().Use(kernel_.cost().Checksum(segment.size(), false, kernel_.knobs().cksum_unrolled));
     }
     IpOutput(kIpProtoTcp, tp.faddr, segment);
   }

@@ -200,6 +200,11 @@ class NetStack {
   std::uint64_t ip_packets_in() const { return ip_packets_in_; }
   std::uint64_t reassemblies() const { return reassemblies_; }
   std::uint64_t cksum_failures() const { return cksum_failures_; }
+  // Packets freed because ipintrq was full (also a telemetry gauge and an
+  // SNMP profTelemetry leaf: kern.net.ipintrq_drops).
+  std::uint64_t ipintrq_drops() const { return ipintrq_drops_; }
+  // in_cksum calls whose mbuf chain held fewer bytes than requested.
+  std::uint64_t cksum_short_chains() const { return cksum_short_chains_; }
   std::uint64_t tcp_segments_in() const { return tcp_segments_in_; }
   std::uint64_t tcp_acks_out() const { return tcp_acks_out_; }
   std::uint64_t udp_datagrams_in() const { return udp_datagrams_in_; }
@@ -251,6 +256,8 @@ class NetStack {
 
   std::uint64_t ip_packets_in_ = 0;
   std::uint64_t cksum_failures_ = 0;
+  std::uint64_t ipintrq_drops_ = 0;
+  std::uint64_t cksum_short_chains_ = 0;
   std::uint64_t tcp_segments_in_ = 0;
   std::uint64_t tcp_acks_out_ = 0;
   std::uint64_t udp_datagrams_in_ = 0;

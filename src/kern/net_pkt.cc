@@ -63,6 +63,28 @@ std::uint16_t InetChecksum(const Bytes& data) {
   return static_cast<std::uint16_t>(~InetSum(data) & 0xFFFF);
 }
 
+std::uint16_t InetSumWords(const Bytes& data, std::uint32_t initial) {
+  // One's-complement addition is associative and commutative, so summing
+  // two 16-bit words per step and deferring every carry into a 64-bit
+  // accumulator folds to exactly the byte-pair loop's result.
+  std::uint64_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+    sum += static_cast<std::uint32_t>((data[i + 2] << 8) | data[i + 3]);
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i] << 8);
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(sum);
+}
+
 Bytes BuildEtherFrame(const EtherHeader& eh, const Bytes& ip_packet) {
   Bytes frame;
   frame.reserve(kEtherHeaderBytes + ip_packet.size());

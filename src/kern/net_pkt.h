@@ -21,6 +21,10 @@ using Bytes = std::vector<std::uint8_t>;
 std::uint16_t InetSum(const Bytes& data, std::uint32_t initial = 0);
 // Final checksum (inverted fold) over data.
 std::uint16_t InetChecksum(const Bytes& data);
+// Word-at-a-time variant of InetSum (two 16-bit words per step, carries
+// deferred): the arithmetic behind the KernConfig cksum_unrolled recode.
+// Produces the same folded sum as InetSum for every input.
+std::uint16_t InetSumWords(const Bytes& data, std::uint32_t initial = 0);
 
 inline constexpr std::size_t kEtherHeaderBytes = 14;
 inline constexpr std::size_t kEtherMinFrame = 60;    // without FCS

@@ -41,7 +41,16 @@ Vm::Vm(Kernel& kernel)
 
 bool Vm::PmapPte(Pmap& pmap, std::uint32_t vpage) {
   KPROF(kernel_, f_pmap_pte_);
-  kernel_.cpu().Use(kernel_.cost().pmap_pte_ns);
+  const std::uint32_t pt_page = vpage / Pmap::kPtesPerPtPage;
+  if (kernel_.knobs().pmap_batch_pte && pmap.cached_pt_page == pt_page) {
+    // Contiguous-PTE fast path: the previous walk resolved the same
+    // page-table page, so the directory walk amortizes away and only the
+    // PTE fetch remains — the win of fork/fault storms' sequential scans.
+    kernel_.cpu().Use(kernel_.cost().pmap_pte_batch_step_ns);
+  } else {
+    kernel_.cpu().Use(kernel_.cost().pmap_pte_ns);
+  }
+  pmap.cached_pt_page = pt_page;
   return pmap.pages.count(vpage) != 0;
 }
 

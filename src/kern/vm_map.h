@@ -23,7 +23,15 @@ struct PageTableEntry {
 
 // Machine-dependent address-space representation (page tables).
 struct Pmap {
+  // One i386 page-table page maps 1024 PTEs; pmap_pte walks the directory
+  // to find it before indexing the PTE.
+  static constexpr std::uint32_t kPtesPerPtPage = 1024;
+  static constexpr std::uint32_t kNoPtPage = 0xFFFFFFFFu;
+
   std::map<std::uint32_t, PageTableEntry> pages;  // vpage -> PTE
+  // The PT page the last pmap_pte walk resolved (KernConfig pmap_batch_pte
+  // fast path). Pure cost-model state: holds no mapping information.
+  std::uint32_t cached_pt_page = kNoPtPage;
 
   std::size_t Resident() const { return pages.size(); }
   std::size_t ResidentInRange(std::uint32_t first, std::uint32_t last) const {

@@ -48,6 +48,9 @@ struct CostModel {
   // What an assembler recode would achieve — close to memory copy speed; the
   // paper projects packet processing dropping from 2000 µs to ~1200 µs.
   Nanoseconds cksum_asm_ns_per_byte = 110;
+  // The KernConfig cksum_unrolled recode: still C, but word-at-a-time with
+  // an unrolled loop — most of the assembler win without leaving C.
+  Nanoseconds cksum_unrolled_ns_per_byte = 175;
   // Per-call fixed cost of in_cksum (pseudo-header fold, mbuf walk setup).
   Nanoseconds cksum_fixed_ns = 20'000;
   // When true, in_cksum runs at the assembler rate (ablation).
@@ -81,6 +84,10 @@ struct CostModel {
   // Fig 5: pmap_pte averages ~3–4 µs/call and is called 5549 times across a
   // few forks/execs; pmap_remove averages ~879 µs with a 14 ms worst case.
   Nanoseconds pmap_pte_ns = 3'400;
+  // The KernConfig pmap_batch_pte fast path: a walk that lands on the same
+  // page-table page as the previous one skips the directory walk and only
+  // pays the PTE fetch — what a batched API would amortize to.
+  Nanoseconds pmap_pte_batch_step_ns = 600;
   Nanoseconds pmap_enter_body_ns = 12'000;
   Nanoseconds pmap_remove_fixed_ns = 30'000;
   // pv-list unlink, page free and PTE invalidate, per resident page — the
@@ -123,6 +130,18 @@ struct CostModel {
   // batched register access instead of the naive byte loop.
   bool ether_recoded_driver = false;
 
+  // --- Filesystem name lookup ---------------------------------------------------
+  // namei's own bookkeeping splits into a per-call part and a per-component
+  // part (the nameidata setup, slash scanning and symlink checks done for
+  // every component on top of the per-component Copyinstr charged
+  // separately). The old flat 30 µs charge equals fixed + 2 components —
+  // the depth the paper's workloads actually walk.
+  Nanoseconds namei_fixed_ns = 12'000;
+  Nanoseconds namei_per_component_ns = 9'000;
+  // The KernConfig namei_cache probe: hash + chain compare per lookup. A
+  // hit returns from here; a miss pays this on top of the linear scan.
+  Nanoseconds namei_cache_probe_ns = 5'000;
+
   // --- Disk (Seagate ST3144, IDE) ----------------------------------------------
   // "Each read of the disc varied from 18 ms up to 26 ms" (seek + rotation);
   // writes complete with ~200 µs interrupts, ~149 µs of it data transfer.
@@ -137,12 +156,16 @@ struct CostModel {
   Nanoseconds MainZero(std::uint64_t bytes) const { return bytes * main_zero_ns_per_byte; }
   Nanoseconds Isa8Copy(std::uint64_t bytes) const { return bytes * isa8_ns_per_byte; }
   Nanoseconds Isa16Copy(std::uint64_t bytes) const { return bytes * isa16_ns_per_byte; }
-  Nanoseconds Checksum(std::uint64_t bytes, bool data_in_isa_memory) const {
+  Nanoseconds Checksum(std::uint64_t bytes, bool data_in_isa_memory,
+                       bool unrolled = false) const {
     // The arithmetic rate and the memory-fetch rate compose: checksumming
     // data still sitting in controller RAM pays the 8-bit bus on every
     // fetch *on top of* the compute loop — the paper's "would add at least
-    // an extra 980 microseconds" for a full packet.
-    const Nanoseconds compute = cksum_use_asm ? cksum_asm_ns_per_byte : cksum_c_ns_per_byte;
+    // an extra 980 microseconds" for a full packet. The assembler ablation
+    // beats the word-at-a-time C recode, so it wins when both are set.
+    const Nanoseconds compute = cksum_use_asm     ? cksum_asm_ns_per_byte
+                                : unrolled        ? cksum_unrolled_ns_per_byte
+                                                  : cksum_c_ns_per_byte;
     const Nanoseconds fetch = data_in_isa_memory ? isa8_ns_per_byte : 0;
     return cksum_fixed_ns + bytes * (compute + fetch);
   }

@@ -362,4 +362,52 @@ MixedResult RunMixed(Testbed& tb, Nanoseconds duration) {
   return result;
 }
 
+LookupResult RunLookupMix(Testbed& tb, int opens_per_worker, Nanoseconds max_time) {
+  Kernel& k = tb.kernel();
+  // A small working set of deep paths: the same directories walked over and
+  // over, so a 64-entry name cache covers every component.
+  static const char* const kPaths[] = {
+      "/usr/local/lib/app/conf/settings",
+      "/usr/local/lib/app/conf/theme",
+      "/usr/local/lib/app/data/table",
+      "/usr/share/dict/words",
+      "/etc/rc/conf/net",
+      "/etc/rc/conf/disk",
+  };
+  std::uint8_t seed = 1;
+  for (const char* path : kPaths) {
+    k.fs().InstallFile(path, PatternBytes(2048, seed++));
+  }
+
+  auto result = std::make_shared<LookupResult>();
+  auto workers_left = std::make_shared<int>(2);
+  for (int worker = 0; worker < 2; ++worker) {
+    k.Spawn("lookup", [&k, result, workers_left, worker, opens_per_worker](UserEnv& env) {
+      std::size_t next = static_cast<std::size_t>(worker) * 3;
+      for (int done = 0; done < opens_per_worker && !k.stopping(); ++done) {
+        const char* path = kPaths[next % (sizeof(kPaths) / sizeof(kPaths[0]))];
+        ++next;
+        const int fd = env.Open(path, false);
+        if (fd < 0) {
+          ++result->open_failures;
+          continue;
+        }
+        Bytes out;
+        env.Read(fd, 512, &out);
+        env.Close(fd);
+        ++result->opens_done;
+        env.Compute(500 * kMicrosecond);
+      }
+      if (--*workers_left == 0) {
+        result->done_at = k.Now();
+      }
+    });
+  }
+
+  const Nanoseconds start = k.Now();
+  k.Run(start + max_time);
+  result->elapsed = k.Now() - start;
+  return *result;
+}
+
 }  // namespace hwprof

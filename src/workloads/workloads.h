@@ -125,6 +125,21 @@ struct MixedResult {
 
 MixedResult RunMixed(Testbed& tb, Nanoseconds duration);
 
+// --- Lookup-heavy mix (the kerntune name-cache case study) ---------------------
+// Two processes each perform a fixed number of open/read/close cycles over a
+// small set of deep paths: nearly every cycle is namei/ufs_lookup walking the
+// same directories, the workload an LRU name cache (KernConfig namei_cache)
+// is built for. Fixed work, so before/after captures compare fairly.
+
+struct LookupResult {
+  std::uint64_t opens_done = 0;
+  std::uint64_t open_failures = 0;
+  Nanoseconds elapsed = 0;
+  Nanoseconds done_at = 0;  // virtual time both workers finished (0 if capped)
+};
+
+LookupResult RunLookupMix(Testbed& tb, int opens_per_worker, Nanoseconds max_time);
+
 // Deterministic file contents for integrity checks.
 Bytes PatternBytes(std::size_t n, std::uint8_t seed = 0);
 

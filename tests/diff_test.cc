@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
 #include <initializer_list>
 #include <string>
@@ -41,10 +42,14 @@ std::map<std::string, std::string> AbcGroups() {
   return {{"a", "net"}, {"b", "net"}, {"c", "vm"}};
 }
 
-TraceDiff MakeDiff(const RawTrace& a, const RawTrace& b, double noise_pct = 0.0) {
+TraceDiff MakeDiff(const RawTrace& a, const RawTrace& b, DiffOptions options) {
   const DecodedTrace da = Decoder::Decode(a, MakeNames());
   const DecodedTrace db = Decoder::Decode(b, MakeNames());
-  return TraceDiff(da, db, AbcGroups(), DiffOptions{.noise_pct = noise_pct});
+  return TraceDiff(da, db, AbcGroups(), options);
+}
+
+TraceDiff MakeDiff(const RawTrace& a, const RawTrace& b, double noise_pct = 0.0) {
+  return MakeDiff(a, b, DiffOptions{.noise_pct = noise_pct});
 }
 
 // --- TraceDiff rows ---------------------------------------------------------------
@@ -198,6 +203,121 @@ TEST(TraceDiff, ContextSwitchFunctionsStayOutOfRows) {
   EXPECT_FALSE(diff.HasRegression());
   // The shift is still visible in the totals header.
   EXPECT_GT(diff.totals().b_idle_us, diff.totals().a_idle_us);
+}
+
+TEST(TraceDiff, ZeroBaselineRowsStayFiniteAtAnyNoise) {
+  // A row the baseline never saw has no finite relative delta; it must
+  // still render cleanly and regress even under an absurd noise threshold.
+  const TraceDiff diff = MakeDiff(BaselineTrace(), CandidateTrace(),
+                                  /*noise_pct=*/1e9);
+  const DiffRow* d = diff.Function("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->only_b);
+  EXPECT_FALSE(d->suppressed);  // new rows never noise-suppress
+  EXPECT_TRUE(d->regressed);
+  EXPECT_TRUE(std::isfinite(d->rel_pct));
+  EXPECT_TRUE(diff.HasRegression());
+
+  for (const std::string& report : {diff.FormatText(), diff.FormatJson()}) {
+    EXPECT_EQ(report.find("inf"), std::string::npos);
+    EXPECT_EQ(report.find("nan"), std::string::npos);
+  }
+  EXPECT_NE(diff.FormatText().find("new"), std::string::npos);
+  EXPECT_NE(diff.FormatJson().find("\"rel_pct\": null, \"status\": \"new\""),
+            std::string::npos);
+}
+
+TEST(TraceDiff, ZeroTimeOnBothSidesIsSuppressedNotRegressed) {
+  // d enters and exits on the same microsecond in both captures: zero time
+  // each side, so there is nothing to compare — even though the call counts
+  // differ (1 vs 2).
+  const RawTrace a = Trace({{100, 0}, {101, 50}, {106, 60}, {107, 60}});
+  const RawTrace b = Trace({{100, 0}, {101, 50}, {106, 60}, {107, 60},
+                            {106, 70}, {107, 70}});
+  const TraceDiff diff = MakeDiff(a, b);
+  const DiffRow* d = diff.Function("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->a_us, 0u);
+  EXPECT_EQ(d->b_us, 0u);
+  EXPECT_TRUE(d->suppressed);
+  EXPECT_FALSE(d->regressed);
+  EXPECT_EQ(d->rel_pct, 0.0);
+}
+
+TEST(TraceDiff, QuantumFloorSuppressesPerCallJitter) {
+  // a: one call, 1000 us -> 1010 us (+1 %): within a 10 us/call quantum,
+  // beyond a 9 us/call one. The relative threshold alone (0 %) would flag
+  // both.
+  const RawTrace base = Trace({{100, 0}, {101, 1000}});
+  const RawTrace jittered = Trace({{100, 0}, {101, 1010}});
+
+  const TraceDiff lenient =
+      MakeDiff(base, jittered, DiffOptions{.quantum_us = 10.0});
+  ASSERT_NE(lenient.Function("a"), nullptr);
+  EXPECT_TRUE(lenient.Function("a")->suppressed);
+  EXPECT_FALSE(lenient.HasRegression());
+
+  const TraceDiff strict =
+      MakeDiff(base, jittered, DiffOptions{.quantum_us = 9.0});
+  ASSERT_NE(strict.Function("a"), nullptr);
+  EXPECT_FALSE(strict.Function("a")->suppressed);
+  EXPECT_TRUE(strict.Function("a")->regressed);
+  EXPECT_TRUE(strict.HasRegression());
+
+  // The floor scales per call: two calls drifting +5 us each sit inside a
+  // 5 us/call quantum.
+  const RawTrace two_calls = Trace({{100, 0}, {101, 1000}, {100, 2000}, {101, 3000}});
+  const RawTrace two_jittered =
+      Trace({{100, 0}, {101, 1005}, {100, 2000}, {101, 3005}});
+  const TraceDiff scaled =
+      MakeDiff(two_calls, two_jittered, DiffOptions{.quantum_us = 5.0});
+  EXPECT_TRUE(scaled.Function("a")->suppressed);
+
+  // New rows are measured on one side only; the quantum never hides them.
+  const TraceDiff with_new = MakeDiff(BaselineTrace(), CandidateTrace(),
+                                      DiffOptions{.quantum_us = 1e9});
+  ASSERT_NE(with_new.Function("d"), nullptr);
+  EXPECT_FALSE(with_new.Function("d")->suppressed);
+  EXPECT_TRUE(with_new.Function("d")->regressed);
+
+  // The floor is announced in both report formats.
+  EXPECT_NE(lenient.FormatText().find("quantum floor: 10.00 us/call"),
+            std::string::npos);
+  EXPECT_NE(lenient.FormatJson().find("\"quantum_us\": 10.00"),
+            std::string::npos);
+}
+
+TEST(TraceDiff, GateNetDemotesEdgeRowsToAdvisory) {
+  // b steals 10 us from a: the function row and the a->b edge both worsen.
+  // With --gate net the edge still prints but no longer regresses.
+  const DiffOptions gate_net{.gate_edges = false};
+  const TraceDiff diff = MakeDiff(BaselineTrace(), CandidateTrace(), gate_net);
+
+  const DiffRow* edge = diff.Edge("a", "b");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_GT(edge->delta_us, 0);
+  EXPECT_FALSE(edge->suppressed);  // still reported
+  EXPECT_FALSE(edge->regressed);   // but advisory
+
+  // Net-time sections still gate: the b function row regresses as before.
+  ASSERT_NE(diff.Function("b"), nullptr);
+  EXPECT_TRUE(diff.Function("b")->regressed);
+  EXPECT_TRUE(diff.HasRegression());
+
+  // A new-in-candidate edge is advisory too; the new *function* still gates.
+  for (const DiffRow& row : diff.edges()) {
+    EXPECT_FALSE(row.regressed) << row.key;
+  }
+  EXPECT_NE(diff.FormatText().find("per-call-edge elapsed (advisory)"),
+            std::string::npos);
+  EXPECT_NE(diff.FormatJson().find(
+                "\"gated_sections\": [\"functions\", \"groups\"]"),
+            std::string::npos);
+
+  // Compared against the default gate, only edge regressions disappear.
+  const TraceDiff gate_all = MakeDiff(BaselineTrace(), CandidateTrace());
+  EXPECT_GT(gate_all.regression_count(), diff.regression_count());
+  EXPECT_EQ(gate_all.FormatText().find("(advisory)"), std::string::npos);
 }
 
 // --- Determinism ------------------------------------------------------------------
@@ -367,6 +487,36 @@ TEST(DiffCli, UsageAndLoadErrors) {
                        &error, &out),
             1);
   EXPECT_FALSE(error.empty());
+}
+
+TEST(DiffCli, QuantumAndGateOptionsParseAndValidate) {
+  const DiffFiles files = WriteDiffFiles();
+  std::string error, out;
+
+  // --gate net + a huge quantum floor: every changed row on both sides is
+  // within the floor, new-in-candidate *function* rows (if any) would still
+  // gate, but FuzzTrace pairs share the name set, so the diff passes.
+  const int rc = RunDiffCli(
+      {files.a_text.c_str(), files.b_text.c_str(), files.names.c_str(),
+       "--quantum-us", "1000000", "--gate", "net"},
+      &error, &out);
+  EXPECT_EQ(rc, 0) << error;
+  EXPECT_NE(out.find("quantum floor: 1000000.00 us/call"), std::string::npos);
+  EXPECT_NE(out.find("(advisory)"), std::string::npos);
+
+  error.clear();
+  EXPECT_EQ(RunDiffCli({files.a_text.c_str(), files.b_text.c_str(),
+                        files.names.c_str(), "--quantum-us", "-1"},
+                       &error, &out),
+            2);
+  EXPECT_NE(error.find("non-negative"), std::string::npos);
+
+  error.clear();
+  EXPECT_EQ(RunDiffCli({files.a_text.c_str(), files.b_text.c_str(),
+                        files.names.c_str(), "--gate", "edges"},
+                       &error, &out),
+            2);
+  EXPECT_NE(error.find("--gate must be all or net"), std::string::npos);
 }
 
 // --- CallGraph / Grouping units the diff is built on -------------------------------

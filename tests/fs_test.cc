@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "src/analysis/decoder.h"
 #include "src/kern/fs.h"
 #include "src/kern/user_env.h"
@@ -244,6 +247,109 @@ TEST(Fs, FileSizeTracksWrites) {
     env.Write(fd, Bytes(100, 1));
     env.Write(fd, Bytes(50, 2));
     EXPECT_EQ(k.fs().FileSize(k.fs().Namei("/f")), 150u);
+  });
+}
+
+TEST(Fs, NameiChargesPerComponent) {
+  // The old model billed every lookup a flat 30 us no matter the depth;
+  // the charge must grow linearly with the component count.
+  Testbed tb;
+  InProc(tb, [](Kernel& k, UserEnv& env) {
+    (void)env;
+    ASSERT_GE(k.fs().InstallFile("/aa/bb/cc", PatternBytes(64)), 0);
+    // Warm every directory block so the measured walks are pure CPU, and
+    // take the cheapest of three samples so a clock tick landing inside
+    // one call cannot skew the arithmetic.
+    auto cost = [&k](const char* path) {
+      Nanoseconds best = Sec(1);
+      for (int i = 0; i < 3; ++i) {
+        const Nanoseconds before = k.cpu().busy_ns();
+        EXPECT_GE(k.fs().Namei(path), 0);
+        best = std::min(best, k.cpu().busy_ns() - before);
+      }
+      return best;
+    };
+    cost("/aa/bb/cc");  // warm the cache end to end
+    const Nanoseconds depth1 = cost("/aa");
+    const Nanoseconds depth2 = cost("/aa/bb");
+    const Nanoseconds depth3 = cost("/aa/bb/cc");
+    // Each extra (same-length, single-entry-directory) component adds the
+    // same increment, and at least the modeled per-component charge.
+    EXPECT_EQ(depth3 - depth2, depth2 - depth1);
+    EXPECT_GE(depth2 - depth1, k.cost().namei_per_component_ns);
+  });
+}
+
+TEST(Fs, NameCacheKnobCountsHitsAndStaysCorrect) {
+  TestbedConfig cached_config;
+  cached_config.kernel.knobs.namei_cache = true;
+  Testbed tb(cached_config);
+  InProc(tb, [](Kernel& k, UserEnv& env) {
+    ASSERT_GE(k.fs().InstallFile("/dir/sub/file", PatternBytes(256)), 0);
+    const std::uint64_t hits_before = k.fs().namei_cache_hits();
+    const int fd = env.Open("/dir/sub/file", false);
+    ASSERT_GE(fd, 0);
+    env.Close(fd);
+    // The second walk re-resolves dir, sub and file straight from the
+    // cache, and the bytes read are still the right ones.
+    const std::uint64_t hits_mid = k.fs().namei_cache_hits();
+    const int fd2 = env.Open("/dir/sub/file", false);
+    ASSERT_GE(fd2, 0);
+    EXPECT_GE(k.fs().namei_cache_hits() - hits_mid, 3u);
+    EXPECT_GE(hits_mid, hits_before);
+    Bytes out;
+    EXPECT_EQ(env.Read(fd2, 512, &out), 256);
+    EXPECT_EQ(out, PatternBytes(256));
+    env.Close(fd2);
+    // Creating an entry after a failed lookup works: misses are never
+    // cached, and DirAdd invalidates the (dir, name) pair defensively.
+    EXPECT_EQ(env.Open("/dir/fresh", false), -1);
+    const int created = env.Open("/dir/fresh", true);
+    ASSERT_GE(created, 0);
+    env.Close(created);
+    EXPECT_GE(k.fs().Namei("/dir/fresh"), 0);
+  });
+}
+
+TEST(Fs, NameCacheCountersStayZeroWithTheKnobOff) {
+  Testbed tb;
+  InProc(tb, [](Kernel& k, UserEnv& env) {
+    ASSERT_GE(k.fs().InstallFile("/dir/file", PatternBytes(64)), 0);
+    for (int i = 0; i < 3; ++i) {
+      const int fd = env.Open("/dir/file", false);
+      ASSERT_GE(fd, 0);
+      env.Close(fd);
+    }
+    EXPECT_EQ(k.fs().namei_cache_hits(), 0u);
+    EXPECT_EQ(k.fs().namei_cache_misses(), 0u);
+  });
+}
+
+TEST(Fs, NameCacheEvictsTheLeastRecentlyUsedEntry) {
+  // The cache holds 64 entries; touching 80 distinct names in order must
+  // evict the oldest, so re-resolving the first name misses again.
+  TestbedConfig cached_config;
+  cached_config.kernel.knobs.namei_cache = true;
+  Testbed tb(cached_config);
+  InProc(tb, [](Kernel& k, UserEnv& env) {
+    (void)env;
+    // Install everything first: InstallFile writes straight to media, so
+    // interleaving it with lookups would read stale cached dir blocks.
+    for (int i = 0; i < 80; ++i) {
+      ASSERT_GE(k.fs().InstallFile("/f" + std::to_string(i), PatternBytes(16)), 0);
+    }
+    for (int i = 0; i < 80; ++i) {
+      ASSERT_GE(k.fs().Namei("/f" + std::to_string(i)), 0);  // enter the cache
+    }
+    const std::uint64_t misses_before = k.fs().namei_cache_misses();
+    const std::uint64_t hits_before = k.fs().namei_cache_hits();
+    ASSERT_GE(k.fs().Namei("/f0"), 0);  // long since evicted
+    EXPECT_EQ(k.fs().namei_cache_hits(), hits_before);
+    EXPECT_GT(k.fs().namei_cache_misses(), misses_before);
+    // A just-touched name is still resident.
+    const std::uint64_t hits_mid = k.fs().namei_cache_hits();
+    ASSERT_GE(k.fs().Namei("/f79"), 0);
+    EXPECT_GT(k.fs().namei_cache_hits(), hits_mid);
   });
 }
 

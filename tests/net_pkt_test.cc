@@ -19,6 +19,26 @@ Bytes RandomPayload(Rng& rng, std::size_t n) {
 
 // --- Checksum arithmetic --------------------------------------------------------
 
+TEST(InetChecksum, WordSumMatchesByteSumForEveryShape) {
+  // The unrolled (word-at-a-time) kernel checksum must fold to exactly the
+  // byte-pair sum for every length class (word-aligned, +1, +2, +3, odd
+  // tail) and any initial partial sum.
+  Rng rng(77);
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+        std::size_t{4}, std::size_t{5}, std::size_t{19}, std::size_t{20},
+        std::size_t{64}, std::size_t{1459}, std::size_t{1460}}) {
+    const Bytes data = RandomPayload(rng, len);
+    for (const std::uint32_t initial : {0u, 1u, 0xFFFFu, 0x1234u}) {
+      EXPECT_EQ(InetSumWords(data, initial), InetSum(data, initial))
+          << "len=" << len << " initial=" << initial;
+    }
+  }
+  // All-ones payloads exercise maximal carry traffic.
+  const Bytes ones(31, 0xFF);
+  EXPECT_EQ(InetSumWords(ones), InetSum(ones));
+}
+
 TEST(InetChecksum, KnownVectors) {
   // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 sums to ddf2 (folded).
   const Bytes data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};

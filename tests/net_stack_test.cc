@@ -226,6 +226,94 @@ TEST(NetStack, BindRejectsPortCollision) {
   EXPECT_FALSE(second);
 }
 
+TEST(NetStack, ShortChainChecksumSumsAndChargesOnlyExistingBytes) {
+  // A chain holding fewer bytes than the requested length must sum exactly
+  // the bytes present, be billed for those bytes (not the phantom ones),
+  // and count the event.
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  const Bytes payload = PatternBytes(100);
+
+  Mbuf* shorted = k.mbufs().FromBytes(payload, false);
+  const Nanoseconds before_short = k.cpu().busy_ns();
+  const std::uint16_t short_sum = k.net().InCksumChain(shorted, 400);
+  const Nanoseconds short_cost = k.cpu().busy_ns() - before_short;
+  EXPECT_EQ(short_sum, InetSum(payload));
+  EXPECT_EQ(k.net().cksum_short_chains(), 1u);
+  k.mbufs().MFreem(shorted);
+
+  // The same chain summed at its exact length costs exactly the same and
+  // is not "short".
+  Mbuf* exact = k.mbufs().FromBytes(payload, false);
+  const Nanoseconds before_exact = k.cpu().busy_ns();
+  EXPECT_EQ(k.net().InCksumChain(exact, 100), short_sum);
+  EXPECT_EQ(k.cpu().busy_ns() - before_exact, short_cost);
+  EXPECT_EQ(k.net().cksum_short_chains(), 1u);
+  k.mbufs().MFreem(exact);
+
+  // A request longer than the chain must not cost more than the honest one;
+  // summing a genuinely longer chain does.
+  Mbuf* longer = k.mbufs().FromBytes(PatternBytes(400), false);
+  const Nanoseconds before_long = k.cpu().busy_ns();
+  k.net().InCksumChain(longer, 400);
+  EXPECT_GT(k.cpu().busy_ns() - before_long, short_cost);
+  k.mbufs().MFreem(longer);
+}
+
+TEST(NetStack, FullIpintrqCountsDropsAndFreesTheChain) {
+  // ipintrq caps at 50 packets; every packet past that must land on the
+  // drop counter and go back to the mbuf pool, not leak.
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  // Flood at raised IPL, as the driver does: otherwise every cost charge
+  // lets the pending soft interrupt drain the queue behind our back.
+  const int s = k.spl().splimp();
+  for (int i = 0; i < 50; ++i) {
+    k.net().EtherInput(k.mbufs().FromBytes(PatternBytes(64), false));
+  }
+  EXPECT_EQ(k.net().ipintrq_drops(), 0u);
+  const std::uint64_t live_at_capacity = k.mbufs().live();
+
+  for (int i = 0; i < 7; ++i) {
+    k.net().EtherInput(k.mbufs().FromBytes(PatternBytes(64), false));
+  }
+  EXPECT_EQ(k.net().ipintrq_drops(), 7u);
+  EXPECT_EQ(k.mbufs().live(), live_at_capacity) << "dropped chains leaked";
+  k.spl().splx(s);
+}
+
+TEST(NetStack, UnrolledChecksumKnobSameSumLowerCharge) {
+  // KernConfig cksum_unrolled swaps in the word-at-a-time loop: identical
+  // folded sum, cheaper per-byte model charge.
+  TestbedConfig fast_config;
+  fast_config.kernel.knobs.cksum_unrolled = true;
+  Testbed fast(fast_config);
+  Testbed slow;
+  const Bytes payload = PatternBytes(1460);
+
+  auto charge = [&payload](Testbed& tb, std::uint16_t* sum) {
+    Kernel& k = tb.kernel();
+    Mbuf* chain = k.mbufs().FromBytes(payload, false);
+    const Nanoseconds before = k.cpu().busy_ns();
+    *sum = k.net().InCksumChain(chain, payload.size());
+    const Nanoseconds cost = k.cpu().busy_ns() - before;
+    k.mbufs().MFreem(chain);
+    return cost;
+  };
+  std::uint16_t fast_sum = 0;
+  std::uint16_t slow_sum = 0;
+  const Nanoseconds fast_cost = charge(fast, &fast_sum);
+  const Nanoseconds slow_cost = charge(slow, &slow_sum);
+  EXPECT_EQ(fast_sum, slow_sum);
+  EXPECT_EQ(fast_sum, InetSum(payload));
+  EXPECT_LT(fast_cost, slow_cost);
+  // The per-byte gap is exactly the cost-model delta.
+  const Kernel& k = slow.kernel();
+  EXPECT_EQ(slow_cost - fast_cost,
+            payload.size() * (k.cost().cksum_c_ns_per_byte -
+                              k.cost().cksum_unrolled_ns_per_byte));
+}
+
 TEST(NetStack, DriverCopyCostDominatesReceive) {
   // Per received full-size frame, weget's bcopy from controller memory
   // should cost about 1 ms (1045 µs in the paper).

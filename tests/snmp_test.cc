@@ -9,12 +9,14 @@
 #include <memory>
 
 #include "src/base/rng.h"
+#include "src/kern/net.h"
 #include "src/kern/user_env.h"
 #include "src/obs/telemetry.h"
 #include "src/snmp/agent.h"
 #include "src/snmp/mib.h"
 #include "src/snmp/telemetry_mib.h"
 #include "src/workloads/testbed.h"
+#include "src/workloads/workloads.h"
 
 namespace hwprof {
 namespace {
@@ -258,6 +260,41 @@ TEST(TelemetryMib, RefreshRepublishesTheLiveRegistry) {
   const MibEntry* v2 = mib.Get(value_oid);
   ASSERT_NE(v2, nullptr);
   EXPECT_EQ(v2->value, "5");
+}
+
+TEST(TelemetryMib, PublishesKernelIpintrqDropsEndToEnd) {
+  // The silent-packet-loss fix: packets shed by a full ipintrq land on a
+  // telemetry gauge, which must surface as a profTelemetry leaf.
+  obs::SetEnabled(true);
+  obs::ResetTelemetry();
+  Testbed tb;
+  Kernel& k = tb.kernel();
+  // ipintrq caps at 50 chains; flooded at driver IPL (so the soft interrupt
+  // cannot drain mid-flood), the 7 extra are dropped and counted.
+  const int s = k.spl().splimp();
+  for (int i = 0; i < 57; ++i) {
+    k.net().EtherInput(k.mbufs().FromBytes(PatternBytes(64), false));
+  }
+  k.spl().splx(s);
+  ASSERT_EQ(k.net().ipintrq_drops(), 7u);
+
+  LinearMib mib;
+  RefreshTelemetryMib(&mib);
+  const Oid root = ProfTelemetryRoot();
+  Oid value_oid;
+  Oid at = root;
+  while (const MibEntry* e = mib.GetNext(at)) {
+    if (e->oid.size() == root.size() + 4 && e->value == "kern.net.ipintrq_drops") {
+      value_oid = e->oid;
+      value_oid[root.size() + 2] = 3;  // name column -> value column
+      break;
+    }
+    at = e->oid;
+  }
+  ASSERT_FALSE(value_oid.empty()) << "kern.net.ipintrq_drops row not published";
+  const MibEntry* value = mib.Get(value_oid);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->value, "7");
 }
 
 TEST(SnmpAgent, ServesVerifiedRepliesEndToEnd) {

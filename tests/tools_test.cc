@@ -11,6 +11,7 @@
 #include "src/workloads/testbed.h"
 #include "src/workloads/workloads.h"
 #include "tools/analyze_main.h"
+#include "tools/capture_main.h"
 
 namespace hwprof {
 namespace {
@@ -364,6 +365,88 @@ TEST(AnalyzeCli, FollowProgressEmitsAHeartbeatPerChunk) {
   EXPECT_NE(out.find("events/sec"), std::string::npos) << out;
   // The second chunk stamped 4 drops, so the final heartbeat counts anomalies.
   EXPECT_NE(out.find(" 4 anomalies"), std::string::npos) << out;
+}
+
+// --- The hwprof_capture CLI (--config and the lookup workload) --------------------
+
+int RunCaptureCli(std::initializer_list<const char*> args, std::string* error) {
+  std::vector<const char*> argv{"hwprof_capture"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  ::testing::internal::CaptureStdout();
+  const int rc = CaptureMain(static_cast<int>(argv.size()), argv.data(), error);
+  ::testing::internal::GetCapturedStdout();
+  return rc;
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(CaptureCli, ConfigFlagValidatesKnobNames) {
+  const std::string cap = ::testing::TempDir() + "/cfg_err.capture";
+  std::string error;
+  EXPECT_EQ(RunCaptureCli({"lookup", cap.c_str(), "--config", "bogus"}, &error), 2);
+  EXPECT_NE(error.find("cksum,pmap,namei"), std::string::npos);
+  error.clear();
+  EXPECT_EQ(RunCaptureCli({"lookup", cap.c_str(), "--config", "cksum,turbo"},
+                          &error),
+            2);
+  EXPECT_NE(error.find("turbo"), std::string::npos);
+}
+
+TEST(CaptureCli, BaselineConfigReplaysByteIdenticalToDefault) {
+  // `--config baseline` must be a no-op: the same deterministic capture an
+  // unconfigured replay produces, run after run.
+  const std::string dir = ::testing::TempDir();
+  const std::string plain = dir + "/lk_plain.capture";
+  const std::string baseline = dir + "/lk_baseline.capture";
+  const std::string again = dir + "/lk_again.capture";
+  std::string error;
+  ASSERT_EQ(RunCaptureCli({"lookup", plain.c_str(), "--iters", "3", "--msec",
+                           "150"},
+                          &error),
+            0)
+      << error;
+  ASSERT_EQ(RunCaptureCli({"lookup", baseline.c_str(), "--iters", "3",
+                           "--msec", "150", "--config", "baseline"},
+                          &error),
+            0)
+      << error;
+  ASSERT_EQ(RunCaptureCli({"lookup", again.c_str(), "--iters", "3", "--msec",
+                           "150", "--config", "none"},
+                          &error),
+            0)
+      << error;
+  const std::string plain_bytes = SlurpFile(plain);
+  ASSERT_FALSE(plain_bytes.empty());
+  EXPECT_EQ(SlurpFile(baseline), plain_bytes);
+  EXPECT_EQ(SlurpFile(again), plain_bytes);
+}
+
+TEST(CaptureCli, OptimizationConfigChangesTheCapture) {
+  // Turning every knob on must actually change the replayed kernel's
+  // profile (the capture bytes), while staying a valid capture.
+  const std::string dir = ::testing::TempDir();
+  const std::string off = dir + "/lk_off.capture";
+  const std::string on = dir + "/lk_on.capture";
+  std::string error;
+  ASSERT_EQ(RunCaptureCli({"lookup", off.c_str(), "--iters", "3", "--msec",
+                           "150"},
+                          &error),
+            0)
+      << error;
+  ASSERT_EQ(RunCaptureCli({"lookup", on.c_str(), "--iters", "3", "--msec",
+                           "150", "--config", "all"},
+                          &error),
+            0)
+      << error;
+  const std::string off_bytes = SlurpFile(off);
+  const std::string on_bytes = SlurpFile(on);
+  ASSERT_FALSE(off_bytes.empty());
+  ASSERT_FALSE(on_bytes.empty());
+  EXPECT_NE(on_bytes, off_bytes);
 }
 
 }  // namespace

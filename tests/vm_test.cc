@@ -168,6 +168,51 @@ TEST(Vm, TouchPagesFaultsOnlyOnce) {
   k.Run(Sec(5));
 }
 
+TEST(Vm, PmapPteBatchKnobChargesStepCostWithinOnePtPage) {
+  // KernConfig pmap_batch_pte: consecutive walks inside one page-table page
+  // pay the cheap batch step; crossing into another page-table page (or
+  // running with the knob off) pays the full walk. Lookup results never
+  // change — only the modeled charge does.
+  TestbedConfig batch_config;
+  batch_config.kernel.knobs.pmap_batch_pte = true;
+  Testbed batch(batch_config);
+  Testbed base;
+
+  auto walk = [](Testbed& tb, std::uint32_t start, std::uint32_t stride, int n) {
+    Kernel& k = tb.kernel();
+    ImageLayout layout;
+    auto vm = k.vm().NewVmspace(layout, 0);
+    const Nanoseconds before = k.cpu().busy_ns();
+    for (int i = 0; i < n; ++i) {
+      k.vm().PmapPte(vm->pmap, start + static_cast<std::uint32_t>(i) * stride);
+    }
+    return k.cpu().busy_ns() - before;
+  };
+
+  // 64 sequential walks in page-table page 0: first is a full walk, the
+  // other 63 ride the batch step.
+  const Nanoseconds batch_seq = walk(batch, 0, 1, 64);
+  const Nanoseconds base_seq = walk(base, 0, 1, 64);
+  const Kernel& k = base.kernel();
+  EXPECT_EQ(base_seq - batch_seq,
+            63 * (k.cost().pmap_pte_ns - k.cost().pmap_pte_batch_step_ns));
+
+  // Alternating between two page-table pages defeats the batch entirely.
+  const Nanoseconds batch_alt = walk(batch, 0, Pmap::kPtesPerPtPage, 2);
+  const Nanoseconds base_alt = walk(base, 0, Pmap::kPtesPerPtPage, 2);
+  EXPECT_EQ(batch_alt, base_alt);
+
+  // Same residency answers regardless of the knob.
+  ImageLayout layout;
+  auto vm_batch = batch.kernel().vm().NewVmspace(layout, 10);
+  auto vm_base = base.kernel().vm().NewVmspace(layout, 10);
+  for (std::uint32_t vpage = 0; vpage < 40; ++vpage) {
+    EXPECT_EQ(batch.kernel().vm().PmapPte(vm_batch->pmap, vpage),
+              base.kernel().vm().PmapPte(vm_base->pmap, vpage))
+        << vpage;
+  }
+}
+
 TEST(Vm, ForkPmapPteTrafficScalesWithResidency) {
   // The paper: "pmap_pte is called 1053 times when a fork is executed" for
   // a shell-sized process. Verify the scaling via the profiler itself.

@@ -462,13 +462,16 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
 
 // `hwprof_analyze --diff A B <names>`: decode both captures (any format,
 // any --jobs) against the shared names file and print the three-granularity
-// regression report. Exit codes: 0 no regression, 3 at least one row
-// regressed beyond --noise-pct, 1 load failure, 2 usage.
+// regression report. Exit codes: 0 no regression, 3 at least one gated row
+// regressed beyond --noise-pct (and the --quantum-us floor), 1 load
+// failure, 2 usage. `--gate net` demotes the per-call-edge section to
+// advisory for cross-variant comparisons.
 int DiffMain(int argc, const char* const* argv, std::string* error) {
   if (argc < 5) {
     *error =
         "usage: hwprof_analyze --diff <baseline> <candidate> <names> "
-        "[--noise-pct P] [--json] [--jobs N] [--salvage]";
+        "[--noise-pct P] [--quantum-us Q] [--gate all|net] [--json] "
+        "[--jobs N] [--salvage]";
     return 2;
   }
   const std::string path_a = argv[2];
@@ -476,6 +479,8 @@ int DiffMain(int argc, const char* const* argv, std::string* error) {
   const std::string names_path = argv[4];
 
   double noise_pct = 0.0;
+  double quantum_us = 0.0;
+  bool gate_edges = true;
   bool json = false;
   unsigned jobs = 0;
   bool serial = false;
@@ -488,6 +493,24 @@ int DiffMain(int argc, const char* const* argv, std::string* error) {
       noise_pct = std::strtod(text, &end);
       if (end == text || *end != '\0' || noise_pct < 0.0) {
         *error = StrFormat("--noise-pct needs a non-negative percentage, got '%s'", text);
+        return 2;
+      }
+    } else if (arg == "--quantum-us" && i + 1 < argc) {
+      const char* text = argv[++i];
+      char* end = nullptr;
+      quantum_us = std::strtod(text, &end);
+      if (end == text || *end != '\0' || quantum_us < 0.0) {
+        *error = StrFormat("--quantum-us needs a non-negative value, got '%s'", text);
+        return 2;
+      }
+    } else if (arg == "--gate" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value == "all") {
+        gate_edges = true;
+      } else if (value == "net") {
+        gate_edges = false;
+      } else {
+        *error = StrFormat("--gate must be all or net, got '%s'", value.c_str());
         return 2;
       }
     } else if (arg == "--json") {
@@ -528,7 +551,9 @@ int DiffMain(int argc, const char* const* argv, std::string* error) {
   }
 
   const TraceDiff diff(baseline, candidate, names.GroupsByName(),
-                       DiffOptions{.noise_pct = noise_pct});
+                       DiffOptions{.noise_pct = noise_pct,
+                                   .quantum_us = quantum_us,
+                                   .gate_edges = gate_edges});
   std::printf("%s", json ? diff.FormatJson().c_str() : diff.FormatText().c_str());
   return diff.HasRegression() ? 3 : 0;
 }
@@ -546,7 +571,8 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
         "[--salvage] [--jobs N] [--stats] [--stats-json] | <stream> <names> "
         "--follow [--summary N] [--poll N] [--jobs N] [--salvage] "
         "[--progress] [--stats] [--stats-json] | --diff <baseline> "
-        "<candidate> <names> [--noise-pct P] [--json] [--jobs N] [--salvage]";
+        "<candidate> <names> [--noise-pct P] [--quantum-us Q] "
+        "[--gate all|net] [--json] [--jobs N] [--salvage]";
     return 2;
   }
 

@@ -10,13 +10,47 @@
 #include "src/workloads/workloads.h"
 
 namespace hwprof {
+namespace {
+
+// --config value: 'baseline' (all knobs off), 'all', or a comma-separated
+// subset of cksum,pmap,namei.
+bool ParseKernConfig(const std::string& value, KernConfig* knobs, std::string* error) {
+  *knobs = KernConfig{};
+  if (value == "baseline" || value == "none") {
+    return true;
+  }
+  if (value == "all") {
+    knobs->cksum_unrolled = true;
+    knobs->pmap_batch_pte = true;
+    knobs->namei_cache = true;
+    return true;
+  }
+  for (std::string_view part : Split(value, ',')) {
+    if (part == "cksum") {
+      knobs->cksum_unrolled = true;
+    } else if (part == "pmap") {
+      knobs->pmap_batch_pte = true;
+    } else if (part == "namei") {
+      knobs->namei_cache = true;
+    } else {
+      *error = StrFormat(
+          "--config must be baseline, all, or a comma list of "
+          "cksum,pmap,namei; got '%s'",
+          std::string(part).c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int CaptureMain(int argc, const char* const* argv, std::string* error) {
   if (argc < 3) {
     *error =
-        "usage: hwprof_capture <net_receive|mixed|fork_exec> <capture-out> "
-        "[<names-out>] [--format text|binary] [--msec N] [--bytes N] "
-        "[--iters N]";
+        "usage: hwprof_capture <net_receive|mixed|fork_exec|lookup> "
+        "<capture-out> [<names-out>] [--format text|binary] [--msec N] "
+        "[--bytes N] [--iters N] [--config baseline|all|cksum,pmap,namei]";
     return 2;
   }
   const std::string workload = argv[1];
@@ -31,10 +65,11 @@ int CaptureMain(int argc, const char* const* argv, std::string* error) {
   // Defaults per workload match the committed goldens (tests/golden/ and
   // the golden_test fixtures), so an unmodified tree replays bit-identical
   // captures.
-  std::uint64_t msec = workload == "mixed" ? 300 : 2000;
+  std::uint64_t msec = workload == "mixed" ? 300 : workload == "lookup" ? 1000 : 2000;
   std::uint64_t bytes = 128 * 1024;
-  std::uint64_t iters = 3;
+  std::uint64_t iters = workload == "lookup" ? 20 : 3;
   CaptureFormat format = CaptureFormat::kText;
+  KernConfig knobs;
   for (int i = first_option; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_uint = [&](std::uint64_t* out) {
@@ -57,6 +92,10 @@ int CaptureMain(int argc, const char* const* argv, std::string* error) {
       if (!next_uint(&iters)) {
         return 2;
       }
+    } else if (arg == "--config" && i + 1 < argc) {
+      if (!ParseKernConfig(argv[++i], &knobs, error)) {
+        return 2;
+      }
     } else if (arg == "--format" && i + 1 < argc) {
       const std::string value = argv[++i];
       if (value == "text") {
@@ -73,7 +112,9 @@ int CaptureMain(int argc, const char* const* argv, std::string* error) {
     }
   }
 
-  Testbed tb;
+  TestbedConfig tb_config;
+  tb_config.kernel.knobs = knobs;
+  Testbed tb(tb_config);
   tb.Arm();
   if (workload == "net_receive") {
     RunNetworkReceive(tb, Msec(msec), bytes, false);
@@ -81,9 +122,12 @@ int CaptureMain(int argc, const char* const* argv, std::string* error) {
     RunMixed(tb, Msec(msec));
   } else if (workload == "fork_exec") {
     RunForkExec(tb, static_cast<int>(iters), Msec(msec));
+  } else if (workload == "lookup") {
+    RunLookupMix(tb, static_cast<int>(iters), Msec(msec));
   } else {
-    *error = StrFormat("unknown workload '%s' (net_receive, mixed, fork_exec)",
-                       workload.c_str());
+    *error = StrFormat(
+        "unknown workload '%s' (net_receive, mixed, fork_exec, lookup)",
+        workload.c_str());
     return 2;
   }
   const RawTrace raw = tb.StopAndUpload();

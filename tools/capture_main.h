@@ -17,10 +17,15 @@ namespace hwprof {
 // Runs the replay:
 //   hwprof_capture <workload> <capture-out> [<names-out>]
 //       [--format text|binary] [--msec N] [--bytes N] [--iters N]
+//       [--config baseline|all|cksum,pmap,namei]
 // Workloads: net_receive (default: 2000 msec, 131072 bytes — the committed
 // golden's parameters), mixed (default 300 msec), fork_exec (default 3
-// iterations, 2000 msec cap). Returns 0 on success; prints a one-line
-// summary to stdout, errors to `*error`.
+// iterations, 2000 msec cap), lookup (default 20 iterations per worker,
+// 1000 msec cap — the namei-heavy open/read/close mix). `--config` replays
+// on a kernel with the named KernConfig optimization knobs enabled
+// (`baseline`/`none` = all off, the default and byte-identical to the
+// committed goldens). Returns 0 on success; prints a one-line summary to
+// stdout, errors to `*error`.
 int CaptureMain(int argc, const char* const* argv, std::string* error);
 
 }  // namespace hwprof
