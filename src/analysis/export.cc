@@ -117,6 +117,11 @@ std::vector<AnomalyRow> AnomalyRows(const DecodedTrace& d) {
 }  // namespace
 
 std::string ExportTraceEventJson(const DecodedTrace& decoded) {
+  return ExportTraceEventJson(decoded, nullptr);
+}
+
+std::string ExportTraceEventJson(const DecodedTrace& decoded,
+                                 const obs::Snapshot* telemetry) {
   std::vector<std::string> events;
   events.push_back(StrFormat(
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
@@ -180,6 +185,22 @@ std::string ExportTraceEventJson(const DecodedTrace& decoded) {
         "\"ts\":%s,\"s\":\"g\",\"args\":{\"count\":%llu}}",
         row.name, kPid, kAnomalyTid, UsecStr(decoded.end_time).c_str(),
         static_cast<unsigned long long>(row.count)));
+  }
+
+  // Pipeline-telemetry counter tracks (snapshots are name-sorted, so the
+  // emission order — and the rendered bytes — are deterministic).
+  if (telemetry != nullptr) {
+    for (const obs::MetricValue& m : telemetry->metrics) {
+      if (m.kind != obs::MetricKind::kCounter) {
+        continue;
+      }
+      events.push_back(StrFormat(
+          "{\"name\":\"telemetry: %s\",\"ph\":\"C\",\"pid\":%d,\"ts\":%s,"
+          "\"args\":{\"count\":%llu}}",
+          JsonEscape(m.name).c_str(), kPid,
+          UsecStr(decoded.end_time).c_str(),
+          static_cast<unsigned long long>(m.count)));
+    }
   }
 
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";

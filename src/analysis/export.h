@@ -25,10 +25,21 @@
 #include <string>
 
 #include "src/analysis/decoder.h"
+#include "src/obs/telemetry.h"
 
 namespace hwprof {
 
 std::string ExportTraceEventJson(const DecodedTrace& decoded);
+
+// As above, plus one "C" counter sample per *counter* metric in `telemetry`
+// (rendered as a "telemetry: <name>" track at the capture's end time, so
+// pipeline counters line up against the slices that produced them). Only
+// counters are rendered: gauge levels and latency histograms are wall-clock
+// shaped and would break the serial-vs-parallel byte-identity contract.
+// Passing nullptr (or a snapshot with no counters) renders exactly the
+// single-argument form.
+std::string ExportTraceEventJson(const DecodedTrace& decoded,
+                                 const obs::Snapshot* telemetry);
 
 std::string ExportFoldedStacks(const DecodedTrace& decoded);
 

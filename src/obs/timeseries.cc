@@ -1,0 +1,192 @@
+#include "src/obs/timeseries.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace hwprof {
+namespace obs {
+
+std::uint64_t LadderPercentile(
+    const std::array<std::uint64_t, kHistogramBuckets>& buckets,
+    std::uint64_t total, double q, std::uint64_t max_seen) {
+  if (total == 0) {
+    return 0;
+  }
+  // Rank of the q-th percentile sample, 1-based, rounded up; q=0 maps to
+  // the first sample, q=100 to the last.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      (q / 100.0) * static_cast<double>(total) + 0.9999999);
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  const auto& bounds = HistogramBoundsNs();
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    cum += buckets[static_cast<std::size_t>(b)];
+    if (cum >= rank) {
+      if (b == kHistogramBuckets - 1) {
+        return max_seen;  // overflow bucket: only the observed max bounds it
+      }
+      return std::min(bounds[static_cast<std::size_t>(b)], max_seen);
+    }
+  }
+  return max_seen;
+}
+
+std::uint64_t HistogramPercentileNs(const MetricValue& m, double q) {
+  if (m.kind != MetricKind::kHistogram) {
+    return 0;
+  }
+  return LadderPercentile(m.buckets, m.count, q, m.max_ns);
+}
+
+TimeSeriesStore::TimeSeriesStore(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TimeSeriesStore::Record(std::uint64_t t_ns, Snapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ring_.empty() && t_ns < ring_.back().t_ns) {
+    t_ns = ring_.back().t_ns;
+  }
+  ring_.push_back(Sample{t_ns, std::move(snapshot)});
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+  }
+}
+
+std::size_t TimeSeriesStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TimeSeriesStore::oldest_t_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.empty() ? 0 : ring_.front().t_ns;
+}
+
+std::uint64_t TimeSeriesStore::newest_t_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.empty() ? 0 : ring_.back().t_ns;
+}
+
+WindowStats TimeSeriesStore::Window(std::uint64_t window_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WindowStats out;
+  if (ring_.empty()) {
+    return out;
+  }
+  const Sample& newest = ring_.back();
+  std::uint64_t cutoff = 0;
+  if (window_ns != 0 && newest.t_ns > window_ns) {
+    cutoff = newest.t_ns - window_ns;
+  }
+  // First sample inside the window (ring is time-ordered).
+  std::size_t begin = 0;
+  while (begin < ring_.size() && ring_[begin].t_ns < cutoff) {
+    ++begin;
+  }
+  const Sample& oldest = ring_[begin];
+  out.from_t_ns = oldest.t_ns;
+  out.to_t_ns = newest.t_ns;
+  out.samples = ring_.size() - begin;
+  const std::uint64_t dt_ns = newest.t_ns - oldest.t_ns;
+
+  // Both snapshots are name-sorted; walk the newest and look up the oldest
+  // (a metric can be missing from the oldest if it was registered later —
+  // treated as all-zero, which is exactly what a fresh counter was).
+  for (const MetricValue& last : newest.snapshot.metrics) {
+    const MetricValue* first = oldest.snapshot.Find(last.name);
+    WindowMetric wm;
+    wm.name = last.name;
+    wm.kind = last.kind;
+    switch (last.kind) {
+      case MetricKind::kCounter: {
+        wm.first = first != nullptr ? first->count : 0;
+        wm.last = last.count;
+        const std::uint64_t delta = wm.last >= wm.first ? wm.last - wm.first : 0;
+        if (dt_ns > 0) {
+          // delta per second, scaled by 1000: delta * 1e12 / dt_ns. The
+          // intermediate needs 128 bits for large byte counters.
+          wm.rate_milli = static_cast<std::uint64_t>(
+              static_cast<unsigned __int128>(delta) * 1'000'000'000'000ull /
+              dt_ns);
+        }
+        break;
+      }
+      case MetricKind::kGauge: {
+        wm.value = last.value;
+        wm.peak = last.peak;
+        wm.window_max = last.value;
+        for (std::size_t i = begin; i < ring_.size(); ++i) {
+          const MetricValue* s = ring_[i].snapshot.Find(last.name);
+          if (s != nullptr) {
+            wm.window_max = std::max(wm.window_max, s->value);
+          }
+        }
+        break;
+      }
+      case MetricKind::kHistogram: {
+        std::array<std::uint64_t, kHistogramBuckets> delta{};
+        const std::uint64_t first_count = first != nullptr ? first->count : 0;
+        const std::uint64_t first_sum = first != nullptr ? first->sum_ns : 0;
+        wm.delta_count = last.count >= first_count ? last.count - first_count : 0;
+        wm.delta_sum = last.sum_ns >= first_sum ? last.sum_ns - first_sum : 0;
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+          const auto idx = static_cast<std::size_t>(b);
+          const std::uint64_t fb = first != nullptr ? first->buckets[idx] : 0;
+          delta[idx] = last.buckets[idx] >= fb ? last.buckets[idx] - fb : 0;
+        }
+        wm.p50 = LadderPercentile(delta, wm.delta_count, 50.0, last.max_ns);
+        wm.p90 = LadderPercentile(delta, wm.delta_count, 90.0, last.max_ns);
+        wm.p99 = LadderPercentile(delta, wm.delta_count, 99.0, last.max_ns);
+        break;
+      }
+    }
+    out.metrics.push_back(std::move(wm));
+  }
+  return out;
+}
+
+std::string WindowStats::FormatJson() const {
+  std::string out = StrFormat(
+      "{\"from_ns\":%llu,\"to_ns\":%llu,\"samples\":%zu,\"metrics\":[",
+      static_cast<unsigned long long>(from_t_ns),
+      static_cast<unsigned long long>(to_t_ns), samples);
+  bool first = true;
+  for (const WindowMetric& m : metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("{\"name\":\"%s\",\"kind\":\"%s\"", m.name.c_str(),
+                     MetricKindName(m.kind));
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += StrFormat(",\"first\":%llu,\"last\":%llu,\"rate_milli\":%llu",
+                         static_cast<unsigned long long>(m.first),
+                         static_cast<unsigned long long>(m.last),
+                         static_cast<unsigned long long>(m.rate_milli));
+        break;
+      case MetricKind::kGauge:
+        out += StrFormat(",\"value\":%lld,\"window_max\":%lld,\"peak\":%lld",
+                         static_cast<long long>(m.value),
+                         static_cast<long long>(m.window_max),
+                         static_cast<long long>(m.peak));
+        break;
+      case MetricKind::kHistogram:
+        out += StrFormat(
+            ",\"delta_count\":%llu,\"delta_sum\":%llu,"
+            "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu",
+            static_cast<unsigned long long>(m.delta_count),
+            static_cast<unsigned long long>(m.delta_sum),
+            static_cast<unsigned long long>(m.p50),
+            static_cast<unsigned long long>(m.p90),
+            static_cast<unsigned long long>(m.p99));
+        break;
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hwprof

@@ -1,0 +1,114 @@
+// Time-series store over telemetry snapshots: the piece that turns the
+// one-shot `GlobalSnapshot()` view (DESIGN.md §10) into an *operable*
+// history for a long-running service (DESIGN.md §14).
+//
+// A TimeSeriesStore holds a fixed-size ring of (timestamp, Snapshot) pairs
+// recorded by a periodic tick. Window(w) derives, over the sliding window
+// ending at the newest sample:
+//   * counters    — first/last cumulative totals and a per-second rate,
+//   * gauges      — last value, the window's max value, the all-time peak,
+//   * histograms  — the window's delta count / delta sum, and histogram-
+//                   ladder percentiles (p50/p90/p99) computed from the
+//                   bucket-count deltas against the 1/2/5 bounds ladder.
+//
+// Everything is deterministic given the recorded samples: the ring is
+// mutated only by Record, metrics stay name-sorted (snapshots already are),
+// and the derived stats are integer arithmetic plus one fixed-format rate.
+// Under a frozen clock the rendered METRICS output is byte-stable — the ops
+// protocol goldens depend on that.
+
+#ifndef HWPROF_SRC_OBS_TIMESERIES_H_
+#define HWPROF_SRC_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/telemetry.h"
+
+namespace hwprof {
+namespace obs {
+
+// One derived metric over a window.
+struct WindowMetric {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  // Counters: cumulative totals at the window edges and the rate between
+  // them. rate_milli is per-second, scaled by 1000 and truncated, so the
+  // rendering never touches floating-point formatting.
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+  std::uint64_t rate_milli = 0;
+  // Gauges.
+  std::int64_t value = 0;
+  std::int64_t window_max = 0;
+  std::int64_t peak = 0;
+  // Histograms: deltas across the window plus ladder percentiles of those
+  // deltas (upper bucket bounds, clamped to the observed max).
+  std::uint64_t delta_count = 0;
+  std::uint64_t delta_sum = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
+struct WindowStats {
+  std::uint64_t from_t_ns = 0;  // oldest sample inside the window
+  std::uint64_t to_t_ns = 0;    // newest sample
+  std::size_t samples = 0;      // samples inside the window
+  std::vector<WindowMetric> metrics;  // name-sorted
+
+  // Deterministic single-line-per-metric JSON object:
+  //   {"from_ns":..,"to_ns":..,"samples":..,"metrics":[...]}
+  std::string FormatJson() const;
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(std::size_t capacity = 120);
+
+  // Appends one sample; evicts the oldest once the ring is full. Timestamps
+  // must be non-decreasing (a regressing clock is clamped to the newest
+  // sample so the ring stays ordered).
+  void Record(std::uint64_t t_ns, Snapshot snapshot);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  // 0 when empty.
+  std::uint64_t oldest_t_ns() const;
+  std::uint64_t newest_t_ns() const;
+
+  // Derived stats over samples with t >= newest - window_ns (window_ns 0 =
+  // the whole ring). With fewer than two samples in the window, rates and
+  // deltas are zero and counters report last == first.
+  WindowStats Window(std::uint64_t window_ns) const;
+
+ private:
+  struct Sample {
+    std::uint64_t t_ns = 0;
+    Snapshot snapshot;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<Sample> ring_;
+};
+
+// Histogram-ladder percentile: the upper bound of the first ladder bucket
+// at which the cumulative count reaches q percent of `total`, clamped to
+// `max_seen` (so a p99 never exceeds the largest recorded sample). The
+// overflow bucket reports max_seen. Returns 0 when total is 0.
+std::uint64_t LadderPercentile(
+    const std::array<std::uint64_t, kHistogramBuckets>& buckets,
+    std::uint64_t total, double q, std::uint64_t max_seen);
+
+// Convenience over a merged MetricValue (used by the SNMP telemetry
+// subtree's percentile leaves).
+std::uint64_t HistogramPercentileNs(const MetricValue& m, double q);
+
+}  // namespace obs
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_OBS_TIMESERIES_H_

@@ -1,0 +1,111 @@
+#include "src/service/event_log.h"
+
+#include "src/base/strings.h"
+
+namespace hwprof {
+namespace service {
+
+namespace {
+
+// The log only ever carries identifiers and key=value detail text, but a
+// tenant name is caller-supplied — escape the JSON specials so a hostile
+// name cannot break the line format.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatLogEventJson(const LogEvent& event) {
+  return StrFormat(
+      "{\"seq\":%llu,\"t_ns\":%llu,\"ingest\":%llu,\"tenant\":\"%s\","
+      "\"stage\":\"%s\",\"detail\":\"%s\"}",
+      static_cast<unsigned long long>(event.seq),
+      static_cast<unsigned long long>(event.t_ns),
+      static_cast<unsigned long long>(event.ingest_id),
+      JsonEscape(event.tenant).c_str(), JsonEscape(event.stage).c_str(),
+      JsonEscape(event.detail).c_str());
+}
+
+EventLog::EventLog(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::uint64_t EventLog::Append(std::uint64_t t_ns, std::uint64_t ingest_id,
+                               const std::string& tenant,
+                               const std::string& stage,
+                               const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LogEvent event;
+  event.seq = next_seq_++;
+  event.t_ns = t_ns;
+  event.ingest_id = ingest_id;
+  event.tenant = tenant;
+  event.stage = stage;
+  event.detail = detail;
+  ring_.push_back(std::move(event));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+  }
+  return next_seq_ - 1;
+}
+
+std::vector<LogEvent> EventLog::Tail(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t take = (n == 0 || n > ring_.size()) ? ring_.size() : n;
+  std::vector<LogEvent> out;
+  out.reserve(take);
+  for (std::size_t i = ring_.size() - take; i < ring_.size(); ++i) {
+    out.push_back(ring_[i]);
+  }
+  return out;
+}
+
+std::vector<LogEvent> EventLog::ForIngest(std::uint64_t ingest_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogEvent> out;
+  for (const LogEvent& e : ring_) {
+    if (e.ingest_id == ingest_id) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t EventLog::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+}  // namespace service
+}  // namespace hwprof

@@ -1,0 +1,69 @@
+// Structured, machine-parseable event log for hwprofd (DESIGN.md §14).
+//
+// Every upload is assigned an ingest ID at the service boundary; the same
+// ID is stamped on every later stage (capture acceptance/drop, decode,
+// summary), so one grep over the rendered log — or one EVENTS query over
+// the ops socket — reconstructs a tenant's request end to end.
+//
+// The log is a fixed-size ring: appends are O(1), memory is bounded by
+// construction, and eviction is oldest-first. Rendering is one JSON object
+// per line with a fixed key order, so output is byte-deterministic given
+// the appended events (timestamps come from the service clock, which tests
+// freeze).
+
+#ifndef HWPROF_SRC_SERVICE_EVENT_LOG_H_
+#define HWPROF_SRC_SERVICE_EVENT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hwprof {
+namespace service {
+
+struct LogEvent {
+  std::uint64_t seq = 0;        // monotonically increasing, never reused
+  std::uint64_t t_ns = 0;       // service clock at append
+  std::uint64_t ingest_id = 0;  // 0 = service-level event (no upload)
+  std::string tenant;           // empty for service-level events
+  std::string stage;            // "capture" | "decode" | "summary" | ...
+  std::string detail;           // free-form key=value text
+};
+
+// Renders one event as a single JSON line (no trailing newline).
+std::string FormatLogEventJson(const LogEvent& event);
+
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 1024);
+
+  // Appends one event, stamping the next sequence number. Returns the
+  // sequence assigned.
+  std::uint64_t Append(std::uint64_t t_ns, std::uint64_t ingest_id,
+                       const std::string& tenant, const std::string& stage,
+                       const std::string& detail);
+
+  // The most recent `n` events, oldest first (n = 0 means all retained).
+  std::vector<LogEvent> Tail(std::size_t n) const;
+
+  // Every retained event with the given ingest ID, oldest first.
+  std::vector<LogEvent> ForIngest(std::uint64_t ingest_id) const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  // Total appends ever (>= size once the ring wrapped).
+  std::uint64_t appended() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 1;
+  std::deque<LogEvent> ring_;
+};
+
+}  // namespace service
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_SERVICE_EVENT_LOG_H_

@@ -1,0 +1,152 @@
+#include "src/service/ops.h"
+
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/obs/timeseries.h"
+
+namespace hwprof {
+namespace service {
+
+namespace {
+
+std::string StatusResponse(IngestService& service) {
+  const ServiceStats s = service.Stats();
+  std::string out = "hwprofd status\n";
+  out += StrFormat("uptime_ns: %llu\n",
+                   static_cast<unsigned long long>(service.NowNs() -
+                                                   service.start_t_ns()));
+  out += StrFormat("workers: %u\n", service.workers());
+  out += StrFormat("health: %s (%s)\n", HealthName(service.health()),
+                   service.HealthDetail().c_str());
+  out += StrFormat("offered: %llu\n",
+                   static_cast<unsigned long long>(s.offered));
+  out += StrFormat("accepted: %llu\n",
+                   static_cast<unsigned long long>(s.accepted));
+  out += StrFormat(
+      "dropped: %llu (empty=%llu oversize=%llu queue_full=%llu "
+      "draining=%llu)\n",
+      static_cast<unsigned long long>(s.DroppedTotal()),
+      static_cast<unsigned long long>(
+          s.dropped[static_cast<std::size_t>(DropReason::kEmpty)]),
+      static_cast<unsigned long long>(
+          s.dropped[static_cast<std::size_t>(DropReason::kOversize)]),
+      static_cast<unsigned long long>(
+          s.dropped[static_cast<std::size_t>(DropReason::kQueueFull)]),
+      static_cast<unsigned long long>(
+          s.dropped[static_cast<std::size_t>(DropReason::kDraining)]));
+  out += StrFormat("malformed: %llu\n",
+                   static_cast<unsigned long long>(s.malformed));
+  out += StrFormat("summaries: %llu\n",
+                   static_cast<unsigned long long>(s.summaries));
+  out += StrFormat("cache: hits=%llu entries=%zu\n",
+                   static_cast<unsigned long long>(s.cache_hits),
+                   s.cache_entries);
+  out += StrFormat("decoded_events: %llu\n",
+                   static_cast<unsigned long long>(s.decoded_events));
+  out += StrFormat("anomalies: %llu\n",
+                   static_cast<unsigned long long>(s.anomalies));
+  out += StrFormat("queue: depth=%zu bytes=%zu peak_bytes=%zu\n",
+                   s.queue_depth, s.queue_bytes, s.peak_queue_bytes);
+  out += StrFormat("tenants: %zu\n", s.tenants.size());
+  out += StrFormat("events_logged: %llu\n",
+                   static_cast<unsigned long long>(
+                       service.event_log().appended()));
+  out += StrFormat("timeseries: samples=%zu capacity=%zu\n",
+                   service.timeseries().size(),
+                   service.timeseries().capacity());
+  return out;
+}
+
+std::string TenantsResponse(IngestService& service) {
+  const ServiceStats s = service.Stats();
+  std::string out =
+      "tenant offered accepted dropped summaries malformed cache_hits "
+      "events anomalies last_ingest\n";
+  for (const auto& [name, tc] : s.tenants) {
+    out += StrFormat(
+        "%s %llu %llu %llu %llu %llu %llu %llu %llu %llu\n", name.c_str(),
+        static_cast<unsigned long long>(tc.offered),
+        static_cast<unsigned long long>(tc.accepted),
+        static_cast<unsigned long long>(tc.DroppedTotal()),
+        static_cast<unsigned long long>(tc.summaries),
+        static_cast<unsigned long long>(tc.malformed),
+        static_cast<unsigned long long>(tc.cache_hits),
+        static_cast<unsigned long long>(tc.decoded_events),
+        static_cast<unsigned long long>(tc.anomalies),
+        static_cast<unsigned long long>(tc.last_ingest_id));
+  }
+  return out;
+}
+
+std::string EventsResponse(IngestService& service, std::size_t n) {
+  std::string out;
+  for (const LogEvent& e : service.event_log().Tail(n)) {
+    out += FormatLogEventJson(e);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string IngestResponse(IngestService& service, std::uint64_t id) {
+  std::string out;
+  for (const LogEvent& e : service.event_log().ForIngest(id)) {
+    out += FormatLogEventJson(e);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string HandleOpsCommand(IngestService& service, const std::string& line) {
+  std::vector<std::string_view> words;
+  for (std::string_view w : Split(StripWhitespace(line), ' ')) {
+    if (!w.empty()) {
+      words.push_back(w);
+    }
+  }
+  if (words.empty()) {
+    return "ERR empty command\n";
+  }
+  const std::string_view cmd = words[0];
+  if (cmd == "STATUS" && words.size() == 1) {
+    return StatusResponse(service) + "OK\n";
+  }
+  if (cmd == "HEALTH" && words.size() == 1) {
+    return StrFormat("%s %s\n", HealthName(service.health()),
+                     service.HealthDetail().c_str()) +
+           "OK\n";
+  }
+  if (cmd == "TENANTS" && words.size() == 1) {
+    return TenantsResponse(service) + "OK\n";
+  }
+  if (cmd == "METRICS" && words.size() <= 2) {
+    std::uint64_t window_s = 0;
+    if (words.size() == 2 && !ParseUint(words[1], &window_s)) {
+      return "ERR METRICS window must be a non-negative integer\n";
+    }
+    const obs::WindowStats stats =
+        service.timeseries().Window(window_s * 1'000'000'000ull);
+    return stats.FormatJson() + "\nOK\n";
+  }
+  if (cmd == "EVENTS" && words.size() <= 2) {
+    std::uint64_t n = 20;
+    if (words.size() == 2 && !ParseUint(words[1], &n)) {
+      return "ERR EVENTS count must be a non-negative integer\n";
+    }
+    return EventsResponse(service, static_cast<std::size_t>(n)) + "OK\n";
+  }
+  if (cmd == "INGEST" && words.size() == 2) {
+    std::uint64_t id = 0;
+    if (!ParseUint(words[1], &id)) {
+      return "ERR INGEST id must be a non-negative integer\n";
+    }
+    return IngestResponse(service, id) + "OK\n";
+  }
+  return StrFormat("ERR unknown command: %.*s\n",
+                   static_cast<int>(cmd.size()), cmd.data());
+}
+
+}  // namespace service
+}  // namespace hwprof

@@ -1,0 +1,37 @@
+// hwprofd's ops protocol (DESIGN.md §14): a line-oriented query language
+// served over the local ops socket and by `hwprofd --query`.
+//
+// Grammar (one command per line; keywords are case-sensitive):
+//
+//   STATUS           -> "key: value" lines covering the whole service
+//   HEALTH           -> one line: "<ready|degraded|draining> <detail>"
+//   TENANTS          -> header + one space-separated row per tenant (sorted)
+//   METRICS [secs]   -> one JSON object of windowed rates/percentiles derived
+//                       from the time-series store (0 / absent = whole ring)
+//   EVENTS [n]       -> the last n event-log lines as JSON (default 20, 0=all)
+//   INGEST <id>      -> every retained event-log line for that ingest ID
+//
+// Every response ends with a terminator line: "OK" on success, "ERR <why>"
+// on a malformed command — so a client reads until the terminator and never
+// guesses at framing. Responses are byte-deterministic given the service
+// state and clock; the committed ops_*.golden files pin them under a frozen
+// clock with synchronous (workers=0) ingest.
+
+#ifndef HWPROF_SRC_SERVICE_OPS_H_
+#define HWPROF_SRC_SERVICE_OPS_H_
+
+#include <string>
+
+#include "src/service/ingest.h"
+
+namespace hwprof {
+namespace service {
+
+// Executes one ops command line against the service and returns the full
+// response text (terminator included, trailing newline included).
+std::string HandleOpsCommand(IngestService& service, const std::string& line);
+
+}  // namespace service
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_SERVICE_OPS_H_

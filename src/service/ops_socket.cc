@@ -1,0 +1,321 @@
+#include "src/service/ops_socket.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/base/strings.h"
+#include "src/service/ops.h"
+
+namespace hwprof {
+namespace service {
+
+namespace {
+
+// Blocking full write; false on error (EPIPE from a vanished client is an
+// error like any other — the connection is simply abandoned).
+bool WriteAll(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads one '\n'-terminated line (newline stripped); false on EOF/error
+// before a newline or when the line exceeds the cap.
+bool ReadLine(int fd, std::string* line, std::size_t max_len = 4096) {
+  line->clear();
+  char c = 0;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n == 0) {
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (c == '\n') {
+      return true;
+    }
+    if (line->size() >= max_len) {
+      return false;
+    }
+    line->push_back(c);
+  }
+}
+
+bool ReadExact(int fd, std::string* out, std::size_t nbytes) {
+  out->clear();
+  out->resize(nbytes);
+  std::size_t off = 0;
+  while (off < nbytes) {
+    const ssize_t n = ::read(fd, out->data() + off, nbytes - off);
+    if (n == 0) {
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int ConnectTo(const std::string& socket_path, std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long";
+    return -1;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = StrFormat("socket: %s", std::strerror(errno));
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    *error = StrFormat("connect %s: %s", socket_path.c_str(),
+                       std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string ReadToEof(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return out;
+    }
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+OpsServer::OpsServer(IngestService& service, std::string socket_path)
+    : service_(service), socket_path_(std::move(socket_path)) {}
+
+OpsServer::~OpsServer() { Stop(); }
+
+bool OpsServer::Start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    last_error_ = "socket path too long";
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    last_error_ = StrFormat("socket: %s", std::strerror(errno));
+    return false;
+  }
+  ::unlink(socket_path_.c_str());  // stale path from a crashed daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    last_error_ = StrFormat("bind %s: %s", socket_path_.c_str(),
+                            std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    last_error_ = StrFormat("listen: %s", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void OpsServer::Stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+  }
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void OpsServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) {
+      continue;  // timeout (re-check stopping_) or EINTR
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    std::vector<std::thread> reap;
+    {
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      handlers_.emplace_back([this, fd] { HandleConnection(fd); });
+      if (handlers_.size() > 256) {
+        // Connections are one-request and short-lived; joining the batch
+        // here bounds the thread-object list for a long-running daemon.
+        handlers_.swap(reap);
+      }
+    }
+    for (std::thread& t : reap) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+  }
+}
+
+void OpsServer::HandleConnection(int fd) {
+  std::string line;
+  if (!ReadLine(fd, &line)) {
+    ::close(fd);
+    return;
+  }
+  if (StartsWith(line, "UPLOAD ")) {
+    // "UPLOAD <tenant> <nbytes>" + nbytes of raw payload.
+    std::vector<std::string_view> words;
+    for (std::string_view w : Split(line, ' ')) {
+      if (!w.empty()) {
+        words.push_back(w);
+      }
+    }
+    std::uint64_t nbytes = 0;
+    if (words.size() != 3 || !ParseUint(words[2], &nbytes)) {
+      WriteAll(fd, "ERR upload header must be: UPLOAD <tenant> <nbytes>\n");
+      ::close(fd);
+      return;
+    }
+    std::string payload;
+    if (nbytes > 0 &&
+        !ReadExact(fd, &payload, static_cast<std::size_t>(nbytes))) {
+      WriteAll(fd, "ERR short upload payload\n");
+      ::close(fd);
+      return;
+    }
+    const SubmitResult r =
+        service_.Submit(std::string(words[1]), std::move(payload));
+    if (r.accepted) {
+      WriteAll(fd, StrFormat("ACCEPT %llu\n",
+                             static_cast<unsigned long long>(r.ingest_id)));
+    } else {
+      WriteAll(fd, StrFormat("DROP %s %llu\n", DropReasonName(r.reason),
+                             static_cast<unsigned long long>(r.ingest_id)));
+    }
+    ::close(fd);
+    return;
+  }
+  WriteAll(fd, HandleOpsCommand(service_, line));
+  ::close(fd);
+}
+
+std::string OpsQuery(const std::string& socket_path, const std::string& command,
+                     std::string* error) {
+  error->clear();
+  const int fd = ConnectTo(socket_path, error);
+  if (fd < 0) {
+    return "";
+  }
+  if (!WriteAll(fd, command + "\n")) {
+    *error = StrFormat("write: %s", std::strerror(errno));
+    ::close(fd);
+    return "";
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response = ReadToEof(fd);
+  ::close(fd);
+  if (response.empty()) {
+    *error = "empty response";
+  }
+  return response;
+}
+
+bool OpsUpload(const std::string& socket_path, const std::string& tenant,
+               const std::string& payload, std::uint64_t* ingest_id,
+               std::string* drop_reason, std::string* error) {
+  *ingest_id = 0;
+  drop_reason->clear();
+  error->clear();
+  const int fd = ConnectTo(socket_path, error);
+  if (fd < 0) {
+    return false;
+  }
+  const std::string header =
+      StrFormat("UPLOAD %s %zu\n", tenant.c_str(), payload.size());
+  if (!WriteAll(fd, header) || !WriteAll(fd, payload)) {
+    *error = StrFormat("write: %s", std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  std::string reply;
+  const bool got = ReadLine(fd, &reply);
+  ::close(fd);
+  if (!got) {
+    *error = "no reply";
+    return false;
+  }
+  std::vector<std::string_view> words;
+  for (std::string_view w : Split(reply, ' ')) {
+    if (!w.empty()) {
+      words.push_back(w);
+    }
+  }
+  if (words.size() == 2 && words[0] == "ACCEPT" &&
+      ParseUint(words[1], ingest_id)) {
+    return true;
+  }
+  if (words.size() == 3 && words[0] == "DROP" &&
+      ParseUint(words[2], ingest_id)) {
+    *drop_reason = std::string(words[1]);
+    return false;
+  }
+  *error = StrFormat("unexpected reply: %s", reply.c_str());
+  return false;
+}
+
+}  // namespace service
+}  // namespace hwprof

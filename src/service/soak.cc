@@ -1,0 +1,242 @@
+#include "src/service/soak.h"
+
+#include <atomic>
+#include <chrono>
+#include <iterator>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/decoder.h"
+#include "src/analysis/summary.h"
+#include "src/base/assert.h"
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+#include "src/obs/timeseries.h"
+#include "src/profhw/binary_trace.h"
+
+namespace hwprof {
+namespace service {
+
+const TagFile& SoakNames() {
+  static const TagFile* names = [] {
+    auto* file = new TagFile();
+    HWPROF_CHECK(TagFile::Parse(
+        "main/100\n"
+        "read/102 group=io\n"
+        "bcopy/104 group=io\n"
+        "namei/106 group=ffs\n"
+        "ffs_alloc/108 group=ffs\n"
+        "vm_fault/110 group=vm\n"
+        "pmap_enter/112 group=vm\n"
+        "swtch/200!\n"
+        "idle_swtch/202!\n"
+        "MARK/300=\n"
+        "POINT/302=\n",
+        file));
+    return file;
+  }();
+  return *names;
+}
+
+RawTrace SynthTrace(std::uint64_t seed, int events) {
+  Rng rng(seed);
+  RawTrace raw;
+  raw.events.reserve(static_cast<std::size_t>(events));
+  std::uint32_t now = 0;
+  std::vector<std::uint16_t> stack;
+  // Function entry tags from SoakNames(), excluding switch/inline tags.
+  static constexpr std::uint16_t kFns[] = {100, 102, 104, 106, 108, 110, 112};
+  for (int i = 0; i < events; ++i) {
+    now += static_cast<std::uint32_t>(1 + rng.NextBelow(150));
+    const double roll = rng.NextDouble();
+    if (roll < 0.04) {
+      raw.events.push_back(
+          {static_cast<std::uint16_t>(300 + 2 * rng.NextBelow(2)), now});
+    } else if (roll < 0.12 && stack.empty()) {
+      // Context-switch pair with an idle window (only at top level, so the
+      // trace stays balanced and anomaly-free).
+      const auto sw = static_cast<std::uint16_t>(200 + 2 * rng.NextBelow(2));
+      raw.events.push_back({sw, now});
+      now += static_cast<std::uint32_t>(1 + rng.NextBelow(400));
+      raw.events.push_back({static_cast<std::uint16_t>(sw + 1), now});
+      ++i;
+    } else if (stack.size() < 6 && (stack.empty() || rng.NextBool(0.55))) {
+      const std::uint16_t tag = kFns[rng.NextBelow(std::size(kFns))];
+      stack.push_back(tag);
+      raw.events.push_back({tag, now});
+    } else {
+      const std::uint16_t tag = stack.back();
+      stack.pop_back();
+      raw.events.push_back({static_cast<std::uint16_t>(tag + 1), now});
+    }
+  }
+  // Close whatever is still open so every capture decodes cleanly.
+  while (!stack.empty()) {
+    now += static_cast<std::uint32_t>(1 + rng.NextBelow(150));
+    raw.events.push_back(
+        {static_cast<std::uint16_t>(stack.back() + 1), now});
+    stack.pop_back();
+  }
+  for (RawEvent& e : raw.events) {
+    e.timestamp &= raw.TimerMask();
+  }
+  return raw;
+}
+
+bool SoakReport::ok() const {
+  return silent_drops == 0 && silent_drop_bytes == 0 &&
+         stats.accepted == stats.summaries + stats.malformed &&
+         stats.malformed == malformed_accepted && summary_mismatches == 0 &&
+         verified_summaries > 0 && stats.peak_queue_bytes <= queue_byte_budget;
+}
+
+std::string SoakReport::FormatJson() const {
+  std::string out = StrFormat(
+      "{\"ok\":%s,\"offered\":%llu,\"accepted\":%llu,"
+      "\"offered_bytes\":%llu,\"accepted_bytes\":%llu,"
+      "\"dropped_bytes\":%llu,"
+      "\"drops\":{\"empty\":%llu,\"oversize\":%llu,\"queue_full\":%llu,"
+      "\"draining\":%llu},"
+      "\"silent_drops\":%llu,\"silent_drop_bytes\":%llu,"
+      "\"summaries\":%llu,\"malformed\":%llu,\"malformed_accepted\":%llu,"
+      "\"cache_hits\":%llu,\"decoded_events\":%llu,\"anomalies\":%llu,"
+      "\"verified_summaries\":%llu,\"summary_mismatches\":%llu,"
+      "\"peak_queue_bytes\":%zu,\"queue_byte_budget\":%zu,"
+      "\"tenants\":%zu,\"metrics\":",
+      ok() ? "true" : "false", static_cast<unsigned long long>(stats.offered),
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.offered_bytes),
+      static_cast<unsigned long long>(stats.accepted_bytes),
+      static_cast<unsigned long long>(stats.dropped_bytes),
+      static_cast<unsigned long long>(
+          stats.dropped[static_cast<std::size_t>(DropReason::kEmpty)]),
+      static_cast<unsigned long long>(
+          stats.dropped[static_cast<std::size_t>(DropReason::kOversize)]),
+      static_cast<unsigned long long>(
+          stats.dropped[static_cast<std::size_t>(DropReason::kQueueFull)]),
+      static_cast<unsigned long long>(
+          stats.dropped[static_cast<std::size_t>(DropReason::kDraining)]),
+      static_cast<unsigned long long>(silent_drops),
+      static_cast<unsigned long long>(silent_drop_bytes),
+      static_cast<unsigned long long>(stats.summaries),
+      static_cast<unsigned long long>(stats.malformed),
+      static_cast<unsigned long long>(malformed_accepted),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.decoded_events),
+      static_cast<unsigned long long>(stats.anomalies),
+      static_cast<unsigned long long>(verified_summaries),
+      static_cast<unsigned long long>(summary_mismatches),
+      stats.peak_queue_bytes, queue_byte_budget, stats.tenants.size());
+  out += metrics_json.empty() ? "{}" : metrics_json;
+  out += "}";
+  return out;
+}
+
+SoakReport RunSoak(const SoakOptions& options) {
+  const TagFile& names = SoakNames();
+  ServiceOptions svc = options.service;
+  // The offline-equivalence audit needs every distinct payload's outcome
+  // retained, so the cache must at least cover the pool.
+  if (svc.cache_capacity < options.distinct_captures + 2) {
+    svc.cache_capacity = options.distinct_captures + 2;
+  }
+  IngestService service(names, svc);
+
+  // Seeded payload pool, half text interchange, half hwpb binary, plus the
+  // offline answer for each (what hwprof_analyze would print).
+  std::vector<std::string> pool;
+  std::vector<std::string> offline;
+  const unsigned distinct = options.distinct_captures == 0
+                                ? 1
+                                : options.distinct_captures;
+  pool.reserve(distinct);
+  offline.reserve(distinct);
+  for (unsigned i = 0; i < distinct; ++i) {
+    const RawTrace raw = SynthTrace(options.seed + i,
+                                    options.events_per_capture);
+    pool.push_back(i % 2 == 0 ? raw.Serialize() : EncodeCaptureBinary(raw));
+    offline.push_back(Summary(Decoder::Decode(raw, names))
+                          .Format(svc.summary_rows));
+  }
+
+  std::atomic<std::uint64_t> malformed_accepted{0};
+  std::atomic<bool> done{false};
+  std::thread ticker([&service, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      service.Tick();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> uploaders;
+  uploaders.reserve(options.uploaders);
+  for (unsigned u = 0; u < options.uploaders; ++u) {
+    uploaders.emplace_back([&, u] {
+      Rng rng(options.seed * 1000003 + u);
+      const std::string tenant =
+          StrFormat("tenant-%u", options.tenants == 0 ? 0u
+                                                      : u % options.tenants);
+      for (unsigned k = 0; k < options.uploads_per_uploader; ++k) {
+        const std::uint64_t n =
+            static_cast<std::uint64_t>(u) * options.uploads_per_uploader + k;
+        if (options.malformed_every != 0 &&
+            n % options.malformed_every == options.malformed_every - 1) {
+          const SubmitResult r = service.Submit(
+              tenant,
+              StrFormat("this is not a capture (%llu)\n",
+                        static_cast<unsigned long long>(n)));
+          if (r.accepted) {
+            malformed_accepted.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (options.inadmissible_every != 0 &&
+                   n % options.inadmissible_every ==
+                       options.inadmissible_every - 1) {
+          // Alternate the two inadmissible shapes: empty and oversize.
+          if (n % 2 == 0) {
+            service.Submit(tenant, std::string());
+          } else {
+            service.Submit(tenant,
+                           std::string(svc.max_upload_bytes + 1, 'x'));
+          }
+        } else {
+          service.Submit(tenant, pool[rng.NextBelow(pool.size())]);
+        }
+      }
+    });
+  }
+  for (std::thread& t : uploaders) {
+    t.join();
+  }
+  service.WaitIdle();
+  done.store(true, std::memory_order_relaxed);
+  ticker.join();
+  service.Tick();
+
+  SoakReport report;
+  report.stats = service.Stats();
+  report.queue_byte_budget = svc.queue_max_bytes;
+  report.malformed_accepted =
+      malformed_accepted.load(std::memory_order_relaxed);
+  const ServiceStats& s = report.stats;
+  report.silent_drops = s.offered - s.accepted - s.DroppedTotal();
+  report.silent_drop_bytes =
+      s.offered_bytes - s.accepted_bytes - s.dropped_bytes;
+  for (unsigned i = 0; i < distinct; ++i) {
+    UploadOutcome outcome;
+    if (!service.LookupOutcome(IngestService::HashPayload(pool[i]),
+                               &outcome)) {
+      continue;  // every copy of this payload was (typed-)dropped
+    }
+    if (outcome.summary == offline[i]) {
+      ++report.verified_summaries;
+    } else {
+      ++report.summary_mismatches;
+    }
+  }
+  report.metrics_json = service.timeseries().Window(0).FormatJson();
+  service.Stop();
+  return report;
+}
+
+}  // namespace service
+}  // namespace hwprof

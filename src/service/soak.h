@@ -1,0 +1,80 @@
+// Soak driver for hwprofd: N concurrent uploader threads push seeded
+// synthetic captures (mixed text / hwpb binary, with a controlled dose of
+// malformed and inadmissible payloads) through one IngestService, then the
+// driver audits the daemon against its own contracts:
+//
+//   * no silent drops:  offered == accepted + sum(typed drops), in uploads
+//     and in bytes;
+//   * full pipeline accounting:  accepted == summaries + malformed;
+//   * bounded memory:  the queue's peak byte level never exceeded the
+//     configured backpressure budget;
+//   * offline equivalence:  every cached summary is byte-identical to what
+//     `hwprof_analyze` computes offline for the same payload.
+//
+// The same driver backs `hwprofd --soak` (the CI soak-smoke job) and the
+// service_soak_test; both assert SoakReport::ok().
+
+#ifndef HWPROF_SRC_SERVICE_SOAK_H_
+#define HWPROF_SRC_SERVICE_SOAK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/instr/tag_file.h"
+#include "src/profhw/raw_trace.h"
+#include "src/service/ingest.h"
+
+namespace hwprof {
+namespace service {
+
+// The names file every soak capture is generated against.
+const TagFile& SoakNames();
+
+// Deterministic synthetic capture: balanced nested calls, context switches
+// and inline markers against SoakNames(); same seed -> same trace.
+RawTrace SynthTrace(std::uint64_t seed, int events);
+
+struct SoakOptions {
+  unsigned uploaders = 32;          // concurrent uploader threads
+  unsigned uploads_per_uploader = 8;
+  unsigned tenants = 4;             // uploaders round-robin across tenants
+  unsigned distinct_captures = 16;  // payload pool size (re-uploads hit cache)
+  int events_per_capture = 2000;
+  std::uint64_t seed = 1;
+  // One malformed payload is injected every `malformed_every` uploads
+  // (0 = never); same cadence for inadmissible (empty / oversize) payloads.
+  unsigned malformed_every = 7;
+  unsigned inadmissible_every = 11;
+  // Service sizing (the queue byte budget is the bounded-memory assertion).
+  ServiceOptions service;
+};
+
+struct SoakReport {
+  ServiceStats stats;
+  // offered - accepted - sum(typed drops): the invariant says exactly 0.
+  std::uint64_t silent_drops = 0;
+  std::uint64_t silent_drop_bytes = 0;
+  // Malformed payloads the driver injected AND the service admitted; must
+  // equal stats.malformed (nothing else in the pool is malformed).
+  std::uint64_t malformed_accepted = 0;
+  // Offline-equivalence audit over the summary cache.
+  std::uint64_t verified_summaries = 0;
+  std::uint64_t summary_mismatches = 0;
+  std::size_t queue_byte_budget = 0;
+  std::string metrics_json;  // METRICS over the whole recorded ring
+
+  bool ok() const;
+  // Deterministic JSON object (metrics_json embedded verbatim) — the CI
+  // soak-smoke artifact.
+  std::string FormatJson() const;
+};
+
+// Runs the soak to completion (construct, upload from `uploaders` threads,
+// drain, audit). Uses options.service.clock if set; the soak also ticks the
+// time-series store while uploads are in flight.
+SoakReport RunSoak(const SoakOptions& options);
+
+}  // namespace service
+}  // namespace hwprof
+
+#endif  // HWPROF_SRC_SERVICE_SOAK_H_

@@ -1,6 +1,7 @@
 #include "src/snmp/telemetry_mib.h"
 
 #include "src/base/strings.h"
+#include "src/obs/timeseries.h"
 
 namespace hwprof {
 
@@ -37,12 +38,28 @@ void PopulateTelemetryMib(const obs::Snapshot& snapshot, MibStore* mib) {
         aux = m.sum_ns;
         break;
     }
+    // Ladder percentiles of the whole distribution so far; 0 for counters
+    // and gauges (kept present so a GETNEXT walk has a fixed row shape).
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+    if (m.kind == obs::MetricKind::kHistogram) {
+      p50 = obs::HistogramPercentileNs(m, 50.0);
+      p90 = obs::HistogramPercentileNs(m, 90.0);
+      p99 = obs::HistogramPercentileNs(m, 99.0);
+    }
     mib->Insert(Sub(root, {2, row, 1, 0}), m.name);
     mib->Insert(Sub(root, {2, row, 2, 0}), obs::MetricKindName(m.kind));
     mib->Insert(Sub(root, {2, row, 3, 0}),
                 StrFormat("%llu", static_cast<unsigned long long>(value)));
     mib->Insert(Sub(root, {2, row, 4, 0}),
                 StrFormat("%llu", static_cast<unsigned long long>(aux)));
+    mib->Insert(Sub(root, {2, row, 5, 0}),
+                StrFormat("%llu", static_cast<unsigned long long>(p50)));
+    mib->Insert(Sub(root, {2, row, 6, 0}),
+                StrFormat("%llu", static_cast<unsigned long long>(p90)));
+    mib->Insert(Sub(root, {2, row, 7, 0}),
+                StrFormat("%llu", static_cast<unsigned long long>(p99)));
     ++row;
   }
 }

@@ -13,6 +13,9 @@
 //                                      histogram sample count
 //   .2.<i>.4.0    profTelemetryAux     gauge peak / histogram sum_ns (0 for
 //                                      counters)
+//   .2.<i>.5.0    profTelemetryP50     histogram ladder p50, ns (0 for
+//   .2.<i>.6.0    profTelemetryP90     histogram ladder p90, ns    counters
+//   .2.<i>.7.0    profTelemetryP99     histogram ladder p99, ns    & gauges)
 //
 // Values are decimal strings (the agent's wire format carries strings).
 // Rows are indexed by the snapshot's name-sorted order, so a GETNEXT walk

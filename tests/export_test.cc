@@ -20,6 +20,7 @@
 #include "src/analysis/export.h"
 #include "src/analysis/parallel.h"
 #include "src/analysis/summary.h"
+#include "src/obs/telemetry.h"
 #include "src/profhw/fault_injection.h"
 #include "src/profhw/smart_socket.h"
 #include "src/workloads/testbed.h"
@@ -321,6 +322,52 @@ TEST(ExportCli, FoldedFormatAndErrors) {
   error.clear();
   EXPECT_NE(RunExport({capture, names, "--format", "bogus"}, &error), 0);
   EXPECT_FALSE(error.empty());
+}
+
+TEST(ExportCli, TelemetryTracksAreByteIdenticalAcrossJobs) {
+  const std::string capture = TempPath("capture_tel.hwprof");
+  const std::string names = TempPath("kernel_tel.names");
+  WriteNamesFile(names);
+  ASSERT_TRUE(SaveCapture(FuzzTrace(9, 400), capture));
+
+  // The registry is process-global; reset before each run so the rendered
+  // counts reflect exactly one decode, the way a fresh CLI process sees
+  // them. The allowlisted counters (decode.anomaly.*, decode.finishes,
+  // socket.*) are recorded identically by both engines, so the --telemetry
+  // export must stay byte-identical at every --jobs.
+  const std::string out1 = TempPath("out_tel_jobs1.json");
+  const std::string out8 = TempPath("out_tel_jobs8.json");
+  std::string error;
+  obs::SetEnabled(true);
+  obs::ResetTelemetry();
+  ASSERT_EQ(RunExport({capture, names, "--telemetry", "--jobs", "1", "--out",
+                       out1},
+                      &error),
+            0)
+      << error;
+  obs::ResetTelemetry();
+  ASSERT_EQ(RunExport({capture, names, "--telemetry", "--jobs", "8", "--out",
+                       out8},
+                      &error),
+            0)
+      << error;
+  std::string json1, json8;
+  ASSERT_TRUE(ReadFile(out1, &json1));
+  ASSERT_TRUE(ReadFile(out8, &json8));
+  EXPECT_EQ(json1, json8)
+      << "--telemetry counter tracks must not depend on --jobs";
+  ASSERT_TRUE(ValidateTraceEventJson(json1, &error)) << error;
+  EXPECT_NE(json1.find("\"telemetry: decode.finishes\""), std::string::npos);
+  EXPECT_NE(json1.find("\"ph\":\"C\""), std::string::npos);
+  // Engine-internal counters must NOT leak into the export.
+  EXPECT_EQ(json1.find("telemetry: parallel."), std::string::npos);
+  EXPECT_EQ(json1.find("telemetry: export."), std::string::npos);
+
+  // --telemetry is a trace-event feature; folded rejects it.
+  EXPECT_NE(RunExport({capture, names, "--format", "folded", "--telemetry"},
+                      &error),
+            0);
+  EXPECT_NE(error.find("--telemetry"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,81 @@
+// The hwprofd soak: 100+ concurrent uploader threads push mixed text/binary
+// captures (with injected malformed and inadmissible payloads) through one
+// IngestService, then the driver audits the daemon against its own
+// contracts — zero silent drops in uploads AND bytes, accepted fully
+// accounted as summaries + malformed, the queue's peak byte level inside
+// the configured backpressure budget, and every cached summary
+// byte-identical to an offline decode of the same payload. The same driver
+// backs CI's soak-smoke job (`hwprofd soak` under ASan/UBSan).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "src/service/ingest.h"
+#include "src/service/soak.h"
+
+namespace hwprof {
+namespace service {
+namespace {
+
+TEST(ServiceSoak, HundredUploadersZeroSilentDropsBoundedMemory) {
+  SoakOptions options;
+  options.uploaders = 100;
+  options.uploads_per_uploader = 3;
+  options.tenants = 8;
+  options.distinct_captures = 12;
+  options.events_per_capture = 1200;
+  options.seed = 42;
+  options.service.workers = 4;
+  const SoakReport report = RunSoak(options);
+  EXPECT_TRUE(report.ok()) << report.FormatJson();
+
+  // Spelled out so a failure names the broken contract, not just ok()==false.
+  EXPECT_EQ(report.silent_drops, 0u);
+  EXPECT_EQ(report.silent_drop_bytes, 0u);
+  EXPECT_EQ(report.stats.accepted,
+            report.stats.summaries + report.stats.malformed);
+  EXPECT_EQ(report.stats.malformed, report.malformed_accepted);
+  EXPECT_EQ(report.summary_mismatches, 0u);
+  EXPECT_GT(report.verified_summaries, 0u);
+  EXPECT_LE(report.stats.peak_queue_bytes, report.queue_byte_budget);
+  EXPECT_EQ(report.stats.offered, 300u);
+  // Re-uploads of the distinct-capture pool must be served from cache.
+  EXPECT_GT(report.stats.cache_hits, 0u);
+  // The report is the CI artifact; it must carry the windowed metrics.
+  EXPECT_NE(report.metrics_json.find("\"metrics\":"), std::string::npos);
+}
+
+TEST(ServiceSoak, SqueezedQueueStillAccountsEveryByte) {
+  // A deliberately tiny byte budget forces real kQueueFull backpressure
+  // under concurrency; the invariants must hold with drops in the mix.
+  SoakOptions options;
+  options.uploaders = 24;
+  options.uploads_per_uploader = 4;
+  options.tenants = 3;
+  options.distinct_captures = 6;
+  options.events_per_capture = 1500;
+  options.seed = 7;
+  options.service.workers = 2;
+  options.service.queue_max_depth = 2;
+  options.service.queue_max_bytes = 64 * 1024;
+  const SoakReport report = RunSoak(options);
+  EXPECT_EQ(report.silent_drops, 0u) << report.FormatJson();
+  EXPECT_EQ(report.silent_drop_bytes, 0u);
+  EXPECT_EQ(report.stats.accepted,
+            report.stats.summaries + report.stats.malformed);
+  EXPECT_LE(report.stats.peak_queue_bytes, report.queue_byte_budget);
+  EXPECT_EQ(report.summary_mismatches, 0u);
+}
+
+TEST(ServiceSoak, SynthTraceIsDeterministicPerSeed) {
+  // The pool generator underpins the offline-equivalence audit: same seed,
+  // same bytes; different seeds, different captures.
+  EXPECT_EQ(SynthTrace(3, 500).Serialize(), SynthTrace(3, 500).Serialize());
+  EXPECT_NE(SynthTrace(3, 500).Serialize(), SynthTrace(4, 500).Serialize());
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace hwprof

@@ -174,7 +174,16 @@ TEST(TelemetryMib, PublishesSnapshotRowsInSortedOrder) {
   gauge.kind = obs::MetricKind::kGauge;
   gauge.value = 2;
   gauge.peak = 9;
-  snap.metrics = {counter, gauge};  // already name-sorted
+  obs::MetricValue hist;
+  hist.name = "zz.decode.latency";
+  hist.kind = obs::MetricKind::kHistogram;
+  hist.buckets[0] = 50;  // <= 1us
+  hist.buckets[1] = 40;  // <= 2us
+  hist.buckets[2] = 10;  // <= 5us
+  hist.count = 100;
+  hist.sum_ns = 123456;
+  hist.max_ns = 4200;
+  snap.metrics = {counter, gauge, hist};  // already name-sorted
 
   for (const bool btree : {false, true}) {
     std::unique_ptr<MibStore> mib;
@@ -190,7 +199,7 @@ TEST(TelemetryMib, PublishesSnapshotRowsInSortedOrder) {
     count_oid.insert(count_oid.end(), {1, 0});
     const MibEntry* count = mib->Get(count_oid);
     ASSERT_NE(count, nullptr);
-    EXPECT_EQ(count->value, "2");
+    EXPECT_EQ(count->value, "3");
 
     // Row 1 = decode.events (sorted before parallel.queue_depth).
     auto cell = [&root, &mib](std::uint32_t row, std::uint32_t col) {
@@ -207,9 +216,22 @@ TEST(TelemetryMib, PublishesSnapshotRowsInSortedOrder) {
     EXPECT_EQ(cell(2, 2), "gauge");
     EXPECT_EQ(cell(2, 3), "2");
     EXPECT_EQ(cell(2, 4), "9");
+    EXPECT_EQ(cell(3, 1), "zz.decode.latency");
+    EXPECT_EQ(cell(3, 2), "histogram");
+    EXPECT_EQ(cell(3, 3), "100");
+    EXPECT_EQ(cell(3, 4), "123456");
+
+    // The percentile leaves (.5/.6/.7): ladder bucket upper bounds, the p99
+    // clamped to the observed max so it never exaggerates past a real
+    // sample. Counters and gauges publish 0 so the row shape is fixed.
+    EXPECT_EQ(cell(3, 5), "1000");  // p50: rank 50 lands in the <=1us bucket
+    EXPECT_EQ(cell(3, 6), "2000");  // p90: rank 90 lands in the <=2us bucket
+    EXPECT_EQ(cell(3, 7), "4200");  // p99: <=5us bucket, clamped to max_ns
+    EXPECT_EQ(cell(1, 5), "0");
+    EXPECT_EQ(cell(2, 7), "0");
 
     // A GETNEXT walk from the root enumerates the whole subtree: the count
-    // scalar plus 4 columns per row, in OID order.
+    // scalar plus 7 columns per row, in OID order.
     std::size_t visited = 0;
     Oid at = root;
     while (const MibEntry* e = mib->GetNext(at)) {
@@ -225,7 +247,28 @@ TEST(TelemetryMib, PublishesSnapshotRowsInSortedOrder) {
       ++visited;
       at = e->oid;
     }
-    EXPECT_EQ(visited, 1u + 2u * 4u);
+    EXPECT_EQ(visited, 1u + 3u * 7u);
+  }
+
+  // Snapshot determinism: publishing the same snapshot twice yields two
+  // byte-identical subtrees (walk order, OIDs and values all match).
+  LinearMib a;
+  LinearMib b;
+  PopulateTelemetryMib(snap, &a);
+  PopulateTelemetryMib(snap, &b);
+  Oid at_a = ProfTelemetryRoot();
+  Oid at_b = ProfTelemetryRoot();
+  while (true) {
+    const MibEntry* ea = a.GetNext(at_a);
+    const MibEntry* eb = b.GetNext(at_b);
+    ASSERT_EQ(ea == nullptr, eb == nullptr);
+    if (ea == nullptr) {
+      break;
+    }
+    EXPECT_EQ(CompareOid(ea->oid, eb->oid), 0);
+    EXPECT_EQ(ea->value, eb->value);
+    at_a = ea->oid;
+    at_b = eb->oid;
   }
 }
 

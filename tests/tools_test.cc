@@ -200,6 +200,39 @@ TEST(AnalyzeCli, JsonReportCarriesTheAnomalyCounters) {
   EXPECT_EQ(::testing::internal::GetCapturedStdout(), out);
 }
 
+TEST(AnalyzeCli, ProgressHeartbeatKeepsJsonStdoutMachineClean) {
+  // `--json --progress | jq` must keep parsing: the heartbeat goes to
+  // stderr, so stdout is byte-identical with and without --progress.
+  const CliFiles files = WriteSessionFiles();
+  std::string error;
+  ::testing::internal::CaptureStdout();
+  const int plain_rc = RunCli({files.capture.c_str(), files.names.c_str(), "--json"}, &error);
+  const std::string plain = ::testing::internal::GetCapturedStdout();
+  ASSERT_EQ(plain_rc, 0) << error;
+
+  ::testing::internal::CaptureStdout();
+  ::testing::internal::CaptureStderr();
+  const int rc = RunCli({files.capture.c_str(), files.names.c_str(), "--json", "--progress"},
+                        &error);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  ASSERT_EQ(rc, 0) << error;
+  EXPECT_EQ(out, plain) << "--progress leaked into stdout";
+  EXPECT_EQ(err.rfind("progress: ", 0), 0u) << err.substr(0, 80);
+  EXPECT_NE(err.find("events"), std::string::npos);
+
+  // Same contract for --stats-json.
+  ::testing::internal::CaptureStdout();
+  ::testing::internal::CaptureStderr();
+  ASSERT_EQ(RunCli({files.capture.c_str(), files.names.c_str(), "--stats-json", "--progress"},
+                   &error),
+            0)
+      << error;
+  const std::string stats_out = ::testing::internal::GetCapturedStdout();
+  ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(stats_out.find("progress:"), std::string::npos);
+}
+
 TEST(AnalyzeCli, MalformedCaptureFailsWithLineDiagnostics) {
   const std::string capture = ::testing::TempDir() + "/cli_bad.hwprof";
   const std::string names_path = ::testing::TempDir() + "/cli_bad.names";
@@ -349,22 +382,26 @@ TEST(AnalyzeCli, FollowProgressEmitsAHeartbeatPerChunk) {
 
   std::string error;
   ::testing::internal::CaptureStdout();
+  ::testing::internal::CaptureStderr();
   const int rc = RunCli({stream.c_str(), names_path.c_str(), "--follow",
                          "--progress", "--summary", "5"},
                         &error);
   const std::string out = ::testing::internal::GetCapturedStdout();
+  const std::string err = ::testing::internal::GetCapturedStderr();
   EXPECT_EQ(rc, 0) << error;
-  // One heartbeat per drained chunk, each carrying the cumulative event and
-  // anomaly counts plus a decode rate.
+  // One heartbeat per drained chunk on STDERR (stdout stays machine-clean),
+  // each carrying the cumulative event and anomaly counts plus a decode
+  // rate.
+  EXPECT_EQ(out.find("progress: "), std::string::npos) << out;
   std::size_t beats = 0;
-  for (std::size_t at = out.find("progress: "); at != std::string::npos;
-       at = out.find("progress: ", at + 1)) {
+  for (std::size_t at = err.find("progress: "); at != std::string::npos;
+       at = err.find("progress: ", at + 1)) {
     ++beats;
   }
-  EXPECT_EQ(beats, 2u) << out;
-  EXPECT_NE(out.find("events/sec"), std::string::npos) << out;
+  EXPECT_EQ(beats, 2u) << err;
+  EXPECT_NE(err.find("events/sec"), std::string::npos) << err;
   // The second chunk stamped 4 drops, so the final heartbeat counts anomalies.
-  EXPECT_NE(out.find(" 4 anomalies"), std::string::npos) << out;
+  EXPECT_NE(err.find(" 4 anomalies"), std::string::npos) << err;
 }
 
 // --- The hwprof_capture CLI (--config and the lookup workload) --------------------

@@ -354,7 +354,9 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
 
   // --progress heartbeat: one line per drained chunk with decode rate
   // against this process's wall clock (the stream's own timestamps measure
-  // the *target*, not us).
+  // the *target*, not us). Heartbeats are operator chatter, not report
+  // output, so they go to stderr — piping stdout into a JSON consumer stays
+  // machine-clean with progress on.
   const auto follow_start = std::chrono::steady_clock::now();
   auto heartbeat = [&](std::uint64_t events, std::uint64_t anomalies) {
     if (!progress) {
@@ -365,9 +367,10 @@ int FollowMain(const char* path, const TagFile& names, int argc, const char* con
             std::chrono::steady_clock::now() - follow_start)
             .count();
     const double rate = secs > 0 ? static_cast<double>(events) / secs : 0.0;
-    std::printf("progress: %llu events, %llu anomalies, %.0f events/sec (%.1fs)\n",
-                static_cast<unsigned long long>(events),
-                static_cast<unsigned long long>(anomalies), rate, secs);
+    std::fprintf(stderr,
+                 "progress: %llu events, %llu anomalies, %.0f events/sec (%.1fs)\n",
+                 static_cast<unsigned long long>(events),
+                 static_cast<unsigned long long>(anomalies), rate, secs);
   };
 
   if (jobs != 1) {
@@ -568,7 +571,8 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
     *error =
         "usage: hwprof_analyze <capture> <names> [--summary N] [--trace N] "
         "[--callgraph N] [--histogram FN] [--groups] [--spl] [--json] "
-        "[--salvage] [--jobs N] [--stats] [--stats-json] | <stream> <names> "
+        "[--salvage] [--jobs N] [--stats] [--stats-json] [--progress] | "
+        "<stream> <names> "
         "--follow [--summary N] [--poll N] [--jobs N] [--salvage] "
         "[--progress] [--stats] [--stats-json] | --diff <baseline> "
         "<candidate> <names> [--noise-pct P] [--quantum-us Q] "
@@ -638,8 +642,10 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
     return 1;
   }
   if (decoded.unknown_tags > 0) {
-    std::printf("warning: %llu events carried tags missing from the names file\n",
-                static_cast<unsigned long long>(decoded.unknown_tags));
+    // Warning chatter goes to stderr: `--json | jq` must keep parsing.
+    std::fprintf(stderr,
+                 "warning: %llu events carried tags missing from the names file\n",
+                 static_cast<unsigned long long>(decoded.unknown_tags));
   }
 
   bool did_something = false;
@@ -698,6 +704,12 @@ int AnalyzeMain(int argc, const char* const* argv, std::string* error) {
     } else if (arg == "--stats-json") {
       stats_json = true;
       did_something = true;
+    } else if (arg == "--progress") {
+      // One post-decode heartbeat on stderr (batch decodes have no chunk
+      // loop to beat along with); stdout report output is untouched.
+      std::fprintf(stderr, "progress: %llu events, %llu anomalies (decoded)\n",
+                   static_cast<unsigned long long>(decoded.event_count),
+                   static_cast<unsigned long long>(AnomalyTotal(decoded)));
     } else if (arg == "--jobs") {
       next_number(0);  // already consumed before the decode
     } else if (arg == "--salvage") {

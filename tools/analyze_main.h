@@ -29,9 +29,11 @@ namespace hwprof {
 //                    counters, gauges and latency histograms for the load,
 //                    decode, shard-replay and merge stages of this run)
 //   --stats-json     the same snapshot as a JSON object
-// Streaming (--follow) additionally accepts:
-//   --progress       one heartbeat line per drained chunk: events decoded,
-//                    anomalies so far, decode rate in events/sec
+//   --progress       heartbeat on STDERR (stdout report output is never
+//                    touched, so `--json --progress | jq` keeps parsing).
+//                    Batch mode emits one post-decode heartbeat; --follow
+//                    emits one line per drained chunk with events decoded,
+//                    anomalies so far and the decode rate in events/sec
 // Returns 0 on success; prints to stdout, errors to `*error` (a malformed
 // capture or names file yields file:line:reason diagnostics and exit 1).
 int AnalyzeMain(int argc, const char* const* argv, std::string* error);

@@ -65,7 +65,7 @@ int ExportMain(int argc, const char* const* argv, std::string* error) {
   if (argc < 3) {
     *error =
         "usage: hwprof_export <capture> <names> [--format trace-event|folded] "
-        "[--out FILE] [--jobs N] [--salvage] [--stats]";
+        "[--out FILE] [--jobs N] [--salvage] [--stats] [--telemetry]";
     return 2;
   }
   const std::string capture_path = argv[1];
@@ -76,6 +76,7 @@ int ExportMain(int argc, const char* const* argv, std::string* error) {
   bool serial = false;
   bool salvage = false;
   bool stats = false;
+  bool telemetry = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--format" && i + 1 < argc) {
@@ -95,6 +96,8 @@ int ExportMain(int argc, const char* const* argv, std::string* error) {
       salvage = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--telemetry") {
+      telemetry = true;
     } else {
       *error = StrFormat("unknown option '%s'", arg.c_str());
       return 2;
@@ -103,6 +106,10 @@ int ExportMain(int argc, const char* const* argv, std::string* error) {
   if (format != "trace-event" && format != "folded") {
     *error = StrFormat("unknown format '%s' (expected trace-event or folded)",
                        format.c_str());
+    return 2;
+  }
+  if (telemetry && format != "trace-event") {
+    *error = "--telemetry requires --format trace-event";
     return 2;
   }
 
@@ -171,10 +178,32 @@ int ExportMain(int argc, const char* const* argv, std::string* error) {
                           raw_in, stream_in, corrupt_words);
   OBS_SPAN_END(decode, "export.decode");
 
+  // The telemetry tracks render only counters whose totals are independent
+  // of the decode path chosen by --jobs: the per-decode anomaly ledger
+  // (RecordDecodeTelemetry runs identically under both engines) and the
+  // load-side socket counters. Engine-internal counters (decode.chunks,
+  // parallel.shards, ...) differ between serial and sharded runs and would
+  // break the export's byte-identity contract.
+  obs::Snapshot telemetry_counters;
+  if (telemetry) {
+    static constexpr std::string_view kInvariantPrefixes[] = {
+        "decode.anomaly.", "decode.finishes", "socket."};
+    for (obs::MetricValue& m : obs::GlobalSnapshot().metrics) {
+      for (const std::string_view prefix : kInvariantPrefixes) {
+        if (StartsWith(m.name, prefix)) {
+          telemetry_counters.metrics.push_back(std::move(m));
+          break;
+        }
+      }
+    }
+  }
+
   OBS_SPAN_BEGIN(render);
-  const std::string rendered = format == "trace-event"
-                                   ? ExportTraceEventJson(decoded)
-                                   : ExportFoldedStacks(decoded);
+  const std::string rendered =
+      format == "trace-event"
+          ? ExportTraceEventJson(decoded,
+                                 telemetry ? &telemetry_counters : nullptr)
+          : ExportFoldedStacks(decoded);
   OBS_SPAN_END(render, "export.render");
   OBS_COUNT("export.bytes", rendered.size());
 

@@ -24,6 +24,11 @@ namespace hwprof {
 //                    at every N.
 //   --salvage        tolerate corrupt capture files (as hwprof_analyze)
 //   --stats          append the pipeline-telemetry section to stderr
+//   --telemetry      (trace-event only) add one "C" counter track per
+//                    path-invariant pipeline counter (decode.anomaly.*,
+//                    decode.finishes, socket.*) so anomaly totals are
+//                    visible on the timeline; still byte-identical at
+//                    every --jobs N
 // Returns 0 on success; errors land in `*error` with file:line:reason
 // diagnostics where the loaders provide them.
 int ExportMain(int argc, const char* const* argv, std::string* error);

@@ -1,0 +1,23 @@
+// hwprofd: the fleet ingest daemon. Simulated machines upload captures over
+// a local socket; decode workers turn them into Figure-3 summaries; the ops
+// protocol (STATUS / METRICS / TENANTS / HEALTH / EVENTS / INGEST) exposes
+// the daemon's own telemetry. See tools/hwprofd_main.h for the modes.
+//
+//   hwprofd serve kernel.names --socket /tmp/hwprofd.sock
+//   hwprofd upload --socket /tmp/hwprofd.sock --tenant web1 capture.hwprof
+//   hwprofd query --socket /tmp/hwprofd.sock STATUS
+//   hwprofd soak --uploaders 100 --metrics-out soak.json
+
+#include <cstdio>
+#include <string>
+
+#include "tools/hwprofd_main.h"
+
+int main(int argc, char** argv) {
+  std::string error;
+  const int rc = hwprof::HwprofdMain(argc, argv, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "hwprofd: %s\n", error.c_str());
+  }
+  return rc;
+}

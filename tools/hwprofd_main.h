@@ -1,0 +1,47 @@
+// hwprofd: the fleet ingest daemon, as a reusable entry point (the binary's
+// main() calls this; tests call it directly with temp paths).
+
+#ifndef HWPROF_TOOLS_HWPROFD_MAIN_H_
+#define HWPROF_TOOLS_HWPROFD_MAIN_H_
+
+#include <string>
+
+namespace hwprof {
+
+// Runs the daemon tool. Modes:
+//
+//   hwprofd serve <names-file> --socket PATH [options]
+//       Long-running ingest daemon on an AF_UNIX socket (ops queries and
+//       UPLOAD framing; see src/service/ops_socket.h). Options:
+//         --workers N           decode worker threads (default 2)
+//         --tick-ms N           self-snapshot / SNMP refresh period (def 250)
+//         --duration-s N        exit after N seconds (0 = until SIGINT/TERM)
+//         --max-upload-bytes N  admission size cap (default 4194304)
+//         --queue-depth N       per-shard queue depth cap (default 64)
+//         --queue-bytes N       global queued-bytes cap (default 16777216)
+//         --cache N             summary cache entries (default 256)
+//         --rows N              summary rows per upload (default 0 = all)
+//       Each tick refreshes the profTelemetry SNMP subtree from the live
+//       registry, so an agent serving the daemon's MIB stays current.
+//
+//   hwprofd query --socket PATH <COMMAND...>
+//       Sends one ops command (words are joined) and prints the response.
+//       Exits 0 when the response ends with "OK", 1 otherwise.
+//
+//   hwprofd upload --socket PATH --tenant NAME <capture-file>
+//       Uploads one capture payload; prints the ACCEPT/DROP reply line.
+//       Exits 0 on ACCEPT, 1 on DROP or transport failure.
+//
+//   hwprofd soak [--uploaders N] [--uploads N] [--tenants N] [--distinct N]
+//                [--events N] [--seed N] [--workers N] [--metrics-out FILE]
+//       In-process soak (src/service/soak.h): N concurrent uploaders against
+//       one service, then the accounting / bounded-memory / offline-
+//       equivalence audit. Prints the report JSON; --metrics-out also writes
+//       it to FILE. Exits 0 iff the audit passed.
+//
+// Returns the process exit code; human-readable failures land in `*error`.
+int HwprofdMain(int argc, const char* const* argv, std::string* error);
+
+}  // namespace hwprof
+
+#endif  // HWPROF_TOOLS_HWPROFD_MAIN_H_
