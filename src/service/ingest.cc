@@ -204,6 +204,33 @@ SubmitResult IngestService::Submit(const std::string& tenant,
   return result;
 }
 
+SubmitResult IngestService::RejectOversize(const std::string& tenant,
+                                           std::uint64_t declared_bytes) {
+  SubmitResult result;
+  result.reason = DropReason::kOversize;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result.ingest_id = next_ingest_id_++;
+    TenantCounters& tc = tenants_[tenant];
+    ++tc.offered;
+    tc.offered_bytes += declared_bytes;
+    ++totals_.offered;
+    totals_.offered_bytes += declared_bytes;
+    tc.last_ingest_id = result.ingest_id;
+    const auto ri = static_cast<std::size_t>(DropReason::kOversize);
+    ++tc.dropped[ri];
+    ++totals_.dropped[ri];
+    totals_.dropped_bytes += declared_bytes;
+    event_log_.Append(
+        clock_(), result.ingest_id, tenant, "capture",
+        StrFormat("drop reason=oversize bytes=%llu",
+                  static_cast<unsigned long long>(declared_bytes)));
+  }
+  OBS_COUNT("service.uploads_offered", 1);
+  CountDropTelemetry(DropReason::kOversize);
+  return result;
+}
+
 void IngestService::WorkerLoop(std::size_t shard_index) {
   for (;;) {
     QueueItem item;
@@ -336,18 +363,20 @@ void IngestService::FinishUpload(const QueueItem& item,
         auto it = cache_.find(outcome.hash);
         if (it == cache_.end() && options_.cache_capacity > 0) {
           cache_.emplace(outcome.hash, outcome);
-          cache_lru_.push_back(outcome.hash);
+          cache_pos_[outcome.hash] =
+              cache_lru_.insert(cache_lru_.end(), outcome.hash);
           while (cache_.size() > options_.cache_capacity) {
-            cache_.erase(cache_lru_.front());
+            const std::uint64_t oldest = cache_lru_.front();
+            cache_.erase(oldest);
+            cache_pos_.erase(oldest);
             cache_lru_.pop_front();
           }
         }
       } else {
-        // Touch: move to the back of the recency list.
-        auto pos = std::find(cache_lru_.begin(), cache_lru_.end(), outcome.hash);
-        if (pos != cache_lru_.end()) {
-          cache_lru_.erase(pos);
-          cache_lru_.push_back(outcome.hash);
+        // Touch: splice the node to the back of the recency list, O(1).
+        const auto pos = cache_pos_.find(outcome.hash);
+        if (pos != cache_pos_.end()) {
+          cache_lru_.splice(cache_lru_.end(), cache_lru_, pos->second);
         }
       }
     }

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -165,6 +166,16 @@ class IngestService {
   // or after the decode (workers == 0).
   SubmitResult Submit(const std::string& tenant, std::string payload);
 
+  // Records a typed kOversize drop for an upload whose *declared* size
+  // already exceeds max_upload_bytes, without ever buffering the payload.
+  // The socket layer calls this before reading the body, so a lying or huge
+  // UPLOAD header cannot drive an allocation; the drop still lands in the
+  // same offered/dropped counters and event log as a Submit()-time drop.
+  SubmitResult RejectOversize(const std::string& tenant,
+                              std::uint64_t declared_bytes);
+
+  std::size_t max_upload_bytes() const { return options_.max_upload_bytes; }
+
   // Blocks until every accepted upload has been processed.
   void WaitIdle();
 
@@ -242,9 +253,12 @@ class IngestService {
   obs::MetricValue upload_bytes_ladder_;
   obs::MetricValue upload_events_ladder_;
 
-  // Summary cache: hash -> outcome, LRU by recency list.
+  // Summary cache: hash -> outcome, LRU by recency list. cache_pos_ maps a
+  // hash to its list node so a cache-hit touch is an O(1) splice rather
+  // than a scan under the service-wide mutex.
   std::map<std::uint64_t, UploadOutcome> cache_;
-  std::deque<std::uint64_t> cache_lru_;  // front = oldest
+  std::list<std::uint64_t> cache_lru_;  // front = oldest
+  std::map<std::uint64_t, std::list<std::uint64_t>::iterator> cache_pos_;
 
   EventLog event_log_;
   obs::TimeSeriesStore timeseries_;

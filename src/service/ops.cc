@@ -1,5 +1,6 @@
 #include "src/service/ops.h"
 
+#include <limits>
 #include <vector>
 
 #include "src/base/strings.h"
@@ -125,6 +126,13 @@ std::string HandleOpsCommand(IngestService& service, const std::string& line) {
     std::uint64_t window_s = 0;
     if (words.size() == 2 && !ParseUint(words[1], &window_s)) {
       return "ERR METRICS window must be a non-negative integer\n";
+    }
+    // The ns conversion must not wrap: a wrapped window silently turns a
+    // huge request into a tiny one and returns misleading stats.
+    constexpr std::uint64_t kMaxWindowS =
+        std::numeric_limits<std::uint64_t>::max() / 1'000'000'000ull;
+    if (window_s > kMaxWindowS) {
+      return "ERR METRICS window too large (use 0 for the whole ring)\n";
     }
     const obs::WindowStats stats =
         service.timeseries().Window(window_s * 1'000'000'000ull);

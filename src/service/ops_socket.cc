@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -15,6 +16,12 @@ namespace hwprof {
 namespace service {
 
 namespace {
+
+// Per-connection I/O timeout. A client that connects and then goes silent
+// must not pin a handler thread forever: reads and writes give up after
+// this long (SO_RCVTIMEO/SO_SNDTIMEO make them fail with EAGAIN), and the
+// handler closes the connection.
+constexpr int kConnIoTimeoutSec = 10;
 
 // Blocking full write; false on error (EPIPE from a vanished client is an
 // error like any other — the connection is simply abandoned).
@@ -56,6 +63,23 @@ bool ReadLine(int fd, std::string* line, std::size_t max_len = 4096) {
       return false;
     }
     line->push_back(c);
+  }
+}
+
+// Discards whatever the peer still has in flight, in a bounded buffer,
+// until EOF/error (the receive timeout bounds a peer that never closes).
+// Used after an early DROP reply so the client can finish writing its
+// (real, bounded) payload and read the reply instead of dying on EPIPE.
+void DrainToEof(int fd) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return;
+    }
   }
 }
 
@@ -170,6 +194,12 @@ void OpsServer::Stop() {
   std::vector<std::thread> handlers;
   {
     std::lock_guard<std::mutex> lock(handlers_mu_);
+    // Unblock handlers parked in read()/write() so the joins below return
+    // promptly; a handler removes its fd from open_fds_ (under this mutex)
+    // before closing it, so no shutdown() here can hit a recycled fd.
+    for (const int fd : open_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
     handlers.swap(handlers_);
   }
   for (std::thread& t : handlers) {
@@ -192,9 +222,14 @@ void OpsServer::AcceptLoop() {
     if (fd < 0) {
       continue;
     }
+    timeval io_timeout{};
+    io_timeout.tv_sec = kConnIoTimeoutSec;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &io_timeout, sizeof(io_timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &io_timeout, sizeof(io_timeout));
     std::vector<std::thread> reap;
     {
       std::lock_guard<std::mutex> lock(handlers_mu_);
+      open_fds_.insert(fd);
       handlers_.emplace_back([this, fd] { HandleConnection(fd); });
       if (handlers_.size() > 256) {
         // Connections are one-request and short-lived; joining the batch
@@ -211,9 +246,17 @@ void OpsServer::AcceptLoop() {
 }
 
 void OpsServer::HandleConnection(int fd) {
+  ServeConnection(fd);
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    open_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+void OpsServer::ServeConnection(int fd) {
   std::string line;
   if (!ReadLine(fd, &line)) {
-    ::close(fd);
     return;
   }
   if (StartsWith(line, "UPLOAD ")) {
@@ -227,14 +270,25 @@ void OpsServer::HandleConnection(int fd) {
     std::uint64_t nbytes = 0;
     if (words.size() != 3 || !ParseUint(words[2], &nbytes)) {
       WriteAll(fd, "ERR upload header must be: UPLOAD <tenant> <nbytes>\n");
-      ::close(fd);
+      return;
+    }
+    if (nbytes > service_.max_upload_bytes()) {
+      // The declared size already exceeds the admission cap: account the
+      // typed drop and reply WITHOUT buffering — a lying or huge header
+      // must never drive an nbytes-sized allocation. Then drain whatever
+      // the client actually sent so its payload write completes and it can
+      // read the reply instead of tripping over an early close.
+      const SubmitResult r = service_.RejectOversize(std::string(words[1]),
+                                                     nbytes);
+      WriteAll(fd, StrFormat("DROP %s %llu\n", DropReasonName(r.reason),
+                             static_cast<unsigned long long>(r.ingest_id)));
+      DrainToEof(fd);
       return;
     }
     std::string payload;
     if (nbytes > 0 &&
         !ReadExact(fd, &payload, static_cast<std::size_t>(nbytes))) {
       WriteAll(fd, "ERR short upload payload\n");
-      ::close(fd);
       return;
     }
     const SubmitResult r =
@@ -246,11 +300,9 @@ void OpsServer::HandleConnection(int fd) {
       WriteAll(fd, StrFormat("DROP %s %llu\n", DropReasonName(r.reason),
                              static_cast<unsigned long long>(r.ingest_id)));
     }
-    ::close(fd);
     return;
   }
   WriteAll(fd, HandleOpsCommand(service_, line));
-  ::close(fd);
 }
 
 std::string OpsQuery(const std::string& socket_path, const std::string& command,

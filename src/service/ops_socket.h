@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,6 +52,7 @@ class OpsServer {
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
+  void ServeConnection(int fd);
 
   IngestService& service_;
   std::string socket_path_;
@@ -59,6 +61,9 @@ class OpsServer {
   std::thread accept_thread_;
   std::mutex handlers_mu_;
   std::vector<std::thread> handlers_;
+  // Accepted fds still being served; Stop() shutdown()s them so handler
+  // threads blocked in read() return instead of hanging the join.
+  std::set<int> open_fds_;
   std::atomic<bool> stopping_{false};
 };
 

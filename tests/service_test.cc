@@ -10,10 +10,17 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "src/analysis/decoder.h"
 #include "src/analysis/summary.h"
@@ -151,6 +158,12 @@ TEST(ServiceOps, ErrorsAreTyped) {
             "ERR unknown command: BOGUS\n");
   EXPECT_EQ(HandleOpsCommand(service, "METRICS nope"),
             "ERR METRICS window must be a non-negative integer\n");
+  // A window whose ns conversion would wrap uint64 is an error, not a
+  // silently tiny window (UINT64_MAX/1e9 ~ 18446744073 seconds).
+  EXPECT_EQ(HandleOpsCommand(service, "METRICS 18446744074"),
+            "ERR METRICS window too large (use 0 for the whole ring)\n");
+  EXPECT_NE(HandleOpsCommand(service, "METRICS 18446744073").substr(0, 3),
+            "ERR");
   EXPECT_EQ(HandleOpsCommand(service, "INGEST nope"),
             "ERR INGEST id must be a non-negative integer\n");
   // Every success response ends with the OK terminator line.
@@ -227,6 +240,45 @@ TEST(ServiceIngest, CacheEvictsLeastRecentlyUsed) {
   EXPECT_TRUE(service.LookupOutcome(IngestService::HashPayload(b), &outcome));
   EXPECT_TRUE(service.LookupOutcome(IngestService::HashPayload(c), &outcome));
   EXPECT_EQ(service.Stats().cache_entries, 2u);
+}
+
+TEST(ServiceIngest, CacheHitRefreshesRecency) {
+  FrozenClock clock;
+  ServiceOptions options = SyncOptions(&clock);
+  options.cache_capacity = 2;
+  IngestService service(SoakNames(), options);
+  const std::string a = SynthTrace(21, 200).Serialize();
+  const std::string b = SynthTrace(22, 200).Serialize();
+  const std::string c = SynthTrace(23, 200).Serialize();
+  service.Submit("t", a);
+  service.Submit("t", b);
+  service.Submit("t", a);  // cache hit: a becomes most recent
+  service.Submit("t", c);  // must evict b, not a
+  UploadOutcome outcome;
+  EXPECT_TRUE(service.LookupOutcome(IngestService::HashPayload(a), &outcome));
+  EXPECT_FALSE(service.LookupOutcome(IngestService::HashPayload(b), &outcome));
+  EXPECT_TRUE(service.LookupOutcome(IngestService::HashPayload(c), &outcome));
+  EXPECT_EQ(service.Stats().cache_hits, 1u);
+}
+
+TEST(ServiceIngest, RejectOversizeAccountsWithoutPayload) {
+  FrozenClock clock;
+  IngestService service(SoakNames(), SyncOptions(&clock));
+  // A declared size far beyond any allocatable payload still lands in the
+  // same typed counters and event log as a Submit()-time oversize drop.
+  const SubmitResult r =
+      service.RejectOversize("liar", 99'999'999'999'999'999ull);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.reason, DropReason::kOversize);
+  EXPECT_GT(r.ingest_id, 0u);
+  const ServiceStats s = service.Stats();
+  EXPECT_EQ(s.offered, 1u);
+  EXPECT_EQ(s.dropped[static_cast<std::size_t>(DropReason::kOversize)], 1u);
+  EXPECT_EQ(s.offered_bytes, s.accepted_bytes + s.dropped_bytes);
+  const std::vector<LogEvent> trail =
+      service.event_log().ForIngest(r.ingest_id);
+  ASSERT_EQ(trail.size(), 1u);
+  EXPECT_NE(trail[0].detail.find("reason=oversize"), std::string::npos);
 }
 
 TEST(ServiceIngest, BackpressureIsATypedQueueFullDrop) {
@@ -363,6 +415,74 @@ TEST(ServiceSocket, UploadAndQueryRoundTrip) {
   EXPECT_EQ(drop_reason, "empty");
 
   server.Stop();
+  service.Stop();
+}
+
+TEST(ServiceSocket, OversizeHeaderRejectedWithoutBuffering) {
+  FrozenClock clock;
+  IngestService service(SoakNames(), SyncOptions(&clock));  // cap = 100'000
+  const std::string path = ::testing::TempDir() + "/hwprofd_oversize.sock";
+  std::remove(path.c_str());
+  OpsServer server(service, path);
+  ASSERT_TRUE(server.Start()) << server.last_error();
+
+  std::string error;
+  // A lying header declaring an unallocatable size must get a typed DROP
+  // reply, not resize(nbytes) the daemon to death. OpsQuery frames exactly
+  // the hostile shape: the header line with no payload behind it.
+  const std::string reply =
+      OpsQuery(path, "UPLOAD liar 99999999999999999", &error);
+  EXPECT_EQ(reply.substr(0, 14), "DROP oversize ") << reply << error;
+
+  // A genuinely oversize payload still round-trips its typed reason: the
+  // server replies from the header alone and drains the body.
+  std::uint64_t ingest_id = 0;
+  std::string drop_reason;
+  EXPECT_FALSE(OpsUpload(path, "alpha", std::string(100'001, 'x'), &ingest_id,
+                         &drop_reason, &error))
+      << error;
+  EXPECT_EQ(drop_reason, "oversize");
+
+  // The daemon survived both and still serves; nothing dropped silently.
+  EXPECT_EQ(OpsQuery(path, "HEALTH", &error).substr(0, 8), "degraded");
+  const ServiceStats s = service.Stats();
+  EXPECT_EQ(s.dropped[static_cast<std::size_t>(DropReason::kOversize)], 2u);
+  EXPECT_EQ(s.offered, s.accepted + s.DroppedTotal());
+  EXPECT_EQ(s.offered_bytes, s.accepted_bytes + s.dropped_bytes);
+
+  server.Stop();
+  service.Stop();
+}
+
+TEST(ServiceSocket, StopUnblocksSilentConnections) {
+  FrozenClock clock;
+  IngestService service(SoakNames(), SyncOptions(&clock));
+  const std::string path = ::testing::TempDir() + "/hwprofd_silent.sock";
+  std::remove(path.c_str());
+  OpsServer server(service, path);
+  ASSERT_TRUE(server.Start()) << server.last_error();
+
+  // A client that connects and sends nothing must not pin its handler
+  // thread: Stop() shutdown()s the fd so the blocked read returns, well
+  // before the 10s receive timeout would.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  // Give the accept loop a moment to hand the fd to a handler thread.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5))
+      << "Stop() must not wait out the connection read timeout";
+  ::close(fd);
   service.Stop();
 }
 
